@@ -1,0 +1,14 @@
+"""Benchmark: the end-to-end Algorithm 1 tracking experiment with a delta sweep."""
+
+from __future__ import annotations
+
+from repro.experiments.alg1_tracking import pets_example_table, tracking_table
+from repro.experiments.scale import SMALL
+
+
+def test_bench_alg1_tracking(benchmark, record_result):
+    table = benchmark.pedantic(tracking_table, args=(SMALL,),
+                               kwargs={"deltas": (2, 4, 8)}, rounds=1, iterations=1)
+    pets = pets_example_table()
+    record_result("alg1_tracking", table.render() + "\n\n" + pets.render())
+    assert len(table.rows) == 3

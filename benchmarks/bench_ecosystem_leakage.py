@@ -1,0 +1,13 @@
+"""Benchmark: the Safe Browsing ecosystem leakage comparison (Sections 1, 2.1, 8)."""
+
+from __future__ import annotations
+
+from repro.experiments.ecosystem_leakage import ecosystem_table
+from repro.experiments.scale import SMALL
+
+
+def test_bench_ecosystem_leakage(benchmark, record_result):
+    table = benchmark.pedantic(ecosystem_table, args=(SMALL,),
+                               kwargs={"visits": 60}, rounds=1, iterations=1)
+    record_result("ecosystem_leakage", table.render())
+    assert len(table.rows) == 3

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (URL/decomposition distributions) and the
+Section 6.2 headline statistics, including the power-law fit."""
+
+from __future__ import annotations
+
+from repro.experiments.fig05_distributions import figure5_data, headline_table
+from repro.experiments.scale import SMALL
+
+
+def test_bench_fig05_distributions(benchmark, record_result):
+    panels = benchmark.pedantic(figure5_data, args=(SMALL,), rounds=1, iterations=1)
+    table = headline_table(SMALL)
+    description = "\n\n".join(panel.describe() for panel in panels)
+    record_result("fig05_distributions", description + "\n\n" + table.render())
+    assert len(panels) == 6

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 6 (prefix collisions among host decompositions)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig06_prefix_collisions import collision_table, figure6_data
+from repro.experiments.scale import SMALL
+
+
+def test_bench_fig06_prefix_collisions(benchmark, record_result):
+    figure = benchmark.pedantic(figure6_data, args=(SMALL,), rounds=1, iterations=1)
+    table = collision_table(SMALL)
+    record_result("fig06_prefix_collisions", figure.describe() + "\n\n" + table.render())
+    assert figure.series

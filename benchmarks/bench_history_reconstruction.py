@@ -1,0 +1,12 @@
+"""Benchmark: browsing-history reconstruction from the request log (Section 4)."""
+
+from __future__ import annotations
+
+from repro.experiments.history_reconstruction import history_table
+from repro.experiments.scale import SMALL
+
+
+def test_bench_history_reconstruction(benchmark, record_result):
+    table = benchmark.pedantic(history_table, args=(SMALL,), rounds=1, iterations=1)
+    record_result("history_reconstruction", table.render())
+    assert len(table.rows) == 9

@@ -1,0 +1,12 @@
+"""Benchmark: the Section 8 mitigation comparison."""
+
+from __future__ import annotations
+
+from repro.experiments.mitigation_comparison import mitigation_table
+from repro.experiments.scale import SMALL
+
+
+def test_bench_mitigations(benchmark, record_result):
+    table = benchmark.pedantic(mitigation_table, args=(SMALL,), rounds=1, iterations=1)
+    record_result("mitigations", table.render())
+    assert len(table.rows) == 3

@@ -1,0 +1,14 @@
+"""Benchmark: client store ablation (memory vs. query speed, Section 2.2.2)."""
+
+from __future__ import annotations
+
+from repro.experiments.structure_ablation import structure_ablation_table
+
+ENTRY_COUNT = 100_000
+
+
+def test_bench_structure_ablation(benchmark, record_result):
+    table = benchmark.pedantic(structure_ablation_table, args=(ENTRY_COUNT,),
+                               rounds=1, iterations=1)
+    record_result("structure_ablation", table.render())
+    assert len(table.rows) == 3

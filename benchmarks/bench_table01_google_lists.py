@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (Google Safe Browsing list inventory)."""
+
+from __future__ import annotations
+
+from repro.experiments.scale import SMALL
+from repro.experiments.table01_google_lists import google_lists_table
+
+
+def test_bench_table01_google_lists(benchmark, record_result):
+    # The first call builds the blacklist snapshot; that construction is part
+    # of the measured work, exactly like the paper's list crawl.
+    table = benchmark.pedantic(google_lists_table, args=(SMALL,), rounds=1, iterations=1)
+    record_result("table01_google_lists", table.render())
+    assert len(table.rows) == 5

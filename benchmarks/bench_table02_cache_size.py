@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 2 (client cache size by prefix width).
+
+The store construction is the measured operation: hashing ~150k synthetic
+expressions and building the raw, delta-coded and Bloom stores at the five
+prefix widths of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table02_cache_size import cache_size_table
+
+ENTRY_COUNT = 150_000
+
+
+def test_bench_table02_cache_size(benchmark, record_result):
+    table = benchmark.pedantic(cache_size_table, args=(ENTRY_COUNT,), rounds=1, iterations=1)
+    record_result("table02_cache_size", table.render())
+    # Crossover claim: delta coding wins at 32 bits, the Bloom filter from 64.
+    rows = {row[0]: row for row in table.rows}
+    assert rows[32][-1] == "no"
+    assert rows[64][-1] == "yes"

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 3 (Yandex list inventory) and the Section 3 overlap."""
+
+from __future__ import annotations
+
+from repro.experiments.scale import SMALL
+from repro.experiments.table03_yandex_lists import provider_overlap_table, yandex_lists_table
+
+
+def test_bench_table03_yandex_lists(benchmark, record_result):
+    table = benchmark.pedantic(yandex_lists_table, args=(SMALL,), rounds=1, iterations=1)
+    overlap = provider_overlap_table(SMALL)
+    record_result("table03_yandex_lists", table.render() + "\n\n" + overlap.render())
+    assert len(table.rows) == 19

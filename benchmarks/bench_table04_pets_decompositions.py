@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 4 (PETS CFP URL decompositions and prefixes)."""
+
+from __future__ import annotations
+
+from repro.experiments.table04_pets_decompositions import pets_decomposition_table
+
+
+def test_bench_table04_pets_decompositions(benchmark, record_result):
+    table = benchmark(pets_decomposition_table)
+    record_result("table04_pets_decompositions", table.render())
+    assert all(row[-1] == "yes" for row in table.rows)

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 5 (maximum load per prefix, theory)."""
+
+from __future__ import annotations
+
+from repro.experiments.table05_balls_into_bins import balls_into_bins_table
+
+
+def test_bench_table05_balls_into_bins(benchmark, record_result):
+    table = benchmark(balls_into_bins_table)
+    record_result("table05_balls_into_bins", table.render())
+    assert len(table.rows) == 24  # 2 populations x 4 widths x 3 years

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 6 (collision-type classification examples)."""
+
+from __future__ import annotations
+
+from repro.experiments.table06_collision_types import collision_type_table
+
+
+def test_bench_table06_collision_types(benchmark, record_result):
+    table = benchmark(collision_type_table)
+    record_result("table06_collision_types", table.render())
+    assert len(table.rows) == 3

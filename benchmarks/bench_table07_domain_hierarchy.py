@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 7 and Figure 4 (sample decompositions, leaf URLs)."""
+
+from __future__ import annotations
+
+from repro.experiments.table07_domain_hierarchy import hierarchy_table, sample_decomposition_table
+
+
+def test_bench_table07_domain_hierarchy(benchmark, record_result):
+    table = benchmark(hierarchy_table)
+    decomposition = sample_decomposition_table()
+    record_result("table07_domain_hierarchy",
+                  decomposition.render() + "\n\n" + table.render())
+    assert all(row[2] == row[3] for row in table.rows)  # computed leaves match Figure 4

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 8 (dataset sizes and per-host ratios)."""
+
+from __future__ import annotations
+
+from repro.experiments.scale import SMALL
+from repro.experiments.table08_datasets import dataset_table
+
+
+def test_bench_table08_datasets(benchmark, record_result):
+    table = benchmark.pedantic(dataset_table, args=(SMALL,), rounds=1, iterations=1)
+    record_result("table08_datasets", table.render())
+    assert len(table.rows) == 2

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Tables 9 and 10 (inversion dictionaries and rates)."""
+
+from __future__ import annotations
+
+from repro.experiments.scale import SMALL
+from repro.experiments.table10_inversion import dictionary_table, inversion_table
+
+
+def test_bench_table10_inversion(benchmark, record_result):
+    table = benchmark.pedantic(inversion_table, args=(SMALL,), rounds=1, iterations=1)
+    dictionaries = dictionary_table(SMALL)
+    record_result("table10_inversion", dictionaries.render() + "\n\n" + table.render())
+    assert table.rows

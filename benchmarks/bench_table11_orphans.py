@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 11 (orphan prefixes and Alexa-corpus collisions)."""
+
+from __future__ import annotations
+
+from repro.experiments.scale import SMALL
+from repro.experiments.table11_orphans import orphan_table
+
+
+def test_bench_table11_orphans(benchmark, record_result):
+    table = benchmark.pedantic(orphan_table, args=(SMALL,), rounds=1, iterations=1)
+    record_result("table11_orphans", table.render())
+    assert table.rows

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 12 (URLs with multiple matching prefixes)."""
+
+from __future__ import annotations
+
+from repro.experiments.scale import SMALL
+from repro.experiments.table12_multi_prefix import example_rows, multi_prefix_table
+
+
+def test_bench_table12_multi_prefix(benchmark, record_result):
+    table = benchmark.pedantic(multi_prefix_table, args=(SMALL,), rounds=1, iterations=1)
+    examples = example_rows(SMALL, limit=5)
+    record_result("table12_multi_prefix", table.render() + "\n\n" + examples.render())
+    assert len(table.rows) == 2

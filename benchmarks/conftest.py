@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+timing collected by pytest-benchmark, the rendered table is written to
+``benchmarks/results/`` so a benchmark run leaves the reproduced rows on disk
+(EXPERIMENTS.md quotes them) and printed to stdout when ``-s`` is used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write a rendered experiment artifact to benchmarks/results/<name>.txt."""
+
+    def _record(name: str, content: object) -> None:
+        text = content if isinstance(content, str) else str(content)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _record

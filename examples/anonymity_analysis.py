@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Single-prefix anonymity: balls-into-bins theory vs. an empirical universe.
+
+The example reproduces the two sides of the paper's Section 5 argument:
+
+* the theoretical maximum load (Raab & Steger / Poisson) for the historical
+  web sizes and several prefix widths — Table 5;
+* the same metric measured empirically on a synthetic URL universe, showing
+  how anonymity collapses as the prefix width grows, and how *domain-root*
+  expressions are far less protected than deep URLs.
+
+Run with:  python examples/anonymity_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import BallsIntoBinsModel, build_dataset_bundle, privacy_metric
+from repro.analysis.ballsbins import DOMAIN_COUNT_HISTORY, URL_COUNT_HISTORY
+from repro.urls.decompose import decompositions
+
+
+def theoretical_table() -> None:
+    print("--- Theory: worst-case uncertainty M (paper Table 5) ----------------")
+    print(f"{'population':<10} {'year':>5} {'l=16':>12} {'l=32':>10} {'l=64':>6} {'l=96':>6}")
+    for population, history in (("URLs", URL_COUNT_HISTORY), ("domains", DOMAIN_COUNT_HISTORY)):
+        for year, count in history.items():
+            cells = []
+            for bits in (16, 32, 64, 96):
+                model = BallsIntoBinsModel(ball_count=count, prefix_bits=bits)
+                cells.append(model.worst_case_uncertainty())
+            print(f"{population:<10} {year:>5} {cells[0]:>12,} {cells[1]:>10,} "
+                  f"{cells[2]:>6} {cells[3]:>6}")
+    print()
+
+
+def empirical_metric() -> None:
+    print("--- Empirical: anonymity sets on a synthetic URL universe ------------")
+    bundle = build_dataset_bundle(host_count=60)
+    expressions: list[str] = []
+    domain_roots: list[str] = []
+    for site in bundle.alexa.sites:
+        domain_roots.append(f"{site.registered_domain}/")
+        for url in site.urls:
+            expressions.extend(decompositions(url))
+
+    print(f"universe: {len(expressions):,} decompositions over "
+          f"{bundle.alexa.site_count} domains\n")
+    print(f"{'prefix bits':>11} {'max set':>8} {'mean set':>9} {'singleton %':>12}")
+    for bits in (8, 16, 24, 32):
+        report = privacy_metric(expressions, prefix_bits=bits)
+        print(f"{bits:>11} {report.max_set_size:>8} {report.mean_set_size:>9.2f} "
+              f"{report.reidentifiable_fraction:>11.1%}")
+    print()
+    domain_report = privacy_metric(domain_roots, prefix_bits=32)
+    print(f"domain roots only, 32-bit prefixes: max anonymity set = "
+          f"{domain_report.max_set_size} -> a received domain-root prefix identifies "
+          f"the domain (the paper's conclusion for SLDs)")
+
+
+def main() -> None:
+    theoretical_table()
+    empirical_metric()
+
+
+if __name__ == "__main__":
+    main()

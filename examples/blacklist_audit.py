@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Blacklist audit: orphan prefixes, inversion, and multi-prefix URLs.
+
+This example reproduces, at laptop scale, the Section 7 measurements of the
+paper against a synthetic Yandex-shaped snapshot:
+
+* invert the prefix lists with cleartext dictionaries (Table 10);
+* count orphan prefixes — prefixes with no full digest behind them
+  (Table 11);
+* scan a popular-site corpus for URLs that hit two or more blacklist
+  prefixes, i.e. URLs the provider can re-identify on sight (Table 12).
+
+Run with:  python examples/blacklist_audit.py
+"""
+
+from __future__ import annotations
+
+from repro import BlacklistAuditor, ListProvider, build_blacklist_snapshot, build_dataset_bundle
+from repro.corpus.datasets import AUDITED_LISTS
+
+
+def main() -> None:
+    print("building the synthetic corpus and the Yandex-shaped snapshot ...")
+    bundle = build_dataset_bundle(host_count=80)
+    snapshot = build_blacklist_snapshot(
+        ListProvider.YANDEX, scale=0.002,
+        multi_prefix_sites=bundle.alexa, multi_prefix_site_count=6,
+    )
+    auditor = BlacklistAuditor(snapshot.server)
+    audited_lists = AUDITED_LISTS[ListProvider.YANDEX]
+
+    print("\n--- Inversion (Table 10) -------------------------------------------")
+    print(f"{'list':<34} {'dictionary':<14} {'matched':>8} {'rate':>7}")
+    for report in auditor.inversion_matrix(audited_lists,
+                                           snapshot.dictionaries.as_mapping()):
+        print(f"{report.list_name:<34} {report.dictionary_name:<14} "
+              f"{report.matched_prefixes:>8} {report.match_rate:>7.1%}")
+
+    print("\n--- Orphan prefixes (Table 11) -------------------------------------")
+    print(f"{'list':<34} {'0 hashes':>9} {'1 hash':>8} {'>=2':>5} {'orphan %':>9}")
+    for list_name in audited_lists:
+        report = auditor.orphan_report(list_name, bundle.alexa, max_corpus_sites=40)
+        print(f"{report.list_name:<34} {report.prefixes_with_zero_hashes:>9} "
+              f"{report.prefixes_with_one_hash:>8} "
+              f"{report.prefixes_with_two_or_more_hashes:>5} "
+              f"{report.orphan_fraction:>9.1%}")
+
+    print("\n--- URLs with multiple matching prefixes (Table 12) ----------------")
+    report = auditor.multi_prefix_report(bundle.alexa, max_sites=40)
+    print(f"scanned {report.urls_scanned} URLs of the popular corpus; "
+          f"{report.url_count} have >= 2 matching prefixes "
+          f"(over {report.domain_count} domains)")
+    for found in report.urls[:8]:
+        print(f"  {found.url}")
+        for expression, prefix in zip(found.matching_expressions, found.matching_prefixes):
+            print(f"      {expression:<50} {prefix}")
+
+    print("\nEvery URL above is re-identifiable by the provider the moment its")
+    print("client sends those prefixes — the paper's Table 12 situation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mitigations: dummy queries vs. one-prefix-at-a-time (paper Section 8).
+
+The example equips a provider with tracking prefixes for a handful of target
+pages (the worst case for the user), then visits those pages with three
+clients:
+
+* the standard client (baseline),
+* a client padding every request with deterministic dummy prefixes,
+* a client revealing one prefix at a time (root decomposition first).
+
+For every trace the provider runs its re-identification engine; the output
+shows that dummies do not prevent multi-prefix re-identification while the
+one-prefix-at-a-time strategy degrades it to the domain level.
+
+Run with:  python examples/mitigation_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.mitigation_comparison import run_mitigation_experiment
+from repro.experiments.scale import SMALL
+
+
+def main() -> None:
+    print("running the Section 8 mitigation experiment (small scale) ...\n")
+    experiment = run_mitigation_experiment(SMALL)
+
+    print(f"targets visited: {len(experiment.targets)}")
+    for target in experiment.targets[:5]:
+        print(f"  {target}")
+    if len(experiment.targets) > 5:
+        print(f"  ... and {len(experiment.targets) - 5} more")
+    print()
+
+    rows = [
+        ("baseline (standard client)",
+         experiment.dummy_comparison.baseline_url_rate,
+         experiment.dummy_comparison.baseline_domain_rate,
+         experiment.dummy_comparison.average_prefixes_sent_baseline),
+        ("dummy queries",
+         experiment.dummy_comparison.mitigated_url_rate,
+         experiment.dummy_comparison.mitigated_domain_rate,
+         experiment.dummy_comparison.average_prefixes_sent_mitigated),
+        ("one prefix at a time",
+         experiment.one_prefix_comparison.mitigated_url_rate,
+         experiment.one_prefix_comparison.mitigated_domain_rate,
+         experiment.one_prefix_comparison.average_prefixes_sent_mitigated),
+    ]
+    print(f"{'scenario':<28} {'URL re-id':>10} {'domain re-id':>13} {'avg prefixes':>13}")
+    for name, url_rate, domain_rate, sent in rows:
+        print(f"{name:<28} {url_rate:>9.0%} {domain_rate:>12.0%} {sent:>13.1f}")
+
+    print()
+    print("Paper's conclusion, reproduced: the provider still re-identifies URLs")
+    print("despite dummy queries (the two real prefixes co-occur), whereas querying")
+    print("one prefix at a time only reveals the registered domain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,308 @@
+"""Blacklist auditing (paper Section 7, Tables 10, 11 and 12).
+
+The paper crawls the Google and Yandex prefix lists and asks three
+questions, each reproduced here against the synthetic blacklist snapshots:
+
+* **inversion** (Table 10): hashing candidate dictionaries (malware feeds,
+  phishing feeds, BigBlackList, DNS-census SLDs) and counting how many list
+  prefixes they explain — :meth:`BlacklistAuditor.inversion_report`;
+* **orphans** (Table 11): prefixes for which the full-hash endpoint returns
+  nothing, split by the number of full digests per prefix, plus the corpus
+  URLs that hit such prefixes — :meth:`BlacklistAuditor.orphan_report`;
+* **multiple prefixes per URL** (Table 12): URLs of a benign corpus whose
+  lookups produce two or more local hits, i.e. URLs the provider can
+  re-identify — :meth:`BlacklistAuditor.multi_prefix_report`.
+
+It also measures the overlap between two providers' lists (the Section 3
+observation that Google's and Yandex's "identical" lists share few
+prefixes).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.corpus.generator import WebCorpus
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.hashing.prefix_set import PrefixSet
+from repro.safebrowsing.database import ListDatabase
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
+
+
+# ---------------------------------------------------------------------------
+# report data classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class InversionReport:
+    """Reconstruction of one list with one dictionary (one cell of Table 10)."""
+
+    list_name: str
+    dictionary_name: str
+    dictionary_size: int
+    list_prefix_count: int
+    matched_prefixes: int
+
+    @property
+    def match_rate(self) -> float:
+        """Fraction of the list's prefixes explained by the dictionary."""
+        if self.list_prefix_count == 0:
+            return 0.0
+        return self.matched_prefixes / self.list_prefix_count
+
+
+@dataclass(frozen=True, slots=True)
+class OrphanReport:
+    """Full-hash-per-prefix distribution of one list (one row of Table 11)."""
+
+    list_name: str
+    prefixes_with_zero_hashes: int
+    prefixes_with_one_hash: int
+    prefixes_with_two_or_more_hashes: int
+    corpus_hits_on_orphans: int
+    corpus_hits_on_single_parent: int
+    corpus_hits_on_multi_parent: int
+
+    @property
+    def total_prefixes(self) -> int:
+        return (
+            self.prefixes_with_zero_hashes
+            + self.prefixes_with_one_hash
+            + self.prefixes_with_two_or_more_hashes
+        )
+
+    @property
+    def orphan_fraction(self) -> float:
+        total = self.total_prefixes
+        return self.prefixes_with_zero_hashes / total if total else 0.0
+
+    @property
+    def total_corpus_hits(self) -> int:
+        return (
+            self.corpus_hits_on_orphans
+            + self.corpus_hits_on_single_parent
+            + self.corpus_hits_on_multi_parent
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MultiPrefixUrl:
+    """One URL that produces several local hits (one row of Table 12)."""
+
+    url: str
+    matching_expressions: tuple[str, ...]
+    matching_prefixes: tuple[Prefix, ...]
+    lists: tuple[str, ...]
+
+    @property
+    def hit_count(self) -> int:
+        return len(self.matching_prefixes)
+
+
+@dataclass(frozen=True, slots=True)
+class MultiPrefixReport:
+    """All multi-hit URLs found in a corpus (Table 12 / Section 7.3)."""
+
+    corpus_label: str
+    urls: tuple[MultiPrefixUrl, ...]
+    urls_scanned: int
+
+    @property
+    def url_count(self) -> int:
+        return len(self.urls)
+
+    @property
+    def domain_count(self) -> int:
+        domains = {url.url.split("://", 1)[-1].split("/", 1)[0] for url in self.urls}
+        return len(domains)
+
+    def per_list(self) -> dict[str, int]:
+        """Number of multi-hit URLs attributable to each list."""
+        counts: dict[str, int] = defaultdict(int)
+        for url in self.urls:
+            for list_name in url.lists:
+                counts[list_name] += 1
+        return dict(counts)
+
+
+@dataclass(frozen=True, slots=True)
+class ListOverlapReport:
+    """Prefix overlap between two lists (Section 3 observation)."""
+
+    first_list: str
+    second_list: str
+    first_count: int
+    second_count: int
+    common_prefixes: int
+
+    @property
+    def jaccard(self) -> float:
+        union = self.first_count + self.second_count - self.common_prefixes
+        return self.common_prefixes / union if union else 0.0
+
+
+# ---------------------------------------------------------------------------
+# auditor
+# ---------------------------------------------------------------------------
+
+
+class BlacklistAuditor:
+    """Runs the Section 7 measurements against a provisioned server."""
+
+    def __init__(self, server: SafeBrowsingServer, *,
+                 policy: DecompositionPolicy = API_POLICY) -> None:
+        self.server = server
+        self.policy = policy
+
+    def _database(self, list_name: str) -> ListDatabase:
+        return self.server.database[list_name]
+
+    # -- Table 10: inversion -----------------------------------------------------
+
+    def inversion_report(self, list_name: str, dictionary_name: str,
+                         dictionary: Sequence[str]) -> InversionReport:
+        """Measure how much of a list a cleartext dictionary explains."""
+        database = self._database(list_name)
+        list_prefixes = database.prefixes()
+        dictionary_prefixes = PrefixSet.from_expressions(dictionary,
+                                                         bits=database.prefix_bits)
+        matched = len(list_prefixes & dictionary_prefixes)
+        return InversionReport(
+            list_name=list_name,
+            dictionary_name=dictionary_name,
+            dictionary_size=len(dictionary),
+            list_prefix_count=len(list_prefixes),
+            matched_prefixes=matched,
+        )
+
+    def inversion_matrix(self, list_names: Iterable[str],
+                         dictionaries: Mapping[str, Sequence[str]]) -> list[InversionReport]:
+        """The full Table 10: every list against every dictionary."""
+        reports: list[InversionReport] = []
+        for list_name in list_names:
+            for dictionary_name, dictionary in dictionaries.items():
+                reports.append(
+                    self.inversion_report(list_name, dictionary_name, dictionary)
+                )
+        return reports
+
+    # -- Table 11: orphans ---------------------------------------------------------
+
+    def orphan_report(self, list_name: str, corpus: WebCorpus | None = None, *,
+                      max_corpus_sites: int | None = None) -> OrphanReport:
+        """Distribution of full hashes per prefix, plus corpus collisions."""
+        database = self._database(list_name)
+        zero = len(database.orphan_prefixes())
+        one = 0
+        two_plus = 0
+        hashes_per_prefix: dict[Prefix, int] = {}
+        for prefix in database.prefixes():
+            count = len(database.full_hashes_for(prefix))
+            hashes_per_prefix[prefix] = count
+            if count == 1:
+                one += 1
+            elif count >= 2:
+                two_plus += 1
+
+        hits_orphan = hits_single = hits_multi = 0
+        if corpus is not None:
+            sites = (corpus.sites if max_corpus_sites is None
+                     else corpus.sample_sites(max_corpus_sites))
+            for site in sites:
+                for url in site.urls:
+                    for expression in decompositions(url, policy=self.policy):
+                        prefix = url_prefix(expression, database.prefix_bits)
+                        if not database.contains_prefix(prefix):
+                            continue
+                        count = hashes_per_prefix.get(prefix, 0)
+                        if count == 0:
+                            hits_orphan += 1
+                        elif count == 1:
+                            hits_single += 1
+                        else:
+                            hits_multi += 1
+                        break  # count each URL once, like the paper's table
+        return OrphanReport(
+            list_name=list_name,
+            prefixes_with_zero_hashes=zero,
+            prefixes_with_one_hash=one,
+            prefixes_with_two_or_more_hashes=two_plus,
+            corpus_hits_on_orphans=hits_orphan,
+            corpus_hits_on_single_parent=hits_single,
+            corpus_hits_on_multi_parent=hits_multi,
+        )
+
+    # -- Table 12: URLs with multiple matching prefixes ----------------------------
+
+    def multi_prefix_report(self, corpus: WebCorpus, *,
+                            list_names: Iterable[str] | None = None,
+                            min_hits: int = 2,
+                            max_sites: int | None = None) -> MultiPrefixReport:
+        """Find corpus URLs whose decompositions hit ``min_hits``+ prefixes."""
+        if min_hits < 1:
+            raise AnalysisError("min_hits must be at least 1")
+        if list_names is None:
+            list_names = [
+                database.descriptor.name
+                for database in self.server.database
+                if database.descriptor.is_url_list and database.prefix_count() > 0
+            ]
+        databases = [self._database(name) for name in list_names]
+
+        found: list[MultiPrefixUrl] = []
+        sites = corpus.sites if max_sites is None else corpus.sample_sites(max_sites)
+        scanned = 0
+        for site in sites:
+            for url in site.urls:
+                scanned += 1
+                expressions: list[str] = []
+                prefixes: list[Prefix] = []
+                lists: list[str] = []
+                for expression in decompositions(url, policy=self.policy):
+                    prefix = url_prefix(expression, self.server.database.prefix_bits)
+                    matched_lists = [
+                        database.descriptor.name
+                        for database in databases
+                        if database.contains_prefix(prefix)
+                    ]
+                    if matched_lists:
+                        expressions.append(expression)
+                        prefixes.append(prefix)
+                        for name in matched_lists:
+                            if name not in lists:
+                                lists.append(name)
+                if len(prefixes) >= min_hits:
+                    found.append(
+                        MultiPrefixUrl(
+                            url=url,
+                            matching_expressions=tuple(expressions),
+                            matching_prefixes=tuple(prefixes),
+                            lists=tuple(lists),
+                        )
+                    )
+        return MultiPrefixReport(
+            corpus_label=corpus.label,
+            urls=tuple(found),
+            urls_scanned=scanned,
+        )
+
+    # -- Section 3: overlap between providers ---------------------------------------
+
+    def overlap_with(self, other: "BlacklistAuditor", first_list: str,
+                     second_list: str) -> ListOverlapReport:
+        """Common prefixes between a list of this server and one of another."""
+        first = self._database(first_list).prefixes()
+        second = other._database(second_list).prefixes()
+        return ListOverlapReport(
+            first_list=first_list,
+            second_list=second_list,
+            first_count=len(first),
+            second_count=len(second),
+            common_prefixes=len(first & second),
+        )

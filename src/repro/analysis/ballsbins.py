@@ -1,0 +1,243 @@
+"""Balls-into-bins analysis of single-prefix privacy (paper Section 5).
+
+The paper models hash-and-truncate as throwing ``m`` balls (the URLs of the
+web) into ``n = 2**l`` bins (the ``l``-bit prefixes) and uses the maximum
+load ``M`` — the largest number of URLs sharing one prefix — as the
+provider's *worst-case uncertainty* when it receives a single prefix.  Three
+estimates of ``M`` are provided here:
+
+* :func:`max_load_upper_bound` — the asymptotic formula of Raab & Steger
+  (Theorem 1 of the paper), with the four regimes selected from ``m`` and
+  ``n`` exactly as the theorem prescribes;
+* :func:`expected_max_load_poisson` — a non-asymptotic estimate obtained
+  from the Poisson approximation of bin loads (the smallest ``k`` such that
+  the expected number of bins with at least ``k`` balls drops below one);
+* :func:`simulate_max_load` — an exact Monte-Carlo simulation, tractable for
+  the scaled-down parameters used in tests, which validates the two
+  estimates.
+
+:class:`BallsIntoBinsModel` packages the three estimates for one
+``(m, n)`` pair, and the module-level constants record the web-size history
+the paper plugs into the model (Table 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize, stats
+
+from repro.exceptions import AnalysisError
+
+#: Number of unique URLs Google reported knowing, per year (paper Table 5).
+URL_COUNT_HISTORY: dict[int, int] = {
+    2008: 1 * 10**12,
+    2012: 30 * 10**12,
+    2013: 60 * 10**12,
+}
+
+#: Number of registered domain names reported by Verisign, per year.
+DOMAIN_COUNT_HISTORY: dict[int, int] = {
+    2008: 177 * 10**6,
+    2012: 252 * 10**6,
+    2013: 271 * 10**6,
+}
+
+#: Prefix widths evaluated in Table 5.
+TABLE5_PREFIX_BITS: tuple[int, ...] = (16, 32, 64, 96)
+
+
+def _validate(m: int | float, n: int | float) -> tuple[float, float]:
+    if m <= 0 or n <= 1:
+        raise AnalysisError("balls-into-bins needs m > 0 balls and n > 1 bins")
+    return float(m), float(n)
+
+
+# ---------------------------------------------------------------------------
+# Raab & Steger asymptotic bound (Theorem 1)
+# ---------------------------------------------------------------------------
+
+
+def _d_c(c: float) -> float:
+    """Solve ``1 + x (ln c - ln x + 1) - c = 0`` for the root ``x > c``.
+
+    ``d_c`` appears in the ``m = c * n * log n`` regime of Raab & Steger.
+    The function ``f(x)`` is positive at ``x = c`` and decreases to
+    ``-inf``, so a bracketed Brent solve on ``[c, upper]`` is robust.
+    """
+    if c <= 0:
+        raise AnalysisError("c must be positive")
+
+    def equation(x: float) -> float:
+        return 1.0 + x * (math.log(c) - math.log(x) + 1.0) - c
+
+    lower = c
+    upper = max(2.0 * c + 2.0, 4.0)
+    while equation(upper) > 0:
+        upper *= 2.0
+        if upper > 1e9:
+            raise AnalysisError("failed to bracket d_c")
+    return float(optimize.brentq(equation, lower, upper))
+
+
+def select_regime(m: int | float, n: int | float, *, polylog_exponent: float = 3.0) -> str:
+    """Select the Theorem 1 regime for ``m`` balls into ``n`` bins.
+
+    Returns one of ``"sparse"`` (``n/polylog(n) <= m << n log n``),
+    ``"linearithmic"`` (``m = c n log n``), ``"polylog"``
+    (``n log n << m <= n polylog(n)``) or ``"dense"`` (``m >> n log^3 n``).
+    The boundaries of asymptotic regimes are necessarily fuzzy for concrete
+    numbers; the choices below follow the paper's usage in Table 5.
+    """
+    m, n = _validate(m, n)
+    log_n = math.log(n)
+    if m >= n * log_n**polylog_exponent:
+        return "dense"
+    if m > n * log_n**1.5:
+        return "polylog"
+    if m >= 0.5 * n * log_n:
+        return "linearithmic"
+    return "sparse"
+
+
+def max_load_upper_bound(m: int | float, n: int | float, *, alpha: float = 1.0,
+                         regime: str | None = None) -> float:
+    """The Raab-Steger high-probability upper bound ``k_alpha`` on the max load.
+
+    ``alpha > 1`` makes ``Pr[M > k_alpha] = o(1)``; the paper evaluates the
+    bound at ``alpha`` close to 1, which is what the default does.
+    """
+    m, n = _validate(m, n)
+    if alpha <= 0:
+        raise AnalysisError("alpha must be positive")
+    log_n = math.log(n)
+    if regime is None:
+        regime = select_regime(m, n)
+
+    if regime == "sparse":
+        ratio = n * log_n / m
+        log_ratio = math.log(ratio)
+        if log_ratio <= 0:
+            raise AnalysisError("sparse regime requires m < n log n")
+        loglog_ratio = math.log(max(log_ratio, math.e))
+        value = (log_n / log_ratio) * (1.0 + alpha * loglog_ratio / log_ratio)
+    elif regime == "linearithmic":
+        # The paper (and Raab & Steger) write the bound as (d_c - 1 - alpha) log n.
+        c = m / (n * log_n)
+        value = max((_d_c(c) - 1.0 - alpha), 1.0 / log_n) * log_n
+    elif regime == "polylog":
+        value = m / n + alpha * math.sqrt(2.0 * (m / n) * log_n)
+    elif regime == "dense":
+        loglog_n = math.log(log_n)
+        correction = 1.0 - (1.0 / alpha) * loglog_n / (2.0 * log_n)
+        value = m / n + math.sqrt(2.0 * (m / n) * log_n) * correction
+    else:
+        raise AnalysisError(f"unknown regime {regime!r}")
+
+    # The maximum load is never below the mean load; flooring keeps the bound
+    # sensible (and monotone in n) near the regime boundaries, where the
+    # asymptotic formulas with concrete constants can dip below it.
+    return max(value, m / n)
+
+
+# ---------------------------------------------------------------------------
+# Poisson estimate and simulation
+# ---------------------------------------------------------------------------
+
+
+def expected_max_load_poisson(m: int | float, n: int | float) -> int:
+    """Estimate the expected maximum load via the Poisson approximation.
+
+    With ``m`` balls in ``n`` bins each load is approximately
+    ``Poisson(m/n)``; the expected maximum over ``n`` bins is close to the
+    smallest ``k`` for which ``n * Pr[X >= k] < 1``.  This estimate has no
+    asymptotic caveats and is the one the experiment harness reports next to
+    the Raab-Steger bound.
+    """
+    m, n = _validate(m, n)
+    lam = m / n
+    distribution = stats.poisson(lam)
+
+    def bins_with_at_least(k: int) -> float:
+        return n * float(distribution.sf(k - 1))
+
+    # The expected number of bins with load >= k decreases in k; binary-search
+    # the first k for which it drops below one.
+    low = max(1, int(math.ceil(lam)))
+    high = int(math.ceil(lam + 20.0 * math.sqrt(lam + 1.0) + 60.0))
+    if bins_with_at_least(low) < 1.0:
+        return max(low - 1, 1)
+    if bins_with_at_least(high) >= 1.0:
+        return high
+    while high - low > 1:
+        middle = (low + high) // 2
+        if bins_with_at_least(middle) < 1.0:
+            high = middle
+        else:
+            low = middle
+    return max(low, 1)
+
+
+def simulate_max_load(m: int, n: int, *, rounds: int = 5,
+                      seed: int = 0) -> float:
+    """Monte-Carlo estimate of the expected maximum load (small ``m``, ``n``).
+
+    Used by the test suite to validate the analytic estimates on tractable
+    sizes (``m, n <= ~10**7``).
+    """
+    if m <= 0 or n <= 0:
+        raise AnalysisError("simulation needs positive m and n")
+    if m * rounds > 5 * 10**8:
+        raise AnalysisError("simulation size too large; use the analytic estimates")
+    rng = np.random.default_rng(seed)
+    maxima: list[int] = []
+    for _ in range(rounds):
+        bins = rng.integers(0, n, size=m)
+        counts = np.bincount(bins, minlength=1)
+        maxima.append(int(counts.max()))
+    return float(np.mean(maxima))
+
+
+# ---------------------------------------------------------------------------
+# model object used by the Table 5 experiment
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BallsIntoBinsModel:
+    """Maximum-load estimates for ``m`` URLs hashed to ``l``-bit prefixes."""
+
+    ball_count: int
+    prefix_bits: int
+    alpha: float = 1.0
+
+    @property
+    def bin_count(self) -> int:
+        return 2**self.prefix_bits
+
+    @property
+    def load_factor(self) -> float:
+        """Average number of URLs per prefix (``m / n``)."""
+        return self.ball_count / self.bin_count
+
+    def raab_steger_bound(self) -> float:
+        """The Theorem 1 upper bound ``k_alpha``."""
+        return max_load_upper_bound(self.ball_count, self.bin_count, alpha=self.alpha)
+
+    def poisson_estimate(self) -> int:
+        """The Poisson-approximation estimate of the expected maximum load."""
+        return expected_max_load_poisson(self.ball_count, self.bin_count)
+
+    def worst_case_uncertainty(self) -> int:
+        """The privacy metric of Section 5: max #URLs behind one prefix.
+
+        Reported as an integer (a count of URLs), never below 1: even when
+        the load factor is tiny, at least one URL maps to an occupied prefix.
+        """
+        return max(1, int(round(self.raab_steger_bound())))
+
+    def reidentifiable(self, threshold: int = 2) -> bool:
+        """Whether a received prefix pins the URL down to < ``threshold`` candidates."""
+        return self.worst_case_uncertainty() < threshold

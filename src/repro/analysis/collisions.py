@@ -1,0 +1,154 @@
+"""Type I / II / III collision classification (paper Section 6.1, Table 6).
+
+When a provider receives *two* prefixes for one visit, the set of URLs that
+could have produced them is shaped by three collision mechanisms:
+
+* **Type I** — distinct but *related* URLs (same registered domain) share the
+  decompositions whose prefixes were received;
+* **Type II** — related URLs share one decomposition (one common prefix)
+  while the second prefix coincides only because of digest truncation;
+* **Type III** — completely unrelated URLs whose decompositions happen to
+  collide on both truncated digests.
+
+The paper shows ``P[Type I] > P[Type II] > P[Type III]`` and that Type II/III
+are negligible at 32 bits, so the re-identification ambiguity is governed by
+Type I alone.  This module classifies candidate URLs against a target and
+builds the illustrative example of Table 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+
+class CollisionType(enum.Enum):
+    """How another URL can produce the same prefix pair as the target."""
+
+    TYPE_I = "type-1"
+    TYPE_II = "type-2"
+    TYPE_III = "type-3"
+    NONE = "none"
+
+
+@dataclass(frozen=True, slots=True)
+class CollisionExample:
+    """One candidate URL and how it collides with the target."""
+
+    target_url: str
+    candidate_url: str
+    collision_type: CollisionType
+    shared_expressions: tuple[str, ...]
+    shared_prefixes: tuple[Prefix, ...]
+
+
+def _expression_prefixes(url: str, *, prefix_bits: int,
+                         policy: DecompositionPolicy) -> dict[str, Prefix]:
+    return {
+        expression: url_prefix(expression, prefix_bits)
+        for expression in decompositions(url, policy=policy)
+    }
+
+
+def classify_collision(target_url: str, candidate_url: str, *,
+                       prefix_bits: int = 32,
+                       policy: DecompositionPolicy = API_POLICY,
+                       observed_prefixes: tuple[Prefix, ...] | None = None) -> CollisionExample:
+    """Classify how ``candidate_url`` collides with ``target_url``.
+
+    ``observed_prefixes`` restricts the comparison to the prefixes the
+    provider actually received (default: all of the target's decomposition
+    prefixes).  The classification follows Section 6.1:
+
+    * every observed prefix matched through a *shared decomposition* and the
+      URLs are related -> Type I;
+    * the URLs are related, at least one observed prefix matched through a
+      shared decomposition and the rest only through digest collisions ->
+      Type II;
+    * all observed prefixes matched only through digest collisions (or the
+      URLs are unrelated) -> Type III;
+    * not all observed prefixes are produced by the candidate -> NONE.
+    """
+    target = _expression_prefixes(target_url, prefix_bits=prefix_bits, policy=policy)
+    candidate = _expression_prefixes(candidate_url, prefix_bits=prefix_bits, policy=policy)
+    if observed_prefixes is None:
+        observed_prefixes = tuple(target.values())
+    if not observed_prefixes:
+        raise AnalysisError("no observed prefixes to classify against")
+
+    candidate_prefixes = set(candidate.values())
+    if not all(prefix in candidate_prefixes for prefix in observed_prefixes):
+        return CollisionExample(
+            target_url=target_url, candidate_url=candidate_url,
+            collision_type=CollisionType.NONE,
+            shared_expressions=(), shared_prefixes=(),
+        )
+
+    shared_expressions = tuple(sorted(set(target) & set(candidate)))
+    shared_expression_prefixes = {target[expression] for expression in shared_expressions}
+
+    related = (
+        registered_domain(parse_url(target_url).host)
+        == registered_domain(parse_url(candidate_url).host)
+    )
+
+    observed = set(observed_prefixes)
+    via_shared = observed & shared_expression_prefixes
+    via_truncation = observed - shared_expression_prefixes
+
+    if related and not via_truncation:
+        collision = CollisionType.TYPE_I
+    elif related and via_shared:
+        collision = CollisionType.TYPE_II
+    else:
+        collision = CollisionType.TYPE_III
+
+    return CollisionExample(
+        target_url=target_url,
+        candidate_url=candidate_url,
+        collision_type=collision,
+        shared_expressions=shared_expressions,
+        shared_prefixes=tuple(sorted(observed & candidate_prefixes)),
+    )
+
+
+def collision_examples_for(target_url: str, candidate_urls: list[str], *,
+                           prefix_bits: int = 32,
+                           policy: DecompositionPolicy = API_POLICY,
+                           observed_prefixes: tuple[Prefix, ...] | None = None) -> list[CollisionExample]:
+    """Classify a list of candidates against a target (Table 6 generator)."""
+    return [
+        classify_collision(target_url, candidate, prefix_bits=prefix_bits,
+                           policy=policy, observed_prefixes=observed_prefixes)
+        for candidate in candidate_urls
+    ]
+
+
+def collision_probability_bound(collision_type: CollisionType, *,
+                                prefix_bits: int = 32,
+                                observed_prefix_count: int = 2) -> float:
+    """Upper bound on the probability of a purely accidental collision.
+
+    Type III requires every observed prefix to collide by truncation alone,
+    so its probability is ``2**(-prefix_bits * observed_prefix_count)`` (the
+    ``1/2**64`` of the paper for two 32-bit prefixes).  Type II requires all
+    but one prefix to collide accidentally.  Type I needs no accidental
+    collision, so no such bound applies (it is governed by the domain's
+    structure instead); the function returns 1.0 for it.
+    """
+    if observed_prefix_count < 1:
+        raise AnalysisError("at least one observed prefix is required")
+    if collision_type is CollisionType.TYPE_III:
+        return 2.0 ** (-prefix_bits * observed_prefix_count)
+    if collision_type is CollisionType.TYPE_II:
+        return 2.0 ** (-prefix_bits * max(observed_prefix_count - 1, 1))
+    if collision_type is CollisionType.TYPE_I:
+        return 1.0
+    return 0.0

@@ -1,0 +1,158 @@
+"""Browsing-history reconstruction (paper Section 4, threat model).
+
+The paper's first threat is an honest-but-curious provider reconstructing
+"completely or partly the browsing history of a client from the data sent to
+the servers".  For the prefix-based API that data is the full-hash request
+log; this module replays it through the re-identification engine and scores
+how much of a client's actual browsing the provider recovers:
+
+* per request: the candidate URLs / the identified URL / the identified
+  registered domain;
+* per client (cookie): the reconstructed timeline and the fraction of the
+  client's *blacklist-hitting* visits recovered at URL and at domain level.
+
+Safe visits never reach the provider, so the reconstruction is bounded by
+the hit rate — which is exactly the paper's point: the v3 API leaks nothing
+for misses, and everything the analysis can extract for hits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry
+
+
+@dataclass(frozen=True, slots=True)
+class ReconstructedVisit:
+    """The provider's best guess about one full-hash request."""
+
+    cookie: SafeBrowsingCookie
+    timestamp: float
+    identified_url: str | None
+    identified_domain: str | None
+    candidate_count: int
+
+    @property
+    def url_recovered(self) -> bool:
+        return self.identified_url is not None
+
+    @property
+    def domain_recovered(self) -> bool:
+        return self.identified_domain is not None
+
+
+@dataclass(frozen=True, slots=True)
+class ClientHistory:
+    """The reconstructed timeline of one client."""
+
+    cookie: SafeBrowsingCookie
+    visits: tuple[ReconstructedVisit, ...]
+
+    @property
+    def urls_recovered(self) -> tuple[str, ...]:
+        return tuple(visit.identified_url for visit in self.visits
+                     if visit.identified_url is not None)
+
+    @property
+    def domains_recovered(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(
+            visit.identified_domain for visit in self.visits
+            if visit.identified_domain is not None
+        ))
+
+
+@dataclass(frozen=True, slots=True)
+class ReconstructionReport:
+    """Aggregate reconstruction quality over a whole request log."""
+
+    total_requests: int
+    url_level_recoveries: int
+    domain_level_recoveries: int
+    histories: tuple[ClientHistory, ...]
+
+    @property
+    def url_recovery_rate(self) -> float:
+        return self.url_level_recoveries / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def domain_recovery_rate(self) -> float:
+        return self.domain_level_recoveries / self.total_requests if self.total_requests else 0.0
+
+    def history_for(self, cookie: SafeBrowsingCookie) -> ClientHistory | None:
+        for history in self.histories:
+            if history.cookie == cookie:
+                return history
+        return None
+
+
+class BrowsingHistoryReconstructor:
+    """Replays a full-hash request log through the re-identification engine."""
+
+    def __init__(self, engine: ReidentificationEngine) -> None:
+        self.engine = engine
+
+    def reconstruct_entry(self, entry: RequestLogEntry) -> ReconstructedVisit:
+        """Re-identify one request-log entry."""
+        result = self.engine.reidentify_best_coverage(entry.prefixes)
+        return ReconstructedVisit(
+            cookie=entry.cookie,
+            timestamp=entry.timestamp,
+            identified_url=result.identified_url,
+            identified_domain=result.identified_domain,
+            candidate_count=result.ambiguity,
+        )
+
+    def reconstruct(self, log: Sequence[RequestLogEntry]) -> ReconstructionReport:
+        """Reconstruct every client's history from a request log."""
+        per_cookie: dict[SafeBrowsingCookie, list[ReconstructedVisit]] = defaultdict(list)
+        url_hits = 0
+        domain_hits = 0
+        for entry in log:
+            visit = self.reconstruct_entry(entry)
+            per_cookie[entry.cookie].append(visit)
+            if visit.url_recovered:
+                url_hits += 1
+            if visit.domain_recovered:
+                domain_hits += 1
+        histories = tuple(
+            ClientHistory(cookie=cookie,
+                          visits=tuple(sorted(visits, key=lambda v: v.timestamp)))
+            for cookie, visits in per_cookie.items()
+        )
+        return ReconstructionReport(
+            total_requests=len(log),
+            url_level_recoveries=url_hits,
+            domain_level_recoveries=domain_hits,
+            histories=histories,
+        )
+
+    def score_against_ground_truth(self, log: Sequence[RequestLogEntry],
+                                   ground_truth: dict[str, set[str]]) -> dict[str, float]:
+        """Compare reconstructed URLs with the URLs clients actually visited.
+
+        ``ground_truth`` maps cookie values to the set of canonical URLs the
+        client visited *that produced a server contact*.  Returns per-metric
+        rates: correctness of the URL-level recoveries and coverage of the
+        ground-truth visits.
+        """
+        report = self.reconstruct(log)
+        correct = 0
+        recovered = 0
+        total_truth = sum(len(urls) for urls in ground_truth.values())
+        for history in report.histories:
+            truth = ground_truth.get(history.cookie.value, set())
+            recovered_urls = set(history.urls_recovered)
+            correct += sum(1 for url in recovered_urls if url in truth)
+            recovered += len(recovered_urls & truth)
+        url_recoveries = max(report.url_level_recoveries, 1)
+        return {
+            "precision": correct / url_recoveries,
+            "coverage": recovered / total_truth if total_truth else 0.0,
+            "url_recovery_rate": report.url_recovery_rate,
+            "domain_recovery_rate": report.domain_recovery_rate,
+        }

@@ -1,0 +1,141 @@
+"""The provider's inverted index: prefix -> known URLs.
+
+The paper's threat model (Section 4) grants the provider web-indexing
+capabilities: Google and Yandex are assumed to know (essentially) every URL
+on the web.  Re-identification is then a dictionary attack: hash every known
+URL's decompositions, truncate, and keep a map from 32-bit prefix back to the
+URLs that can produce it.  :class:`PrefixInvertedIndex` is that map, built
+from a :class:`~repro.corpus.generator.WebCorpus` or from raw URL lists.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.corpus.generator import WebCorpus
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+
+@dataclass(frozen=True, slots=True)
+class IndexedUrl:
+    """One URL known to the provider, with its decomposition prefixes."""
+
+    url: str
+    registered_domain: str
+    expressions: tuple[str, ...]
+    prefixes: tuple[Prefix, ...]
+
+    @property
+    def exact_prefix(self) -> Prefix:
+        """Prefix of the URL's own (first) decomposition."""
+        return self.prefixes[0]
+
+
+class PrefixInvertedIndex:
+    """Maps prefixes back to the URLs and expressions that produce them."""
+
+    def __init__(self, *, prefix_bits: int = 32,
+                 policy: DecompositionPolicy = API_POLICY) -> None:
+        self.prefix_bits = prefix_bits
+        self.policy = policy
+        self._urls: dict[str, IndexedUrl] = {}
+        self._by_prefix: dict[Prefix, set[str]] = defaultdict(set)
+        self._expression_by_prefix: dict[Prefix, set[str]] = defaultdict(set)
+        self._urls_by_domain: dict[str, set[str]] = defaultdict(set)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_url(self, url: str) -> IndexedUrl:
+        """Index one URL (idempotent)."""
+        existing = self._urls.get(url)
+        if existing is not None:
+            return existing
+        parsed = parse_url(url)
+        expressions = tuple(decompositions(parsed, policy=self.policy))
+        prefixes = tuple(url_prefix(expression, self.prefix_bits) for expression in expressions)
+        entry = IndexedUrl(
+            url=url,
+            registered_domain=registered_domain(parsed.host),
+            expressions=expressions,
+            prefixes=prefixes,
+        )
+        self._urls[url] = entry
+        for expression, prefix in zip(expressions, prefixes):
+            self._by_prefix[prefix].add(url)
+            self._expression_by_prefix[prefix].add(expression)
+        self._urls_by_domain[entry.registered_domain].add(url)
+        return entry
+
+    def add_urls(self, urls: Iterable[str]) -> None:
+        """Index many URLs."""
+        for url in urls:
+            self.add_url(url)
+
+    @classmethod
+    def from_corpus(cls, corpus: WebCorpus, *, prefix_bits: int = 32,
+                    policy: DecompositionPolicy = API_POLICY,
+                    max_sites: int | None = None) -> "PrefixInvertedIndex":
+        """Build the index over (a sample of) a corpus."""
+        index = cls(prefix_bits=prefix_bits, policy=policy)
+        sites = corpus.sites if max_sites is None else corpus.sample_sites(max_sites)
+        for site in sites:
+            index.add_urls(site.urls)
+        return index
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._urls)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._urls
+
+    def indexed_url(self, url: str) -> IndexedUrl:
+        """The index entry of one URL."""
+        return self._urls[url]
+
+    def urls_for_prefix(self, prefix: Prefix) -> set[str]:
+        """URLs with at least one decomposition hashing to ``prefix``."""
+        return set(self._by_prefix.get(prefix, set()))
+
+    def expressions_for_prefix(self, prefix: Prefix) -> set[str]:
+        """Known canonical expressions hashing to ``prefix``."""
+        return set(self._expression_by_prefix.get(prefix, set()))
+
+    def urls_for_prefixes(self, prefixes: Iterable[Prefix]) -> set[str]:
+        """URLs whose decompositions cover *all* the given prefixes.
+
+        This is the multi-prefix candidate set: only URLs that can explain
+        every received prefix remain.
+        """
+        prefix_list = list(prefixes)
+        if not prefix_list:
+            return set()
+        candidates = self.urls_for_prefix(prefix_list[0])
+        for prefix in prefix_list[1:]:
+            candidates &= self.urls_for_prefix(prefix)
+            if not candidates:
+                break
+        return candidates
+
+    def urls_on_domain(self, domain: str) -> set[str]:
+        """All indexed URLs whose registered domain is ``domain``."""
+        return set(self._urls_by_domain.get(domain, set()))
+
+    def domains_for_prefix(self, prefix: Prefix) -> set[str]:
+        """Registered domains of the URLs matching ``prefix``."""
+        return {self._urls[url].registered_domain for url in self._by_prefix.get(prefix, set())}
+
+    def anonymity_set_size(self, prefix: Prefix) -> int:
+        """Number of known URLs that can produce ``prefix``."""
+        return len(self._by_prefix.get(prefix, set()))
+
+    def prefix_count(self) -> int:
+        """Number of distinct prefixes in the index."""
+        return len(self._by_prefix)

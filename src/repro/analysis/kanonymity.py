@@ -1,0 +1,95 @@
+"""k-anonymity over a concrete URL universe (paper Section 5.1).
+
+The balls-into-bins bound of :mod:`repro.analysis.ballsbins` is an asymptotic
+statement about a uniformly random web.  This module measures the same
+privacy metric *empirically*: given a universe of canonical expressions (for
+instance every decomposition of a synthetic corpus, standing in for the
+provider's web index), it groups them by their ``l``-bit prefix and reports
+the anonymity set sizes — the number of known URLs that share each prefix.
+
+The paper's metric is the *maximum* anonymity set size (the provider's
+worst-case uncertainty); the report below also carries the minimum and the
+distribution, which the client-side view (Ercal-Ozkaya's minimum-load
+argument, quoted in Section 5.2) needs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class AnonymitySetReport:
+    """Anonymity-set statistics of a URL universe at one prefix width."""
+
+    prefix_bits: int
+    universe_size: int
+    occupied_prefixes: int
+    max_set_size: int
+    min_set_size: int
+    mean_set_size: float
+    singleton_fraction: float
+
+    @property
+    def k_anonymity(self) -> int:
+        """The guaranteed k: the size of the *smallest* anonymity set.
+
+        A user can only rely on the weakest guarantee; the provider's
+        worst-case uncertainty is :attr:`max_set_size` instead.
+        """
+        return self.min_set_size
+
+    @property
+    def reidentifiable_fraction(self) -> float:
+        """Fraction of prefixes that identify a unique URL in the universe."""
+        return self.singleton_fraction
+
+
+def anonymity_sets(expressions: Iterable[str], *, prefix_bits: int = 32) -> dict[Prefix, list[str]]:
+    """Group expressions by their ``prefix_bits``-bit prefix."""
+    groups: dict[Prefix, list[str]] = defaultdict(list)
+    for expression in expressions:
+        groups[url_prefix(expression, prefix_bits)].append(expression)
+    return dict(groups)
+
+
+def privacy_metric(expressions: Iterable[str], *, prefix_bits: int = 32) -> AnonymitySetReport:
+    """Compute the paper's privacy metric on a concrete universe.
+
+    ``expressions`` are canonical expressions (URL decompositions); the
+    report's :attr:`AnonymitySetReport.max_set_size` is the metric of
+    Section 5.1 — the maximum number of URLs sharing one prefix.
+    """
+    groups = anonymity_sets(expressions, prefix_bits=prefix_bits)
+    if not groups:
+        raise AnalysisError("cannot compute a privacy metric on an empty universe")
+    sizes = np.array([len(group) for group in groups.values()], dtype=np.int64)
+    universe_size = int(sizes.sum())
+    return AnonymitySetReport(
+        prefix_bits=prefix_bits,
+        universe_size=universe_size,
+        occupied_prefixes=int(sizes.size),
+        max_set_size=int(sizes.max()),
+        min_set_size=int(sizes.min()),
+        mean_set_size=float(sizes.mean()),
+        singleton_fraction=float(np.count_nonzero(sizes == 1) / sizes.size),
+    )
+
+
+def metric_across_widths(expressions: Iterable[str],
+                         widths: Iterable[int] = (16, 32, 64, 96)) -> list[AnonymitySetReport]:
+    """Evaluate the privacy metric at several prefix widths (Table 5 sweep).
+
+    The expression list is materialized once so every width sees the same
+    universe.
+    """
+    universe = list(expressions)
+    return [privacy_metric(universe, prefix_bits=width) for width in widths]

@@ -1,0 +1,249 @@
+"""Countermeasures discussed in the paper (Section 8).
+
+Two mitigations are analyzed:
+
+* **Dummy queries** (Firefox-style): every real full-hash request is
+  accompanied by deterministically chosen dummy prefixes, raising the
+  k-anonymity of a *single* prefix.  The paper notes the mitigation does not
+  survive multiple prefixes, because the probability that two given prefixes
+  are included as dummies of the same request is negligible — the
+  re-identification experiment below reproduces that conclusion.
+* **One-prefix-at-a-time**: when several decompositions hit the local
+  database, query only the prefix of the root decomposition first and the
+  deeper ones only if needed; the provider then learns the domain but not
+  the full URL.
+
+Both are implemented as wrappers around :class:`SafeBrowsingClient` so they
+exercise the real protocol path, and :func:`compare_mitigations` measures
+their effect on the re-identification rate with the same engine used against
+the unprotected client.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import FullHash
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.protocol import LookupResult, Verdict
+from repro.urls.canonicalize import canonicalize
+from repro.urls.decompose import decompositions
+
+
+# ---------------------------------------------------------------------------
+# dummy queries
+# ---------------------------------------------------------------------------
+
+
+class DummyQueryClient:
+    """A client that pads every full-hash request with dummy prefixes.
+
+    The dummies are *deterministic* functions of the real prefix (as in
+    Firefox, to resist differential analysis across repeated queries): the
+    i-th dummy of prefix ``p`` is the prefix of ``SHA-256(p || i)``.
+    """
+
+    def __init__(self, client: SafeBrowsingClient, *, dummies_per_query: int = 4) -> None:
+        if dummies_per_query < 0:
+            raise AnalysisError("dummies_per_query must be non-negative")
+        self.client = client
+        self.dummies_per_query = dummies_per_query
+
+    def dummy_prefixes(self, prefix: Prefix) -> list[Prefix]:
+        """The deterministic dummies attached to one real prefix."""
+        dummies: list[Prefix] = []
+        for index in range(self.dummies_per_query):
+            digest = hashlib.sha256(prefix.value + bytes([index])).digest()
+            dummies.append(Prefix.from_digest(digest, prefix.bits))
+        return dummies
+
+    def lookup(self, url: str) -> LookupResult:
+        """Check a URL, padding any real request with dummies."""
+        canonical = canonicalize(url)
+        decomps = tuple(decompositions(canonical, canonical=True,
+                                       policy=self.client.config.decomposition_policy))
+        digest_by_expression = {expression: FullHash.of(expression) for expression in decomps}
+        prefix_by_expression = {
+            expression: digest.prefix(self.client.config.prefix_bits)
+            for expression, digest in digest_by_expression.items()
+        }
+        real_hits = [
+            prefix for prefix in dict.fromkeys(prefix_by_expression.values())
+            if self.client._local_hit(prefix)
+        ]
+        self.client.stats.urls_checked += 1
+        if not real_hits:
+            return LookupResult(url=url, canonical_url=canonical,
+                                verdict=Verdict.SAFE, decompositions=decomps)
+        self.client.stats.local_hits += 1
+
+        padded: list[Prefix] = []
+        for prefix in real_hits:
+            padded.append(prefix)
+            padded.extend(self.dummy_prefixes(prefix))
+        self.client.stats.record_extra("dummy-prefixes",
+                                       len(padded) - len(real_hits))
+        response = self.client.send_raw_prefixes(padded)
+
+        matched_expressions: list[str] = []
+        matched_lists: list[str] = []
+        for expression, digest in digest_by_expression.items():
+            for match in response.matches_for(prefix_by_expression[expression]):
+                if match.full_hash == digest:
+                    matched_expressions.append(expression)
+                    if match.list_name not in matched_lists:
+                        matched_lists.append(match.list_name)
+        verdict = Verdict.MALICIOUS if matched_expressions else Verdict.SAFE
+        if verdict is Verdict.MALICIOUS:
+            self.client.stats.malicious_verdicts += 1
+        return LookupResult(
+            url=url, canonical_url=canonical, verdict=verdict,
+            decompositions=decomps,
+            local_hits=tuple(real_hits),
+            sent_prefixes=tuple(padded),
+            matched_lists=tuple(matched_lists),
+            matched_expressions=tuple(matched_expressions),
+        )
+
+
+# ---------------------------------------------------------------------------
+# one prefix at a time
+# ---------------------------------------------------------------------------
+
+
+class OnePrefixAtATimeClient:
+    """A client that queries the root decomposition's prefix first.
+
+    When several decompositions hit the local database, only the *least
+    specific* one (the registered-domain root, the last decomposition in API
+    order) is queried.  If the server confirms it as malicious the user can
+    already be warned; only when the root is not confirmed does the client
+    reveal the deeper prefixes.  The provider therefore learns the domain
+    but, in the common case, not which page was visited.
+    """
+
+    def __init__(self, client: SafeBrowsingClient) -> None:
+        self.client = client
+
+    def lookup(self, url: str) -> LookupResult:
+        """Check a URL revealing as few prefixes as possible."""
+        canonical = canonicalize(url)
+        decomps = tuple(decompositions(canonical, canonical=True,
+                                       policy=self.client.config.decomposition_policy))
+        digest_by_expression = {expression: FullHash.of(expression) for expression in decomps}
+        prefix_by_expression = {
+            expression: digest.prefix(self.client.config.prefix_bits)
+            for expression, digest in digest_by_expression.items()
+        }
+        hit_expressions = [
+            expression for expression, prefix in prefix_by_expression.items()
+            if self.client._local_hit(prefix)
+        ]
+        self.client.stats.urls_checked += 1
+        if not hit_expressions:
+            return LookupResult(url=url, canonical_url=canonical,
+                                verdict=Verdict.SAFE, decompositions=decomps)
+        self.client.stats.local_hits += 1
+
+        # Query the root (least specific) hit first: the last decomposition in
+        # API order is the registered-domain root.
+        ordered_hits = sorted(hit_expressions, key=decomps.index, reverse=True)
+        sent: list[Prefix] = []
+        matched_expressions: list[str] = []
+        matched_lists: list[str] = []
+        for expression in ordered_hits:
+            prefix = prefix_by_expression[expression]
+            response = self.client.send_raw_prefixes([prefix])
+            sent.append(prefix)
+            confirmed = False
+            for match in response.matches_for(prefix):
+                if match.full_hash == digest_by_expression[expression]:
+                    confirmed = True
+                    matched_expressions.append(expression)
+                    if match.list_name not in matched_lists:
+                        matched_lists.append(match.list_name)
+            if confirmed:
+                # The root decomposition is malicious: warn without revealing
+                # the more specific prefixes.
+                break
+        verdict = Verdict.MALICIOUS if matched_expressions else Verdict.SAFE
+        if verdict is Verdict.MALICIOUS:
+            self.client.stats.malicious_verdicts += 1
+        return LookupResult(
+            url=url, canonical_url=canonical, verdict=verdict,
+            decompositions=decomps,
+            local_hits=tuple(prefix_by_expression[expression] for expression in hit_expressions),
+            sent_prefixes=tuple(sent),
+            matched_lists=tuple(matched_lists),
+            matched_expressions=tuple(matched_expressions),
+        )
+
+
+# ---------------------------------------------------------------------------
+# comparison harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MitigationComparison:
+    """Re-identification rates with and without a mitigation."""
+
+    scenario: str
+    urls_evaluated: int
+    baseline_url_rate: float
+    mitigated_url_rate: float
+    baseline_domain_rate: float
+    mitigated_domain_rate: float
+    average_prefixes_sent_baseline: float
+    average_prefixes_sent_mitigated: float
+
+    @property
+    def url_rate_improvement(self) -> float:
+        """Absolute drop in URL re-identification achieved by the mitigation."""
+        return self.baseline_url_rate - self.mitigated_url_rate
+
+
+def _reidentify_from_results(engine: ReidentificationEngine,
+                             results: Sequence[LookupResult]) -> tuple[float, float, float]:
+    """(url rate, domain rate, avg prefixes sent) over lookups that contacted the server."""
+    contacted = [result for result in results if result.contacted_server]
+    if not contacted:
+        return 0.0, 0.0, 0.0
+    url_hits = 0
+    domain_hits = 0
+    total_prefixes = 0
+    for result in contacted:
+        total_prefixes += len(result.sent_prefixes)
+        outcome = engine.reidentify_best_coverage(result.sent_prefixes)
+        if outcome.identified_url == result.canonical_url:
+            url_hits += 1
+        entry_domain = engine.index.indexed_url(result.canonical_url).registered_domain \
+            if result.canonical_url in engine.index else None
+        if entry_domain is not None and outcome.identified_domain == entry_domain:
+            domain_hits += 1
+    count = len(contacted)
+    return url_hits / count, domain_hits / count, total_prefixes / count
+
+
+def compare_mitigations(scenario: str,
+                        baseline_results: Sequence[LookupResult],
+                        mitigated_results: Sequence[LookupResult],
+                        engine: ReidentificationEngine) -> MitigationComparison:
+    """Build a :class:`MitigationComparison` from two lookup traces."""
+    base_url, base_domain, base_sent = _reidentify_from_results(engine, baseline_results)
+    mit_url, mit_domain, mit_sent = _reidentify_from_results(engine, mitigated_results)
+    return MitigationComparison(
+        scenario=scenario,
+        urls_evaluated=len(baseline_results),
+        baseline_url_rate=base_url,
+        mitigated_url_rate=mit_url,
+        baseline_domain_rate=base_domain,
+        mitigated_domain_rate=mit_domain,
+        average_prefixes_sent_baseline=base_sent,
+        average_prefixes_sent_mitigated=mit_sent,
+    )

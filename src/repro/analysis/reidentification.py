@@ -1,0 +1,191 @@
+"""URL re-identification from received prefixes (paper Sections 5 and 6).
+
+Given the provider's inverted index and the prefixes received in one
+full-hash request (or aggregated over several), the
+:class:`ReidentificationEngine` computes the candidate URLs, classifies the
+remaining ambiguity into the collision types of Section 6.1, and reports
+whether the visited URL (or at least its registered domain) is identified.
+
+The engine implements both sides of the paper's argument:
+
+* for a **single prefix**, the candidate set is the anonymity set of that
+  prefix — large for URLs (Table 5), nearly always a singleton for
+  domain-root expressions on small domains;
+* for **multiple prefixes**, only URLs whose decompositions cover *all*
+  received prefixes survive; Type I collisions (related URLs) are the only
+  realistic source of ambiguity, and the registered domain is recovered even
+  when the exact URL is not.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.collisions import CollisionType, classify_collision
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.exceptions import AnalysisError
+from repro.hashing.prefix import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class ReidentificationResult:
+    """Outcome of re-identifying one request (one set of prefixes)."""
+
+    observed_prefixes: tuple[Prefix, ...]
+    candidate_urls: tuple[str, ...]
+    candidate_domains: tuple[str, ...]
+    identified_url: str | None
+    identified_domain: str | None
+    collision_breakdown: dict[CollisionType, int]
+
+    @property
+    def ambiguity(self) -> int:
+        """Number of candidate URLs (the empirical anonymity set size)."""
+        return len(self.candidate_urls)
+
+    @property
+    def url_identified(self) -> bool:
+        """Whether exactly one known URL explains the observation."""
+        return self.identified_url is not None
+
+    @property
+    def domain_identified(self) -> bool:
+        """Whether all candidates share a single registered domain.
+
+        The paper stresses that even when the URL stays ambiguous, the
+        registered domain is usually pinned down — which already reveals
+        sensitive traits (Section 6.1).
+        """
+        return self.identified_domain is not None
+
+
+class ReidentificationEngine:
+    """Re-identifies URLs from prefixes using the provider's web index."""
+
+    def __init__(self, index: PrefixInvertedIndex) -> None:
+        self.index = index
+
+    # -- single requests --------------------------------------------------------
+
+    def reidentify(self, prefixes: Sequence[Prefix]) -> ReidentificationResult:
+        """Re-identify from the prefixes of one full-hash request."""
+        if not prefixes:
+            raise AnalysisError("re-identification needs at least one prefix")
+        observed = tuple(dict.fromkeys(prefixes))
+        candidates = sorted(self.index.urls_for_prefixes(observed))
+        domains = sorted({self.index.indexed_url(url).registered_domain for url in candidates})
+
+        identified_url = candidates[0] if len(candidates) == 1 else None
+        identified_domain = domains[0] if len(domains) == 1 else None
+
+        breakdown: Counter[CollisionType] = Counter()
+        if len(candidates) > 1:
+            # Classify every other candidate against the most specific one
+            # (the candidate whose own exact prefix is among the observed
+            # prefixes, if any; otherwise the first candidate).
+            reference = self._reference_candidate(candidates, observed)
+            for candidate in candidates:
+                if candidate == reference:
+                    continue
+                example = classify_collision(
+                    reference, candidate,
+                    prefix_bits=self.index.prefix_bits,
+                    policy=self.index.policy,
+                    observed_prefixes=observed,
+                )
+                breakdown[example.collision_type] += 1
+
+        return ReidentificationResult(
+            observed_prefixes=observed,
+            candidate_urls=tuple(candidates),
+            candidate_domains=tuple(domains),
+            identified_url=identified_url,
+            identified_domain=identified_domain,
+            collision_breakdown=dict(breakdown),
+        )
+
+    def reidentify_best_coverage(self, prefixes: Sequence[Prefix], *,
+                                 min_coverage: int = 2) -> ReidentificationResult:
+        """Re-identify when some received prefixes may be noise (dummies).
+
+        Instead of requiring a candidate URL to explain *every* prefix, the
+        engine keeps the URLs that explain the largest number of received
+        prefixes (at least ``min_coverage``).  This is the attack the paper
+        sketches against dummy-query clients: the dummy prefixes almost never
+        pair up on a common URL, so the real visit is still the unique URL
+        covering two or more of the received prefixes.
+        """
+        if not prefixes:
+            raise AnalysisError("re-identification needs at least one prefix")
+        observed = tuple(dict.fromkeys(prefixes))
+        coverage: Counter[str] = Counter()
+        for prefix in observed:
+            for url in self.index.urls_for_prefix(prefix):
+                coverage[url] += 1
+        best = max(coverage.values(), default=0)
+        if best < min_coverage:
+            # Fall back to the strict semantics (single-prefix anonymity set).
+            return self.reidentify(observed)
+        candidates = sorted(url for url, count in coverage.items() if count == best)
+        domains = sorted({self.index.indexed_url(url).registered_domain for url in candidates})
+        return ReidentificationResult(
+            observed_prefixes=observed,
+            candidate_urls=tuple(candidates),
+            candidate_domains=tuple(domains),
+            identified_url=candidates[0] if len(candidates) == 1 else None,
+            identified_domain=domains[0] if len(domains) == 1 else None,
+            collision_breakdown={},
+        )
+
+    def _reference_candidate(self, candidates: Sequence[str],
+                             observed: tuple[Prefix, ...]) -> str:
+        observed_set = set(observed)
+        for candidate in candidates:
+            if self.index.indexed_url(candidate).exact_prefix in observed_set:
+                return candidate
+        return candidates[0]
+
+    # -- anonymity measurements --------------------------------------------------
+
+    def single_prefix_anonymity(self, prefix: Prefix) -> int:
+        """Size of the candidate set for one prefix (Section 5 metric)."""
+        return self.index.anonymity_set_size(prefix)
+
+    def reidentification_rate(self, urls: Iterable[str], *,
+                              prefixes_per_url: int = 2) -> float:
+        """Fraction of ``urls`` that are uniquely re-identified.
+
+        For each URL the engine simulates the provider receiving the first
+        ``prefixes_per_url`` decomposition prefixes (the URL's own prefix
+        plus its nearest ancestors) — the situation created either by
+        accidental multiple hits or by Algorithm 1 — and checks whether the
+        URL comes back as the unique candidate.
+        """
+        urls = list(urls)
+        if not urls:
+            raise AnalysisError("reidentification_rate needs at least one URL")
+        identified = 0
+        for url in urls:
+            entry = self.index.indexed_url(url) if url in self.index else self.index.add_url(url)
+            observed = entry.prefixes[:prefixes_per_url]
+            result = self.reidentify(observed)
+            if result.identified_url == url:
+                identified += 1
+        return identified / len(urls)
+
+    def domain_recovery_rate(self, urls: Iterable[str], *,
+                             prefixes_per_url: int = 2) -> float:
+        """Fraction of ``urls`` whose registered domain is recovered."""
+        urls = list(urls)
+        if not urls:
+            raise AnalysisError("domain_recovery_rate needs at least one URL")
+        recovered = 0
+        for url in urls:
+            entry = self.index.indexed_url(url) if url in self.index else self.index.add_url(url)
+            observed = entry.prefixes[:prefixes_per_url]
+            result = self.reidentify(observed)
+            if result.identified_domain == entry.registered_domain:
+                recovered += 1
+        return recovered / len(urls)

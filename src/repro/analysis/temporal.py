@@ -1,0 +1,140 @@
+"""Temporal aggregation of a client's queries (paper Section 6.3).
+
+Even when the prefixes of a single request are ambiguous, the provider can
+aggregate the requests a given cookie sends over time.  The paper's example:
+a user who queries the prefix of ``petsymposium.org/2016/cfp.php`` and,
+shortly after, the prefix of ``petsymposium.org/2016/submission/`` is very
+likely preparing a submission — a conclusion neither prefix supports alone.
+
+:class:`TemporalCorrelator` groups the server's request log per cookie,
+windows it in time, and checks *intent profiles*: named sets of prefixes
+whose joint appearance within a window reveals a behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry
+from repro.urls.decompose import decompositions
+
+
+@dataclass(frozen=True, slots=True)
+class IntentProfile:
+    """A named behaviour characterized by a set of URLs.
+
+    The profile matches when prefixes of at least ``min_matches`` of its URLs
+    are observed from the same cookie within the correlation window.
+    """
+
+    name: str
+    urls: tuple[str, ...]
+    min_matches: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.urls:
+            raise AnalysisError("an intent profile needs at least one URL")
+        if self.min_matches < 1:
+            raise AnalysisError("min_matches must be at least 1")
+
+    def prefixes(self, prefix_bits: int = 32) -> dict[Prefix, str]:
+        """Map each URL's exact-expression prefix back to the URL."""
+        mapping: dict[Prefix, str] = {}
+        for url in self.urls:
+            expression = decompositions(url)[0]
+            mapping[url_prefix(expression, prefix_bits)] = url
+        return mapping
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelatedVisit:
+    """One detection of an intent profile for one client."""
+
+    cookie: SafeBrowsingCookie
+    profile: str
+    matched_urls: tuple[str, ...]
+    first_timestamp: float
+    last_timestamp: float
+
+    @property
+    def span_seconds(self) -> float:
+        return self.last_timestamp - self.first_timestamp
+
+
+class TemporalCorrelator:
+    """Detects intent profiles in a Safe Browsing request log."""
+
+    def __init__(self, profiles: Iterable[IntentProfile], *,
+                 window_seconds: float = 3600.0, prefix_bits: int = 32) -> None:
+        self.profiles = tuple(profiles)
+        if not self.profiles:
+            raise AnalysisError("at least one intent profile is required")
+        if window_seconds <= 0:
+            raise AnalysisError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self.prefix_bits = prefix_bits
+        self._profile_prefixes = {
+            profile.name: profile.prefixes(prefix_bits) for profile in self.profiles
+        }
+
+    # -- log processing -----------------------------------------------------------
+
+    @staticmethod
+    def group_by_cookie(log: Sequence[RequestLogEntry]) -> dict[SafeBrowsingCookie, list[RequestLogEntry]]:
+        """Group a request log per client cookie, preserving time order."""
+        grouped: dict[SafeBrowsingCookie, list[RequestLogEntry]] = defaultdict(list)
+        for entry in log:
+            grouped[entry.cookie].append(entry)
+        for entries in grouped.values():
+            entries.sort(key=lambda entry: entry.timestamp)
+        return dict(grouped)
+
+    def correlate(self, log: Sequence[RequestLogEntry]) -> list[CorrelatedVisit]:
+        """Find every (cookie, profile) pair matched within one time window."""
+        visits: list[CorrelatedVisit] = []
+        for cookie, entries in self.group_by_cookie(log).items():
+            for profile in self.profiles:
+                visit = self._match_profile(cookie, entries, profile)
+                if visit is not None:
+                    visits.append(visit)
+        return visits
+
+    def _match_profile(self, cookie: SafeBrowsingCookie,
+                       entries: Sequence[RequestLogEntry],
+                       profile: IntentProfile) -> CorrelatedVisit | None:
+        prefix_to_url = self._profile_prefixes[profile.name]
+        # Sightings of profile URLs: (timestamp, url)
+        sightings: list[tuple[float, str]] = []
+        for entry in entries:
+            for prefix in entry.prefixes:
+                url = prefix_to_url.get(prefix)
+                if url is not None:
+                    sightings.append((entry.timestamp, url))
+        if not sightings:
+            return None
+        # Sliding window over the sightings.
+        sightings.sort()
+        best: CorrelatedVisit | None = None
+        start = 0
+        for end in range(len(sightings)):
+            while sightings[end][0] - sightings[start][0] > self.window_seconds:
+                start += 1
+            window = sightings[start:end + 1]
+            urls = tuple(dict.fromkeys(url for _, url in window))
+            if len(urls) >= profile.min_matches:
+                candidate = CorrelatedVisit(
+                    cookie=cookie,
+                    profile=profile.name,
+                    matched_urls=urls,
+                    first_timestamp=window[0][0],
+                    last_timestamp=window[-1][0],
+                )
+                if best is None or len(candidate.matched_urls) > len(best.matched_urls):
+                    best = candidate
+        return best

@@ -1,0 +1,258 @@
+"""The tracking system built on Safe Browsing (paper Section 6.3, Algorithm 1).
+
+A provider that wants to know who visits a *target URL* proceeds in three
+steps:
+
+1. run **Algorithm 1** to choose at most ``delta`` prefixes for the target:
+   the prefixes of its own decomposition, of its registered domain, and — if
+   needed to disambiguate — of its Type I colliding URLs;
+2. **push** those prefixes into the client-side database (they are
+   indistinguishable from genuine threat entries);
+3. **watch the request log**: whenever a client's full-hash request contains
+   at least two prefixes of the shadow database, the visited URL (or at
+   least its registered domain) is re-identified, and the Safe Browsing
+   cookie says who the client is.
+
+:func:`tracking_prefixes` implements Algorithm 1 over the provider's web
+index; :class:`TrackingSystem` wires the three steps to the in-memory server
+so the whole attack can be executed end-to-end in the experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry, SafeBrowsingServer
+from repro.urls.decompose import decompositions
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+
+class TrackingMode(enum.Enum):
+    """How precisely Algorithm 1 can pin the target down."""
+
+    TINY_DOMAIN = "tiny-domain"       # <= 2 decompositions on the whole domain
+    LEAF = "leaf"                     # leaf URL or no Type I collisions
+    WITH_TYPE1 = "with-type1"         # Type I colliders also blacklisted
+    DOMAIN_ONLY = "domain-only"       # too many colliders: only the SLD is tracked
+
+
+@dataclass(frozen=True, slots=True)
+class TrackingDecision:
+    """Output of Algorithm 1 for one target URL."""
+
+    target_url: str
+    target_domain: str
+    mode: TrackingMode
+    expressions: tuple[str, ...]
+    prefixes: tuple[Prefix, ...]
+    type1_collisions: tuple[str, ...]
+    delta: int
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self.prefixes)
+
+    @property
+    def url_trackable(self) -> bool:
+        """Whether the exact URL (not just the domain) can be re-identified."""
+        return self.mode is not TrackingMode.DOMAIN_ONLY
+
+    def failure_probability(self) -> float:
+        """Probability that re-identification is wrong (accidental collisions).
+
+        The paper notes that with prefixes inserted per Algorithm 1 the
+        probability of mis-identification is ``(1 / 2**32) ** delta``-like;
+        we report the bound for the number of prefixes actually inserted.
+        """
+        return (2.0**-32) ** max(1, len(self.prefixes) - 1)
+
+
+def _target_expression(url: str) -> str:
+    """Canonical expression of the target URL itself."""
+    return decompositions(url)[0]
+
+
+def tracking_prefixes(target_url: str, index: PrefixInvertedIndex, *, delta: int = 4,
+                      prefix_bits: int = 32) -> TrackingDecision:
+    """Algorithm 1: choose the prefixes to insert for ``target_url``.
+
+    ``index`` plays the role of the provider's web index (``get_urls`` /
+    ``get_decomps`` in the paper's pseudo-code); ``delta`` is the maximum
+    number of Type I colliding URLs whose prefixes the provider is willing to
+    insert.
+    """
+    if delta < 2:
+        raise AnalysisError("Algorithm 1 requires delta >= 2")
+    parsed = parse_url(target_url)
+    domain = registered_domain(parsed.host)
+    domain_expression = f"{domain}/"
+    target_expression = _target_expression(target_url)
+
+    # Step 1-2: the URLs hosted on the domain and their decompositions.
+    domain_urls = index.urls_on_domain(domain)
+    if target_url not in domain_urls:
+        index.add_url(target_url)
+        domain_urls = index.urls_on_domain(domain)
+    all_decompositions: set[str] = set()
+    for url in domain_urls:
+        all_decompositions.update(index.indexed_url(url).expressions)
+
+    # Tiny domains: blacklist every decomposition (there are at most 2).
+    if len(all_decompositions) <= 2:
+        expressions = tuple(sorted(all_decompositions))
+        return TrackingDecision(
+            target_url=target_url,
+            target_domain=domain,
+            mode=TrackingMode.TINY_DOMAIN,
+            expressions=expressions,
+            prefixes=tuple(url_prefix(expression, prefix_bits) for expression in expressions),
+            type1_collisions=(),
+            delta=delta,
+        )
+
+    # Type I collisions of the target: other URLs on the domain whose
+    # decompositions contain the target's exact expression.
+    type1 = tuple(sorted(
+        url for url in domain_urls
+        if url != target_url
+        and target_expression in index.indexed_url(url).expressions
+    ))
+    common_expressions = [target_expression, domain_expression]
+
+    if not type1:
+        mode = TrackingMode.LEAF
+        expressions = tuple(dict.fromkeys(common_expressions))
+    elif len(type1) <= delta:
+        mode = TrackingMode.WITH_TYPE1
+        collider_expressions = [_target_expression(url) for url in type1]
+        expressions = tuple(dict.fromkeys(common_expressions + collider_expressions))
+    else:
+        mode = TrackingMode.DOMAIN_ONLY
+        expressions = tuple(dict.fromkeys(common_expressions))
+
+    return TrackingDecision(
+        target_url=target_url,
+        target_domain=domain,
+        mode=mode,
+        expressions=expressions,
+        prefixes=tuple(url_prefix(expression, prefix_bits) for expression in expressions),
+        type1_collisions=type1,
+        delta=delta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end tracking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TrackingOutcome:
+    """One detection: a client was observed visiting a tracked target."""
+
+    cookie: SafeBrowsingCookie
+    timestamp: float
+    target_url: str
+    target_domain: str
+    matched_prefixes: tuple[Prefix, ...]
+    url_level: bool
+
+    @property
+    def domain_level(self) -> bool:
+        """``True`` when only the registered domain could be inferred."""
+        return not self.url_level
+
+
+@dataclass
+class TrackingSystem:
+    """Runs the full attack: Algorithm 1, shadow-database push, detection."""
+
+    server: SafeBrowsingServer
+    index: PrefixInvertedIndex
+    list_name: str
+    delta: int = 4
+    decisions: dict[str, TrackingDecision] = field(default_factory=dict)
+
+    def track(self, target_url: str) -> TrackingDecision:
+        """Choose and push the prefixes needed to track ``target_url``."""
+        decision = tracking_prefixes(target_url, self.index, delta=self.delta,
+                                     prefix_bits=self.index.prefix_bits)
+        self.server.push_tracking_prefixes(self.list_name, decision.expressions)
+        self.decisions[target_url] = decision
+        return decision
+
+    def track_many(self, target_urls: Iterable[str]) -> list[TrackingDecision]:
+        """Track several targets."""
+        return [self.track(url) for url in target_urls]
+
+    @property
+    def shadow_prefixes(self) -> set[Prefix]:
+        """Every prefix pushed for tracking purposes."""
+        prefixes: set[Prefix] = set()
+        for decision in self.decisions.values():
+            prefixes.update(decision.prefixes)
+        return prefixes
+
+    # -- detection --------------------------------------------------------------
+
+    def detect(self, log: Sequence[RequestLogEntry] | None = None,
+               *, min_matches: int = 2) -> list[TrackingOutcome]:
+        """Scan the request log for visits to the tracked targets.
+
+        A log entry triggers a detection for a target when at least
+        ``min_matches`` of the target's tracking prefixes appear in the
+        entry (the paper's rule).  The detection is *URL-level* when the
+        prefix of the target URL itself is among the matches, and
+        domain-level otherwise.
+        """
+        if log is None:
+            log = self.server.request_log
+        outcomes: list[TrackingOutcome] = []
+        for entry in log:
+            received = set(entry.prefixes)
+            for target_url, decision in self.decisions.items():
+                matched = tuple(prefix for prefix in decision.prefixes if prefix in received)
+                required = min(min_matches, len(decision.prefixes))
+                if len(matched) < required:
+                    continue
+                target_prefix = url_prefix(_target_expression(target_url),
+                                           self.index.prefix_bits)
+                # A visit to a Type I collider also sends the target's prefix
+                # (the target is one of the collider's decompositions); the
+                # collider's own exact prefix distinguishes the two cases, so
+                # its presence downgrades the detection to domain level.
+                collider_prefixes = {
+                    url_prefix(_target_expression(collider), self.index.prefix_bits)
+                    for collider in decision.type1_collisions
+                }
+                collider_seen = bool(collider_prefixes & received)
+                url_level = (decision.url_trackable
+                             and target_prefix in received
+                             and not collider_seen)
+                outcomes.append(
+                    TrackingOutcome(
+                        cookie=entry.cookie,
+                        timestamp=entry.timestamp,
+                        target_url=target_url,
+                        target_domain=decision.target_domain,
+                        matched_prefixes=matched,
+                        url_level=url_level,
+                    )
+                )
+        return outcomes
+
+    def detected_cookies(self, target_url: str) -> set[SafeBrowsingCookie]:
+        """Cookies of the clients detected visiting ``target_url``."""
+        return {
+            outcome.cookie
+            for outcome in self.detect()
+            if outcome.target_url == target_url
+        }

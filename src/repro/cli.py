@@ -1,0 +1,165 @@
+"""Command-line interface.
+
+A small CLI exposing the operations a user of the library reaches for most
+often, without writing Python:
+
+``python -m repro canonicalize URL``
+    Print the Safe Browsing canonical form of a URL.
+``python -m repro decompose URL``
+    Print the decompositions of a URL with their 32-bit prefixes (the
+    paper's Table 4 for any URL).
+``python -m repro prefix EXPRESSION [--bits N]``
+    Hash-and-truncate a canonical expression.
+``python -m repro track URL [URL ...] [--delta N]``
+    Run Algorithm 1 over the given site URLs for the first URL as target.
+``python -m repro experiment NAME``
+    Regenerate one of the paper's tables/figures at SMALL scale and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import ReproError
+from repro.hashing.digests import url_prefix
+from repro.urls.canonicalize import canonicalize
+from repro.urls.decompose import decompositions
+
+#: Experiment names accepted by ``repro experiment`` mapped to the callables
+#: that build their tables (imported lazily: some are expensive).
+_EXPERIMENTS: dict[str, str] = {
+    "table1": "repro.experiments.table01_google_lists:google_lists_table",
+    "table2": "repro.experiments.table02_cache_size:cache_size_table",
+    "table3": "repro.experiments.table03_yandex_lists:yandex_lists_table",
+    "table4": "repro.experiments.table04_pets_decompositions:pets_decomposition_table",
+    "table5": "repro.experiments.table05_balls_into_bins:balls_into_bins_table",
+    "table6": "repro.experiments.table06_collision_types:collision_type_table",
+    "table7": "repro.experiments.table07_domain_hierarchy:hierarchy_table",
+    "table8": "repro.experiments.table08_datasets:dataset_table",
+    "table9": "repro.experiments.table10_inversion:dictionary_table",
+    "table10": "repro.experiments.table10_inversion:inversion_table",
+    "table11": "repro.experiments.table11_orphans:orphan_table",
+    "table12": "repro.experiments.table12_multi_prefix:multi_prefix_table",
+    "fig5": "repro.experiments.fig05_distributions:headline_table",
+    "fig6": "repro.experiments.fig06_prefix_collisions:collision_table",
+    "tracking": "repro.experiments.alg1_tracking:tracking_table",
+    "mitigations": "repro.experiments.mitigation_comparison:mitigation_table",
+    "ecosystem": "repro.experiments.ecosystem_leakage:ecosystem_table",
+    "history": "repro.experiments.history_reconstruction:history_table",
+    "stores": "repro.experiments.structure_ablation:structure_ablation_table",
+}
+
+
+def _resolve_experiment(name: str) -> Callable[[], object]:
+    """Import the table builder for a named experiment."""
+    target = _EXPERIMENTS[name]
+    module_name, _, attribute = target.partition(":")
+    module = __import__(module_name, fromlist=[attribute])
+    builder = getattr(module, attribute)
+    # Experiments that take no scale argument are called as-is; the rest use
+    # their default (SMALL) scale.
+    return builder
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Privacy Analysis of Google and Yandex Safe Browsing'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    canonical = subparsers.add_parser("canonicalize",
+                                      help="print the canonical form of a URL")
+    canonical.add_argument("url")
+
+    decompose = subparsers.add_parser("decompose",
+                                      help="print the decompositions and prefixes of a URL")
+    decompose.add_argument("url")
+    decompose.add_argument("--bits", type=int, default=32,
+                           help="prefix width in bits (default 32)")
+
+    prefix = subparsers.add_parser("prefix",
+                                   help="hash-and-truncate a canonical expression")
+    prefix.add_argument("expression")
+    prefix.add_argument("--bits", type=int, default=32)
+
+    track = subparsers.add_parser(
+        "track", help="run Algorithm 1: choose tracking prefixes for a target URL")
+    track.add_argument("target", help="the URL to track")
+    track.add_argument("site_urls", nargs="*",
+                       help="other URLs known to be hosted on the same domain")
+    track.add_argument("--delta", type=int, default=4,
+                       help="maximum number of Type I colliders to blacklist")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    return parser
+
+
+def _command_canonicalize(args: argparse.Namespace) -> int:
+    print(canonicalize(args.url))
+    return 0
+
+
+def _command_decompose(args: argparse.Namespace) -> int:
+    for expression in decompositions(args.url):
+        print(f"{expression}\t{url_prefix(expression, args.bits)}")
+    return 0
+
+
+def _command_prefix(args: argparse.Namespace) -> int:
+    print(url_prefix(args.expression, args.bits))
+    return 0
+
+
+def _command_track(args: argparse.Namespace) -> int:
+    from repro.analysis.inverted_index import PrefixInvertedIndex
+    from repro.analysis.tracking import tracking_prefixes
+
+    index = PrefixInvertedIndex()
+    index.add_url(args.target)
+    index.add_urls(args.site_urls)
+    decision = tracking_prefixes(args.target, index, delta=args.delta)
+    print(f"target : {decision.target_url}")
+    print(f"domain : {decision.target_domain}")
+    print(f"mode   : {decision.mode.value}")
+    print(f"type I : {len(decision.type1_collisions)} colliding URL(s)")
+    print("prefixes to insert in the client database:")
+    for expression, prefix in zip(decision.expressions, decision.prefixes):
+        print(f"  {prefix}  {expression}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    builder = _resolve_experiment(args.name)
+    print(builder())
+    return 0
+
+
+_COMMANDS = {
+    "canonicalize": _command_canonicalize,
+    "decompose": _command_decompose,
+    "prefix": _command_prefix,
+    "track": _command_track,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

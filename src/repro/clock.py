@@ -1,0 +1,46 @@
+"""A deterministic logical clock.
+
+The temporal-correlation analysis (Section 6.3 of the paper) and the client
+update scheduler both need timestamps.  Real wall-clock time would make the
+experiments non-reproducible, so every component takes a :class:`Clock`
+instance; the default :class:`ManualClock` only advances when told to, and
+tests can drive it explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of monotonically non-decreasing timestamps (seconds)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds since an arbitrary epoch."""
+
+
+class ManualClock(Clock):
+    """A clock that only moves when :meth:`advance` or :meth:`set` is called."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before the epoch")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> float:
+        """Jump to ``timestamp`` (must not move backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot move a clock backwards")
+        self._now = float(timestamp)
+        return self._now

@@ -1,0 +1,64 @@
+"""Synthetic web corpus.
+
+The paper's empirical sections measure URL and decomposition statistics on
+two Common-Crawl-derived datasets (1M Alexa hosts and 1M random hosts,
+Table 8) and invert blacklists with external URL dictionaries (Table 9).
+Neither the 168 TB crawl nor the proprietary feeds are available to a
+reproduction, so this package generates laptop-scale corpora with the same
+*distributional shape*:
+
+* the number of URLs per host follows the power law the paper itself fits
+  (alpha ~ 1.312 for random hosts), with popular ("Alexa-like") hosts drawn
+  from a denser regime and a crawler-style cap on pages per host;
+* hosts have realistic sub-domain depth and URL paths have realistic segment
+  depth, so decomposition counts per URL land in the ranges of Figure 5d-f;
+* a configurable fraction of random hosts are single-page domains (the paper
+  measures 61%).
+
+The generated corpora feed the same statistics pipeline the paper ran
+(Figures 5 and 6), the blacklist snapshots (Tables 1, 3, 10, 11, 12) and the
+re-identification experiments.
+"""
+
+from repro.corpus.powerlaw import (
+    PowerLawFit,
+    fit_power_law,
+    sample_power_law,
+    truncated_power_law_sample,
+)
+from repro.corpus.namegen import NameGenerator
+from repro.corpus.generator import CorpusConfig, CorpusGenerator, HostSite, WebCorpus
+from repro.corpus.datasets import (
+    DatasetBundle,
+    InversionDictionaries,
+    build_blacklist_snapshot,
+    build_dataset_bundle,
+    build_inversion_dictionaries,
+)
+from repro.corpus.stats import (
+    CorpusStatistics,
+    DecompositionStats,
+    collect_corpus_statistics,
+    host_collision_counts,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "CorpusGenerator",
+    "CorpusStatistics",
+    "DatasetBundle",
+    "DecompositionStats",
+    "HostSite",
+    "InversionDictionaries",
+    "NameGenerator",
+    "PowerLawFit",
+    "WebCorpus",
+    "build_blacklist_snapshot",
+    "build_dataset_bundle",
+    "build_inversion_dictionaries",
+    "collect_corpus_statistics",
+    "fit_power_law",
+    "host_collision_counts",
+    "sample_power_law",
+    "truncated_power_law_sample",
+]

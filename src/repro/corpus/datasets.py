@@ -1,0 +1,365 @@
+"""Dataset builders: corpora, blacklist snapshots and inversion dictionaries.
+
+This module turns the paper's measured numbers (Tables 1, 3, 8, 9, 10, 11)
+into synthetic datasets of configurable size:
+
+* :func:`build_dataset_bundle` — the Alexa-like and random-like web corpora
+  of Table 8;
+* :func:`build_blacklist_snapshot` — a :class:`SafeBrowsingServer` whose lists
+  have the paper's relative sizes, orphan rates and dictionary overlaps;
+* :func:`build_inversion_dictionaries` — the external URL/domain dictionaries
+  of Table 9 (malware feed, phishing feed, BigBlackList, DNS-Census-like SLD
+  list) with controlled overlap against the blacklists.
+
+The *fractions* (orphan rates, overlap rates) come from the paper; the
+experiments then re-measure them through the same pipeline the paper used
+(hash, truncate, compare), which is the part of the study that can be
+reproduced without Google's production data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import CorpusError
+from repro.corpus.generator import CorpusConfig, CorpusGenerator, WebCorpus
+from repro.corpus.namegen import NameGenerator
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.lists import (
+    GOOGLE_LISTS,
+    YANDEX_LISTS,
+    ListDescriptor,
+    ListProvider,
+    lists_for_provider,
+)
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.urls.decompose import decompositions
+from repro.urls.hierarchy import registered_domain
+
+
+# ---------------------------------------------------------------------------
+# web corpora (Table 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetBundle:
+    """The two corpora of the paper's Table 8, at reproduction scale."""
+
+    alexa: WebCorpus
+    random: WebCorpus
+
+    def corpora(self) -> tuple[WebCorpus, WebCorpus]:
+        return (self.alexa, self.random)
+
+
+def build_dataset_bundle(host_count: int = 1000, *, seed: int = 2015) -> DatasetBundle:
+    """Generate the Alexa-like and random-like corpora.
+
+    ``host_count`` plays the role of the paper's 1,000,000 hosts per dataset;
+    the default of 1,000 keeps the statistics pipeline laptop-sized while
+    preserving the power-law shape.
+    """
+    alexa = CorpusGenerator(CorpusConfig.alexa_like(host_count, seed=seed)).generate()
+    random = CorpusGenerator(CorpusConfig.random_like(host_count, seed=seed + 1)).generate()
+    return DatasetBundle(alexa=alexa, random=random)
+
+
+# ---------------------------------------------------------------------------
+# inversion dictionaries (Table 9) and blacklist snapshots (Tables 1/3/10/11)
+# ---------------------------------------------------------------------------
+
+#: Paper Table 9 — dictionary sizes used for inverting 32-bit prefixes.
+PAPER_DICTIONARY_SIZES: dict[str, int] = {
+    "malware": 1_240_300,
+    "phishing": 151_331,
+    "bigblacklist": 2_488_828,
+    "dns-census": 106_923_807,
+}
+
+#: Paper Table 10 — fraction of each blacklist matched by each dictionary.
+#: Keys are (provider, list name); values map dictionary name -> fraction.
+PAPER_INVERSION_RATES: dict[tuple[ListProvider, str], dict[str, float]] = {
+    (ListProvider.GOOGLE, "goog-malware-shavar"): {
+        "malware": 0.059, "phishing": 0.001, "bigblacklist": 0.019, "dns-census": 0.20,
+    },
+    (ListProvider.GOOGLE, "googpub-phish-shavar"): {
+        "malware": 0.002, "phishing": 0.035, "bigblacklist": 0.0026, "dns-census": 0.025,
+    },
+    (ListProvider.YANDEX, "ydx-malware-shavar"): {
+        "malware": 0.156, "phishing": 0.001, "bigblacklist": 0.039, "dns-census": 0.31,
+    },
+    (ListProvider.YANDEX, "ydx-adult-shavar"): {
+        "malware": 0.066, "phishing": 0.002, "bigblacklist": 0.076, "dns-census": 0.463,
+    },
+    (ListProvider.YANDEX, "ydx-mobile-only-malware-shavar"): {
+        "malware": 0.009, "phishing": 0.0, "bigblacklist": 0.008, "dns-census": 0.375,
+    },
+    (ListProvider.YANDEX, "ydx-phish-shavar"): {
+        "malware": 0.001, "phishing": 0.049, "bigblacklist": 0.0047, "dns-census": 0.056,
+    },
+    (ListProvider.YANDEX, "ydx-mitb-masks-shavar"): {
+        "malware": 0.229, "phishing": 0.0, "bigblacklist": 0.011, "dns-census": 0.103,
+    },
+    (ListProvider.YANDEX, "ydx-porno-hosts-top-shavar"): {
+        "malware": 0.016, "phishing": 0.002, "bigblacklist": 0.114, "dns-census": 0.557,
+    },
+    (ListProvider.YANDEX, "ydx-sms-fraud-shavar"): {
+        "malware": 0.006, "phishing": 0.0001, "bigblacklist": 0.002, "dns-census": 0.097,
+    },
+    (ListProvider.YANDEX, "ydx-yellow-shavar"): {
+        "malware": 0.20, "phishing": 0.004, "bigblacklist": 0.038, "dns-census": 0.364,
+    },
+}
+
+#: Paper Table 11 — fraction of each blacklist's prefixes that are orphans
+#: (no full digest behind the prefix).
+PAPER_ORPHAN_RATES: dict[tuple[ListProvider, str], float] = {
+    (ListProvider.GOOGLE, "goog-malware-shavar"): 36 / 317_807,
+    (ListProvider.GOOGLE, "googpub-phish-shavar"): 123 / 312_621,
+    (ListProvider.YANDEX, "ydx-malware-shavar"): 4_184 / 283_211,
+    (ListProvider.YANDEX, "ydx-adult-shavar"): 184 / 434,
+    (ListProvider.YANDEX, "ydx-mobile-only-malware-shavar"): 130 / 2_107,
+    (ListProvider.YANDEX, "ydx-phish-shavar"): 31_325 / 31_593,
+    (ListProvider.YANDEX, "ydx-mitb-masks-shavar"): 87 / 87,
+    (ListProvider.YANDEX, "ydx-porno-hosts-top-shavar"): 240 / 99_990,
+    (ListProvider.YANDEX, "ydx-sms-fraud-shavar"): 10_162 / 10_609,
+    (ListProvider.YANDEX, "ydx-yellow-shavar"): 209 / 209,
+}
+
+#: Lists included in the blacklist-audit experiments (the rows of Table 10/11).
+AUDITED_LISTS: dict[ListProvider, tuple[str, ...]] = {
+    ListProvider.GOOGLE: ("goog-malware-shavar", "googpub-phish-shavar"),
+    ListProvider.YANDEX: (
+        "ydx-malware-shavar",
+        "ydx-adult-shavar",
+        "ydx-mobile-only-malware-shavar",
+        "ydx-phish-shavar",
+        "ydx-mitb-masks-shavar",
+        "ydx-porno-hosts-top-shavar",
+        "ydx-sms-fraud-shavar",
+        "ydx-yellow-shavar",
+    ),
+}
+
+
+@dataclass
+class InversionDictionaries:
+    """The attacker's cleartext dictionaries (expressions, not hashes)."""
+
+    malware: list[str] = field(default_factory=list)
+    phishing: list[str] = field(default_factory=list)
+    bigblacklist: list[str] = field(default_factory=list)
+    dns_census: list[str] = field(default_factory=list)
+
+    def as_mapping(self) -> dict[str, list[str]]:
+        """Dictionary name -> expressions, in the order of Table 9."""
+        return {
+            "malware": self.malware,
+            "phishing": self.phishing,
+            "bigblacklist": self.bigblacklist,
+            "dns-census": self.dns_census,
+        }
+
+    def sizes(self) -> dict[str, int]:
+        return {name: len(entries) for name, entries in self.as_mapping().items()}
+
+
+@dataclass
+class BlacklistSnapshot:
+    """A provisioned server plus the ground truth used to provision it."""
+
+    server: SafeBrowsingServer
+    provider: ListProvider
+    ground_truth: dict[str, list[str]]
+    orphan_counts: dict[str, int]
+    dictionaries: InversionDictionaries
+    scale: float
+
+
+def _scaled(count: int | None, scale: float, *, minimum: int = 0) -> int:
+    """Scale a paper-reported count down to reproduction size."""
+    if count is None:
+        return 0
+    return max(minimum, int(round(count * scale)))
+
+
+def _malicious_expression(names: NameGenerator, rng: np.random.Generator, *,
+                          domain_only: bool = False) -> str:
+    """Generate one canonical expression for a synthetic malicious entry."""
+    domain = names.registered_domain()
+    if domain_only:
+        return f"{domain}/"
+    depth = int(rng.integers(1, 4))
+    path = names.path(depth)
+    if not path.startswith("/"):
+        path = "/" + path
+    return f"{domain}{path}"
+
+
+def build_blacklist_snapshot(provider: ListProvider, *, scale: float = 0.01,
+                             seed: int = 7, multi_prefix_sites: WebCorpus | None = None,
+                             multi_prefix_site_count: int = 10) -> BlacklistSnapshot:
+    """Build a provisioned Safe Browsing server for one provider.
+
+    Every list the provider serves is populated with ``scale`` times the
+    paper-reported number of prefixes.  Entries are split into:
+
+    * expressions shared with the inversion dictionaries, at the overlap
+      fractions of Table 10 (so the inversion experiment reproduces the
+      table's shape);
+    * second-level-domain entries vs. full-URL entries, following the
+      ``dns-census`` overlap (the paper's observation that 20-31% of the
+      malware lists are SLDs);
+    * orphan prefixes at the rates of Table 11;
+    * optionally, multi-prefix entries for a handful of sites taken from
+      ``multi_prefix_sites`` (reproducing Table 12: the domain root *and*
+      deeper decompositions of the same URLs are blacklisted).
+
+    Returns the server together with the ground truth needed by the
+    experiments.
+    """
+    if not (0.0 < scale <= 1.0):
+        raise CorpusError("scale must be in (0, 1]")
+    descriptors = lists_for_provider(provider)
+    server = SafeBrowsingServer(descriptors)
+    rng = np.random.default_rng(seed)
+    names = NameGenerator(rng)
+
+    dictionaries = InversionDictionaries()
+    ground_truth: dict[str, list[str]] = {}
+    orphan_counts: dict[str, int] = {}
+
+    audited = set(AUDITED_LISTS[provider])
+    for descriptor in descriptors:
+        if not descriptor.is_url_list or descriptor.paper_prefix_count in (None, 0):
+            ground_truth[descriptor.name] = []
+            orphan_counts[descriptor.name] = 0
+            continue
+        total = _scaled(descriptor.paper_prefix_count, scale, minimum=5)
+        orphan_rate = PAPER_ORPHAN_RATES.get((provider, descriptor.name), 0.0)
+        orphan_count = int(round(total * orphan_rate))
+        populated_count = total - orphan_count
+
+        rates = PAPER_INVERSION_RATES.get((provider, descriptor.name), {})
+        expressions: list[str] = []
+        covered: dict[str, list[str]] = {name: [] for name in PAPER_DICTIONARY_SIZES}
+
+        sld_fraction = rates.get("dns-census", 0.1)
+        for index in range(populated_count):
+            domain_only = index < int(round(populated_count * sld_fraction))
+            expressions.append(
+                _malicious_expression(names, rng, domain_only=domain_only)
+            )
+        rng.shuffle(expressions)
+
+        # Assign dictionary coverage.  The DNS-census dictionary covers exactly
+        # the SLD entries (that is what its Table 10 rate measures); the URL
+        # dictionaries cover a random subset at their Table 10 fraction
+        # (draws are independent per dictionary so overlaps also occur).
+        for dictionary_name, fraction in rates.items():
+            if descriptor.name not in audited:
+                continue
+            if dictionary_name == "dns-census":
+                covered[dictionary_name] = [
+                    expression for expression in expressions if expression.endswith("/")
+                ]
+                continue
+            covered_count = int(round(populated_count * fraction))
+            if covered_count == 0:
+                continue
+            order = rng.permutation(populated_count)[:covered_count]
+            covered[dictionary_name] = [expressions[i] for i in order]
+
+        server.blacklist(descriptor.name, expressions)
+        if orphan_count:
+            orphans = [
+                Prefix.from_int(int(value), 32)
+                for value in rng.integers(0, 2**32, size=orphan_count, dtype=np.uint64)
+            ]
+            server.insert_orphan_prefixes(descriptor.name, orphans)
+
+        ground_truth[descriptor.name] = expressions
+        orphan_counts[descriptor.name] = orphan_count
+
+        dictionaries.malware.extend(covered["malware"])
+        dictionaries.phishing.extend(covered["phishing"])
+        dictionaries.bigblacklist.extend(covered["bigblacklist"])
+        dictionaries.dns_census.extend(
+            entry for entry in covered["dns-census"] if entry.endswith("/")
+        )
+
+    # Pad the dictionaries with non-blacklisted entries so their relative
+    # sizes follow Table 9 (the padding is what makes inversion hard).
+    _pad_dictionaries(dictionaries, names, rng, scale)
+
+    if multi_prefix_sites is not None:
+        _insert_multi_prefix_entries(server, provider, multi_prefix_sites,
+                                     ground_truth, rng,
+                                     site_count=multi_prefix_site_count)
+
+    return BlacklistSnapshot(
+        server=server,
+        provider=provider,
+        ground_truth=ground_truth,
+        orphan_counts=orphan_counts,
+        dictionaries=dictionaries,
+        scale=scale,
+    )
+
+
+def _pad_dictionaries(dictionaries: InversionDictionaries, names: NameGenerator,
+                      rng: np.random.Generator, scale: float) -> None:
+    """Grow each dictionary toward its Table 9 size with unrelated entries."""
+    # The DNS-Census dictionary is two orders of magnitude larger than the
+    # blacklists; cap the padding so snapshot construction stays fast while
+    # keeping the ordering of dictionary sizes.
+    padding_caps = {
+        "malware": 4000,
+        "phishing": 1500,
+        "bigblacklist": 6000,
+        "dns-census": 12000,
+    }
+    mapping = dictionaries.as_mapping()
+    for name, target in PAPER_DICTIONARY_SIZES.items():
+        entries = mapping[name]
+        desired = min(_scaled(target, scale, minimum=len(entries)), padding_caps[name] + len(entries))
+        while len(entries) < desired:
+            entries.append(
+                _malicious_expression(names, rng, domain_only=(name == "dns-census"))
+            )
+
+
+def _insert_multi_prefix_entries(server: SafeBrowsingServer, provider: ListProvider,
+                                 corpus: WebCorpus, ground_truth: dict[str, list[str]],
+                                 rng: np.random.Generator, *, site_count: int) -> None:
+    """Blacklist several decompositions of URLs from popular sites.
+
+    This reproduces the situation of Table 12: non-malicious, popular URLs
+    whose lookups produce two or more local hits because the provider
+    blacklisted both the domain root and deeper decompositions.
+    """
+    target_list = {
+        ListProvider.GOOGLE: "goog-malware-shavar",
+        ListProvider.YANDEX: "ydx-malware-shavar",
+    }[provider]
+    sites = corpus.sample_sites(site_count, seed=int(rng.integers(0, 2**31)))
+    expressions: list[str] = []
+    for site in sites:
+        candidates = [url for url in site.urls if url.rstrip("/").count("/") >= 3]
+        if not candidates:
+            candidates = list(site.urls)
+        url = candidates[int(rng.integers(0, len(candidates)))]
+        decomps = decompositions(url)
+        domain_root = f"{registered_domain(decomps[0].split('/')[0])}/"
+        expressions.append(decomps[0])
+        expressions.append(domain_root)
+    server.blacklist(target_list, expressions)
+    ground_truth.setdefault(target_list, []).extend(expressions)
+
+
+def build_inversion_dictionaries(snapshot: BlacklistSnapshot) -> InversionDictionaries:
+    """Return the dictionaries associated with a snapshot (Table 9)."""
+    return snapshot.dictionaries

@@ -1,0 +1,160 @@
+"""Deterministic generation of host names and URL paths.
+
+The synthetic corpus needs millions of distinct hostnames and paths that
+*look* like real web naming (pronounceable labels, realistic TLD mix,
+directory-style paths with file extensions) while remaining perfectly
+reproducible from a seed.  :class:`NameGenerator` builds them from small word
+lists and a seeded :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CorpusError
+
+_WORDS = (
+    "alpha", "atlas", "aurora", "beacon", "birch", "blue", "breeze", "bright",
+    "cedar", "cloud", "cobalt", "coral", "crest", "dawn", "delta", "drift",
+    "ember", "fable", "falcon", "fern", "flint", "forge", "garnet", "glade",
+    "granite", "grove", "harbor", "haven", "hazel", "horizon", "indigo", "iris",
+    "jade", "juniper", "kite", "lagoon", "lark", "laurel", "lumen", "lunar",
+    "maple", "meadow", "meridian", "mint", "mosaic", "nimbus", "north", "nova",
+    "ocean", "onyx", "opal", "orchid", "osprey", "pearl", "pine", "plume",
+    "prairie", "quartz", "quill", "raven", "reef", "ridge", "river", "robin",
+    "sage", "sierra", "silver", "sol", "spruce", "summit", "swift", "terra",
+    "thistle", "tide", "topaz", "trail", "tundra", "vale", "vista", "willow",
+    "wren", "zephyr", "zenith", "amber", "basil", "canyon", "dune", "echo",
+    "fjord", "geyser", "heather", "islet", "jetty", "knoll", "lichen", "mesa",
+)
+
+_TLDS = (
+    "com", "org", "net", "ru", "de", "fr", "io", "info", "co.uk", "com.br",
+    "edu", "gov", "biz", "us", "it",
+)
+
+_SUBDOMAIN_LABELS = (
+    "www", "m", "mobile", "blog", "shop", "mail", "news", "forum", "api",
+    "static", "cdn", "img", "fr", "nl", "en", "de", "dev", "beta", "admin",
+    "support", "docs", "wiki", "store", "media",
+)
+
+_PATH_WORDS = (
+    "index", "about", "contact", "news", "article", "post", "user", "login",
+    "join", "video", "image", "gallery", "product", "item", "category", "tag",
+    "archive", "download", "search", "help", "faq", "terms", "privacy",
+    "profile", "settings", "cart", "checkout", "review", "comment", "page",
+    "report", "data", "doc", "file", "list", "view", "edit", "update", "submit",
+)
+
+_EXTENSIONS = ("", ".html", ".php", ".htm", ".aspx", ".jsp", "")
+
+
+class NameGenerator:
+    """Seeded generator of hostnames and URL paths."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._issued_domains: set[str] = set()
+
+    # -- hostnames -------------------------------------------------------------
+
+    def registered_domain(self) -> str:
+        """Generate a unique registered (second-level) domain."""
+        for _ in range(1000):
+            words = self._rng.choice(len(_WORDS), size=2, replace=True)
+            suffix = int(self._rng.integers(0, 10_000))
+            tld = _TLDS[int(self._rng.integers(0, len(_TLDS)))]
+            name = f"{_WORDS[words[0]]}{_WORDS[words[1]]}{suffix}.{tld}"
+            if name not in self._issued_domains:
+                self._issued_domains.add(name)
+                return name
+        raise CorpusError("could not generate a unique registered domain")
+
+    def subdomains(self, count: int) -> list[str]:
+        """Generate ``count`` distinct sub-domain labels (e.g. ``www``, ``m``)."""
+        if count < 0:
+            raise CorpusError("sub-domain count must be non-negative")
+        if count == 0:
+            return []
+        chosen: list[str] = []
+        pool = list(_SUBDOMAIN_LABELS)
+        indices = self._rng.permutation(len(pool))
+        for index in indices[: min(count, len(pool))]:
+            chosen.append(pool[index])
+        while len(chosen) < count:
+            chosen.append(f"sub{len(chosen)}")
+        return chosen
+
+    def host(self, registered: str, subdomain: str | None) -> str:
+        """Assemble a full hostname from a registered domain and a label."""
+        if subdomain:
+            return f"{subdomain}.{registered}"
+        return registered
+
+    # -- paths -----------------------------------------------------------------
+
+    def path(self, depth: int, *, with_query: bool = False,
+             directory: bool = False) -> str:
+        """Generate a URL path with ``depth`` segments.
+
+        ``depth == 0`` produces the root path ``/``.  ``directory=True`` makes
+        the last segment a directory (trailing slash) instead of a file.
+        """
+        if depth < 0:
+            raise CorpusError("path depth must be non-negative")
+        if depth == 0:
+            return "/"
+        segments: list[str] = []
+        for level in range(depth):
+            word = _PATH_WORDS[int(self._rng.integers(0, len(_PATH_WORDS)))]
+            number = int(self._rng.integers(0, 1000))
+            segments.append(f"{word}-{number}" if number % 3 == 0 else word)
+        path = "/" + "/".join(segments)
+        if directory:
+            path += "/"
+        else:
+            extension = _EXTENSIONS[int(self._rng.integers(0, len(_EXTENSIONS)))]
+            path += extension
+        if with_query:
+            key = _PATH_WORDS[int(self._rng.integers(0, len(_PATH_WORDS)))]
+            value = int(self._rng.integers(0, 100))
+            path += f"?{key}={value}"
+        return path
+
+    def unique_paths(self, count: int, *, max_depth: int = 5,
+                     query_probability: float = 0.15) -> list[str]:
+        """Generate ``count`` distinct paths for one host.
+
+        Depths are drawn geometrically (shallow pages dominate real sites);
+        uniqueness is enforced by suffixing a counter when a collision occurs,
+        which keeps generation linear in ``count``.
+        """
+        if count < 0:
+            raise CorpusError("path count must be non-negative")
+        paths: list[str] = []
+        seen: set[str] = set()
+        depths = 1 + self._rng.geometric(p=0.45, size=max(count, 1)) % max_depth
+        queries = self._rng.random(max(count, 1)) < query_probability
+        directories = self._rng.random(max(count, 1)) < 0.2
+        for index in range(count):
+            path = self.path(int(depths[index]), with_query=bool(queries[index]),
+                             directory=bool(directories[index]))
+            if path in seen:
+                path = self._deduplicate(path, index)
+            seen.add(path)
+            paths.append(path)
+        return paths
+
+    @staticmethod
+    def _deduplicate(path: str, index: int) -> str:
+        """Make a colliding path unique while keeping it realistic."""
+        if "?" in path:
+            base, _, query = path.partition("?")
+            return f"{base}?{query}&p={index}"
+        if path.endswith("/"):
+            return f"{path}p{index}/"
+        if "." in path.rsplit("/", 1)[-1]:
+            stem, _, extension = path.rpartition(".")
+            return f"{stem}-{index}.{extension}"
+        return f"{path}-{index}"

@@ -1,0 +1,115 @@
+"""Power-law sampling and fitting.
+
+Section 6.2 of the paper confirms Huberman & Adamic's observation that the
+number of web pages per site follows a power law, and fits
+
+    p(x) = ((alpha - 1) / x_min) * (x / x_min) ** (-alpha)
+
+to the random-host dataset with the maximum-likelihood estimator
+
+    alpha_hat = 1 + n * (sum_i ln(x_i / x_min)) ** -1,
+    sigma     = (alpha_hat - 1) / sqrt(n),
+
+obtaining alpha_hat = 1.312 and sigma = 0.0004.  This module provides the
+sampler used by the corpus generator (so the synthetic corpus has the same
+shape) and the estimator used to verify, on the generated data, that the
+pipeline recovers the exponent — the reproduction of the paper's fit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CorpusError
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """Result of a continuous power-law MLE fit."""
+
+    alpha: float
+    sigma: float
+    x_min: float
+    sample_size: int
+
+    def probability_density(self, x: float) -> float:
+        """Evaluate the fitted density at ``x >= x_min``."""
+        if x < self.x_min:
+            return 0.0
+        return ((self.alpha - 1) / self.x_min) * (x / self.x_min) ** (-self.alpha)
+
+
+def fit_power_law(data: Sequence[float] | np.ndarray, x_min: float = 1.0) -> PowerLawFit:
+    """Maximum-likelihood fit of a power law to ``data``.
+
+    Uses the estimator quoted in the paper (continuous MLE, Clauset-style).
+    Values below ``x_min`` are excluded from the fit, mirroring the standard
+    treatment of the distribution head.
+    """
+    if x_min <= 0:
+        raise CorpusError("x_min must be positive")
+    values = np.asarray([value for value in np.asarray(data, dtype=float).ravel()
+                         if value >= x_min], dtype=float)
+    if values.size < 2:
+        raise CorpusError("power-law fit requires at least two samples >= x_min")
+    log_ratios = np.log(values / x_min)
+    total = float(np.sum(log_ratios))
+    if total <= 0:
+        raise CorpusError("degenerate sample: all values equal x_min")
+    n = int(values.size)
+    alpha = 1.0 + n / total
+    sigma = (alpha - 1.0) / math.sqrt(n)
+    return PowerLawFit(alpha=alpha, sigma=sigma, x_min=x_min, sample_size=n)
+
+
+def sample_power_law(rng: np.random.Generator, alpha: float, x_min: float,
+                     size: int) -> np.ndarray:
+    """Draw ``size`` continuous samples from a power law via inverse transform.
+
+    The CDF of the continuous power law is ``1 - (x / x_min)^(1 - alpha)``,
+    so ``x = x_min * (1 - u)^(-1 / (alpha - 1))`` for uniform ``u``.
+    """
+    if alpha <= 1.0:
+        raise CorpusError("power-law exponent must exceed 1")
+    if x_min <= 0:
+        raise CorpusError("x_min must be positive")
+    if size < 0:
+        raise CorpusError("sample size must be non-negative")
+    uniform = rng.random(size)
+    return x_min * (1.0 - uniform) ** (-1.0 / (alpha - 1.0))
+
+
+def truncated_power_law_sample(rng: np.random.Generator, alpha: float, x_min: float,
+                               x_max: float, size: int) -> np.ndarray:
+    """Power-law samples truncated (by rejection-free inversion) at ``x_max``.
+
+    The paper observes a hard cap of about 2.7e5 URLs per host imposed by
+    the crawler; the corpus generator reproduces that cap with a truncated
+    distribution rather than rejection sampling so generation stays O(size).
+    """
+    if x_max <= x_min:
+        raise CorpusError("x_max must exceed x_min")
+    if alpha <= 1.0:
+        raise CorpusError("power-law exponent must exceed 1")
+    # CDF at x_max for the untruncated law.
+    tail_mass = (x_max / x_min) ** (1.0 - alpha)
+    uniform = rng.random(size) * (1.0 - tail_mass)
+    return x_min * (1.0 - uniform) ** (-1.0 / (alpha - 1.0))
+
+
+def discrete_counts(samples: np.ndarray, minimum: int = 1,
+                    maximum: int | None = None) -> np.ndarray:
+    """Round continuous power-law samples to integer counts.
+
+    ``minimum`` (and optionally ``maximum``) clamp the result; the generator
+    uses this to turn the continuous samples into URLs-per-host counts.
+    """
+    counts = np.floor(samples).astype(np.int64)
+    counts = np.maximum(counts, minimum)
+    if maximum is not None:
+        counts = np.minimum(counts, maximum)
+    return counts

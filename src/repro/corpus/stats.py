@@ -1,0 +1,237 @@
+"""Corpus statistics (paper Section 6.2, Figures 5 and 6, Table 8).
+
+Given a :class:`~repro.corpus.generator.WebCorpus`, this module computes the
+quantities the paper measures on Common Crawl:
+
+* URLs per host and their cumulative distribution (Figures 5a, 5b);
+* unique decompositions per host (Figure 5c);
+* mean/min/max decompositions per URL on each host (Figures 5d-5f);
+* hash-prefix collisions among a host's decompositions (Figure 6);
+* Type I collision counts and the fraction of hosts without any
+  (the key input of the re-identification argument);
+* the power-law fit of URLs per host (alpha-hat, sigma).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.generator import HostSite, WebCorpus
+from repro.corpus.powerlaw import PowerLawFit, fit_power_law
+from repro.hashing.digests import url_prefix
+from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
+
+
+@dataclass(frozen=True, slots=True)
+class DecompositionStats:
+    """Per-host decomposition statistics (one point of Figures 5c-5f / 6)."""
+
+    registered_domain: str
+    url_count: int
+    unique_decompositions: int
+    mean_decompositions_per_url: float
+    min_decompositions_per_url: int
+    max_decompositions_per_url: int
+    prefix_collisions: int
+    type1_collision_count: int
+
+    @property
+    def has_prefix_collisions(self) -> bool:
+        return self.prefix_collisions > 0
+
+    @property
+    def has_type1_collisions(self) -> bool:
+        return self.type1_collision_count > 0
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStatistics:
+    """Aggregated statistics for one corpus (one curve of Figures 5 and 6)."""
+
+    label: str
+    site_count: int
+    url_count: int
+    total_decompositions: int
+    urls_per_site_sorted: tuple[int, ...]
+    cumulative_url_fraction: tuple[float, ...]
+    per_site: tuple[DecompositionStats, ...]
+    power_law: PowerLawFit
+    prefix_bits: int
+
+    # -- headline aggregates (quoted in the paper's prose) ---------------------
+
+    @property
+    def single_page_site_fraction(self) -> float:
+        """Fraction of sites hosting exactly one URL (61% random / paper)."""
+        if not self.per_site:
+            return 0.0
+        return sum(1 for stats in self.per_site if stats.url_count == 1) / len(self.per_site)
+
+    @property
+    def sites_covering_80_percent(self) -> int:
+        """Number of (largest) sites covering 80% of the URLs (Figure 5b)."""
+        for index, fraction in enumerate(self.cumulative_url_fraction):
+            if fraction >= 0.8:
+                return index + 1
+        return len(self.cumulative_url_fraction)
+
+    @property
+    def fraction_sites_max_decompositions_at_most_10(self) -> float:
+        """Fraction of sites whose URLs have at most 10 decompositions."""
+        if not self.per_site:
+            return 0.0
+        return sum(
+            1 for stats in self.per_site if stats.max_decompositions_per_url <= 10
+        ) / len(self.per_site)
+
+    @property
+    def fraction_sites_mean_decompositions_between_1_and_5(self) -> float:
+        """Fraction of sites with a mean of 1-5 decompositions per URL."""
+        if not self.per_site:
+            return 0.0
+        return sum(
+            1 for stats in self.per_site
+            if 1.0 <= stats.mean_decompositions_per_url <= 5.0
+        ) / len(self.per_site)
+
+    @property
+    def fraction_sites_with_prefix_collisions(self) -> float:
+        """Fraction of sites with >=1 prefix collision (0.48% / 0.26% paper)."""
+        if not self.per_site:
+            return 0.0
+        return sum(1 for stats in self.per_site if stats.has_prefix_collisions) / len(self.per_site)
+
+    @property
+    def fraction_sites_without_type1_collisions(self) -> float:
+        """Fraction of sites with no Type I collisions (60% / 56% in paper)."""
+        if not self.per_site:
+            return 0.0
+        return sum(1 for stats in self.per_site if not stats.has_type1_collisions) / len(self.per_site)
+
+    def nonzero_collision_counts(self) -> list[int]:
+        """Per-host collision counts, descending, zeros removed (Figure 6)."""
+        counts = sorted(
+            (stats.prefix_collisions for stats in self.per_site if stats.prefix_collisions),
+            reverse=True,
+        )
+        return counts
+
+    def max_urls_on_a_site(self) -> int:
+        """Largest number of URLs on a single site (the crawler cap in Fig 5a)."""
+        return max(self.urls_per_site_sorted) if self.urls_per_site_sorted else 0
+
+
+def site_decomposition_stats(site: HostSite, *, policy: DecompositionPolicy = API_POLICY,
+                             prefix_bits: int = 32) -> DecompositionStats:
+    """Compute the decomposition statistics of one site."""
+    per_url_counts: list[int] = []
+    all_expressions: set[str] = set()
+    exact_list: list[str] = []
+    expression_usage: dict[str, int] = {}
+
+    for url in site.urls:
+        decomps = decompositions(url, policy=policy)
+        per_url_counts.append(len(decomps))
+        all_expressions.update(decomps)
+        exact_list.append(decomps[0])
+        for expression in set(decomps):
+            expression_usage[expression] = expression_usage.get(expression, 0) + 1
+
+    # Type I collisions: URL pairs where one URL's exact expression appears in
+    # another URL's decomposition list (i.e. non-leaf relationships).  Counted
+    # as, for every URL, the number of *other* URLs whose decompositions
+    # include its exact expression.
+    type1 = sum(expression_usage[exact] - 1 for exact in exact_list)
+
+    # Prefix collisions among the host's unique decompositions: number of
+    # expressions minus number of distinct truncated digests.
+    prefixes = {url_prefix(expression, prefix_bits) for expression in all_expressions}
+    collisions = len(all_expressions) - len(prefixes)
+
+    if per_url_counts:
+        mean_count = float(np.mean(per_url_counts))
+        min_count = int(min(per_url_counts))
+        max_count = int(max(per_url_counts))
+    else:
+        mean_count, min_count, max_count = 0.0, 0, 0
+
+    return DecompositionStats(
+        registered_domain=site.registered_domain,
+        url_count=site.url_count,
+        unique_decompositions=len(all_expressions),
+        mean_decompositions_per_url=mean_count,
+        min_decompositions_per_url=min_count,
+        max_decompositions_per_url=max_count,
+        prefix_collisions=collisions,
+        type1_collision_count=type1,
+    )
+
+
+def collect_corpus_statistics(corpus: WebCorpus, *,
+                              policy: DecompositionPolicy = API_POLICY,
+                              prefix_bits: int = 32,
+                              max_sites: int | None = None) -> CorpusStatistics:
+    """Compute the full statistics bundle for one corpus.
+
+    ``max_sites`` caps the number of sites for which the (more expensive)
+    decomposition statistics are computed; the URL-count distribution and the
+    power-law fit always use the whole corpus.
+    """
+    urls_per_site = sorted(corpus.urls_per_site(), reverse=True)
+    total_urls = sum(urls_per_site)
+    cumulative: list[float] = []
+    running = 0
+    for count in urls_per_site:
+        running += count
+        cumulative.append(running / total_urls if total_urls else 0.0)
+
+    sites: Sequence[HostSite]
+    if max_sites is not None and max_sites < len(corpus):
+        sites = corpus.sample_sites(max_sites, seed=123)
+    else:
+        sites = corpus.sites
+
+    per_site = tuple(
+        site_decomposition_stats(site, policy=policy, prefix_bits=prefix_bits)
+        for site in sites
+    )
+    total_decompositions = sum(stats.unique_decompositions for stats in per_site)
+    power_law = fit_power_law(urls_per_site)
+
+    return CorpusStatistics(
+        label=corpus.label,
+        site_count=corpus.site_count,
+        url_count=corpus.url_count,
+        total_decompositions=total_decompositions,
+        urls_per_site_sorted=tuple(urls_per_site),
+        cumulative_url_fraction=tuple(cumulative),
+        per_site=per_site,
+        power_law=power_law,
+        prefix_bits=prefix_bits,
+    )
+
+
+def host_collision_counts(corpus: WebCorpus, *, prefix_bits: int = 32,
+                          policy: DecompositionPolicy = API_POLICY,
+                          max_sites: int | None = None) -> list[int]:
+    """Per-host prefix-collision counts (the series plotted in Figure 6).
+
+    At paper scale (up to 10^7 decompositions per host) 32-bit collisions are
+    measurable; at reproduction scale the same pipeline is typically run with
+    a smaller ``prefix_bits`` to exercise the birthday effect, and with 32
+    bits to confirm collisions are (as expected) nearly absent.
+    """
+    sites: Sequence[HostSite]
+    if max_sites is not None and max_sites < len(corpus):
+        sites = corpus.sample_sites(max_sites, seed=321)
+    else:
+        sites = corpus.sites
+    counts: list[int] = []
+    for site in sites:
+        expressions = site.unique_decompositions(policy)
+        prefixes = {url_prefix(expression, prefix_bits) for expression in expressions}
+        counts.append(len(expressions) - len(prefixes))
+    return counts

@@ -1,0 +1,30 @@
+"""Client-side prefix stores.
+
+The Safe Browsing client keeps the downloaded 32-bit prefixes in a local data
+structure that must be queried on every page load.  The paper (Section 2.2.2,
+Table 2) compares the two structures Google deployed: a Bloom filter (early
+Chromium) and the delta-coded table that replaced it, and explains the switch
+by measuring the memory footprint for different prefix widths.
+
+This package implements both structures plus a plain sorted-array store, all
+behind the :class:`PrefixStore` interface, and a byte-accurate memory model
+used to regenerate Table 2.
+"""
+
+from repro.datastructures.store import PrefixStore, RawPrefixStore
+from repro.datastructures.bloom import BloomFilter, BloomPrefixStore, optimal_bloom_parameters
+from repro.datastructures.delta import DeltaCodedTable, DeltaCodedPrefixStore
+from repro.datastructures.memory import MemoryReport, STORE_FACTORIES, store_memory_report
+
+__all__ = [
+    "BloomFilter",
+    "BloomPrefixStore",
+    "DeltaCodedPrefixStore",
+    "DeltaCodedTable",
+    "MemoryReport",
+    "PrefixStore",
+    "RawPrefixStore",
+    "STORE_FACTORIES",
+    "optimal_bloom_parameters",
+    "store_memory_report",
+]

@@ -1,0 +1,155 @@
+"""Bloom filter prefix store.
+
+Early Chromium versions (until September 2012) kept the Safe Browsing
+prefixes in a Bloom filter [Bloom 1970].  The paper re-implements the filter
+to explain why it was abandoned: the structure is *static* (no deletions,
+which the add/sub chunk update protocol requires) and its size is fixed by
+the target false-positive rate regardless of the prefix width, which is why
+it only beats the delta-coded table for prefixes of 64 bits and more
+(Table 2).
+
+The implementation below is a classic ``k``-hash-function Bloom filter over
+a bit array, with double hashing (Kirsch-Mitzenmacher) to derive the ``k``
+probe positions from two independent 64-bit hashes of the prefix bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable
+
+from repro.exceptions import DataStructureError
+from repro.datastructures.store import PrefixStore
+from repro.hashing.prefix import Prefix
+
+#: Default false-positive target.  At this rate the filter costs ~4.8 bytes
+#: per entry, which reproduces the ~3 MB size the paper measures for the
+#: Chromium-era filter over the ~630k deployed prefixes (Table 2); the rate
+#: is configurable per store for experiments that explore the trade-off.
+DEFAULT_FALSE_POSITIVE_RATE = 1e-8
+
+
+def optimal_bloom_parameters(capacity: int, false_positive_rate: float) -> tuple[int, int]:
+    """Return ``(m_bits, k_hashes)`` for a Bloom filter.
+
+    ``m = -n ln p / (ln 2)^2`` and ``k = (m / n) ln 2`` rounded to the nearest
+    integer, with a minimum of one bit and one hash function.
+    """
+    if capacity < 0:
+        raise DataStructureError("Bloom filter capacity must be non-negative")
+    if not (0.0 < false_positive_rate < 1.0):
+        raise DataStructureError("false-positive rate must be in (0, 1)")
+    if capacity == 0:
+        return 8, 1
+    m_bits = math.ceil(-capacity * math.log(false_positive_rate) / (math.log(2) ** 2))
+    k_hashes = max(1, round((m_bits / capacity) * math.log(2)))
+    return max(8, m_bits), k_hashes
+
+
+class BloomFilter:
+    """A plain Bloom filter over byte strings."""
+
+    def __init__(self, capacity: int,
+                 false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE) -> None:
+        self.capacity = capacity
+        self.false_positive_rate = false_positive_rate
+        m_bits, k_hashes = optimal_bloom_parameters(capacity, false_positive_rate)
+        self._m_bits = m_bits
+        self._k = k_hashes
+        self._bits = bytearray((m_bits + 7) // 8)
+        self._count = 0
+
+    # -- probing -------------------------------------------------------------
+
+    def _positions(self, item: bytes) -> list[int]:
+        digest = hashlib.sha256(item).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        return [(h1 + i * h2) % self._m_bits for i in range(self._k)]
+
+    def _set_bit(self, position: int) -> None:
+        self._bits[position // 8] |= 1 << (position % 8)
+
+    def _get_bit(self, position: int) -> bool:
+        return bool(self._bits[position // 8] & (1 << (position % 8)))
+
+    # -- operations ----------------------------------------------------------
+
+    def add(self, item: bytes) -> None:
+        """Insert an item."""
+        for position in self._positions(item):
+            self._set_bit(position)
+        self._count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(self._get_bit(position) for position in self._positions(item))
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bit_size(self) -> int:
+        """Size of the bit array in bits."""
+        return self._m_bits
+
+    @property
+    def hash_count(self) -> int:
+        """Number of hash functions."""
+        return self._k
+
+    def memory_bytes(self) -> int:
+        """Size of the serialized bit array in bytes."""
+        return len(self._bits)
+
+    def estimated_false_positive_rate(self) -> float:
+        """Estimate the current false-positive rate from the fill ratio."""
+        ones = sum(bin(byte).count("1") for byte in self._bits)
+        fill = ones / self._m_bits if self._m_bits else 0.0
+        return fill**self._k
+
+
+class BloomPrefixStore(PrefixStore):
+    """A :class:`PrefixStore` backed by a Bloom filter.
+
+    Deletions raise :class:`DataStructureError`: this is precisely the
+    limitation that made Google abandon the structure when the blacklists
+    became highly dynamic.
+    """
+
+    approximate = True
+
+    def __init__(self, prefixes: Iterable[Prefix] = (), bits: int = 32, *,
+                 capacity: int | None = None,
+                 false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE) -> None:
+        super().__init__(bits)
+        materialized = list(prefixes)
+        if capacity is None:
+            capacity = max(len(materialized), 1)
+        self._filter = BloomFilter(capacity, false_positive_rate)
+        self._size = 0
+        self.update(materialized)
+
+    def add(self, prefix: Prefix) -> None:
+        self._filter.add(self._check(prefix).value)
+        self._size += 1
+
+    def discard(self, prefix: Prefix) -> None:
+        raise DataStructureError(
+            "Bloom filters do not support deletion; this is why Chromium "
+            "replaced them with delta-coded tables for Safe Browsing"
+        )
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return self._check(prefix).value in self._filter
+
+    def __len__(self) -> int:
+        return self._size
+
+    def memory_bytes(self) -> int:
+        return self._filter.memory_bytes()
+
+    @property
+    def filter(self) -> BloomFilter:
+        """The underlying Bloom filter (read-only access for reporting)."""
+        return self._filter

@@ -1,0 +1,133 @@
+"""The :class:`PrefixStore` interface and the raw sorted-array store.
+
+Every store holds fixed-width prefixes (32 bits by default) and supports
+membership queries, insertion and removal (removal is what forced Google to
+abandon the static Bloom filter: the blacklists are updated with *add* and
+*sub* chunks several times per hour).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+
+class PrefixStore(ABC):
+    """Abstract interface of a client-side prefix database.
+
+    Concrete stores may be *exact* (raw array, delta-coded table) or
+    *approximate* (Bloom filter).  Approximate stores may return false
+    positives on :meth:`__contains__` but must never return false negatives;
+    this mirrors the deployed behaviour, where a false positive only costs an
+    extra full-hash request while a false negative would let a malicious URL
+    through.
+    """
+
+    #: Whether membership queries can return false positives.
+    approximate: bool = False
+
+    def __init__(self, bits: int = 32) -> None:
+        if bits % 8 != 0 or not (8 <= bits <= 256):
+            raise DataStructureError(f"unsupported prefix width: {bits}")
+        self._bits = bits
+
+    @property
+    def bits(self) -> int:
+        """Width, in bits, of the prefixes held by the store."""
+        return self._bits
+
+    def _check(self, prefix: Prefix) -> Prefix:
+        if prefix.bits != self._bits:
+            raise DataStructureError(
+                f"store holds {self._bits}-bit prefixes, got a {prefix.bits}-bit one"
+            )
+        return prefix
+
+    # -- abstract operations -------------------------------------------------
+
+    @abstractmethod
+    def add(self, prefix: Prefix) -> None:
+        """Insert one prefix."""
+
+    @abstractmethod
+    def discard(self, prefix: Prefix) -> None:
+        """Remove one prefix if present (no-op otherwise)."""
+
+    @abstractmethod
+    def __contains__(self, prefix: Prefix) -> bool:
+        """Membership query (may be approximate, see class docstring)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of prefixes inserted (and not removed)."""
+
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Size, in bytes, of the serialized store (the Table 2 metric)."""
+
+    # -- bulk helpers ---------------------------------------------------------
+
+    def update(self, prefixes: Iterable[Prefix]) -> None:
+        """Insert many prefixes."""
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def discard_many(self, prefixes: Iterable[Prefix]) -> None:
+        """Remove many prefixes."""
+        for prefix in prefixes:
+            self.discard(prefix)
+
+
+class RawPrefixStore(PrefixStore):
+    """A sorted array of prefixes.
+
+    This is the "raw data" row of the paper's Table 2: ``n`` prefixes of
+    ``bits`` bits occupy exactly ``n * bits / 8`` bytes.  Lookup is a binary
+    search; insertion keeps the array sorted.
+    """
+
+    approximate = False
+
+    def __init__(self, prefixes: Iterable[Prefix] = (), bits: int = 32) -> None:
+        super().__init__(bits)
+        # Bulk construction sorts once instead of inserting one by one, which
+        # matters when loading a full blacklist (hundreds of thousands of
+        # prefixes) into the store.
+        self._values: list[int] = sorted(
+            {self._check(prefix).to_int() for prefix in prefixes}
+        )
+
+    def add(self, prefix: Prefix) -> None:
+        value = self._check(prefix).to_int()
+        index = bisect.bisect_left(self._values, value)
+        if index >= len(self._values) or self._values[index] != value:
+            self._values.insert(index, value)
+
+    def discard(self, prefix: Prefix) -> None:
+        value = self._check(prefix).to_int()
+        index = bisect.bisect_left(self._values, value)
+        if index < len(self._values) and self._values[index] == value:
+            del self._values[index]
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        value = self._check(prefix).to_int()
+        index = bisect.bisect_left(self._values, value)
+        return index < len(self._values) and self._values[index] == value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for value in self._values:
+            yield Prefix.from_int(value, self._bits)
+
+    def memory_bytes(self) -> int:
+        return len(self._values) * (self._bits // 8)
+
+    def values(self) -> list[int]:
+        """The sorted integer values of the stored prefixes."""
+        return list(self._values)

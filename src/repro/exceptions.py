@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class.  More specific
+subclasses are raised close to where the problem is detected so that error
+messages carry enough context to diagnose the failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CanonicalizationError(ReproError):
+    """Raised when a URL cannot be canonicalized.
+
+    Safe Browsing canonicalization is intentionally forgiving (it accepts
+    many malformed URLs), so this error only appears for inputs that cannot
+    be interpreted as a URL at all, e.g. an empty string or a URL whose host
+    part is empty after cleanup.
+    """
+
+
+class DecompositionError(ReproError):
+    """Raised when decompositions cannot be generated for a URL."""
+
+
+class PrefixError(ReproError):
+    """Raised for malformed prefixes (wrong size, bad hex string, ...)."""
+
+
+class DataStructureError(ReproError):
+    """Raised by the client-side prefix stores (Bloom filter, delta table)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a Safe Browsing protocol message is malformed."""
+
+
+class ListNotFoundError(ProtocolError):
+    """Raised when a client requests a blacklist the server does not serve."""
+
+
+class UpdateError(ProtocolError):
+    """Raised when a client update cannot be applied to the local database."""
+
+
+class CorpusError(ReproError):
+    """Raised by the synthetic corpus generator for invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the privacy-analysis layer for invalid arguments."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is configured inconsistently."""

@@ -1,0 +1,13 @@
+"""Experiment harnesses — one module per table or figure of the paper.
+
+Every module exposes a function that builds the experiment's workload at a
+given :class:`~repro.experiments.scale.Scale`, runs the relevant pipeline
+from the library, and returns a :class:`~repro.reporting.tables.Table` or
+:class:`~repro.reporting.figures.FigureData` whose rows can be compared with
+the paper's.  The benchmark suite under ``benchmarks/`` wraps these
+functions; EXPERIMENTS.md records paper-reported vs. measured values.
+"""
+
+from repro.experiments.scale import Scale, SMALL, MEDIUM, get_context, ExperimentContext
+
+__all__ = ["ExperimentContext", "MEDIUM", "SMALL", "Scale", "get_context"]

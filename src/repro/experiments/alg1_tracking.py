@@ -1,0 +1,201 @@
+"""Algorithm 1 / Section 6.3 — the end-to-end tracking experiment.
+
+The paper argues that Google or Yandex could track who visits chosen target
+URLs by (i) selecting at most ``delta`` prefixes per target with Algorithm 1,
+(ii) pushing them into the clients' local databases through the normal update
+channel, and (iii) watching which cookies send those prefixes back.  This
+experiment runs the whole attack against the in-memory reproduction:
+
+1. build the provider's web index over the Alexa-like corpus;
+2. pick target URLs hosted on indexed sites;
+3. run Algorithm 1 and push the tracking prefixes into the provider's
+   malware list;
+4. simulate a population of browsers, each visiting a mix of target and
+   non-target URLs through the real client lookup flow;
+5. detect visits from the server-side request log and compare with the
+   ground truth (precision / recall), overall and per tracking mode.
+
+A ``delta`` sweep doubles as the ablation for the paper's "larger delta,
+more robust tracking" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tracking import TrackingMode, TrackingSystem
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.tables import Table
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.cookie import CookieJar
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.clock import ManualClock
+
+
+@dataclass(frozen=True, slots=True)
+class TrackingExperimentResult:
+    """Outcome of one end-to-end tracking run."""
+
+    delta: int
+    targets: int
+    url_trackable_targets: int
+    true_visits: int
+    detected_visits: int
+    correct_detections: int
+    false_detections: int
+    missed_visits: int
+
+    @property
+    def precision(self) -> float:
+        if self.detected_visits == 0:
+            return 1.0
+        return self.correct_detections / self.detected_visits
+
+    @property
+    def recall(self) -> float:
+        if self.true_visits == 0:
+            return 1.0
+        return self.correct_detections / self.true_visits
+
+
+def _select_targets(context, count: int) -> list[str]:
+    """Pick target URLs from the indexed sites (prefer multi-page sites)."""
+    index = context.inverted_index("alexa")
+    corpus = context.bundle.alexa
+    targets: list[str] = []
+    for site in corpus.sample_sites(context.scale.index_sites, seed=99):
+        candidates = [url for url in site.urls if url in index and not url.endswith("/")]
+        if not candidates:
+            candidates = [url for url in site.urls if url in index]
+        if candidates:
+            targets.append(candidates[0])
+        if len(targets) >= count:
+            break
+    return targets
+
+
+def run_tracking_experiment(scale: Scale = SMALL, *, delta: int = 4,
+                            visits_per_client: int = 6) -> TrackingExperimentResult:
+    """Run the end-to-end attack once and score it."""
+    context = get_context(scale)
+    index = context.inverted_index("alexa")
+    corpus = context.bundle.alexa
+
+    # A dedicated server so tracking entries do not pollute the shared snapshot.
+    clock = ManualClock()
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    tracker = TrackingSystem(server=server, index=index,
+                             list_name="goog-malware-shavar", delta=delta)
+    targets = _select_targets(context, context.scale.tracked_targets)
+    decisions = tracker.track_many(targets)
+
+    # Simulate the browser population.
+    jar = CookieJar(seed="tracking-experiment")
+    clients = [
+        SafeBrowsingClient(server, name=f"client-{i}", cookie_jar=jar, clock=clock)
+        for i in range(context.scale.clients)
+    ]
+    ground_truth: set[tuple[str, str]] = set()  # (cookie value, target URL)
+    non_targets = [
+        url
+        for site in corpus.sample_sites(20, seed=7)
+        for url in site.urls[:3]
+        if url not in targets
+    ]
+    for client_number, client in enumerate(clients):
+        client.update()
+        # Each client visits a rotating subset of targets plus benign URLs.
+        for visit in range(visits_per_client):
+            clock.advance(60.0)
+            if visit % 2 == 0 and targets:
+                target = targets[(client_number + visit) % len(targets)]
+                client.lookup(target)
+                ground_truth.add((client.cookie.value, target))
+            elif non_targets:
+                client.lookup(non_targets[(client_number * visits_per_client + visit)
+                                          % len(non_targets)])
+
+    outcomes = tracker.detect()
+    detected: set[tuple[str, str]] = {
+        (outcome.cookie.value, outcome.target_url) for outcome in outcomes
+    }
+    correct = detected & ground_truth
+    url_trackable = sum(1 for decision in decisions
+                        if decision.mode is not TrackingMode.DOMAIN_ONLY)
+    return TrackingExperimentResult(
+        delta=delta,
+        targets=len(targets),
+        url_trackable_targets=url_trackable,
+        true_visits=len(ground_truth),
+        detected_visits=len(detected),
+        correct_detections=len(correct),
+        false_detections=len(detected - ground_truth),
+        missed_visits=len(ground_truth - detected),
+    )
+
+
+def delta_sweep(scale: Scale = SMALL, deltas: tuple[int, ...] = (2, 4, 8)) -> list[TrackingExperimentResult]:
+    """Run the experiment for several ``delta`` values (the paper's knob)."""
+    return [run_tracking_experiment(scale, delta=delta) for delta in deltas]
+
+
+def tracking_table(scale: Scale = SMALL,
+                   deltas: tuple[int, ...] = (2, 4, 8)) -> Table:
+    """Render the tracking results as a table."""
+    table = Table(
+        title="Algorithm 1 — end-to-end tracking through Safe Browsing",
+        columns=["delta", "targets", "URL-trackable targets", "true visits",
+                 "detected", "correct", "precision", "recall"],
+    )
+    for result in delta_sweep(scale, deltas):
+        table.add_row(
+            result.delta,
+            result.targets,
+            result.url_trackable_targets,
+            result.true_visits,
+            result.detected_visits,
+            result.correct_detections,
+            result.precision,
+            result.recall,
+        )
+    table.add_note(
+        "the paper's claim: with prefixes chosen by Algorithm 1, every visit to a "
+        "tracked target is detected (recall 1.0) and mis-identification is negligible "
+        "(precision ~1.0); larger delta extends URL-level tracking to more targets"
+    )
+    return table
+
+
+def pets_example_table() -> Table:
+    """The PETS CFP walk-through of Section 6.3 as a concrete Algorithm 1 run."""
+    from repro.analysis.inverted_index import PrefixInvertedIndex
+    from repro.analysis.tracking import tracking_prefixes
+
+    index = PrefixInvertedIndex()
+    index.add_urls([
+        "https://petsymposium.org/2016/cfp.php",
+        "https://petsymposium.org/2016/links.php",
+        "https://petsymposium.org/2016/faqs.php",
+        "https://petsymposium.org/2016/submission/",
+        "https://petsymposium.org/2016/",
+        "https://petsymposium.org/",
+    ])
+    table = Table(
+        title="Section 6.3 example — tracking prefixes for the PETS pages",
+        columns=["Target URL", "Mode", "#prefixes", "Expressions"],
+    )
+    for target in ("https://petsymposium.org/2016/cfp.php",
+                   "https://petsymposium.org/2016/"):
+        decision = tracking_prefixes(target, index, delta=4)
+        table.add_row(
+            target,
+            decision.mode.value,
+            decision.prefix_count,
+            "; ".join(decision.expressions),
+        )
+    table.add_note(
+        "paper: the CFP page (a leaf) needs 2 prefixes; the 2016 index page needs 4 "
+        "(its own, the domain root, and its two Type I colliders links.php / faqs.php)"
+    )
+    return table

@@ -1,0 +1,144 @@
+"""Ecosystem comparison — what each Safe Browsing design reveals (Sections 1, 2.1, 8).
+
+The paper motivates its analysis by contrasting three designs:
+
+* the deprecated **Lookup API**, which receives every visited URL in clear;
+* **WOT-style** domain-reputation services, which receive every visited
+  registered domain in clear;
+* the **v3 prefix API**, which is only contacted on local hits and receives
+  32-bit prefixes.
+
+This experiment replays one synthetic browsing trace (a mix of benign
+popular-corpus pages and a few blacklisted pages) through the three designs
+and tabulates the provider-side view: how many requests were made, how many
+URLs/domains arrived in clear, how many prefixes arrived, and how many
+visits the provider can re-identify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.history import BrowsingHistoryReconstructor
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.clock import ManualClock
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.tables import Table
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.cookie import CookieJar
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.lookup_api import (
+    DomainReputationServer,
+    LeakageSummary,
+    LegacyLookupClient,
+    LegacyLookupServer,
+    summarize_cleartext_log,
+)
+from repro.safebrowsing.server import SafeBrowsingServer
+
+
+@dataclass(frozen=True, slots=True)
+class EcosystemResult:
+    """The three leakage summaries for one browsing trace."""
+
+    lookup_api: LeakageSummary
+    domain_reputation: LeakageSummary
+    prefix_api: LeakageSummary
+    trace_length: int
+
+
+def _browsing_trace(context, visits: int) -> tuple[list[str], list[str]]:
+    """A browsing trace plus the blacklist entries planted along the way."""
+    corpus = context.bundle.alexa
+    trace: list[str] = []
+    for site in corpus.sample_sites(max(10, visits // 3), seed=2016):
+        trace.extend(site.urls[:3])
+        if len(trace) >= visits:
+            break
+    trace = trace[:visits]
+    # Blacklist a handful of the visited pages so every design has hits.
+    blacklisted = [url for index, url in enumerate(trace) if index % 7 == 0]
+    return trace, blacklisted
+
+
+def run_ecosystem_experiment(scale: Scale = SMALL, *, visits: int = 60) -> EcosystemResult:
+    """Replay the same trace through the three service designs."""
+    context = get_context(scale)
+    trace, blacklisted = _browsing_trace(context, visits)
+    from repro.urls.decompose import decompositions
+
+    blacklist_expressions = [decompositions(url)[0] for url in blacklisted]
+
+    clock = ManualClock()
+    jar = CookieJar(seed="ecosystem")
+
+    # 1. Lookup API (full URLs in clear).
+    lookup_server = LegacyLookupServer(GOOGLE_LISTS, clock=clock)
+    lookup_server.database["goog-malware-shavar"].add_expressions(blacklist_expressions)
+    lookup_client = LegacyLookupClient(lookup_server, "lookup-user", cookie_jar=jar)
+    for url in trace:
+        lookup_client.lookup(url)
+    lookup_summary = summarize_cleartext_log("Lookup API (v1)", len(trace),
+                                             lookup_server.log)
+
+    # 2. Domain reputation service (domains in clear).
+    wot_server = DomainReputationServer(GOOGLE_LISTS, clock=clock)
+    wot_server.database["goog-malware-shavar"].add_expressions(blacklist_expressions)
+    wot_client = LegacyLookupClient(wot_server, "wot-user", cookie_jar=jar)
+    for url in trace:
+        wot_client.lookup(url)
+    wot_summary = summarize_cleartext_log("Domain reputation (WOT-style)", len(trace),
+                                          wot_server.log)
+
+    # 3. The v3 prefix API.
+    prefix_server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    prefix_server.blacklist("goog-malware-shavar", blacklist_expressions)
+    prefix_client = SafeBrowsingClient(prefix_server, name="prefix-user",
+                                       cookie_jar=jar, clock=clock)
+    prefix_client.update()
+    for url in trace:
+        prefix_client.lookup(url)
+    engine = ReidentificationEngine(context.inverted_index("alexa"))
+    reconstructor = BrowsingHistoryReconstructor(engine)
+    report = reconstructor.reconstruct(prefix_server.request_log)
+    prefix_summary = LeakageSummary(
+        service="Prefix API (v3)",
+        urls_visited=len(trace),
+        requests_sent=len(prefix_server.request_log),
+        urls_revealed_in_clear=0,
+        domains_revealed_in_clear=0,
+        prefixes_revealed=prefix_server.stats.prefixes_received,
+        urls_reidentifiable=report.url_level_recoveries,
+    )
+    return EcosystemResult(
+        lookup_api=lookup_summary,
+        domain_reputation=wot_summary,
+        prefix_api=prefix_summary,
+        trace_length=len(trace),
+    )
+
+
+def ecosystem_table(scale: Scale = SMALL, *, visits: int = 60) -> Table:
+    """Render the ecosystem leakage comparison."""
+    result = run_ecosystem_experiment(scale, visits=visits)
+    table = Table(
+        title="Safe Browsing ecosystem — provider-side view of one browsing trace",
+        columns=["Service", "Requests", "URLs in clear", "Domains in clear",
+                 "Prefixes", "Re-identifiable visits", "Contacts per visit"],
+    )
+    for summary in (result.lookup_api, result.domain_reputation, result.prefix_api):
+        table.add_row(
+            summary.service,
+            summary.requests_sent,
+            summary.urls_revealed_in_clear,
+            summary.domains_revealed_in_clear,
+            summary.prefixes_revealed,
+            summary.urls_reidentifiable,
+            summary.contacts_per_visit,
+        )
+    table.add_note(
+        "the v3 API only contacts the provider on blacklist hits and reveals prefixes "
+        "rather than clear-text URLs; the paper's contribution is quantifying how much "
+        "those prefixes still reveal (the last column's non-zero value)"
+    )
+    return table

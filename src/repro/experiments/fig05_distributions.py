@@ -1,0 +1,152 @@
+"""Figure 5 (a-f) — distribution of URLs and decompositions over hosts.
+
+The experiment computes, for both corpora:
+
+* (a) the number of URLs per host, hosts sorted by size (log-log rank plot);
+* (b) the cumulative fraction of URLs covered by the largest hosts;
+* (c) the number of unique decompositions per host;
+* (d, e, f) the mean / minimum / maximum number of decompositions per URL on
+  each host;
+
+plus the power-law fit of Section 6.2 (alpha-hat and its standard error) and
+the headline fractions the paper quotes in prose (61% single-page random
+hosts, 80% of URLs covered by a small fraction of hosts, 41%/51% of hosts
+with at most 10 decompositions per URL, 46% of hosts with mean 1-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.stats import CorpusStatistics, collect_corpus_statistics
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.figures import FigureData, Series
+from repro.reporting.tables import Table
+
+#: Headline numbers quoted in the paper's Section 6.2 prose.
+PAPER_HEADLINES = {
+    ("random", "single_page_fraction"): 0.61,
+    ("alexa", "hosts_covering_80pct"): 19_000,
+    ("random", "hosts_covering_80pct"): 10_000,
+    ("alexa", "max_decomp_at_most_10"): 0.41,
+    ("random", "max_decomp_at_most_10"): 0.51,
+    ("both", "mean_decomp_1_to_5"): 0.46,
+    ("random", "alpha_hat"): 1.312,
+    ("random", "alpha_sigma"): 0.0004,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionSummary:
+    """The measured headline statistics for one corpus."""
+
+    label: str
+    statistics: CorpusStatistics
+
+    @property
+    def single_page_fraction(self) -> float:
+        return self.statistics.single_page_site_fraction
+
+    @property
+    def hosts_covering_80pct(self) -> int:
+        return self.statistics.sites_covering_80_percent
+
+    @property
+    def hosts_covering_80pct_fraction(self) -> float:
+        return self.hosts_covering_80pct / self.statistics.site_count
+
+    @property
+    def alpha_hat(self) -> float:
+        return self.statistics.power_law.alpha
+
+    @property
+    def alpha_sigma(self) -> float:
+        return self.statistics.power_law.sigma
+
+
+def corpus_statistics(scale: Scale = SMALL) -> dict[str, CorpusStatistics]:
+    """Statistics of both corpora at the requested scale."""
+    context = get_context(scale)
+    return {
+        "alexa": collect_corpus_statistics(context.bundle.alexa,
+                                           max_sites=context.scale.stats_sites),
+        "random": collect_corpus_statistics(context.bundle.random,
+                                            max_sites=context.scale.stats_sites),
+    }
+
+
+def figure5_data(scale: Scale = SMALL) -> list[FigureData]:
+    """Build the six panels of Figure 5 as :class:`FigureData` objects."""
+    statistics = corpus_statistics(scale)
+    panels: list[FigureData] = []
+
+    panel_a = FigureData("fig5a", "URLs per host (hosts sorted by size)")
+    panel_b = FigureData("fig5b", "Cumulative URL fraction")
+    panel_c = FigureData("fig5c", "Unique decompositions per host")
+    panel_d = FigureData("fig5d", "Mean decompositions per URL")
+    panel_e = FigureData("fig5e", "Min decompositions per URL")
+    panel_f = FigureData("fig5f", "Max decompositions per URL")
+
+    for label, stats in statistics.items():
+        panel_a.add_series(Series.from_values(label, stats.urls_per_site_sorted))
+        panel_b.add_series(Series.from_values(label, stats.cumulative_url_fraction))
+        decomp_sorted = sorted(
+            (site.unique_decompositions for site in stats.per_site), reverse=True
+        )
+        panel_c.add_series(Series.from_values(label, decomp_sorted))
+        panel_d.add_series(Series.from_values(
+            label, sorted((site.mean_decompositions_per_url for site in stats.per_site),
+                          reverse=True)))
+        panel_e.add_series(Series.from_values(
+            label, sorted((site.min_decompositions_per_url for site in stats.per_site),
+                          reverse=True)))
+        panel_f.add_series(Series.from_values(
+            label, sorted((site.max_decompositions_per_url for site in stats.per_site),
+                          reverse=True)))
+        panel_a.add_summary(f"{label}_max_urls_on_a_host", stats.max_urls_on_a_site())
+        panel_b.add_summary(f"{label}_hosts_for_80pct",
+                            stats.sites_covering_80_percent)
+        panel_d.add_summary(f"{label}_fraction_mean_1_to_5",
+                            stats.fraction_sites_mean_decompositions_between_1_and_5)
+        panel_f.add_summary(f"{label}_fraction_max_at_most_10",
+                            stats.fraction_sites_max_decompositions_at_most_10)
+
+    panels.extend([panel_a, panel_b, panel_c, panel_d, panel_e, panel_f])
+    return panels
+
+
+def headline_table(scale: Scale = SMALL) -> Table:
+    """The Section 6.2 headline numbers, paper vs. measured."""
+    statistics = corpus_statistics(scale)
+    summaries = {label: DistributionSummary(label, stats)
+                 for label, stats in statistics.items()}
+    table = Table(
+        title="Section 6.2 — headline statistics (paper vs. measured)",
+        columns=["Quantity", "Corpus", "Paper", "Measured"],
+    )
+    table.add_row("single-page host fraction", "random",
+                  PAPER_HEADLINES[("random", "single_page_fraction")],
+                  summaries["random"].single_page_fraction)
+    table.add_row("hosts covering 80% of URLs (fraction of corpus)", "alexa",
+                  PAPER_HEADLINES[("alexa", "hosts_covering_80pct")] / 1_000_000,
+                  summaries["alexa"].hosts_covering_80pct_fraction)
+    table.add_row("hosts covering 80% of URLs (fraction of corpus)", "random",
+                  PAPER_HEADLINES[("random", "hosts_covering_80pct")] / 1_000_000,
+                  summaries["random"].hosts_covering_80pct_fraction)
+    table.add_row("hosts with max <= 10 decompositions per URL", "alexa",
+                  PAPER_HEADLINES[("alexa", "max_decomp_at_most_10")],
+                  statistics["alexa"].fraction_sites_max_decompositions_at_most_10)
+    table.add_row("hosts with max <= 10 decompositions per URL", "random",
+                  PAPER_HEADLINES[("random", "max_decomp_at_most_10")],
+                  statistics["random"].fraction_sites_max_decompositions_at_most_10)
+    table.add_row("hosts with mean decompositions in [1, 5]", "random",
+                  PAPER_HEADLINES[("both", "mean_decomp_1_to_5")],
+                  statistics["random"].fraction_sites_mean_decompositions_between_1_and_5)
+    table.add_row("power-law exponent alpha-hat", "random",
+                  PAPER_HEADLINES[("random", "alpha_hat")],
+                  summaries["random"].alpha_hat)
+    table.add_row("hosts without Type I collisions", "alexa", 0.60,
+                  statistics["alexa"].fraction_sites_without_type1_collisions)
+    table.add_row("hosts without Type I collisions", "random", 0.56,
+                  statistics["random"].fraction_sites_without_type1_collisions)
+    return table

@@ -1,0 +1,124 @@
+"""Figure 6 — non-zero 32-bit prefix collisions among hosts' decompositions.
+
+The paper observes that only hosts with more than ~2^16 decompositions
+generate 32-bit collisions (birthday bound), i.e. 0.48% of the Alexa hosts
+and 0.26% of the random hosts.  A laptop-scale corpus has no host anywhere
+near 2^16 decompositions, so the experiment does two things:
+
+* it runs the pipeline at 32 bits and verifies that (as the birthday bound
+  predicts for small hosts) essentially no host collides;
+* it re-runs the same pipeline at a reduced prefix width chosen so that the
+  scaled-down hosts sit in the same ratio to the birthday bound as the
+  paper's hosts did at 32 bits, and reports the resulting collision curve —
+  the shape of Figure 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.corpus.stats import host_collision_counts
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.figures import FigureData, Series
+from repro.reporting.tables import Table
+
+#: Fractions of hosts with non-zero collisions reported by the paper.
+PAPER_COLLIDING_HOST_FRACTION = {"alexa": 0.0048, "random": 0.0026}
+
+
+@dataclass(frozen=True, slots=True)
+class CollisionSummary:
+    """Collision statistics of one corpus at one prefix width."""
+
+    label: str
+    prefix_bits: int
+    host_count: int
+    colliding_hosts: int
+    max_collisions_on_a_host: int
+
+    @property
+    def colliding_fraction(self) -> float:
+        return self.colliding_hosts / self.host_count if self.host_count else 0.0
+
+
+def scaled_prefix_bits(scale: Scale = SMALL) -> int:
+    """Prefix width that puts the scaled corpus in the paper's birthday regime.
+
+    The paper's largest hosts have about 10^7 decompositions against a 2^16
+    birthday bound (square root of 2^32).  The reproduction picks the width
+    ``b`` such that the largest synthetic host (a few thousand decompositions)
+    exceeds ``2^(b/2)`` by a comparable factor.
+    """
+    context = get_context(scale)
+    largest = max(
+        len(site.unique_decompositions())
+        for site in context.bundle.alexa.sample_sites(context.scale.stats_sites)
+    )
+    # Paper: largest / 2^(32/2) ~ 10^7 / 65536 ~ 150.  Solve for the same ratio.
+    target_ratio = 150.0
+    bits = 2 * math.log2(max(largest, 2) / target_ratio)
+    # Round to a whole number of bytes in [8, 32] (prefixes are byte-aligned).
+    return int(min(32, max(8, 8 * round(bits / 8))))
+
+
+def collision_summaries(scale: Scale = SMALL) -> list[CollisionSummary]:
+    """Measure collisions at 32 bits and at the scaled width, for both corpora."""
+    context = get_context(scale)
+    reduced_bits = scaled_prefix_bits(scale)
+    summaries: list[CollisionSummary] = []
+    for corpus in (context.bundle.alexa, context.bundle.random):
+        for bits in (32, reduced_bits):
+            counts = host_collision_counts(corpus, prefix_bits=bits,
+                                           max_sites=context.scale.stats_sites)
+            summaries.append(
+                CollisionSummary(
+                    label=corpus.label,
+                    prefix_bits=bits,
+                    host_count=len(counts),
+                    colliding_hosts=sum(1 for count in counts if count > 0),
+                    max_collisions_on_a_host=max(counts) if counts else 0,
+                )
+            )
+    return summaries
+
+
+def figure6_data(scale: Scale = SMALL) -> FigureData:
+    """The Figure 6 curve (per-host collision counts, descending) at scaled width."""
+    context = get_context(scale)
+    bits = scaled_prefix_bits(scale)
+    figure = FigureData("fig6", f"Non-zero prefix collisions per host ({bits}-bit prefixes)")
+    for corpus in (context.bundle.alexa, context.bundle.random):
+        counts = sorted(
+            (count for count in host_collision_counts(
+                corpus, prefix_bits=bits, max_sites=context.scale.stats_sites)
+             if count > 0),
+            reverse=True,
+        )
+        figure.add_series(Series.from_values(corpus.label, counts))
+        figure.add_summary(f"{corpus.label}_colliding_hosts", len(counts))
+    return figure
+
+
+def collision_table(scale: Scale = SMALL) -> Table:
+    """Render the collision summary (paper fractions vs. measured)."""
+    table = Table(
+        title="Figure 6 — hosts with non-zero prefix collisions among decompositions",
+        columns=["Corpus", "Prefix bits", "Hosts measured", "Colliding hosts",
+                 "Colliding fraction", "Paper fraction (32-bit, full scale)"],
+    )
+    for summary in collision_summaries(scale):
+        table.add_row(
+            summary.label,
+            summary.prefix_bits,
+            summary.host_count,
+            summary.colliding_hosts,
+            summary.colliding_fraction,
+            PAPER_COLLIDING_HOST_FRACTION[summary.label],
+        )
+    table.add_note(
+        "at 32 bits the scaled-down hosts are far below the birthday bound, so zero "
+        "collisions is the expected (and paper-consistent) outcome; the reduced-width "
+        "rows exercise the same pipeline inside the birthday regime"
+    )
+    return table

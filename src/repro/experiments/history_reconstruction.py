@@ -1,0 +1,116 @@
+"""History-reconstruction experiment (threat model of Section 4).
+
+Simulates a population of clients browsing a mix of benign and
+provider-tracked pages, then lets the provider replay its request log
+through the re-identification engine and measures how much of each client's
+server-visible history is reconstructed — overall and per client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.history import BrowsingHistoryReconstructor, ReconstructionReport
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.analysis.tracking import TrackingSystem
+from repro.clock import ManualClock
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.tables import Table
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.cookie import CookieJar
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+
+@dataclass(frozen=True, slots=True)
+class HistoryExperimentResult:
+    """Reconstruction quality plus the ground-truth comparison."""
+
+    report: ReconstructionReport
+    scores: dict[str, float]
+    clients: int
+    visits_per_client: int
+
+
+def run_history_experiment(scale: Scale = SMALL, *, visits_per_client: int = 8,
+                           tracked_fraction: float = 0.5) -> HistoryExperimentResult:
+    """Run the reconstruction experiment at the given scale."""
+    context = get_context(scale)
+    index = context.inverted_index("alexa")
+    corpus = context.bundle.alexa
+
+    clock = ManualClock()
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    tracker = TrackingSystem(server=server, index=index,
+                             list_name="goog-malware-shavar", delta=4)
+
+    # Track a set of pages; clients will visit a mix of tracked and untracked.
+    tracked: list[str] = []
+    untracked: list[str] = []
+    for site in corpus.sample_sites(context.scale.index_sites, seed=404):
+        in_index = [url for url in site.urls if url in index]
+        if not in_index:
+            continue
+        if len(tracked) < context.scale.tracked_targets * 2:
+            tracked.append(in_index[-1])
+        else:
+            untracked.extend(in_index[:1])
+        if len(untracked) >= 30:
+            break
+    tracker.track_many(tracked)
+
+    jar = CookieJar(seed="history")
+    clients = [
+        SafeBrowsingClient(server, name=f"user-{i}", cookie_jar=jar, clock=clock)
+        for i in range(context.scale.clients)
+    ]
+    ground_truth: dict[str, set[str]] = {client.cookie.value: set() for client in clients}
+    for client_number, client in enumerate(clients):
+        client.update()
+        for visit in range(visits_per_client):
+            clock.advance(90.0)
+            pick_tracked = (visit / visits_per_client) < tracked_fraction and tracked
+            if pick_tracked:
+                url = tracked[(client_number + visit) % len(tracked)]
+            elif untracked:
+                url = untracked[(client_number * visits_per_client + visit) % len(untracked)]
+            else:
+                continue
+            result = client.lookup(url)
+            if result.contacted_server:
+                ground_truth[client.cookie.value].add(result.canonical_url)
+
+    engine = ReidentificationEngine(index)
+    reconstructor = BrowsingHistoryReconstructor(engine)
+    report = reconstructor.reconstruct(server.request_log)
+    scores = reconstructor.score_against_ground_truth(server.request_log, ground_truth)
+    return HistoryExperimentResult(
+        report=report,
+        scores=scores,
+        clients=len(clients),
+        visits_per_client=visits_per_client,
+    )
+
+
+def history_table(scale: Scale = SMALL) -> Table:
+    """Render the history-reconstruction experiment."""
+    result = run_history_experiment(scale)
+    table = Table(
+        title="Section 4 threat model — browsing-history reconstruction from the request log",
+        columns=["Metric", "Value"],
+    )
+    table.add_row("clients simulated", result.clients)
+    table.add_row("visits per client", result.visits_per_client)
+    table.add_row("full-hash requests observed", result.report.total_requests)
+    table.add_row("URL-level recoveries", result.report.url_level_recoveries)
+    table.add_row("domain-level recoveries", result.report.domain_level_recoveries)
+    table.add_row("URL recovery rate", result.report.url_recovery_rate)
+    table.add_row("domain recovery rate", result.report.domain_recovery_rate)
+    table.add_row("precision of recovered URLs", result.scores["precision"])
+    table.add_row("coverage of server-visible visits", result.scores["coverage"])
+    table.add_note(
+        "misses never reach the provider, so the reconstruction covers exactly the "
+        "visits that hit the local database — which the provider itself controls by "
+        "choosing what to blacklist (the paper's tracking argument)"
+    )
+    return table

@@ -1,0 +1,149 @@
+"""Section 8 — effect of the proposed mitigations on re-identification.
+
+The paper discusses two countermeasures: Firefox-style dummy queries and the
+authors' one-prefix-at-a-time strategy.  This experiment measures, on the
+same workload, the provider's ability to re-identify the visited URL (and
+its domain) from the prefixes it receives:
+
+* **baseline** — the standard client, which sends every locally matching
+  prefix at once;
+* **dummy queries** — every real prefix is accompanied by deterministic
+  dummies; single-prefix anonymity improves, but the co-occurrence of two
+  *real* prefixes still identifies the URL (the paper's conclusion);
+* **one-prefix-at-a-time** — only the registered-domain root prefix is
+  revealed unless the root itself is confirmed malicious, so the provider
+  learns the domain but not the page.
+
+The workload is a set of popular-corpus URLs that the provider has equipped
+with tracking prefixes (the worst case for the user).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.mitigations import (
+    DummyQueryClient,
+    MitigationComparison,
+    OnePrefixAtATimeClient,
+    compare_mitigations,
+)
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.analysis.tracking import TrackingSystem
+from repro.clock import ManualClock
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.tables import Table
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.protocol import LookupResult
+from repro.safebrowsing.server import SafeBrowsingServer
+
+
+@dataclass(frozen=True, slots=True)
+class MitigationExperiment:
+    """All three traces plus the comparisons derived from them."""
+
+    targets: tuple[str, ...]
+    baseline: tuple[LookupResult, ...]
+    dummy: tuple[LookupResult, ...]
+    one_prefix: tuple[LookupResult, ...]
+    dummy_comparison: MitigationComparison
+    one_prefix_comparison: MitigationComparison
+
+
+def _tracked_server(context, targets: list[str]) -> SafeBrowsingServer:
+    """A Google-shaped server with tracking prefixes for the targets."""
+    clock = ManualClock()
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    tracker = TrackingSystem(server=server, index=context.inverted_index("alexa"),
+                             list_name="goog-malware-shavar", delta=4)
+    tracker.track_many(targets)
+    return server
+
+
+def _select_targets(context, count: int) -> list[str]:
+    """Pick target URLs whose lookups reveal at least two prefixes.
+
+    The comparison focuses on the multi-prefix case, which is where the paper
+    says dummy queries stop helping; bare domain roots (single decomposition)
+    are excluded because a single prefix is already covered by the dummy-query
+    k-anonymity argument.
+    """
+    index = context.inverted_index("alexa")
+    targets: list[str] = []
+    for site in context.bundle.alexa.sample_sites(context.scale.index_sites, seed=55):
+        candidates = [
+            url for url in site.urls
+            if url in index and len(index.indexed_url(url).prefixes) >= 2
+        ]
+        if candidates:
+            targets.append(candidates[-1])
+        if len(targets) >= count:
+            break
+    return targets
+
+
+def run_mitigation_experiment(scale: Scale = SMALL, *,
+                              dummies_per_query: int = 4) -> MitigationExperiment:
+    """Visit the tracked targets with the three client variants and compare."""
+    context = get_context(scale)
+    targets = _select_targets(context, max(4, context.scale.tracked_targets))
+    server = _tracked_server(context, targets)
+    engine = ReidentificationEngine(context.inverted_index("alexa"))
+
+    def fresh_client(name: str) -> SafeBrowsingClient:
+        client = SafeBrowsingClient(server, name=name, clock=server.clock)
+        client.update()
+        return client
+
+    baseline_client = fresh_client("baseline")
+    baseline = tuple(baseline_client.lookup(url) for url in targets)
+
+    dummy_wrapper = DummyQueryClient(fresh_client("dummy"),
+                                     dummies_per_query=dummies_per_query)
+    dummy = tuple(dummy_wrapper.lookup(url) for url in targets)
+
+    one_prefix_wrapper = OnePrefixAtATimeClient(fresh_client("one-prefix"))
+    one_prefix = tuple(one_prefix_wrapper.lookup(url) for url in targets)
+
+    return MitigationExperiment(
+        targets=tuple(targets),
+        baseline=baseline,
+        dummy=dummy,
+        one_prefix=one_prefix,
+        dummy_comparison=compare_mitigations("dummy-queries", baseline, dummy, engine),
+        one_prefix_comparison=compare_mitigations("one-prefix-at-a-time", baseline,
+                                                  one_prefix, engine),
+    )
+
+
+def mitigation_table(scale: Scale = SMALL) -> Table:
+    """Render the mitigation comparison."""
+    experiment = run_mitigation_experiment(scale)
+    table = Table(
+        title="Section 8 — URL re-identification under the proposed mitigations",
+        columns=["Scenario", "URL re-id rate", "Domain re-id rate",
+                 "Avg prefixes sent", "URLs evaluated"],
+    )
+    baseline = experiment.dummy_comparison
+    table.add_row("baseline (standard client)",
+                  baseline.baseline_url_rate,
+                  baseline.baseline_domain_rate,
+                  baseline.average_prefixes_sent_baseline,
+                  baseline.urls_evaluated)
+    table.add_row("dummy queries",
+                  experiment.dummy_comparison.mitigated_url_rate,
+                  experiment.dummy_comparison.mitigated_domain_rate,
+                  experiment.dummy_comparison.average_prefixes_sent_mitigated,
+                  experiment.dummy_comparison.urls_evaluated)
+    table.add_row("one prefix at a time",
+                  experiment.one_prefix_comparison.mitigated_url_rate,
+                  experiment.one_prefix_comparison.mitigated_domain_rate,
+                  experiment.one_prefix_comparison.average_prefixes_sent_mitigated,
+                  experiment.one_prefix_comparison.urls_evaluated)
+    table.add_note(
+        "paper's conclusions: dummy queries do not prevent multi-prefix "
+        "re-identification (the real prefixes still co-occur), while querying one "
+        "prefix at a time degrades the provider's knowledge to the domain level"
+    )
+    return table

@@ -1,0 +1,134 @@
+"""Experiment scaling and shared, cached workloads.
+
+The paper's corpora (10^6 hosts, 10^9 URLs) and blacklists (10^5 prefixes)
+are too large for a test run, so every experiment accepts a :class:`Scale`
+that controls the synthetic workload size.  :data:`SMALL` is sized for the
+test suite (seconds), :data:`MEDIUM` for the benchmark run (tens of
+seconds).  :func:`get_context` caches the expensive artifacts (corpora,
+blacklist snapshots, inverted indexes) per scale, so the benchmark files can
+share them instead of regenerating them per table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.corpus.datasets import BlacklistSnapshot, DatasetBundle, build_blacklist_snapshot, build_dataset_bundle
+from repro.safebrowsing.lists import ListProvider
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """Workload sizes for one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Label recorded in reports.
+    corpus_hosts:
+        Number of sites per corpus (the paper uses 1,000,000).
+    blacklist_fraction:
+        Fraction of the paper-reported prefix counts used when populating
+        the synthetic blacklists.
+    stats_sites:
+        Number of sites on which the per-site decomposition statistics are
+        computed (Figures 5c-5f, 6).
+    index_sites:
+        Number of sites indexed by the provider's inverted index in the
+        re-identification and tracking experiments.
+    tracked_targets:
+        Number of target URLs tracked in the Algorithm 1 experiment.
+    clients:
+        Number of simulated Safe Browsing clients in end-to-end experiments.
+    """
+
+    name: str
+    corpus_hosts: int
+    blacklist_fraction: float
+    stats_sites: int
+    index_sites: int
+    tracked_targets: int
+    clients: int
+
+    def __post_init__(self) -> None:
+        if self.corpus_hosts <= 0 or self.stats_sites <= 0 or self.index_sites <= 0:
+            raise ValueError("scale sizes must be positive")
+        if not (0.0 < self.blacklist_fraction <= 1.0):
+            raise ValueError("blacklist_fraction must be in (0, 1]")
+
+
+#: Sized for the unit/integration test suite.
+SMALL = Scale(
+    name="small",
+    corpus_hosts=120,
+    blacklist_fraction=0.002,
+    stats_sites=80,
+    index_sites=60,
+    tracked_targets=5,
+    clients=4,
+)
+
+#: Sized for the benchmark run.
+MEDIUM = Scale(
+    name="medium",
+    corpus_hosts=600,
+    blacklist_fraction=0.01,
+    stats_sites=300,
+    index_sites=200,
+    tracked_targets=15,
+    clients=8,
+)
+
+
+class ExperimentContext:
+    """Lazily built, cached workloads shared by the experiments at one scale."""
+
+    def __init__(self, scale: Scale) -> None:
+        self.scale = scale
+        self._bundle: DatasetBundle | None = None
+        self._snapshots: dict[ListProvider, BlacklistSnapshot] = {}
+        self._indexes: dict[str, PrefixInvertedIndex] = {}
+
+    @property
+    def bundle(self) -> DatasetBundle:
+        """The Alexa-like and random-like corpora (Table 8)."""
+        if self._bundle is None:
+            self._bundle = build_dataset_bundle(self.scale.corpus_hosts)
+        return self._bundle
+
+    def snapshot(self, provider: ListProvider) -> BlacklistSnapshot:
+        """The provisioned blacklist snapshot of one provider."""
+        if provider not in self._snapshots:
+            self._snapshots[provider] = build_blacklist_snapshot(
+                provider,
+                scale=self.scale.blacklist_fraction,
+                multi_prefix_sites=self.bundle.alexa,
+                multi_prefix_site_count=max(5, self.scale.tracked_targets),
+            )
+        return self._snapshots[provider]
+
+    def inverted_index(self, corpus_label: str = "alexa") -> PrefixInvertedIndex:
+        """The provider's web index over one corpus (sampled at scale)."""
+        if corpus_label not in self._indexes:
+            corpus = self.bundle.alexa if corpus_label == "alexa" else self.bundle.random
+            self._indexes[corpus_label] = PrefixInvertedIndex.from_corpus(
+                corpus, max_sites=self.scale.index_sites
+            )
+        return self._indexes[corpus_label]
+
+
+@lru_cache(maxsize=4)
+def _context_for(name: str, corpus_hosts: int, blacklist_fraction: float,
+                 stats_sites: int, index_sites: int, tracked_targets: int,
+                 clients: int) -> ExperimentContext:
+    return ExperimentContext(Scale(name, corpus_hosts, blacklist_fraction,
+                                   stats_sites, index_sites, tracked_targets, clients))
+
+
+def get_context(scale: Scale = SMALL) -> ExperimentContext:
+    """Return the cached :class:`ExperimentContext` for ``scale``."""
+    return _context_for(scale.name, scale.corpus_hosts, scale.blacklist_fraction,
+                        scale.stats_sites, scale.index_sites, scale.tracked_targets,
+                        scale.clients)

@@ -1,0 +1,84 @@
+"""Table 4 — decompositions and prefixes of the PETS CFP URL.
+
+The paper's running example: ``https://petsymposium.org/2016/cfp.php`` has
+three decompositions whose 32-bit prefixes are ``0xe70ee6d1``, ``0x1d13ba6a``
+and ``0x33a02ef5``.  Because the prefixes are plain SHA-256 truncations of
+public strings, the reproduction recomputes them exactly — this is the one
+table whose absolute values must match the paper bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.reporting.tables import Table
+from repro.urls.decompose import decompositions
+
+#: The example URL of the paper (Section 5.1 and 6.3).
+PETS_CFP_URL = "https://petsymposium.org/2016/cfp.php"
+
+#: The submission URL used in the temporal-correlation example.
+PETS_SUBMISSION_URL = "https://petsymposium.org/2016/submission/"
+
+#: Prefixes reported by the paper for the CFP URL decompositions.
+PAPER_PETS_PREFIXES: dict[str, str] = {
+    "petsymposium.org/2016/cfp.php": "0xe70ee6d1",
+    "petsymposium.org/2016/": "0x1d13ba6a",
+    "petsymposium.org/": "0x33a02ef5",
+}
+
+#: Prefix reported by the paper for the submission page.
+PAPER_SUBMISSION_PREFIX = "0x716703db"
+
+
+@dataclass(frozen=True, slots=True)
+class DecompositionRow:
+    """One decomposition with its computed and paper-reported prefixes."""
+
+    expression: str
+    prefix: Prefix
+    paper_prefix: str | None
+
+    @property
+    def matches_paper(self) -> bool | None:
+        if self.paper_prefix is None:
+            return None
+        return str(self.prefix) == self.paper_prefix
+
+
+def pets_decomposition_rows(url: str = PETS_CFP_URL) -> list[DecompositionRow]:
+    """Compute the decompositions and prefixes of the PETS URL."""
+    rows: list[DecompositionRow] = []
+    for expression in decompositions(url):
+        rows.append(
+            DecompositionRow(
+                expression=expression,
+                prefix=url_prefix(expression),
+                paper_prefix=PAPER_PETS_PREFIXES.get(expression),
+            )
+        )
+    return rows
+
+
+def pets_decomposition_table() -> Table:
+    """Render Table 4 with a paper-vs-computed comparison column."""
+    table = Table(
+        title="Table 4 — Decompositions of the PETS CFP URL and their 32-bit prefixes",
+        columns=["URL (decomposition)", "32-bit prefix (computed)",
+                 "32-bit prefix (paper)", "match"],
+    )
+    for row in pets_decomposition_rows():
+        table.add_row(
+            row.expression,
+            str(row.prefix),
+            row.paper_prefix if row.paper_prefix is not None else "-",
+            {True: "yes", False: "NO", None: "-"}[row.matches_paper],
+        )
+    submission_prefix = url_prefix(decompositions(PETS_SUBMISSION_URL)[0])
+    table.add_note(
+        f"submission page prefix (Section 6.3 example): computed {submission_prefix}, "
+        f"paper {PAPER_SUBMISSION_PREFIX}"
+    )
+    return table

@@ -1,0 +1,107 @@
+"""Table 5 — maximum number of URLs/domains per prefix (balls-into-bins).
+
+The paper evaluates the Raab-Steger maximum-load bound for the web sizes of
+2008/2012/2013 (10^12 to 6*10^13 URLs, ~2-2.7*10^8 domains) and prefix
+widths of 16 to 96 bits, concluding that a single 32-bit prefix hides a URL
+among hundreds to tens of thousands of candidates but pins a *domain* down
+to 2-3 candidates.
+
+The experiment recomputes the table with both the asymptotic bound and the
+Poisson estimate, and — because asymptotic constants differ from the exact
+expectation — validates the estimators against a Monte-Carlo simulation at a
+tractable scale (the validation is part of the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ballsbins import (
+    BallsIntoBinsModel,
+    DOMAIN_COUNT_HISTORY,
+    TABLE5_PREFIX_BITS,
+    URL_COUNT_HISTORY,
+)
+from repro.reporting.tables import Table
+
+#: The values the paper reports (Table 5), for side-by-side comparison.
+PAPER_TABLE5_URLS: dict[tuple[int, int], int] = {
+    (16, 2008): 2**28, (16, 2012): 2**28, (16, 2013): 2**29,
+    (32, 2008): 443, (32, 2012): 7541, (32, 2013): 14757,
+    (64, 2008): 2, (64, 2012): 2, (64, 2013): 2,
+    (96, 2008): 1, (96, 2012): 1, (96, 2013): 1,
+}
+
+PAPER_TABLE5_DOMAINS: dict[tuple[int, int], int] = {
+    (16, 2008): 3101, (16, 2012): 4196, (16, 2013): 4498,
+    (32, 2008): 2, (32, 2012): 3, (32, 2013): 3,
+    (64, 2008): 1, (64, 2012): 1, (64, 2013): 1,
+    (96, 2008): 1, (96, 2012): 1, (96, 2013): 1,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MaxLoadRow:
+    """Maximum-load estimates for one (population, year, prefix width)."""
+
+    population: str
+    year: int
+    ball_count: int
+    prefix_bits: int
+    raab_steger: float
+    poisson: int
+    paper_value: int | None
+
+    @property
+    def worst_case_uncertainty(self) -> int:
+        return max(1, int(round(self.raab_steger)))
+
+
+def balls_into_bins_rows(alpha: float = 1.0) -> list[MaxLoadRow]:
+    """Compute every cell of Table 5."""
+    rows: list[MaxLoadRow] = []
+    populations = (
+        ("URLs", URL_COUNT_HISTORY, PAPER_TABLE5_URLS),
+        ("domains", DOMAIN_COUNT_HISTORY, PAPER_TABLE5_DOMAINS),
+    )
+    for population, history, paper in populations:
+        for bits in TABLE5_PREFIX_BITS:
+            for year, count in history.items():
+                model = BallsIntoBinsModel(ball_count=count, prefix_bits=bits, alpha=alpha)
+                rows.append(
+                    MaxLoadRow(
+                        population=population,
+                        year=year,
+                        ball_count=count,
+                        prefix_bits=bits,
+                        raab_steger=model.raab_steger_bound(),
+                        poisson=model.poisson_estimate(),
+                        paper_value=paper.get((bits, year)),
+                    )
+                )
+    return rows
+
+
+def balls_into_bins_table(alpha: float = 1.0) -> Table:
+    """Render Table 5 with paper values alongside the two estimates."""
+    table = Table(
+        title="Table 5 — Max #URLs/domains per prefix (M) by prefix width and year",
+        columns=["Population", "Year", "m (balls)", "l (bits)",
+                 "M Raab-Steger", "M Poisson", "M paper"],
+    )
+    for row in balls_into_bins_rows(alpha):
+        table.add_row(
+            row.population,
+            row.year,
+            row.ball_count,
+            row.prefix_bits,
+            round(row.raab_steger, 1),
+            row.poisson,
+            row.paper_value if row.paper_value is not None else "-",
+        )
+    table.add_note(
+        "the paper evaluates the asymptotic bound with unspecified constants; the shape "
+        "to reproduce is: 32-bit prefixes hide a URL among 10^2-10^4 candidates but a "
+        "domain among <= a handful, and 64-bit prefixes identify both almost uniquely"
+    )
+    return table

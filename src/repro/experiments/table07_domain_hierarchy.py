@@ -1,0 +1,115 @@
+"""Table 7 and Figure 4 — decompositions and leaf URLs on a sample domain.
+
+Table 7 lists the four decompositions of ``a.b.c/1`` on the host ``b.c``;
+Figure 4 shows a domain hierarchy in which the leaf URLs (re-identifiable
+from two prefixes) are highlighted.  The experiment rebuilds both on the
+paper's example domain and reports, for every URL of the hierarchy, whether
+it is a leaf and how many Type I collisions it has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+from repro.reporting.tables import Table
+from repro.urls.decompose import decompositions
+from repro.urls.hierarchy import HostHierarchy
+
+#: The sample URL of Table 7.
+SAMPLE_URL = "http://a.b.c/1"
+
+#: The domain hierarchy of Figure 4 (URLs hosted on b.c).
+FIGURE4_URLS: tuple[str, ...] = (
+    "http://a.b.c/1",
+    "http://a.b.c/2",
+    "http://a.b.c/3",
+    "http://a.b.c/3/3.1",
+    "http://a.b.c/3/3.2",
+    "http://d.b.c/",
+    "http://a.b.c/",
+    "http://b.c/",
+)
+
+#: Leaf URLs according to the paper's Figure 4 (shown in blue there).
+PAPER_FIGURE4_LEAVES: frozenset[str] = frozenset(
+    {
+        "http://a.b.c/1",
+        "http://a.b.c/2",
+        "http://a.b.c/3/3.1",
+        "http://a.b.c/3/3.2",
+        "http://d.b.c/",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class HierarchyRow:
+    """One URL of the Figure 4 hierarchy with its leaf/collision status."""
+
+    url: str
+    decomposition_count: int
+    is_leaf: bool
+    paper_says_leaf: bool
+    type1_collision_count: int
+    exact_prefix: Prefix
+
+
+def sample_decomposition_table() -> Table:
+    """Render Table 7: the decompositions of ``a.b.c/1`` and their prefixes."""
+    table = Table(
+        title="Table 7 — Decompositions of a.b.c/1 and their prefixes",
+        columns=["Decomposition", "32-bit prefix"],
+    )
+    for expression in decompositions(SAMPLE_URL):
+        table.add_row(expression, str(url_prefix(expression)))
+    return table
+
+
+def figure4_hierarchy() -> HostHierarchy:
+    """Build the Figure 4 hierarchy."""
+    hierarchy = HostHierarchy("b.c")
+    hierarchy.add_urls(FIGURE4_URLS)
+    return hierarchy
+
+
+def hierarchy_rows() -> list[HierarchyRow]:
+    """Leaf status and Type I collision count for every Figure 4 URL."""
+    hierarchy = figure4_hierarchy()
+    rows: list[HierarchyRow] = []
+    for url in FIGURE4_URLS:
+        rows.append(
+            HierarchyRow(
+                url=url,
+                decomposition_count=len(decompositions(url)),
+                is_leaf=hierarchy.is_leaf(url),
+                paper_says_leaf=url in PAPER_FIGURE4_LEAVES,
+                type1_collision_count=len(hierarchy.type1_collisions(url)),
+                exact_prefix=url_prefix(decompositions(url)[0]),
+            )
+        )
+    return rows
+
+
+def hierarchy_table() -> Table:
+    """Render the Figure 4 hierarchy analysis."""
+    table = Table(
+        title="Figure 4 — Leaf URLs in the sample domain hierarchy (domain b.c)",
+        columns=["URL", "#decompositions", "leaf (computed)", "leaf (paper)",
+                 "#Type I collisions", "exact prefix"],
+    )
+    for row in hierarchy_rows():
+        table.add_row(
+            row.url,
+            row.decomposition_count,
+            "yes" if row.is_leaf else "no",
+            "yes" if row.paper_says_leaf else "no",
+            row.type1_collision_count,
+            str(row.exact_prefix),
+        )
+    table.add_note(
+        "leaf URLs are re-identifiable from two prefixes (their own plus any ancestor); "
+        "non-leaf URLs require the Type I colliders to be blacklisted as well"
+    )
+    return table

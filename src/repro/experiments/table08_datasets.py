@@ -1,0 +1,104 @@
+"""Table 8 — the two crawl datasets (domains, URLs, decompositions).
+
+The paper's datasets hold ~10^6 domains and ~10^9 URLs; the reproduction
+generates scaled-down corpora with the same power-law shape and reports the
+same three columns, alongside the paper's numbers for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.generator import WebCorpus
+from repro.corpus.stats import collect_corpus_statistics
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.tables import Table
+
+#: Paper Table 8 values, for the comparison column.
+PAPER_TABLE8: dict[str, tuple[int, int, int]] = {
+    "alexa": (1_000_000, 1_164_781_417, 1_398_540_752),
+    "random": (1_000_000, 427_675_207, 1_020_641_929),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetRow:
+    """One row of Table 8 (one corpus)."""
+
+    label: str
+    domain_count: int
+    url_count: int
+    decomposition_count: int
+    paper_domains: int
+    paper_urls: int
+    paper_decompositions: int
+
+    @property
+    def urls_per_domain(self) -> float:
+        return self.url_count / self.domain_count if self.domain_count else 0.0
+
+    @property
+    def paper_urls_per_domain(self) -> float:
+        return self.paper_urls / self.paper_domains if self.paper_domains else 0.0
+
+    @property
+    def decompositions_per_url(self) -> float:
+        return self.decomposition_count / self.url_count if self.url_count else 0.0
+
+    @property
+    def paper_decompositions_per_url(self) -> float:
+        return self.paper_decompositions / self.paper_urls if self.paper_urls else 0.0
+
+
+def _dataset_row(corpus: WebCorpus, stats_sites: int) -> DatasetRow:
+    statistics = collect_corpus_statistics(corpus, max_sites=stats_sites)
+    # Extrapolate the decomposition count from the sampled sites to the full
+    # corpus, proportionally to the URL coverage of the sample.
+    sampled_urls = sum(stats.url_count for stats in statistics.per_site)
+    scale_factor = corpus.url_count / sampled_urls if sampled_urls else 0.0
+    decompositions = int(round(statistics.total_decompositions * scale_factor))
+    paper = PAPER_TABLE8[corpus.label]
+    return DatasetRow(
+        label=corpus.label,
+        domain_count=corpus.site_count,
+        url_count=corpus.url_count,
+        decomposition_count=decompositions,
+        paper_domains=paper[0],
+        paper_urls=paper[1],
+        paper_decompositions=paper[2],
+    )
+
+
+def dataset_rows(scale: Scale = SMALL) -> list[DatasetRow]:
+    """Measure both corpora of the bundle."""
+    context = get_context(scale)
+    return [
+        _dataset_row(context.bundle.alexa, context.scale.stats_sites),
+        _dataset_row(context.bundle.random, context.scale.stats_sites),
+    ]
+
+
+def dataset_table(scale: Scale = SMALL) -> Table:
+    """Render Table 8 with per-domain and per-URL ratios for shape comparison."""
+    table = Table(
+        title="Table 8 — Datasets (reproduction scale vs. paper)",
+        columns=["Dataset", "#Domains", "#URLs", "#Decompositions",
+                 "URLs/domain", "URLs/domain (paper)",
+                 "Decomp./URL", "Decomp./URL (paper)"],
+    )
+    for row in dataset_rows(scale):
+        table.add_row(
+            row.label,
+            row.domain_count,
+            row.url_count,
+            row.decomposition_count,
+            row.urls_per_domain,
+            row.paper_urls_per_domain,
+            row.decompositions_per_url,
+            row.paper_decompositions_per_url,
+        )
+    table.add_note(
+        "absolute counts are scaled down by design; the reproduced quantities are the "
+        "ratios (URLs per domain, decompositions per URL) and the Alexa > random ordering"
+    )
+    return table

@@ -1,0 +1,76 @@
+"""Tables 9 and 10 — inverting the blacklist prefixes with URL dictionaries.
+
+Table 9 lists the attacker's dictionaries (malware feed, phishing feed,
+BigBlackList, DNS Census SLDs) and Table 10 reports how many prefixes of
+each Google/Yandex list the dictionaries explain.  The reproduction builds
+synthetic dictionaries whose overlap with the synthetic blacklists follows
+the paper's measured rates (see ``repro.corpus.datasets``) and then
+*re-measures* those rates through the hash-truncate-intersect pipeline the
+paper used — verifying that the pipeline recovers the planted overlap, that
+SLD-heavy dictionaries invert far more than URL dictionaries, and that the
+phishing lists stay largely un-inverted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.audit import BlacklistAuditor, InversionReport
+from repro.corpus.datasets import AUDITED_LISTS, PAPER_DICTIONARY_SIZES, PAPER_INVERSION_RATES
+from repro.experiments.scale import Scale, SMALL, get_context
+from repro.reporting.tables import Table
+from repro.safebrowsing.lists import ListProvider
+
+
+def dictionary_table(scale: Scale = SMALL) -> Table:
+    """Render Table 9: the dictionaries and their (scaled) sizes."""
+    context = get_context(scale)
+    snapshot = context.snapshot(ListProvider.YANDEX)
+    table = Table(
+        title="Table 9 — Datasets used for inverting 32-bit prefixes",
+        columns=["Dataset", "#entries (paper)", "#entries (reproduction)"],
+    )
+    sizes = snapshot.dictionaries.sizes()
+    for name, paper_size in PAPER_DICTIONARY_SIZES.items():
+        table.add_row(name, paper_size, sizes.get(name, 0))
+    table.add_note(
+        "reproduction dictionaries are capped in size; what matters for Table 10 is "
+        "their overlap with the blacklists, which follows the paper's measured rates"
+    )
+    return table
+
+
+def inversion_reports(provider: ListProvider, scale: Scale = SMALL) -> list[InversionReport]:
+    """Run the inversion of every audited list against every dictionary."""
+    context = get_context(scale)
+    snapshot = context.snapshot(provider)
+    auditor = BlacklistAuditor(snapshot.server)
+    return auditor.inversion_matrix(
+        AUDITED_LISTS[provider], snapshot.dictionaries.as_mapping()
+    )
+
+
+def inversion_table(scale: Scale = SMALL) -> Table:
+    """Render Table 10 for both providers, with the paper's rate alongside."""
+    table = Table(
+        title="Table 10 — Blacklist prefixes matched by the inversion dictionaries",
+        columns=["Provider", "List", "Dictionary", "Matches",
+                 "Match rate", "Match rate (paper)"],
+    )
+    for provider in (ListProvider.GOOGLE, ListProvider.YANDEX):
+        for report in inversion_reports(provider, scale):
+            paper_rate = PAPER_INVERSION_RATES.get(
+                (provider, report.list_name), {}
+            ).get(report.dictionary_name)
+            table.add_row(
+                provider.value,
+                report.list_name,
+                report.dictionary_name,
+                report.matched_prefixes,
+                report.match_rate,
+                paper_rate if paper_rate is not None else "-",
+            )
+    table.add_note(
+        "the reproduced claim is the ordering: DNS-census (SLD) dictionaries invert "
+        "20-55% of malware/porn lists, URL dictionaries invert a few percent, and "
+        "phishing lists resist inversion because their entries are short-lived"
+    )
+    return table

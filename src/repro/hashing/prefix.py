@@ -1,0 +1,151 @@
+"""The :class:`Prefix` value object.
+
+A prefix is the truncation of a SHA-256 digest to its first ``bits`` bits.
+Google and Yandex Safe Browsing use 32-bit prefixes; the paper's Table 2 and
+Table 5 also evaluate 16, 64, 80, 96, 128 and 256-bit prefixes, so the class
+supports any multiple of 8 between 8 and 256 bits.
+
+Prefixes compare and hash by value, sort in lexicographic (equivalently
+numeric big-endian) order, and render as the ``0x``-prefixed hexadecimal
+strings used in the paper (e.g. ``0xe70ee6d1`` for the PETS CFP URL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.exceptions import PrefixError
+
+_MIN_BITS = 8
+_MAX_BITS = 256
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class Prefix:
+    """An ``bits``-bit prefix of a SHA-256 digest.
+
+    Attributes
+    ----------
+    value:
+        The raw prefix bytes (``bits // 8`` bytes, big-endian).
+    bits:
+        The prefix width in bits.  Must be a multiple of 8 in ``[8, 256]``.
+    """
+
+    value: bytes
+    bits: int = 32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (bytes, bytearray)):
+            raise PrefixError(f"prefix value must be bytes, got {type(self.value).__name__}")
+        if self.bits % 8 != 0 or not (_MIN_BITS <= self.bits <= _MAX_BITS):
+            raise PrefixError(
+                f"prefix width must be a multiple of 8 in [{_MIN_BITS}, {_MAX_BITS}], got {self.bits}"
+            )
+        if len(self.value) != self.bits // 8:
+            raise PrefixError(
+                f"prefix of {self.bits} bits requires {self.bits // 8} bytes, "
+                f"got {len(self.value)}"
+            )
+        if isinstance(self.value, bytearray):
+            object.__setattr__(self, "value", bytes(self.value))
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_digest(cls, digest: bytes, bits: int = 32) -> "Prefix":
+        """Build a prefix by truncating a full digest.
+
+        ``digest`` must be at least ``bits // 8`` bytes long; in practice it
+        is a 32-byte SHA-256 digest.
+        """
+        nbytes = bits // 8
+        if len(digest) < nbytes:
+            raise PrefixError(
+                f"cannot take a {bits}-bit prefix of a {len(digest) * 8}-bit digest"
+            )
+        return cls(bytes(digest[:nbytes]), bits)
+
+    @classmethod
+    def from_hex(cls, text: str, bits: int | None = None) -> "Prefix":
+        """Parse a prefix from a hexadecimal string.
+
+        Accepts an optional ``0x`` prefix, as used in the paper's tables.
+        When ``bits`` is omitted the width is inferred from the string
+        length.
+        """
+        cleaned = text.strip().lower()
+        if cleaned.startswith("0x"):
+            cleaned = cleaned[2:]
+        if not cleaned:
+            raise PrefixError("empty hexadecimal prefix")
+        try:
+            raw = bytes.fromhex(cleaned)
+        except ValueError as exc:
+            raise PrefixError(f"invalid hexadecimal prefix {text!r}") from exc
+        inferred = len(raw) * 8
+        if bits is None:
+            bits = inferred
+        elif bits != inferred:
+            raise PrefixError(
+                f"hexadecimal string {text!r} encodes {inferred} bits, expected {bits}"
+            )
+        return cls(raw, bits)
+
+    @classmethod
+    def from_int(cls, number: int, bits: int = 32) -> "Prefix":
+        """Build a prefix from its big-endian integer value."""
+        if number < 0:
+            raise PrefixError("prefix integer value must be non-negative")
+        nbytes = bits // 8
+        if number >= (1 << bits):
+            raise PrefixError(f"{number} does not fit in {bits} bits")
+        return cls(number.to_bytes(nbytes, "big"), bits)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_int(self) -> int:
+        """Return the prefix as a big-endian integer."""
+        return int.from_bytes(self.value, "big")
+
+    def hex(self) -> str:
+        """Return the bare hexadecimal representation (no ``0x``)."""
+        return self.value.hex()
+
+    def __str__(self) -> str:
+        return f"0x{self.value.hex()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Prefix({self}, bits={self.bits})"
+
+    # -- ordering -----------------------------------------------------------
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        if self.bits != other.bits:
+            raise PrefixError(
+                f"cannot order prefixes of different widths ({self.bits} vs {other.bits})"
+            )
+        return self.value < other.value
+
+    # -- predicates ---------------------------------------------------------
+
+    def matches_digest(self, digest: bytes) -> bool:
+        """Return ``True`` when this prefix is a prefix of ``digest``."""
+        return bytes(digest[: len(self.value)]) == self.value
+
+    def widen(self, bits: int, digest: bytes) -> "Prefix":
+        """Return a wider prefix of ``digest`` that extends this one.
+
+        Used by the audit layer when checking whether a full digest served by
+        the provider is consistent with the 32-bit prefix that triggered the
+        request.
+        """
+        if bits < self.bits:
+            raise PrefixError("widen() requires a larger width")
+        if not self.matches_digest(digest):
+            raise PrefixError("digest does not extend this prefix")
+        return Prefix.from_digest(digest, bits)

@@ -1,0 +1,12 @@
+"""Shared reporting helpers for experiments and benchmarks.
+
+Experiments return structured rows; the helpers here render them as aligned
+text tables (for benchmark output and EXPERIMENTS.md) and as simple series
+objects standing in for the paper's figures (a reproduction running in a
+terminal reports figure *data*, not pixels).
+"""
+
+from repro.reporting.tables import Table, format_table
+from repro.reporting.figures import Series, FigureData
+
+__all__ = ["FigureData", "Series", "Table", "format_table"]

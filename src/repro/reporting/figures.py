@@ -1,0 +1,69 @@
+"""Figure data containers.
+
+The paper's figures are distribution plots; the reproduction reports the
+underlying series (x/y arrays plus summary statistics) so the shapes can be
+checked numerically and re-plotted by anyone with a plotting library at
+hand.  Keeping figures as data also lets the benchmark suite assert on them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One curve of a figure."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("a series needs x and y of equal length")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def head(self, count: int = 5) -> list[tuple[float, float]]:
+        """The first ``count`` points (useful in textual reports)."""
+        return list(zip(self.x[:count], self.y[:count]))
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[float]) -> "Series":
+        """Build a rank-vs-value series (the paper's log-log host plots)."""
+        return cls(name=name, x=tuple(float(i + 1) for i in range(len(values))),
+                   y=tuple(float(value) for value in values))
+
+
+@dataclass
+class FigureData:
+    """A named figure made of one or more series plus summary notes."""
+
+    figure_id: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    summary: dict[str, float] = field(default_factory=dict)
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    def add_summary(self, key: str, value: float) -> None:
+        self.summary[key] = float(value)
+
+    def describe(self) -> str:
+        """A short textual description of the figure data."""
+        lines = [f"{self.figure_id}: {self.title}"]
+        for series in self.series:
+            if len(series) == 0:
+                lines.append(f"  - {series.name}: (empty)")
+                continue
+            lines.append(
+                f"  - {series.name}: {len(series)} points, "
+                f"y range [{min(series.y):g}, {max(series.y):g}]"
+            )
+        for key, value in self.summary.items():
+            lines.append(f"  * {key} = {value:g}")
+        return "\n".join(lines)

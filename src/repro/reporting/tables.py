@@ -1,0 +1,88 @@
+"""Plain-text table rendering.
+
+Every experiment harness produces a :class:`Table`; the benchmarks print it
+so a run of ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced
+rows next to the paper's values, and EXPERIMENTS.md embeds the same output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table of rows (list of cell values)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; the number of cells must match the columns."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        header = "| " + " | ".join(self.columns) + " |"
+        divider = "| " + " | ".join("---" for _ in self.columns) + " |"
+        body = [
+            "| " + " | ".join(_render_cell(cell) for cell in row) + " |"
+            for row in self.rows
+        ]
+        parts = [f"**{self.title}**", "", header, divider, *body]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"> {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(title: str, columns: Sequence[str], rows: Iterable[Sequence[object]],
+                 notes: Sequence[str] = ()) -> str:
+    """Format rows as an aligned text table with a title line."""
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    lines = [title, "=" * len(title), format_line(list(columns)),
+             format_line(["-" * width for width in widths])]
+    lines.extend(format_line(row) for row in rendered_rows)
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""An in-memory reproduction of the Safe Browsing v3 service.
+
+This package implements both sides of the protocol the paper analyzes:
+
+* the **server** (:class:`SafeBrowsingServer`) maintains the provider's
+  blacklists as chunked prefix lists, answers update requests and full-hash
+  requests, and — crucially for the paper's threat model — records every
+  full-hash request it receives (client cookie, timestamp, prefixes) in a
+  request log that the analysis layer replays as the provider's view;
+* the **client** (:class:`SafeBrowsingClient`) mirrors a browser: it keeps a
+  local database of 32-bit prefixes (Bloom filter or delta-coded table),
+  refreshes it through the update protocol, and checks URLs with the
+  flow-chart of the paper's Figure 3 — canonicalize, decompose, look up the
+  local database and, only on a hit, ask the server for full hashes.
+
+The deployed Google endpoints cannot be (and must not be) contacted by this
+reproduction; the substitution is documented in DESIGN.md.  Everything the
+privacy analysis needs — which prefixes leave the client, with which cookie,
+at which time — is faithfully produced by this in-memory pair.
+"""
+
+from repro.safebrowsing.lists import (
+    GOOGLE_LISTS,
+    YANDEX_LISTS,
+    ListDescriptor,
+    ListProvider,
+    get_list,
+    lists_for_provider,
+)
+from repro.safebrowsing.chunks import Chunk, ChunkKind, ChunkRange
+from repro.safebrowsing.cookie import SafeBrowsingCookie, CookieJar
+from repro.safebrowsing.database import ListDatabase, ServerDatabase
+from repro.safebrowsing.protocol import (
+    FullHashRequest,
+    FullHashResponse,
+    ListUpdate,
+    UpdateRequest,
+    UpdateResponse,
+    Verdict,
+    LookupResult,
+)
+from repro.safebrowsing.server import RequestLogEntry, SafeBrowsingServer
+from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+from repro.safebrowsing.backoff import UpdateScheduler
+from repro.safebrowsing.lookup_api import (
+    DomainReputationServer,
+    LegacyLookupClient,
+    LegacyLookupServer,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkKind",
+    "ChunkRange",
+    "ClientConfig",
+    "CookieJar",
+    "DomainReputationServer",
+    "LegacyLookupClient",
+    "LegacyLookupServer",
+    "UpdateScheduler",
+    "FullHashRequest",
+    "FullHashResponse",
+    "GOOGLE_LISTS",
+    "ListDatabase",
+    "ListDescriptor",
+    "ListProvider",
+    "ListUpdate",
+    "LookupResult",
+    "RequestLogEntry",
+    "SafeBrowsingClient",
+    "SafeBrowsingCookie",
+    "SafeBrowsingServer",
+    "ServerDatabase",
+    "UpdateRequest",
+    "UpdateResponse",
+    "Verdict",
+    "YANDEX_LISTS",
+    "get_list",
+    "lists_for_provider",
+]

@@ -1,0 +1,104 @@
+"""Update scheduling and error back-off.
+
+The Safe Browsing API imposes a request discipline on clients (paper
+Section 2.2.1: "Google has defined for each type of requests the frequency
+of queries that clients must restrain to").  Clients poll for updates at the
+server-mandated interval and, on repeated errors, back off exponentially so
+a broken deployment cannot hammer the service.
+
+:class:`UpdateScheduler` implements that discipline deterministically (the
+"jitter" is a seeded hash rather than a random draw, so experiments remain
+reproducible) and is used by the long-running client simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+
+#: Default interval between successful update polls (seconds).
+DEFAULT_POLL_INTERVAL = 1800.0
+
+#: First back-off delay after an error (seconds); the deployed client waits
+#: one minute before retrying.
+INITIAL_BACKOFF = 60.0
+
+#: Ceiling of the exponential back-off (seconds).
+MAX_BACKOFF = 8 * 3600.0
+
+
+@dataclass
+class UpdateScheduler:
+    """Decides when the next update request may be sent.
+
+    Attributes
+    ----------
+    poll_interval:
+        Interval used after a successful update (the server may override it
+        per response).
+    jitter_fraction:
+        Size of the deterministic jitter applied to every delay, as a
+        fraction of the delay (the real client randomizes within a window to
+        avoid synchronized fleets).
+    seed:
+        Seed of the deterministic jitter.
+    """
+
+    poll_interval: float = DEFAULT_POLL_INTERVAL
+    jitter_fraction: float = 0.1
+    seed: str = "update-scheduler"
+    consecutive_errors: int = field(default=0, init=False)
+    next_allowed_at: float = field(default=0.0, init=False)
+    _sequence: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ProtocolError("poll interval must be positive")
+        if not (0.0 <= self.jitter_fraction < 1.0):
+            raise ProtocolError("jitter fraction must be in [0, 1)")
+
+    # -- jitter -----------------------------------------------------------------
+
+    def _jitter(self, delay: float) -> float:
+        """Deterministic jitter in ``[-f, +f] * delay``."""
+        digest = hashlib.sha256(f"{self.seed}:{self._sequence}".encode("utf-8")).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return delay * self.jitter_fraction * (2.0 * unit - 1.0)
+
+    # -- queries ----------------------------------------------------------------
+
+    def can_update(self, now: float) -> bool:
+        """Whether an update request may be sent at time ``now``."""
+        return now >= self.next_allowed_at
+
+    def current_backoff(self) -> float:
+        """The delay that will be applied after the next error."""
+        if self.consecutive_errors == 0:
+            return INITIAL_BACKOFF
+        return min(INITIAL_BACKOFF * (2.0 ** self.consecutive_errors), MAX_BACKOFF)
+
+    # -- transitions ------------------------------------------------------------
+
+    def record_success(self, now: float, server_interval: float | None = None) -> float:
+        """Record a successful update; returns the next allowed time."""
+        self.consecutive_errors = 0
+        interval = server_interval if server_interval and server_interval > 0 \
+            else self.poll_interval
+        self._sequence += 1
+        self.next_allowed_at = now + interval + self._jitter(interval)
+        return self.next_allowed_at
+
+    def record_error(self, now: float) -> float:
+        """Record a failed update; returns the next allowed (backed-off) time."""
+        delay = self.current_backoff()
+        self.consecutive_errors += 1
+        self._sequence += 1
+        self.next_allowed_at = now + delay + self._jitter(delay)
+        return self.next_allowed_at
+
+    def reset(self) -> None:
+        """Forget all error state (e.g. after a network change)."""
+        self.consecutive_errors = 0
+        self.next_allowed_at = 0.0

@@ -1,0 +1,348 @@
+"""The Safe Browsing client (browser side).
+
+:class:`SafeBrowsingClient` reproduces the lookup flow of the paper's
+Figure 3:
+
+1. keep a local database of 32-bit prefixes for every subscribed list,
+   refreshed through the chunked update protocol;
+2. to check a URL, canonicalize it and generate its decompositions;
+3. hash every decomposition and look the prefixes up locally; if nothing
+   matches, the URL is safe and *nothing* is sent to the provider;
+4. on a hit, send the matching prefixes (with the client's cookie) to the
+   full-hash endpoint, and flag the URL as malicious only when one of the
+   returned full digests equals the full digest of one of its
+   decompositions;
+5. cache returned full digests until the next update discards them, so
+   repeated visits do not re-contact the server.
+
+The local store backend is pluggable (delta-coded table by default, Bloom
+filter or raw array otherwise) to support the paper's Table 2 comparison and
+the false-positive experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, ManualClock
+from repro.datastructures.bloom import BloomPrefixStore
+from repro.datastructures.delta import DeltaCodedPrefixStore
+from repro.datastructures.store import PrefixStore, RawPrefixStore
+from repro.exceptions import UpdateError
+from repro.hashing.digests import FullHash
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import ChunkKind, ChunkRange
+from repro.safebrowsing.cookie import CookieJar, SafeBrowsingCookie
+from repro.safebrowsing.protocol import (
+    ClientStats,
+    FullHashRequest,
+    FullHashResponse,
+    ListState,
+    LookupResult,
+    UpdateRequest,
+    Verdict,
+)
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.urls.canonicalize import canonicalize
+from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
+
+#: Store backends selectable through :class:`ClientConfig`.
+_STORE_BACKENDS = {
+    "delta-coded": DeltaCodedPrefixStore,
+    "bloom": BloomPrefixStore,
+    "raw": RawPrefixStore,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ClientConfig:
+    """Tunable behaviour of a Safe Browsing client.
+
+    Attributes
+    ----------
+    store_backend:
+        ``"delta-coded"`` (the deployed choice), ``"bloom"`` (the pre-2012
+        Chromium choice) or ``"raw"``.
+    prefix_bits:
+        Width of the local prefixes (32 in the deployed service).
+    decomposition_policy:
+        Limits on host/path decompositions (the API defaults).
+    full_hash_cache_seconds:
+        How long returned full digests are cached.
+    auto_update:
+        Whether :meth:`SafeBrowsingClient.lookup` refreshes the local
+        database when the server-mandated poll interval has elapsed.
+    """
+
+    store_backend: str = "delta-coded"
+    prefix_bits: int = 32
+    decomposition_policy: DecompositionPolicy = API_POLICY
+    full_hash_cache_seconds: float = 2700.0
+    auto_update: bool = True
+
+    def __post_init__(self) -> None:
+        if self.store_backend not in _STORE_BACKENDS:
+            raise UpdateError(
+                f"unknown store backend {self.store_backend!r}; "
+                f"expected one of {sorted(_STORE_BACKENDS)}"
+            )
+
+
+@dataclass
+class _CachedFullHashes:
+    """Full digests cached for one prefix, with the list each came from."""
+
+    entries: tuple[tuple[str, FullHash], ...]
+    expires_at: float
+
+    @property
+    def full_hashes(self) -> tuple[FullHash, ...]:
+        return tuple(full_hash for _, full_hash in self.entries)
+
+    def lists_for(self, digest: FullHash) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(name for name, full_hash in self.entries
+                                   if full_hash == digest))
+
+
+@dataclass
+class _ListState:
+    """Client-side state for one subscribed list."""
+
+    store: PrefixStore
+    add_chunks: ChunkRange = field(default_factory=ChunkRange)
+    sub_chunks: ChunkRange = field(default_factory=ChunkRange)
+
+
+class SafeBrowsingClient:
+    """A browser-side Safe Browsing implementation."""
+
+    def __init__(self, server: SafeBrowsingServer, name: str = "client", *,
+                 lists: Iterable[str] | None = None,
+                 config: ClientConfig | None = None,
+                 clock: Clock | None = None,
+                 cookie: SafeBrowsingCookie | None = None,
+                 cookie_jar: CookieJar | None = None) -> None:
+        self.server = server
+        self.name = name
+        self.config = config if config is not None else ClientConfig()
+        self.clock = clock if clock is not None else server.clock
+        if cookie is not None:
+            self.cookie = cookie
+        else:
+            jar = cookie_jar if cookie_jar is not None else CookieJar()
+            self.cookie = jar.issue(name)
+
+        if lists is None:
+            subscribed = [
+                database.descriptor.name
+                for database in server.database
+                if database.descriptor.is_url_list
+            ]
+        else:
+            subscribed = list(lists)
+        backend = _STORE_BACKENDS[self.config.store_backend]
+        self._lists: dict[str, _ListState] = {
+            list_name: _ListState(store=backend(bits=self.config.prefix_bits))
+            for list_name in subscribed
+        }
+        self._full_hash_cache: dict[Prefix, _CachedFullHashes] = {}
+        self._next_update_at = 0.0
+        self.stats = ClientStats()
+
+    # -- update protocol ------------------------------------------------------
+
+    @property
+    def subscribed_lists(self) -> tuple[str, ...]:
+        """Names of the lists the client keeps locally."""
+        return tuple(self._lists)
+
+    def needs_update(self) -> bool:
+        """Whether the server-mandated poll interval has elapsed."""
+        return self.clock.now() >= self._next_update_at
+
+    def update(self) -> int:
+        """Refresh the local database; returns the number of chunks applied."""
+        states = tuple(
+            ListState(
+                list_name=list_name,
+                add_chunks=ChunkRange(set(state.add_chunks.numbers)),
+                sub_chunks=ChunkRange(set(state.sub_chunks.numbers)),
+            )
+            for list_name, state in self._lists.items()
+        )
+        request = UpdateRequest(cookie=self.cookie, states=states,
+                                timestamp=self.clock.now())
+        response = self.server.handle_update(request)
+
+        applied = 0
+        for update in response.updates:
+            state = self._lists.get(update.list_name)
+            if state is None:
+                raise UpdateError(f"server sent an update for an unsubscribed list "
+                                  f"{update.list_name!r}")
+            for chunk in update.add_chunks:
+                if chunk.kind is not ChunkKind.ADD:
+                    raise UpdateError("add chunk with wrong kind")
+                state.store.update(chunk.prefixes)
+                state.add_chunks.add(chunk.number)
+                applied += 1
+            for chunk in update.sub_chunks:
+                if chunk.kind is not ChunkKind.SUB:
+                    raise UpdateError("sub chunk with wrong kind")
+                try:
+                    state.store.discard_many(chunk.prefixes)
+                except Exception as exc:
+                    raise UpdateError(
+                        f"store backend {self.config.store_backend!r} cannot apply "
+                        f"sub chunks: {exc}"
+                    ) from exc
+                state.sub_chunks.add(chunk.number)
+                applied += 1
+        if applied:
+            # Updates invalidate cached full hashes (paper Section 2.2.1:
+            # "they are locally stored until an update discards them").
+            self._full_hash_cache.clear()
+        self._next_update_at = self.clock.now() + response.next_poll_seconds
+        return applied
+
+    # -- local database -------------------------------------------------------
+
+    def local_database_size(self) -> int:
+        """Total number of prefixes across all local stores."""
+        return sum(len(state.store) for state in self._lists.values())
+
+    def local_memory_bytes(self) -> int:
+        """Serialized size of the local stores (Table 2 metric)."""
+        return sum(state.store.memory_bytes() for state in self._lists.values())
+
+    def _local_hit(self, prefix: Prefix) -> bool:
+        return any(prefix in state.store for state in self._lists.values())
+
+    # -- lookup flow (Figure 3) ----------------------------------------------
+
+    def lookup(self, url: str) -> LookupResult:
+        """Check one URL, contacting the server only on a local hit."""
+        if self.config.auto_update and self.needs_update():
+            self.update()
+
+        canonical = canonicalize(url)
+        decomps = tuple(
+            decompositions(canonical, policy=self.config.decomposition_policy,
+                           canonical=True)
+        )
+        self.stats.urls_checked += 1
+
+        digest_by_expression = {expression: FullHash.of(expression) for expression in decomps}
+        prefix_by_expression = {
+            expression: digest.prefix(self.config.prefix_bits)
+            for expression, digest in digest_by_expression.items()
+        }
+
+        local_hits = tuple(
+            dict.fromkeys(
+                prefix
+                for prefix in prefix_by_expression.values()
+                if self._local_hit(prefix)
+            )
+        )
+        if not local_hits:
+            return LookupResult(
+                url=url, canonical_url=canonical, verdict=Verdict.SAFE,
+                decompositions=decomps,
+            )
+        self.stats.local_hits += 1
+
+        cached, missing = self._split_cached(local_hits)
+        sent_prefixes: tuple[Prefix, ...] = ()
+        if missing:
+            response = self._request_full_hashes(missing)
+            self._cache_response(missing, response)
+            sent_prefixes = tuple(missing)
+        else:
+            self.stats.cache_hits += 1
+
+        matched_lists, matched_expressions = self._match_digests(
+            digest_by_expression, prefix_by_expression, local_hits
+        )
+        verdict = Verdict.MALICIOUS if matched_expressions else Verdict.SAFE
+        if verdict is Verdict.MALICIOUS:
+            self.stats.malicious_verdicts += 1
+
+        return LookupResult(
+            url=url,
+            canonical_url=canonical,
+            verdict=verdict,
+            decompositions=decomps,
+            local_hits=local_hits,
+            sent_prefixes=sent_prefixes,
+            matched_lists=matched_lists,
+            matched_expressions=matched_expressions,
+            served_from_cache=not missing,
+        )
+
+    # -- full-hash plumbing ---------------------------------------------------
+
+    def _split_cached(self, prefixes: Sequence[Prefix]) -> tuple[list[Prefix], list[Prefix]]:
+        """Split prefixes into (still cached, must be requested)."""
+        now = self.clock.now()
+        cached: list[Prefix] = []
+        missing: list[Prefix] = []
+        for prefix in prefixes:
+            entry = self._full_hash_cache.get(prefix)
+            if entry is not None and entry.expires_at > now:
+                cached.append(prefix)
+            else:
+                missing.append(prefix)
+        return cached, missing
+
+    def _request_full_hashes(self, prefixes: Sequence[Prefix]) -> FullHashResponse:
+        """Send a full-hash request for ``prefixes`` (reveals them + cookie)."""
+        request = FullHashRequest(
+            cookie=self.cookie,
+            prefixes=tuple(prefixes),
+            timestamp=self.clock.now(),
+        )
+        self.stats.full_hash_requests += 1
+        self.stats.prefixes_sent += len(prefixes)
+        return self.server.handle_full_hash(request)
+
+    def send_raw_prefixes(self, prefixes: Sequence[Prefix]) -> FullHashResponse:
+        """Send an explicit full-hash request outside a URL lookup.
+
+        Used by the mitigation layer (dummy queries, one-prefix-at-a-time)
+        which needs to control exactly which prefixes reach the provider.
+        """
+        response = self._request_full_hashes(prefixes)
+        self._cache_response(prefixes, response)
+        return response
+
+    def _cache_response(self, queried: Sequence[Prefix], response: FullHashResponse) -> None:
+        expires_at = self.clock.now() + self.config.full_hash_cache_seconds
+        for prefix in queried:
+            matches = response.matches_for(prefix)
+            self._full_hash_cache[prefix] = _CachedFullHashes(
+                entries=tuple((match.list_name, match.full_hash) for match in matches),
+                expires_at=expires_at,
+            )
+
+    def _match_digests(self, digest_by_expression: dict[str, FullHash],
+                       prefix_by_expression: dict[str, Prefix],
+                       local_hits: tuple[Prefix, ...]) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Compare cached full digests with the URL's own digests."""
+        matched_lists: list[str] = []
+        matched_expressions: list[str] = []
+        hit_set = set(local_hits)
+        for expression, digest in digest_by_expression.items():
+            prefix = prefix_by_expression[expression]
+            if prefix not in hit_set:
+                continue
+            entry = self._full_hash_cache.get(prefix)
+            if entry is None:
+                continue
+            if digest in entry.full_hashes:
+                matched_expressions.append(expression)
+                for list_name in entry.lists_for(digest):
+                    if list_name not in matched_lists:
+                        matched_lists.append(list_name)
+        return tuple(matched_lists), tuple(matched_expressions)

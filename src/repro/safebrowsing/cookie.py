@@ -1,0 +1,58 @@
+"""The Safe Browsing cookie.
+
+Browsers attach a cookie to every Safe Browsing request (Section 2.2.3 of the
+paper).  The cookie is the same identifier used by the provider's other web
+services, so it ties the stream of prefix queries to a single client — the
+paper's tracking system relies on it to aggregate queries per user.  This
+module models the cookie as a stable opaque identifier issued by the
+provider, and a :class:`CookieJar` that deterministically assigns cookies to
+clients so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SafeBrowsingCookie:
+    """A stable opaque client identifier attached to every request."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("a Safe Browsing cookie cannot be empty")
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CookieJar:
+    """Deterministic cookie issuance.
+
+    The provider issues one cookie per client installation.  To keep the
+    experiments reproducible the jar derives the cookie from a seed and the
+    client's name, instead of using randomness.
+    """
+
+    def __init__(self, seed: str = "repro-safe-browsing") -> None:
+        self._seed = seed
+        self._issued: dict[str, SafeBrowsingCookie] = {}
+
+    def issue(self, client_name: str) -> SafeBrowsingCookie:
+        """Return the cookie for ``client_name``, creating it if needed."""
+        cookie = self._issued.get(client_name)
+        if cookie is None:
+            digest = hashlib.sha256(f"{self._seed}:{client_name}".encode("utf-8"))
+            cookie = SafeBrowsingCookie(digest.hexdigest()[:32])
+            self._issued[client_name] = cookie
+        return cookie
+
+    def known_clients(self) -> list[str]:
+        """Names of the clients that have been issued a cookie."""
+        return sorted(self._issued)
+
+    def __len__(self) -> int:
+        return len(self._issued)

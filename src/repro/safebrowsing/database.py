@@ -1,0 +1,238 @@
+"""Server-side blacklist storage.
+
+Each blacklist lives in a :class:`ListDatabase`: the mapping from 32-bit
+prefixes to the full 256-bit digests that share them, plus the chunk history
+used by the update protocol.  A :class:`ServerDatabase` groups the lists a
+provider serves.
+
+Two behaviours that the paper documents — and that a faithful reproduction
+must therefore support — go beyond a plain "insert malicious URL" API:
+
+* **orphan prefixes** (Section 7.2): a prefix can be present in the prefix
+  list without any corresponding full digest.  :meth:`ListDatabase.add_orphan_prefix`
+  creates exactly that inconsistency, so the audit experiments can measure it.
+* **tracking prefixes** (Section 6.3): the provider can insert the prefixes
+  of *non-malicious* decompositions chosen by Algorithm 1.
+  :meth:`ListDatabase.add_expression` accepts any canonical expression, so the
+  tracking experiments push their shadow database through the same code path
+  as genuine threat data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.exceptions import ListNotFoundError, ProtocolError
+from repro.hashing.digests import DEFAULT_PREFIX_BITS, FullHash
+from repro.hashing.prefix import Prefix
+from repro.hashing.prefix_set import PrefixSet
+from repro.safebrowsing.chunks import Chunk, ChunkKind
+from repro.safebrowsing.lists import ListDescriptor
+
+
+@dataclass
+class ListDatabase:
+    """One blacklist: prefixes, full digests, and chunk history."""
+
+    descriptor: ListDescriptor
+    prefix_bits: int = DEFAULT_PREFIX_BITS
+    _full_hashes: dict[Prefix, set[FullHash]] = field(default_factory=lambda: defaultdict(set))
+    _orphans: set[Prefix] = field(default_factory=set)
+    _expressions: dict[str, FullHash] = field(default_factory=dict)
+    _add_chunks: list[Chunk] = field(default_factory=list)
+    _sub_chunks: list[Chunk] = field(default_factory=list)
+    _pending_additions: list[Prefix] = field(default_factory=list)
+    _pending_removals: list[Prefix] = field(default_factory=list)
+
+    # -- content management ---------------------------------------------------
+
+    def add_expression(self, expression: str) -> Prefix:
+        """Blacklist a canonical expression (hash, truncate, record).
+
+        Returns the prefix that clients will now find in their local
+        database.  The full digest is recorded so full-hash requests for the
+        prefix can be answered.
+        """
+        full_hash = FullHash.of(expression)
+        prefix = full_hash.prefix(self.prefix_bits)
+        if expression not in self._expressions:
+            self._expressions[expression] = full_hash
+        if full_hash not in self._full_hashes[prefix]:
+            self._full_hashes[prefix].add(full_hash)
+            self._pending_additions.append(prefix)
+        self._orphans.discard(prefix)
+        return prefix
+
+    def add_expressions(self, expressions: Iterable[str]) -> list[Prefix]:
+        """Blacklist many canonical expressions."""
+        return [self.add_expression(expression) for expression in expressions]
+
+    def add_full_hash(self, full_hash: FullHash) -> Prefix:
+        """Blacklist a full digest directly (no known cleartext expression)."""
+        prefix = full_hash.prefix(self.prefix_bits)
+        if full_hash not in self._full_hashes[prefix]:
+            self._full_hashes[prefix].add(full_hash)
+            self._pending_additions.append(prefix)
+        self._orphans.discard(prefix)
+        return prefix
+
+    def add_orphan_prefix(self, prefix: Prefix) -> None:
+        """Insert a prefix with *no* corresponding full digest.
+
+        This reproduces the inconsistencies the paper measured in the Yandex
+        (and, marginally, Google) lists: the prefix triggers full-hash
+        requests but the server cannot confirm any URL for it.
+        """
+        if prefix.bits != self.prefix_bits:
+            raise ProtocolError(
+                f"list {self.descriptor.name} stores {self.prefix_bits}-bit prefixes"
+            )
+        if prefix not in self._full_hashes or not self._full_hashes[prefix]:
+            if prefix not in self._orphans:
+                self._orphans.add(prefix)
+                self._pending_additions.append(prefix)
+
+    def remove_expression(self, expression: str) -> None:
+        """Remove a previously blacklisted expression (creates a sub chunk)."""
+        full_hash = self._expressions.pop(expression, None)
+        if full_hash is None:
+            full_hash = FullHash.of(expression)
+        prefix = full_hash.prefix(self.prefix_bits)
+        bucket = self._full_hashes.get(prefix)
+        if bucket and full_hash in bucket:
+            bucket.remove(full_hash)
+            if not bucket:
+                del self._full_hashes[prefix]
+                self._pending_removals.append(prefix)
+
+    def remove_orphan_prefix(self, prefix: Prefix) -> None:
+        """Remove an orphan prefix."""
+        if prefix in self._orphans:
+            self._orphans.remove(prefix)
+            self._pending_removals.append(prefix)
+
+    # -- chunk management -----------------------------------------------------
+
+    def commit_pending(self) -> tuple[Chunk | None, Chunk | None]:
+        """Turn pending additions/removals into new add/sub chunks.
+
+        Returns the (add_chunk, sub_chunk) created, either of which may be
+        ``None`` when there was nothing pending of that kind.
+        """
+        add_chunk: Chunk | None = None
+        sub_chunk: Chunk | None = None
+        if self._pending_additions:
+            add_chunk = Chunk(
+                number=len(self._add_chunks) + 1,
+                kind=ChunkKind.ADD,
+                prefixes=tuple(dict.fromkeys(self._pending_additions)),
+            )
+            self._add_chunks.append(add_chunk)
+            self._pending_additions.clear()
+        if self._pending_removals:
+            sub_chunk = Chunk(
+                number=len(self._sub_chunks) + 1,
+                kind=ChunkKind.SUB,
+                prefixes=tuple(dict.fromkeys(self._pending_removals)),
+                referenced_add_chunk=len(self._add_chunks) or None,
+            )
+            self._sub_chunks.append(sub_chunk)
+            self._pending_removals.clear()
+        return add_chunk, sub_chunk
+
+    @property
+    def add_chunks(self) -> tuple[Chunk, ...]:
+        """All add chunks committed so far."""
+        return tuple(self._add_chunks)
+
+    @property
+    def sub_chunks(self) -> tuple[Chunk, ...]:
+        """All sub chunks committed so far."""
+        return tuple(self._sub_chunks)
+
+    def chunks_after(self, held_add: Iterable[int], held_sub: Iterable[int]) -> tuple[list[Chunk], list[Chunk]]:
+        """Chunks the client is missing given the chunk numbers it holds."""
+        held_add_set = set(held_add)
+        held_sub_set = set(held_sub)
+        missing_add = [chunk for chunk in self._add_chunks if chunk.number not in held_add_set]
+        missing_sub = [chunk for chunk in self._sub_chunks if chunk.number not in held_sub_set]
+        return missing_add, missing_sub
+
+    # -- queries --------------------------------------------------------------
+
+    def full_hashes_for(self, prefix: Prefix) -> tuple[FullHash, ...]:
+        """Full digests stored under ``prefix`` (empty for orphans)."""
+        return tuple(sorted(self._full_hashes.get(prefix, set()), key=lambda fh: fh.digest))
+
+    def prefixes(self) -> PrefixSet:
+        """Every prefix in the list (including orphans)."""
+        populated = {prefix for prefix, bucket in self._full_hashes.items() if bucket}
+        return PrefixSet(populated | self._orphans, bits=self.prefix_bits)
+
+    def orphan_prefixes(self) -> PrefixSet:
+        """Prefixes with no corresponding full digest."""
+        return PrefixSet(self._orphans, bits=self.prefix_bits)
+
+    def expressions(self) -> tuple[str, ...]:
+        """The cleartext expressions known to the provider (ground truth)."""
+        return tuple(sorted(self._expressions))
+
+    def contains_prefix(self, prefix: Prefix) -> bool:
+        """Whether ``prefix`` is in the list (populated or orphan)."""
+        bucket = self._full_hashes.get(prefix)
+        return bool(bucket) or prefix in self._orphans
+
+    def prefix_count(self) -> int:
+        """Number of prefixes in the list (the paper's Table 1/3 metric)."""
+        populated = sum(1 for bucket in self._full_hashes.values() if bucket)
+        return populated + len(self._orphans)
+
+    def full_hash_count(self) -> int:
+        """Number of full digests in the list."""
+        return sum(len(bucket) for bucket in self._full_hashes.values())
+
+    def __len__(self) -> int:
+        return self.prefix_count()
+
+
+class ServerDatabase:
+    """All the lists one provider serves."""
+
+    def __init__(self, descriptors: Iterable[ListDescriptor],
+                 prefix_bits: int = DEFAULT_PREFIX_BITS) -> None:
+        self._lists: dict[str, ListDatabase] = {}
+        for descriptor in descriptors:
+            self._lists[descriptor.name] = ListDatabase(descriptor, prefix_bits)
+        self.prefix_bits = prefix_bits
+
+    def __getitem__(self, list_name: str) -> ListDatabase:
+        try:
+            return self._lists[list_name]
+        except KeyError:
+            raise ListNotFoundError(f"server does not serve list {list_name!r}") from None
+
+    def __contains__(self, list_name: str) -> bool:
+        return list_name in self._lists
+
+    def __iter__(self) -> Iterator[ListDatabase]:
+        return iter(self._lists.values())
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    @property
+    def list_names(self) -> tuple[str, ...]:
+        """Names of the lists served."""
+        return tuple(self._lists)
+
+    def commit_all(self) -> None:
+        """Commit pending changes of every list into chunks."""
+        for database in self._lists.values():
+            database.commit_pending()
+
+    def lists_containing(self, prefix: Prefix) -> list[str]:
+        """Names of the lists whose prefix set contains ``prefix``."""
+        return [name for name, database in self._lists.items()
+                if database.contains_prefix(prefix)]

@@ -1,0 +1,219 @@
+"""Blacklist registry for Google and Yandex Safe Browsing.
+
+Tables 1 and 3 of the paper inventory the lists served by the two providers,
+their purpose and the number of 32-bit prefixes each contained at the time of
+the study.  The registry below records that inventory; the experiment
+harnesses use the ``paper_prefix_count`` values both to regenerate the tables
+and to size the synthetic blacklist snapshots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ListNotFoundError
+
+
+class ListProvider(enum.Enum):
+    """The Safe Browsing providers studied by the paper."""
+
+    GOOGLE = "google"
+    YANDEX = "yandex"
+
+
+class ThreatCategory(enum.Enum):
+    """Categories of threats covered by the blacklists."""
+
+    MALWARE = "malware"
+    PHISHING = "phishing"
+    UNWANTED_SOFTWARE = "unwanted software"
+    ADULT = "adult website"
+    MALICIOUS_IMAGE = "malicious image"
+    MAN_IN_THE_BROWSER = "man-in-the-browser"
+    PORNOGRAPHY = "pornography"
+    SMS_FRAUD = "sms fraud"
+    SHOCKING_CONTENT = "shocking content"
+    MALICIOUS_BINARY = "malicious binary"
+    TEST = "test file"
+    UNUSED = "unused"
+
+
+@dataclass(frozen=True, slots=True)
+class ListDescriptor:
+    """Metadata for one Safe Browsing blacklist.
+
+    Attributes
+    ----------
+    name:
+        Wire name of the list (e.g. ``goog-malware-shavar``).
+    provider:
+        Which service serves the list.
+    category:
+        The kind of threat the list covers.
+    description:
+        Human-readable description, as printed in the paper's tables.
+    paper_prefix_count:
+        Number of prefixes the paper measured in the list, or ``None`` for
+        the cells marked ``*`` (information could not be obtained).
+    digest_format:
+        ``"shavar"`` for hashed URL lists, ``"digestvar"`` for hashed binary
+        identifiers; only shavar lists participate in URL lookups.
+    """
+
+    name: str
+    provider: ListProvider
+    category: ThreatCategory
+    description: str
+    paper_prefix_count: int | None
+    digest_format: str = "shavar"
+
+    @property
+    def is_url_list(self) -> bool:
+        """``True`` for lists keyed by URL expressions (shavar lists)."""
+        return self.digest_format == "shavar"
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — lists provided by the Google Safe Browsing API
+# ---------------------------------------------------------------------------
+
+GOOGLE_LISTS: tuple[ListDescriptor, ...] = (
+    ListDescriptor(
+        "goog-malware-shavar", ListProvider.GOOGLE, ThreatCategory.MALWARE,
+        "malware", 317_807,
+    ),
+    ListDescriptor(
+        "goog-regtest-shavar", ListProvider.GOOGLE, ThreatCategory.TEST,
+        "test file", 29_667,
+    ),
+    ListDescriptor(
+        "goog-unwanted-shavar", ListProvider.GOOGLE, ThreatCategory.UNWANTED_SOFTWARE,
+        "unwanted softw.", None,
+    ),
+    ListDescriptor(
+        "goog-whitedomain-shavar", ListProvider.GOOGLE, ThreatCategory.UNUSED,
+        "unused", 1,
+    ),
+    ListDescriptor(
+        "googpub-phish-shavar", ListProvider.GOOGLE, ThreatCategory.PHISHING,
+        "phishing", 312_621,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Table 3 — lists provided by the Yandex Safe Browsing API
+# ---------------------------------------------------------------------------
+
+YANDEX_LISTS: tuple[ListDescriptor, ...] = (
+    ListDescriptor(
+        "goog-malware-shavar", ListProvider.YANDEX, ThreatCategory.MALWARE,
+        "malware", 283_211,
+    ),
+    ListDescriptor(
+        "goog-mobile-only-malware-shavar", ListProvider.YANDEX, ThreatCategory.MALWARE,
+        "mobile malware", 2_107,
+    ),
+    ListDescriptor(
+        "goog-phish-shavar", ListProvider.YANDEX, ThreatCategory.PHISHING,
+        "phishing", 31_593,
+    ),
+    ListDescriptor(
+        "ydx-adult-shavar", ListProvider.YANDEX, ThreatCategory.ADULT,
+        "adult website", 434,
+    ),
+    ListDescriptor(
+        "ydx-adult-testing-shavar", ListProvider.YANDEX, ThreatCategory.TEST,
+        "test file", 535,
+    ),
+    ListDescriptor(
+        "ydx-imgs-shavar", ListProvider.YANDEX, ThreatCategory.MALICIOUS_IMAGE,
+        "malicious image", 0,
+    ),
+    ListDescriptor(
+        "ydx-malware-shavar", ListProvider.YANDEX, ThreatCategory.MALWARE,
+        "malware", 283_211,
+    ),
+    ListDescriptor(
+        "ydx-mitb-masks-shavar", ListProvider.YANDEX, ThreatCategory.MAN_IN_THE_BROWSER,
+        "man-in-the-browser", 87,
+    ),
+    ListDescriptor(
+        "ydx-mobile-only-malware-shavar", ListProvider.YANDEX, ThreatCategory.MALWARE,
+        "malware", 2_107,
+    ),
+    ListDescriptor(
+        "ydx-phish-shavar", ListProvider.YANDEX, ThreatCategory.PHISHING,
+        "phishing", 31_593,
+    ),
+    ListDescriptor(
+        "ydx-porno-hosts-top-shavar", ListProvider.YANDEX, ThreatCategory.PORNOGRAPHY,
+        "pornography", 99_990,
+    ),
+    ListDescriptor(
+        "ydx-sms-fraud-shavar", ListProvider.YANDEX, ThreatCategory.SMS_FRAUD,
+        "sms fraud", 10_609,
+    ),
+    ListDescriptor(
+        "ydx-test-shavar", ListProvider.YANDEX, ThreatCategory.TEST,
+        "test file", 0,
+    ),
+    ListDescriptor(
+        "ydx-yellow-shavar", ListProvider.YANDEX, ThreatCategory.SHOCKING_CONTENT,
+        "shocking content", 209,
+    ),
+    ListDescriptor(
+        "ydx-yellow-testing-shavar", ListProvider.YANDEX, ThreatCategory.TEST,
+        "test file", 370,
+    ),
+    ListDescriptor(
+        "ydx-badcrxids-digestvar", ListProvider.YANDEX, ThreatCategory.MALICIOUS_BINARY,
+        ".crx file ids", None, digest_format="digestvar",
+    ),
+    ListDescriptor(
+        "ydx-badbin-digestvar", ListProvider.YANDEX, ThreatCategory.MALICIOUS_BINARY,
+        "malicious binary", None, digest_format="digestvar",
+    ),
+    ListDescriptor(
+        "ydx-mitb-uids", ListProvider.YANDEX, ThreatCategory.MAN_IN_THE_BROWSER,
+        "man-in-the-browser android app UID", None, digest_format="digestvar",
+    ),
+    ListDescriptor(
+        "ydx-badcrxids-testing-digestvar", ListProvider.YANDEX, ThreatCategory.TEST,
+        "test file", None, digest_format="digestvar",
+    ),
+)
+
+#: Prefix counts shared between the Google and Yandex copies of the "same"
+#: list, as measured by the paper (Section 3).  Used by the blacklist-overlap
+#: experiment.
+PAPER_LIST_OVERLAPS: dict[tuple[str, str], int] = {
+    ("goog-malware-shavar", "ydx-malware-shavar"): 36_547,
+    ("googpub-phish-shavar", "ydx-phish-shavar"): 195,
+}
+
+
+def all_lists() -> tuple[ListDescriptor, ...]:
+    """Every list known to the registry (Google then Yandex)."""
+    return GOOGLE_LISTS + YANDEX_LISTS
+
+
+def lists_for_provider(provider: ListProvider) -> tuple[ListDescriptor, ...]:
+    """Lists served by one provider."""
+    return tuple(entry for entry in all_lists() if entry.provider is provider)
+
+
+def get_list(name: str, provider: ListProvider | None = None) -> ListDescriptor:
+    """Look a list up by name (and provider when the name is ambiguous)."""
+    matches = [
+        entry
+        for entry in all_lists()
+        if entry.name == name and (provider is None or entry.provider is provider)
+    ]
+    if not matches:
+        raise ListNotFoundError(f"unknown Safe Browsing list: {name!r}")
+    if len(matches) > 1:
+        raise ListNotFoundError(
+            f"list name {name!r} is served by several providers; pass provider="
+        )
+    return matches[0]

@@ -1,0 +1,159 @@
+"""Privacy-unfriendly Safe Browsing variants (paper Sections 1, 2.1 and 8).
+
+Besides the hash-prefix API, the paper situates Google/Yandex Safe Browsing
+in an ecosystem of services that are *not* designed for privacy:
+
+* the original **Lookup API** (GSB v1): the client sends the full URL in
+  clear to the provider for every check, so the provider sees the complete
+  browsing history;
+* **WOT / Norton Safe Web / SiteAdvisor-style** services: the client sends
+  the *domain* of every visited page in clear;
+* the **v3 prefix API**: the client only contacts the provider on a local
+  hit, sending 32-bit prefixes.
+
+This module implements the two privacy-unfriendly variants against the same
+blacklist database, so the leakage of the three designs can be compared on
+an identical browsing trace (the ecosystem experiment).  Both variants log
+what they receive, exactly like :class:`SafeBrowsingServer` does for
+prefixes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, ManualClock
+from repro.safebrowsing.cookie import CookieJar, SafeBrowsingCookie
+from repro.safebrowsing.database import ServerDatabase
+from repro.safebrowsing.lists import ListDescriptor
+from repro.safebrowsing.protocol import Verdict
+from repro.urls.canonicalize import canonicalize
+from repro.urls.decompose import decompositions
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+
+@dataclass(frozen=True, slots=True)
+class ClearTextLogEntry:
+    """One clear-text observation made by a privacy-unfriendly service."""
+
+    cookie: SafeBrowsingCookie
+    timestamp: float
+    payload: str
+    kind: str  # "url" or "domain"
+
+
+@dataclass
+class _ClearTextService:
+    """Shared plumbing of the clear-text lookup services."""
+
+    database: ServerDatabase
+    clock: Clock
+    log: list[ClearTextLogEntry] = field(default_factory=list)
+
+    def _record(self, cookie: SafeBrowsingCookie, payload: str, kind: str) -> None:
+        self.log.append(
+            ClearTextLogEntry(cookie=cookie, timestamp=self.clock.now(),
+                              payload=payload, kind=kind)
+        )
+
+    def _expression_blacklisted(self, expression: str) -> list[str]:
+        from repro.hashing.digests import FullHash
+
+        full_hash = FullHash.of(expression)
+        prefix = full_hash.prefix(self.database.prefix_bits)
+        matches = []
+        for database in self.database:
+            if full_hash in database.full_hashes_for(prefix):
+                matches.append(database.descriptor.name)
+        return matches
+
+
+class LegacyLookupServer(_ClearTextService):
+    """The GSB v1 Lookup API: full URLs are sent in clear.
+
+    ``check_url`` plays both sides of the exchange: the client-side
+    canonicalization plus the server-side lookup, because the interesting
+    part for the analysis is only what ends up in ``log``.
+    """
+
+    def __init__(self, descriptors: Iterable[ListDescriptor], *,
+                 clock: Clock | None = None) -> None:
+        super().__init__(ServerDatabase(descriptors), clock or ManualClock())
+
+    def check_url(self, cookie: SafeBrowsingCookie, url: str) -> Verdict:
+        """Check a URL; the full canonical URL is revealed to the provider."""
+        canonical = canonicalize(url)
+        self._record(cookie, canonical, "url")
+        for expression in decompositions(canonical, canonical=True):
+            if self._expression_blacklisted(expression):
+                return Verdict.MALICIOUS
+        return Verdict.SAFE
+
+
+class DomainReputationServer(_ClearTextService):
+    """A WOT/Norton-style reputation service: domains are sent in clear."""
+
+    def __init__(self, descriptors: Iterable[ListDescriptor], *,
+                 clock: Clock | None = None) -> None:
+        super().__init__(ServerDatabase(descriptors), clock or ManualClock())
+
+    def check_url(self, cookie: SafeBrowsingCookie, url: str) -> Verdict:
+        """Check a URL; only its registered domain is revealed."""
+        parsed = parse_url(url)
+        domain = registered_domain(parsed.host)
+        self._record(cookie, domain, "domain")
+        if self._expression_blacklisted(f"{domain}/"):
+            return Verdict.MALICIOUS
+        return Verdict.SAFE
+
+
+class LegacyLookupClient:
+    """Thin client wrapper: one cookie, one legacy service."""
+
+    def __init__(self, server: LegacyLookupServer | DomainReputationServer,
+                 name: str = "legacy-client", *,
+                 cookie_jar: CookieJar | None = None) -> None:
+        self.server = server
+        jar = cookie_jar if cookie_jar is not None else CookieJar()
+        self.cookie = jar.issue(name)
+        self.checks = 0
+
+    def lookup(self, url: str) -> Verdict:
+        """Check one URL through the wrapped clear-text service."""
+        self.checks += 1
+        return self.server.check_url(self.cookie, url)
+
+
+@dataclass(frozen=True, slots=True)
+class LeakageSummary:
+    """What a service learned from one browsing trace."""
+
+    service: str
+    urls_visited: int
+    requests_sent: int
+    urls_revealed_in_clear: int
+    domains_revealed_in_clear: int
+    prefixes_revealed: int
+    urls_reidentifiable: int
+
+    @property
+    def contacts_per_visit(self) -> float:
+        return self.requests_sent / self.urls_visited if self.urls_visited else 0.0
+
+
+def summarize_cleartext_log(service: str, urls_visited: int,
+                            log: Sequence[ClearTextLogEntry]) -> LeakageSummary:
+    """Summarize a clear-text log into a :class:`LeakageSummary`."""
+    url_entries = {entry.payload for entry in log if entry.kind == "url"}
+    domain_entries = {entry.payload for entry in log if entry.kind == "domain"}
+    return LeakageSummary(
+        service=service,
+        urls_visited=urls_visited,
+        requests_sent=len(log),
+        urls_revealed_in_clear=len(url_entries),
+        domains_revealed_in_clear=len(domain_entries),
+        prefixes_revealed=0,
+        urls_reidentifiable=len(url_entries),
+    )

@@ -1,0 +1,191 @@
+"""Protocol messages exchanged between client and server.
+
+The message shapes follow the Safe Browsing v3 HTTP API, stripped of the
+transport details that are irrelevant to the privacy analysis: what matters
+is exactly which fields cross the wire, because those fields are what the
+provider (the adversary of the paper's threat model) gets to observe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+from repro.hashing.digests import FullHash
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import Chunk, ChunkRange
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+
+
+# ---------------------------------------------------------------------------
+# update protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ListState:
+    """Chunk ranges a client currently holds for one list."""
+
+    list_name: str
+    add_chunks: ChunkRange
+    sub_chunks: ChunkRange
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateRequest:
+    """A client's "download" request: its cookie and per-list chunk state."""
+
+    cookie: SafeBrowsingCookie
+    states: tuple[ListState, ...]
+    timestamp: float = 0.0
+
+    def state_for(self, list_name: str) -> ListState | None:
+        """The client's state for ``list_name``, if advertised."""
+        for state in self.states:
+            if state.list_name == list_name:
+                return state
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class ListUpdate:
+    """The server's answer for one list: chunks the client is missing."""
+
+    list_name: str
+    add_chunks: tuple[Chunk, ...] = ()
+    sub_chunks: tuple[Chunk, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.add_chunks and not self.sub_chunks
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateResponse:
+    """Full answer to an :class:`UpdateRequest`."""
+
+    updates: tuple[ListUpdate, ...]
+    next_poll_seconds: float = 1800.0
+    timestamp: float = 0.0
+
+    def update_for(self, list_name: str) -> ListUpdate | None:
+        """The update for ``list_name``, if any."""
+        for update in self.updates:
+            if update.list_name == list_name:
+                return update
+        return None
+
+
+# ---------------------------------------------------------------------------
+# full-hash protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FullHashRequest:
+    """A "gethash" request.
+
+    This is the message the whole paper is about: it carries the client's
+    cookie and the 32-bit prefixes of the URL decompositions that hit the
+    local database.
+    """
+
+    cookie: SafeBrowsingCookie
+    prefixes: tuple[Prefix, ...]
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.prefixes:
+            raise ProtocolError("a full-hash request must carry at least one prefix")
+
+
+@dataclass(frozen=True, slots=True)
+class FullHashMatch:
+    """One full digest returned for a queried prefix."""
+
+    list_name: str
+    prefix: Prefix
+    full_hash: FullHash
+
+
+@dataclass(frozen=True, slots=True)
+class FullHashResponse:
+    """Answer to a :class:`FullHashRequest`.
+
+    ``matches`` contains every full digest, in every list, whose prefix was
+    queried.  A queried prefix with no match at all is an *orphan* from the
+    client's point of view (paper Section 7.2).
+    """
+
+    matches: tuple[FullHashMatch, ...]
+    cache_lifetime_seconds: float = 2700.0
+    timestamp: float = 0.0
+
+    def matches_for(self, prefix: Prefix) -> tuple[FullHashMatch, ...]:
+        """The matches corresponding to one queried prefix."""
+        return tuple(match for match in self.matches if match.prefix == prefix)
+
+    def orphan_prefixes(self, queried: tuple[Prefix, ...]) -> tuple[Prefix, ...]:
+        """Queried prefixes for which the server returned no full digest."""
+        answered = {match.prefix for match in self.matches}
+        return tuple(prefix for prefix in queried if prefix not in answered)
+
+
+# ---------------------------------------------------------------------------
+# client-side lookup results
+# ---------------------------------------------------------------------------
+
+
+class Verdict(enum.Enum):
+    """Outcome of a URL check (the leaves of the paper's Figure 3)."""
+
+    SAFE = "safe"
+    MALICIOUS = "malicious"
+
+
+@dataclass(frozen=True, slots=True)
+class LookupResult:
+    """Everything the client learned while checking one URL.
+
+    Besides the verdict, the result records what was *revealed* to the
+    server: the prefixes sent (empty when the local database had no hit) and
+    the lists in which the matching full hashes were found.  The privacy
+    experiments read these fields rather than re-deriving them.
+    """
+
+    url: str
+    canonical_url: str
+    verdict: Verdict
+    decompositions: tuple[str, ...]
+    local_hits: tuple[Prefix, ...] = ()
+    sent_prefixes: tuple[Prefix, ...] = ()
+    matched_lists: tuple[str, ...] = ()
+    matched_expressions: tuple[str, ...] = ()
+    served_from_cache: bool = False
+
+    @property
+    def contacted_server(self) -> bool:
+        """Whether the lookup leaked anything to the provider."""
+        return bool(self.sent_prefixes)
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.verdict is Verdict.MALICIOUS
+
+
+@dataclass
+class ClientStats:
+    """Counters the client keeps about its own traffic (for experiments)."""
+
+    urls_checked: int = 0
+    local_hits: int = 0
+    full_hash_requests: int = 0
+    prefixes_sent: int = 0
+    cache_hits: int = 0
+    malicious_verdicts: int = 0
+    extra_requests: dict[str, int] = field(default_factory=dict)
+
+    def record_extra(self, label: str, count: int = 1) -> None:
+        """Track an auxiliary counter (e.g. dummy queries sent)."""
+        self.extra_requests[label] = self.extra_requests.get(label, 0) + count

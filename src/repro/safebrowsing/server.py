@@ -1,0 +1,177 @@
+"""The Safe Browsing server.
+
+:class:`SafeBrowsingServer` answers the two requests of the v3 API — list
+updates and full-hash lookups — over a :class:`ServerDatabase`.  It also
+plays the adversary of the paper's threat model: every full-hash request is
+appended to a request log (cookie, timestamp, prefixes), which is exactly the
+information an honest-but-curious (or coerced) provider can exploit for
+re-identification and tracking.  The analysis layer consumes that log; it
+never peeks inside the client.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.clock import Clock, ManualClock
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.database import ServerDatabase
+from repro.safebrowsing.lists import ListDescriptor
+from repro.safebrowsing.protocol import (
+    FullHashMatch,
+    FullHashRequest,
+    FullHashResponse,
+    ListUpdate,
+    UpdateRequest,
+    UpdateResponse,
+)
+
+#: Default interval, in seconds, that the server asks clients to wait before
+#: polling for updates again (the deployed service uses about 30 minutes).
+DEFAULT_POLL_INTERVAL = 1800.0
+
+
+@dataclass(frozen=True, slots=True)
+class RequestLogEntry:
+    """One full-hash request as seen by the provider.
+
+    This tuple — *who* (cookie), *when* (timestamp), *what* (prefixes) — is
+    the entire input of the paper's re-identification and tracking analysis.
+    """
+
+    cookie: SafeBrowsingCookie
+    timestamp: float
+    prefixes: tuple[Prefix, ...]
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters for reporting."""
+
+    update_requests: int = 0
+    full_hash_requests: int = 0
+    prefixes_received: int = 0
+    chunks_served: int = 0
+    full_hashes_served: int = 0
+    clients_seen: set[str] = field(default_factory=set)
+
+
+class SafeBrowsingServer:
+    """In-memory Safe Browsing provider (Google- or Yandex-shaped)."""
+
+    def __init__(self, descriptors: Iterable[ListDescriptor], *,
+                 clock: Clock | None = None,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 prefix_bits: int = 32) -> None:
+        self.database = ServerDatabase(descriptors, prefix_bits)
+        self.clock = clock if clock is not None else ManualClock()
+        self.poll_interval = poll_interval
+        self.stats = ServerStats()
+        self._request_log: list[RequestLogEntry] = []
+
+    # -- provisioning ---------------------------------------------------------
+
+    def blacklist(self, list_name: str, expressions: Iterable[str]) -> list[Prefix]:
+        """Add canonical expressions to a list and commit them as a chunk."""
+        database = self.database[list_name]
+        prefixes = database.add_expressions(expressions)
+        database.commit_pending()
+        return prefixes
+
+    def unblacklist(self, list_name: str, expressions: Iterable[str]) -> None:
+        """Remove expressions from a list (served to clients as a sub chunk)."""
+        database = self.database[list_name]
+        for expression in expressions:
+            database.remove_expression(expression)
+        database.commit_pending()
+
+    def insert_orphan_prefixes(self, list_name: str, prefixes: Iterable[Prefix]) -> None:
+        """Insert prefixes with no full digest (paper Section 7.2)."""
+        database = self.database[list_name]
+        for prefix in prefixes:
+            database.add_orphan_prefix(prefix)
+        database.commit_pending()
+
+    def push_tracking_prefixes(self, list_name: str, expressions: Iterable[str]) -> list[Prefix]:
+        """Insert tracking prefixes chosen by Algorithm 1.
+
+        Functionally identical to :meth:`blacklist` — which is the paper's
+        point: nothing in the protocol distinguishes a genuine threat entry
+        from a tracking entry.  Kept as a separate method so experiment code
+        reads explicitly.
+        """
+        return self.blacklist(list_name, expressions)
+
+    # -- protocol endpoints ---------------------------------------------------
+
+    def handle_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Serve the chunks a client is missing for every list it asked about."""
+        self.stats.update_requests += 1
+        self.stats.clients_seen.add(request.cookie.value)
+
+        updates: list[ListUpdate] = []
+        for state in request.states:
+            database = self.database[state.list_name]
+            missing_add, missing_sub = database.chunks_after(
+                state.add_chunks.numbers, state.sub_chunks.numbers
+            )
+            self.stats.chunks_served += len(missing_add) + len(missing_sub)
+            updates.append(
+                ListUpdate(
+                    list_name=state.list_name,
+                    add_chunks=tuple(missing_add),
+                    sub_chunks=tuple(missing_sub),
+                )
+            )
+        return UpdateResponse(
+            updates=tuple(updates),
+            next_poll_seconds=self.poll_interval,
+            timestamp=self.clock.now(),
+        )
+
+    def handle_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+        """Serve the full digests for the queried prefixes, and log the request."""
+        self.stats.full_hash_requests += 1
+        self.stats.prefixes_received += len(request.prefixes)
+        self.stats.clients_seen.add(request.cookie.value)
+
+        timestamp = self.clock.now()
+        self._request_log.append(
+            RequestLogEntry(cookie=request.cookie, timestamp=timestamp,
+                            prefixes=tuple(request.prefixes))
+        )
+
+        matches: list[FullHashMatch] = []
+        for prefix in request.prefixes:
+            for database in self.database:
+                for full_hash in database.full_hashes_for(prefix):
+                    matches.append(
+                        FullHashMatch(
+                            list_name=database.descriptor.name,
+                            prefix=prefix,
+                            full_hash=full_hash,
+                        )
+                    )
+        self.stats.full_hashes_served += len(matches)
+        return FullHashResponse(matches=tuple(matches), timestamp=timestamp)
+
+    # -- the provider's (adversary's) view ------------------------------------
+
+    @property
+    def request_log(self) -> Sequence[RequestLogEntry]:
+        """Every full-hash request received, in arrival order."""
+        return tuple(self._request_log)
+
+    def requests_from(self, cookie: SafeBrowsingCookie) -> list[RequestLogEntry]:
+        """The requests attributable to one client via its cookie."""
+        return [entry for entry in self._request_log if entry.cookie == cookie]
+
+    def clear_request_log(self) -> None:
+        """Forget the recorded requests (used between experiment runs)."""
+        self._request_log.clear()
+
+    def list_names(self) -> tuple[str, ...]:
+        """Names of the lists this server serves."""
+        return self.database.list_names

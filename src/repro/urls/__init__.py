@@ -1,0 +1,52 @@
+"""URL handling: canonicalization, decomposition, and host hierarchy.
+
+The Safe Browsing client never hashes the raw URL typed by the user.  It
+first *canonicalizes* it (a stricter variant of RFC 3986 normalization
+specified by the Safe Browsing API) and then generates a list of
+*decompositions* -- combinations of host suffixes and path prefixes -- each
+of which is hashed and looked up in the local prefix database.  The privacy
+analysis of the paper is entirely about what those decompositions reveal, so
+this package is the foundation of everything else.
+
+Public API
+----------
+:func:`canonicalize`
+    Safe Browsing canonical form of a URL.
+:func:`parse_url` / :class:`ParsedURL`
+    Structured view (host, port, path, query) of a canonical URL.
+:func:`decompositions`
+    The ordered list of canonical expressions looked up for a URL (the
+    paper's 8-expression scheme by default, the full API limits optionally).
+:func:`second_level_domain` and :class:`HostHierarchy`
+    Helpers for the domain-hierarchy reasoning of Section 6 (leaf URLs,
+    Type I collisions).
+"""
+
+from repro.urls.canonicalize import canonicalize
+from repro.urls.parse import ParsedURL, parse_url
+from repro.urls.decompose import (
+    DecompositionPolicy,
+    decompositions,
+    host_suffixes,
+    path_prefixes,
+)
+from repro.urls.hierarchy import (
+    HostHierarchy,
+    registered_domain,
+    second_level_domain,
+    split_host,
+)
+
+__all__ = [
+    "DecompositionPolicy",
+    "HostHierarchy",
+    "ParsedURL",
+    "canonicalize",
+    "decompositions",
+    "host_suffixes",
+    "parse_url",
+    "path_prefixes",
+    "registered_domain",
+    "second_level_domain",
+    "split_host",
+]

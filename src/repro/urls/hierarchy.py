@@ -1,0 +1,240 @@
+"""Domain hierarchies, registered domains and leaf URLs.
+
+Section 6 of the paper reasons about the *hierarchy* of expressions hosted on
+a domain (Figure 4): every URL sits in a tree whose nodes are the
+decompositions hosted on the registered (second-level) domain, and a URL is a
+*leaf* when it is not a decomposition of any other URL on the domain.  Leaf
+URLs are exactly the ones that can be re-identified from only two prefixes,
+so the tracking algorithm (Algorithm 1) needs fast leaf and Type-I-collision
+queries.  :class:`HostHierarchy` provides them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.urls.decompose import DecompositionPolicy, API_POLICY, decompositions
+from repro.urls.parse import ParsedURL, parse_url
+
+#: A small built-in list of multi-label public suffixes.  A full public-suffix
+#: list is not required for the paper's experiments (the synthetic corpus only
+#: uses these), but the hook is here so that real suffix data can be plugged in.
+_MULTI_LABEL_SUFFIXES = frozenset(
+    {
+        "co.uk",
+        "org.uk",
+        "ac.uk",
+        "gov.uk",
+        "co.jp",
+        "ne.jp",
+        "or.jp",
+        "com.au",
+        "net.au",
+        "org.au",
+        "com.br",
+        "com.cn",
+        "com.ru",
+        "msk.ru",
+        "spb.ru",
+    }
+)
+
+
+def split_host(host: str) -> tuple[str, ...]:
+    """Split a hostname into its dot-separated labels."""
+    return tuple(label for label in host.split(".") if label)
+
+
+def normalize_expression(expression: str) -> str:
+    """Collapse a directory expression and its slash-less form to one node.
+
+    The Safe Browsing decomposition of ``a.b.c/3/3.1`` contains the
+    directory ``a.b.c/3/`` while the page ``a.b.c/3`` hashes without the
+    trailing slash; conceptually both name the same node of the domain
+    hierarchy (Figure 4 of the paper), so hierarchy queries treat them as
+    one.  The bare host root (``a.b.c/``) keeps its slash.
+    """
+    if expression.endswith("/") and "/" in expression[:-1]:
+        return expression[:-1]
+    return expression
+
+
+def registered_domain(host: str) -> str:
+    """Return the registered (second-level) domain of ``host``.
+
+    ``www.example.co.uk`` -> ``example.co.uk``; ``a.b.example.com`` ->
+    ``example.com``.  IP addresses are returned unchanged.
+    """
+    labels = split_host(host)
+    if not labels:
+        return host
+    if len(labels) == 4 and all(label.isdigit() for label in labels):
+        return host
+    if len(labels) <= 2:
+        return ".".join(labels)
+    last_two = ".".join(labels[-2:])
+    if last_two in _MULTI_LABEL_SUFFIXES and len(labels) >= 3:
+        return ".".join(labels[-3:])
+    return last_two
+
+
+def second_level_domain(url_or_host: str) -> str:
+    """Return the SLD of a URL or hostname.
+
+    This is the ``get_domain`` primitive of the paper's Algorithm 1.
+    """
+    if "/" in url_or_host or "://" in url_or_host:
+        parsed = parse_url(url_or_host)
+        return registered_domain(parsed.host)
+    return registered_domain(url_or_host)
+
+
+@dataclass
+class HierarchyNode:
+    """A node of a domain hierarchy: one canonical expression.
+
+    ``children`` are the expressions that have this expression among their
+    decompositions (excluding themselves).
+    """
+
+    expression: str
+    is_url: bool = False
+    children: set[str] = field(default_factory=set)
+    parents: set[str] = field(default_factory=set)
+
+
+class HostHierarchy:
+    """The decomposition hierarchy of all URLs hosted on one registered domain.
+
+    Built from the set of URLs hosted on a domain (as a crawler such as the
+    paper's Common Crawl corpus would see them), the hierarchy answers the
+    questions the analysis layer needs:
+
+    * :meth:`expressions` -- the set of unique decompositions on the domain
+      (Figure 5c counts these per host);
+    * :meth:`is_leaf` -- whether a URL is a leaf of the hierarchy (Figure 4);
+    * :meth:`type1_collisions` -- the other URLs on the domain that share at
+      least one decomposition with a target URL (Section 6.1);
+    * :meth:`ancestors` -- the decompositions of a URL, i.e. the candidate
+      re-identification set when only "upper" prefixes are received.
+    """
+
+    def __init__(self, domain: str, *, policy: DecompositionPolicy = API_POLICY) -> None:
+        self.domain = domain
+        self.policy = policy
+        self._nodes: dict[str, HierarchyNode] = {}
+        self._url_expressions: dict[str, str] = {}
+        self._url_decompositions: dict[str, list[str]] = {}
+        self._expression_to_urls: dict[str, set[str]] = defaultdict(set)
+
+    # -- construction --------------------------------------------------------
+
+    def add_url(self, url: str | ParsedURL) -> None:
+        """Add one URL hosted on the domain to the hierarchy."""
+        parsed = url if isinstance(url, ParsedURL) else parse_url(url)
+        if registered_domain(parsed.host) != self.domain:
+            raise ValueError(
+                f"URL host {parsed.host!r} is not on domain {self.domain!r}"
+            )
+        url_key = parsed.url()
+        if url_key in self._url_decompositions:
+            return
+        decomps = decompositions(parsed, policy=self.policy)
+        exact = normalize_expression(decomps[0])
+        self._url_expressions[url_key] = exact
+        self._url_decompositions[url_key] = decomps
+
+        for raw_expression in decomps:
+            expression = normalize_expression(raw_expression)
+            node = self._nodes.get(expression)
+            if node is None:
+                node = HierarchyNode(expression)
+                self._nodes[expression] = node
+            self._expression_to_urls[expression].add(url_key)
+        exact_node = self._nodes[exact]
+        exact_node.is_url = True
+        # Parent/child edges follow the decomposition order: every non-exact
+        # decomposition is an ancestor of the exact expression.
+        for raw_expression in decomps[1:]:
+            expression = normalize_expression(raw_expression)
+            if expression == exact:
+                continue
+            self._nodes[expression].children.add(exact)
+            exact_node.parents.add(expression)
+
+    def add_urls(self, urls: Iterable[str | ParsedURL]) -> None:
+        """Add many URLs at once."""
+        for url in urls:
+            self.add_url(url)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def urls(self) -> list[str]:
+        """The canonical URLs added to the hierarchy."""
+        return sorted(self._url_decompositions)
+
+    def expressions(self) -> set[str]:
+        """All unique decompositions generated by the URLs on this domain."""
+        return set(self._nodes)
+
+    def url_decompositions(self, url: str) -> list[str]:
+        """The decomposition list of one previously added URL."""
+        parsed = parse_url(url)
+        return list(self._url_decompositions[parsed.url()])
+
+    def ancestors(self, url: str) -> list[str]:
+        """Decompositions of ``url`` other than its exact expression."""
+        return self.url_decompositions(url)[1:]
+
+    def is_leaf(self, url: str) -> bool:
+        """Return ``True`` when ``url`` is a leaf of the hierarchy.
+
+        A URL is a leaf when its exact expression is not a decomposition of
+        any *other* URL hosted on the domain.  Leaf URLs are re-identifiable
+        from two prefixes (their own plus any ancestor).
+        """
+        parsed = parse_url(url)
+        exact = self._url_expressions[parsed.url()]
+        users = self._expression_to_urls[exact]
+        return users == {parsed.url()}
+
+    def leaf_urls(self) -> list[str]:
+        """All leaf URLs of the hierarchy."""
+        return [url for url in self.urls if self.is_leaf(url)]
+
+    def type1_collisions(self, url: str) -> list[str]:
+        """URLs (other than ``url``) sharing at least one decomposition.
+
+        These are the Type I collisions of Section 6.1: related URLs whose
+        decompositions overlap with the target, so that the same pair of
+        prefixes can be produced by visiting any of them.
+        """
+        parsed = parse_url(url)
+        url_key = parsed.url()
+        exact = self._url_expressions[url_key]
+        colliding: set[str] = set()
+        for other_url in self._expression_to_urls[exact]:
+            if other_url != url_key:
+                colliding.add(other_url)
+        return sorted(colliding)
+
+    def urls_sharing_expression(self, expression: str) -> list[str]:
+        """URLs whose decompositions include ``expression`` (normalized)."""
+        return sorted(self._expression_to_urls.get(normalize_expression(expression), set()))
+
+    def expression_count(self) -> int:
+        """Number of unique decompositions on the domain (Figure 5c)."""
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._url_decompositions)
+
+    def __contains__(self, url: str) -> bool:
+        try:
+            parsed = parse_url(url)
+        except Exception:
+            return False
+        return parsed.url() in self._url_decompositions

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (synthetic corpora, provisioned servers, inverted
+indexes) are built once per session; individual tests treat them as
+read-only.  Tests that need to mutate a server build their own from the
+factory fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS, YANDEX_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+#: Canonical expressions blacklisted by the default test server.
+MALICIOUS_EXPRESSIONS = (
+    "evil.example.com/malware/dropper.exe",
+    "evil.example.com/",
+    "phishy.example.net/login.html",
+    "bad.actor.org/payload/",
+)
+
+
+@pytest.fixture(scope="session")
+def random_corpus():
+    """A small random-host corpus (session-scoped, read-only)."""
+    config = CorpusConfig.random_like(60, seed=11)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def alexa_corpus():
+    """A small popular-host corpus (session-scoped, read-only)."""
+    config = CorpusConfig.alexa_like(60, seed=12)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture()
+def clock() -> ManualClock:
+    """A fresh manual clock."""
+    return ManualClock()
+
+
+@pytest.fixture()
+def google_server(clock: ManualClock) -> SafeBrowsingServer:
+    """A Google-shaped server with a few blacklisted expressions."""
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    server.blacklist("goog-malware-shavar", MALICIOUS_EXPRESSIONS[:2])
+    server.blacklist("googpub-phish-shavar", MALICIOUS_EXPRESSIONS[2:])
+    return server
+
+
+@pytest.fixture()
+def yandex_server(clock: ManualClock) -> SafeBrowsingServer:
+    """A Yandex-shaped server with a few blacklisted expressions."""
+    server = SafeBrowsingServer(YANDEX_LISTS, clock=clock)
+    server.blacklist("ydx-malware-shavar", MALICIOUS_EXPRESSIONS[:2])
+    server.blacklist("ydx-phish-shavar", MALICIOUS_EXPRESSIONS[2:])
+    return server
+
+
+@pytest.fixture()
+def updated_client(google_server: SafeBrowsingServer, clock: ManualClock) -> SafeBrowsingClient:
+    """A client of ``google_server`` whose local database is up to date."""
+    client = SafeBrowsingClient(google_server, name="test-client", clock=clock)
+    client.update()
+    return client

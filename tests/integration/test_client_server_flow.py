@@ -1,0 +1,123 @@
+"""Integration tests: the full client <-> server Safe Browsing flow.
+
+These tests exercise the complete pipeline the paper describes: the provider
+maintains chunked lists, browsers keep a local prefix database up to date,
+URL checks follow the Figure 3 flow, and the provider's request log captures
+exactly the (cookie, timestamp, prefixes) triples the privacy analysis needs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.hashing.digests import url_prefix
+from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+from repro.safebrowsing.cookie import CookieJar
+from repro.safebrowsing.lists import GOOGLE_LISTS, YANDEX_LISTS
+from repro.safebrowsing.protocol import Verdict
+from repro.safebrowsing.server import SafeBrowsingServer
+
+
+class TestLifecycle:
+    def test_blacklist_update_lookup_unblacklist_cycle(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        client = SafeBrowsingClient(server, clock=clock)
+
+        # Nothing blacklisted yet: everything is safe, nothing is sent.
+        client.update()
+        assert client.lookup("http://soon-to-be-bad.example/").verdict is Verdict.SAFE
+        assert server.stats.full_hash_requests == 0
+
+        # The provider blacklists the page; after the next update the client
+        # flags it and reveals the prefix.
+        server.blacklist("goog-malware-shavar", ["soon-to-be-bad.example/"])
+        clock.advance(server.poll_interval + 1)
+        result = client.lookup("http://soon-to-be-bad.example/")
+        assert result.verdict is Verdict.MALICIOUS
+        assert server.stats.full_hash_requests == 1
+
+        # The provider removes the entry; after another update the page is
+        # clean again and the local database shrank accordingly.
+        server.unblacklist("goog-malware-shavar", ["soon-to-be-bad.example/"])
+        clock.advance(server.poll_interval + 1)
+        result = client.lookup("http://soon-to-be-bad.example/")
+        assert result.verdict is Verdict.SAFE
+        assert client.local_database_size() == 0
+
+    def test_multiple_clients_share_the_same_lists(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        server.blacklist("googpub-phish-shavar", ["phish.example/steal"])
+        jar = CookieJar()
+        clients = [
+            SafeBrowsingClient(server, name=f"browser-{i}", cookie_jar=jar, clock=clock)
+            for i in range(5)
+        ]
+        for client in clients:
+            client.update()
+            assert client.lookup("http://phish.example/steal").verdict is Verdict.MALICIOUS
+        # Five distinct cookies appear in the request log.
+        assert len({entry.cookie for entry in server.request_log}) == 5
+
+    def test_backend_choice_does_not_change_verdicts(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        server.blacklist("goog-malware-shavar", ["evil.example/malware.exe", "evil.example/"])
+        urls = [
+            "http://evil.example/malware.exe",
+            "http://evil.example/other/page.html",
+            "http://benign.example/home.html",
+        ]
+        verdicts = {}
+        for backend in ("raw", "delta-coded", "bloom"):
+            client = SafeBrowsingClient(
+                server, name=backend, clock=clock,
+                config=ClientConfig(store_backend=backend),
+            )
+            client.update()
+            verdicts[backend] = [client.lookup(url).verdict for url in urls]
+        assert verdicts["raw"] == verdicts["delta-coded"] == verdicts["bloom"]
+
+    def test_yandex_shaped_service_works_identically(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(YANDEX_LISTS, clock=clock)
+        server.blacklist("ydx-porno-hosts-top-shavar", ["adult.example/"])
+        client = SafeBrowsingClient(server, clock=clock)
+        client.update()
+        result = client.lookup("http://adult.example/some/page")
+        assert result.verdict is Verdict.MALICIOUS
+        assert result.matched_lists == ("ydx-porno-hosts-top-shavar",)
+
+
+class TestProviderView:
+    def test_request_log_contains_only_hit_traffic(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        server.blacklist("goog-malware-shavar", ["tracked.example/page.html"])
+        client = SafeBrowsingClient(server, clock=clock)
+        client.update()
+
+        client.lookup("http://tracked.example/page.html")
+        for index in range(10):
+            client.lookup(f"http://innocent-{index}.example/")
+
+        # Ten safe lookups left no trace; the single hit left exactly one
+        # entry carrying the expected prefix.
+        assert len(server.request_log) == 1
+        assert url_prefix("tracked.example/page.html") in server.request_log[0].prefixes
+
+    def test_log_timestamps_follow_the_clock(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        server.blacklist("goog-malware-shavar", ["a.example/", "b.example/"])
+        client = SafeBrowsingClient(server, clock=clock)
+        client.update()
+        clock.advance(100)
+        client.lookup("http://a.example/")
+        clock.advance(200)
+        client.lookup("http://b.example/")
+        times = [entry.timestamp for entry in server.request_log]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(200)

@@ -1,0 +1,110 @@
+"""Integration test: the complete Section 6.3 tracking attack.
+
+Builds a synthetic popular-site corpus, lets the provider index it, runs
+Algorithm 1 for several targets, pushes the shadow database through the
+normal update channel, simulates a population of browsers and verifies that
+the provider's detections match the ground truth of who visited what.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.temporal import IntentProfile, TemporalCorrelator
+from repro.analysis.tracking import TrackingSystem
+from repro.clock import ManualClock
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.cookie import CookieJar
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+
+@pytest.fixture(scope="module")
+def attack(alexa_corpus):
+    clock = ManualClock()
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    index = PrefixInvertedIndex.from_corpus(alexa_corpus, max_sites=30)
+    tracker = TrackingSystem(server=server, index=index,
+                             list_name="goog-malware-shavar", delta=4)
+
+    # Pick three target URLs on different indexed sites.
+    targets = []
+    for site in alexa_corpus.sample_sites(30, seed=13):
+        candidates = [url for url in site.urls if url in index]
+        deep = [url for url in candidates if not url.endswith("/")]
+        if deep:
+            targets.append(deep[0])
+        if len(targets) == 3:
+            break
+    assert len(targets) == 3
+    tracker.track_many(targets)
+
+    jar = CookieJar(seed="integration")
+    visitors = {
+        "alice": SafeBrowsingClient(server, name="alice", cookie_jar=jar, clock=clock),
+        "bob": SafeBrowsingClient(server, name="bob", cookie_jar=jar, clock=clock),
+        "carol": SafeBrowsingClient(server, name="carol", cookie_jar=jar, clock=clock),
+    }
+    for client in visitors.values():
+        client.update()
+
+    # Ground truth: alice visits targets 0 and 1, bob visits target 2,
+    # carol browses only untracked pages.
+    ground_truth = {
+        ("alice", targets[0]), ("alice", targets[1]), ("bob", targets[2]),
+    }
+    clock.advance(60)
+    visitors["alice"].lookup(targets[0])
+    clock.advance(60)
+    visitors["alice"].lookup(targets[1])
+    clock.advance(60)
+    visitors["bob"].lookup(targets[2])
+    clock.advance(60)
+    for site in alexa_corpus.sample_sites(5, seed=77):
+        if site.urls[0] not in targets:
+            visitors["carol"].lookup(site.urls[0])
+
+    return tracker, server, visitors, targets, ground_truth
+
+
+class TestEndToEndTracking:
+    def test_every_true_visit_is_detected(self, attack):
+        tracker, _, visitors, _, ground_truth = attack
+        detected = {
+            (name, outcome.target_url)
+            for outcome in tracker.detect()
+            for name, client in visitors.items()
+            if client.cookie == outcome.cookie
+        }
+        assert ground_truth <= detected
+
+    def test_untracked_browsing_generates_no_detection(self, attack):
+        tracker, _, visitors, _, _ = attack
+        carol_cookie = visitors["carol"].cookie
+        assert all(outcome.cookie != carol_cookie for outcome in tracker.detect())
+
+    def test_detections_resolve_to_the_right_domain(self, attack):
+        tracker, _, _, targets, _ = attack
+        domains = {decision.target_domain for decision in tracker.decisions.values()}
+        for outcome in tracker.detect():
+            assert outcome.target_domain in domains
+
+    def test_tracking_entries_look_like_ordinary_blacklist_entries(self, attack):
+        tracker, server, _, _, _ = attack
+        database = server.database["goog-malware-shavar"]
+        for decision in tracker.decisions.values():
+            for prefix in decision.prefixes:
+                assert database.contains_prefix(prefix)
+                # Each tracked prefix is backed by a full digest, exactly like
+                # a genuine malware entry.
+                assert database.full_hashes_for(prefix)
+
+    def test_temporal_correlation_flags_the_multi_target_visitor(self, attack):
+        tracker, server, visitors, targets, _ = attack
+        profile = IntentProfile(name="multi-target", urls=(targets[0], targets[1]),
+                                min_matches=2)
+        correlator = TemporalCorrelator([profile], window_seconds=3600)
+        visits = correlator.correlate(server.request_log)
+        assert any(visit.cookie == visitors["alice"].cookie for visit in visits)
+        assert all(visit.cookie != visitors["bob"].cookie for visit in visits)

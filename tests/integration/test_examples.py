@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion and prints output."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", ["0xe70ee6d1", "prefixes revealed", "cookie="]),
+    ("tracking_demo.py", ["Algorithm 1", "prospective PETS author", "visited"]),
+    ("anonymity_analysis.py", ["Table 5", "anonymity sets", "domain roots"]),
+    ("blacklist_audit.py", ["Inversion", "Orphan prefixes", "multiple matching prefixes"]),
+    ("mitigation_comparison.py", ["baseline", "dummy queries", "one prefix at a time"]),
+]
+
+
+@pytest.mark.parametrize("script, expected_fragments", EXAMPLES,
+                         ids=[name for name, _ in EXAMPLES])
+def test_example_runs(script: str, expected_fragments: list[str]):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for fragment in expected_fragments:
+        assert fragment in completed.stdout, (
+            f"expected {fragment!r} in the output of {script}"
+        )

@@ -1,0 +1,77 @@
+"""Integration tests for the extension experiments (ecosystem, history, stores)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import SMALL
+
+
+class TestEcosystemExperiment:
+    def test_leakage_ordering(self):
+        from repro.experiments.ecosystem_leakage import ecosystem_table, run_ecosystem_experiment
+
+        result = run_ecosystem_experiment(SMALL, visits=40)
+        lookup, wot, prefix = (result.lookup_api, result.domain_reputation, result.prefix_api)
+
+        # The legacy services are contacted on every visit; the prefix API only
+        # on blacklist hits.
+        assert lookup.requests_sent == result.trace_length
+        assert wot.requests_sent == result.trace_length
+        assert prefix.requests_sent < result.trace_length
+
+        # Clear-text exposure: full URLs > domains > nothing.
+        assert lookup.urls_revealed_in_clear > 0
+        assert wot.urls_revealed_in_clear == 0
+        assert wot.domains_revealed_in_clear > 0
+        assert prefix.urls_revealed_in_clear == 0
+        assert prefix.domains_revealed_in_clear == 0
+
+        # But the prefix API still lets the provider re-identify some visits —
+        # the paper's whole point.
+        assert prefix.prefixes_revealed > 0
+        assert prefix.urls_reidentifiable > 0
+
+        table = ecosystem_table(SMALL, visits=40)
+        assert len(table.rows) == 3
+
+    def test_prefix_api_reveals_fewer_visits_than_lookup_api(self):
+        from repro.experiments.ecosystem_leakage import run_ecosystem_experiment
+
+        result = run_ecosystem_experiment(SMALL, visits=40)
+        assert result.prefix_api.urls_reidentifiable <= result.lookup_api.urls_reidentifiable
+
+
+class TestHistoryExperiment:
+    def test_reconstruction_quality(self):
+        from repro.experiments.history_reconstruction import history_table, run_history_experiment
+
+        result = run_history_experiment(SMALL)
+        assert result.report.total_requests > 0
+        # Every observed request resolves at least to a registered domain.
+        assert result.report.domain_recovery_rate > 0.9
+        # URL-level recovery works for a substantial share of tracked visits.
+        assert result.report.url_recovery_rate > 0.3
+        # Recovered URLs are correct (no misattribution).
+        assert result.scores["precision"] > 0.9
+        table = history_table(SMALL)
+        assert len(table.rows) == 9
+
+
+class TestStructureAblation:
+    def test_rows_and_memory_ordering(self):
+        from repro.experiments.structure_ablation import run_structure_ablation, structure_ablation_table
+
+        rows = {row.store: row for row in run_structure_ablation(entry_count=20_000)}
+        assert set(rows) == {"raw sorted array", "delta-coded table", "Bloom filter"}
+        # Raw is 4 bytes/entry; the other two beat it at deployed density.
+        assert rows["raw sorted array"].bytes_per_entry == pytest.approx(4.0)
+        assert rows["delta-coded table"].memory_bytes < rows["raw sorted array"].memory_bytes
+        # Only the Bloom filter refuses deletions / admits false positives.
+        assert not rows["Bloom filter"].supports_deletion
+        assert rows["Bloom filter"].false_positive_capable
+        assert rows["delta-coded table"].supports_deletion
+        # Everyone answers lookups at a sane rate.
+        assert all(row.lookups_per_second > 1000 for row in rows.values())
+        table = structure_ablation_table(entry_count=20_000)
+        assert len(table.rows) == 3

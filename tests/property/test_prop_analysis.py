@@ -1,0 +1,97 @@
+"""Property-based tests for the analysis layer invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ballsbins import expected_max_load_poisson, max_load_upper_bound
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.kanonymity import privacy_metric
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.analysis.tracking import tracking_prefixes
+from repro.hashing.digests import url_prefix
+
+_label = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+
+
+@st.composite
+def small_sites(draw):
+    """A registered domain with a handful of URLs hosted on it."""
+    domain = draw(_label) + "." + draw(st.sampled_from(["com", "org", "net"]))
+    subdomains = draw(st.lists(st.sampled_from(["www", "m", "blog", ""]),
+                               min_size=1, max_size=3, unique=True))
+    pages = draw(st.lists(_label, min_size=1, max_size=6, unique=True))
+    urls = []
+    for sub in subdomains:
+        host = f"{sub}.{domain}" if sub else domain
+        urls.append(f"http://{host}/")
+        for page in pages:
+            urls.append(f"http://{host}/{page}.html")
+    return domain, urls
+
+
+class TestBallsIntoBinsProperties:
+    @given(st.integers(min_value=10**6, max_value=10**14),
+           st.sampled_from([16, 24, 32, 48, 64]))
+    @settings(max_examples=100)
+    def test_bounds_monotone_in_prefix_width(self, m: int, bits: int):
+        wider = max_load_upper_bound(m, 2 ** (bits + 8))
+        narrower = max_load_upper_bound(m, 2**bits)
+        # Allow small slack where the two widths straddle a regime boundary of
+        # the asymptotic theorem.
+        assert wider <= narrower * 1.05 + 3.0
+
+    @given(st.integers(min_value=10**6, max_value=10**13),
+           st.sampled_from([16, 32, 64]))
+    @settings(max_examples=100, deadline=None)
+    def test_poisson_estimate_sane(self, m: int, bits: int):
+        estimate = expected_max_load_poisson(m, 2**bits)
+        assert estimate >= 1
+        assert estimate >= int(m / 2**bits)
+
+
+class TestPrivacyMetricProperties:
+    @given(st.lists(_label, min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_max_set_bounded_by_universe(self, labels: list[str]):
+        expressions = [f"{label}.example.com/" for label in labels]
+        report = privacy_metric(expressions, prefix_bits=16)
+        assert 1 <= report.max_set_size <= len(expressions)
+        assert report.occupied_prefixes <= len(expressions)
+
+    @given(st.lists(_label, min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_metric_monotone_in_prefix_width(self, labels: list[str]):
+        expressions = [f"{label}.example.com/page" for label in labels]
+        narrow = privacy_metric(expressions, prefix_bits=8)
+        wide = privacy_metric(expressions, prefix_bits=64)
+        assert narrow.max_set_size >= wide.max_set_size
+
+
+class TestTrackingProperties:
+    @given(small_sites(), st.integers(min_value=2, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_algorithm1_always_re_identifies_or_degrades_to_domain(self, site, delta):
+        domain, urls = site
+        index = PrefixInvertedIndex()
+        index.add_urls(urls)
+        engine = ReidentificationEngine(index)
+        target = urls[-1]
+        decision = tracking_prefixes(target, index, delta=delta)
+
+        assert 1 <= decision.prefix_count <= delta + 2
+        assert decision.target_domain == domain
+
+        # Simulate the provider receiving the prefixes a visit to the target
+        # would reveal, restricted to the tracked (blacklisted) ones.
+        visit_prefixes = [
+            prefix for prefix in index.indexed_url(target).prefixes
+            if prefix in set(decision.prefixes)
+        ]
+        result = engine.reidentify(visit_prefixes)
+        if decision.url_trackable:
+            assert result.identified_url == target or target in result.candidate_urls
+        # The registered domain is always recovered.
+        assert result.identified_domain == domain

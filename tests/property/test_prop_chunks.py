@@ -1,0 +1,40 @@
+"""Property-based tests for the chunk-range wire format."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.safebrowsing.chunks import ChunkRange
+
+_chunk_numbers = st.sets(st.integers(min_value=1, max_value=10_000), max_size=200)
+
+
+class TestChunkRangeProperties:
+    @given(_chunk_numbers)
+    @settings(max_examples=200)
+    def test_wire_round_trip(self, numbers: set[int]):
+        original = ChunkRange.of(numbers)
+        assert ChunkRange.parse(original.to_wire()).numbers == numbers
+
+    @given(_chunk_numbers)
+    @settings(max_examples=200)
+    def test_wire_format_is_sorted_and_compact(self, numbers: set[int]):
+        wire = ChunkRange.of(numbers).to_wire()
+        if not numbers:
+            assert wire == ""
+            return
+        starts = [int(part.split("-")[0]) for part in wire.split(",")]
+        assert starts == sorted(starts)
+        # A compact encoding never uses more parts than numbers.
+        assert len(wire.split(",")) <= len(numbers)
+
+    @given(_chunk_numbers, _chunk_numbers)
+    @settings(max_examples=200)
+    def test_missing_from_is_set_difference(self, held: set[int], available: set[int]):
+        assert ChunkRange.of(held).missing_from(available) == sorted(available - held)
+
+    @given(_chunk_numbers, _chunk_numbers)
+    @settings(max_examples=200)
+    def test_merge_is_union(self, first: set[int], second: set[int]):
+        merged = ChunkRange.of(first).merge(ChunkRange.of(second))
+        assert merged.numbers == first | second

@@ -1,0 +1,65 @@
+"""Property-based tests for prefixes, digests and the PrefixSet algebra."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.digests import FullHash, sha256_digest, url_prefix
+from repro.hashing.prefix import Prefix
+from repro.hashing.prefix_set import PrefixSet
+
+_widths = st.sampled_from([8, 16, 32, 64, 96, 128, 256])
+_expressions = st.text(min_size=1, max_size=40)
+_values32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestPrefixProperties:
+    @given(_expressions, _widths)
+    @settings(max_examples=200)
+    def test_prefix_is_a_prefix_of_the_digest(self, expression: str, bits: int):
+        digest = sha256_digest(expression)
+        prefix = url_prefix(expression, bits)
+        assert digest.startswith(prefix.value)
+        assert prefix.bits == bits
+
+    @given(_expressions)
+    @settings(max_examples=200)
+    def test_hex_round_trip(self, expression: str):
+        prefix = url_prefix(expression)
+        assert Prefix.from_hex(str(prefix)) == prefix
+        assert Prefix.from_hex(prefix.hex()) == prefix
+
+    @given(_values32)
+    def test_int_round_trip(self, value: int):
+        assert Prefix.from_int(value, 32).to_int() == value
+
+    @given(_expressions, _widths, _widths)
+    @settings(max_examples=200)
+    def test_wider_prefix_extends_narrower(self, expression: str, a: int, b: int):
+        narrow_bits, wide_bits = min(a, b), max(a, b)
+        narrow = url_prefix(expression, narrow_bits)
+        wide = url_prefix(expression, wide_bits)
+        assert wide.value.startswith(narrow.value)
+
+    @given(_expressions)
+    @settings(max_examples=100)
+    def test_full_hash_prefix_consistent_with_url_prefix(self, expression: str):
+        assert FullHash.of(expression).prefix() == url_prefix(expression)
+
+    @given(st.lists(_values32, max_size=30), st.lists(_values32, max_size=30))
+    @settings(max_examples=200)
+    def test_prefix_set_algebra_matches_python_sets(self, first: list[int], second: list[int]):
+        set_a = PrefixSet((Prefix.from_int(v, 32) for v in first), bits=32)
+        set_b = PrefixSet((Prefix.from_int(v, 32) for v in second), bits=32)
+        plain_a, plain_b = set(first), set(second)
+        assert {p.to_int() for p in set_a | set_b} == plain_a | plain_b
+        assert {p.to_int() for p in set_a & set_b} == plain_a & plain_b
+        assert {p.to_int() for p in set_a - set_b} == plain_a - plain_b
+
+    @given(st.lists(_values32, min_size=1, max_size=30), st.lists(_values32, max_size=30))
+    @settings(max_examples=200)
+    def test_coverage_bounds(self, first: list[int], second: list[int]):
+        set_a = PrefixSet((Prefix.from_int(v, 32) for v in first), bits=32)
+        set_b = PrefixSet((Prefix.from_int(v, 32) for v in second), bits=32)
+        assert 0.0 <= set_a.coverage(set_b) <= 1.0
+        assert set_a.coverage(set_a) == 1.0

@@ -1,0 +1,85 @@
+"""Property-based tests for the client-side prefix stores.
+
+The central invariants are the ones the deployed service relies on:
+
+* exact stores (raw, delta-coded) agree exactly with a Python ``set``;
+* the Bloom filter never produces a false negative;
+* the delta-coded table round-trips any set of 32-bit integers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructures.bloom import BloomPrefixStore
+from repro.datastructures.delta import DeltaCodedPrefixStore, DeltaCodedTable
+from repro.datastructures.store import RawPrefixStore
+from repro.hashing.prefix import Prefix
+
+_values32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def to_prefixes(values: list[int]) -> list[Prefix]:
+    return [Prefix.from_int(value, 32) for value in values]
+
+
+class TestExactStoreProperties:
+    @given(st.lists(_values32, max_size=200), st.lists(_values32, max_size=50))
+    @settings(max_examples=150)
+    def test_raw_store_matches_python_set(self, members: list[int], probes: list[int]):
+        store = RawPrefixStore(to_prefixes(members))
+        reference = set(members)
+        assert len(store) == len(reference)
+        for probe in probes + members[:10]:
+            assert (Prefix.from_int(probe, 32) in store) == (probe in reference)
+
+    @given(st.lists(_values32, max_size=200), st.lists(_values32, max_size=50))
+    @settings(max_examples=100)
+    def test_delta_store_matches_python_set(self, members: list[int], probes: list[int]):
+        store = DeltaCodedPrefixStore(to_prefixes(members))
+        reference = set(members)
+        assert len(store) == len(reference)
+        for probe in probes + members[:10]:
+            assert (Prefix.from_int(probe, 32) in store) == (probe in reference)
+
+    @given(st.lists(_values32, max_size=150), st.lists(_values32, max_size=150))
+    @settings(max_examples=100)
+    def test_delta_store_survives_adds_and_removes(self, adds: list[int], removes: list[int]):
+        store = DeltaCodedPrefixStore(rebuild_threshold=8)
+        reference: set[int] = set()
+        for value in adds:
+            store.add(Prefix.from_int(value, 32))
+            reference.add(value)
+        for value in removes:
+            store.discard(Prefix.from_int(value, 32))
+            reference.discard(value)
+        assert len(store) == len(reference)
+        assert {prefix.to_int() for prefix in store} == reference
+
+    @given(st.lists(_values32, max_size=300))
+    @settings(max_examples=150)
+    def test_delta_table_round_trip(self, values: list[int]):
+        table = DeltaCodedTable(values)
+        assert list(table) == sorted(set(values))
+        assert len(table) == len(set(values))
+
+    @given(st.lists(_values32, max_size=300))
+    @settings(max_examples=100)
+    def test_delta_table_memory_never_exceeds_raw(self, values: list[int]):
+        table = DeltaCodedTable(values)
+        assert table.memory_bytes() <= 4 * len(set(values))
+
+
+class TestBloomProperties:
+    @given(st.lists(_values32, min_size=1, max_size=300))
+    @settings(max_examples=100)
+    def test_no_false_negatives(self, values: list[int]):
+        store = BloomPrefixStore(to_prefixes(values))
+        assert all(Prefix.from_int(value, 32) in store for value in values)
+
+    @given(st.lists(_values32, min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_memory_independent_of_values(self, values: list[int]):
+        store_a = BloomPrefixStore(to_prefixes(values), capacity=500)
+        store_b = BloomPrefixStore(to_prefixes([v ^ 0xFFFFFFFF for v in values]), capacity=500)
+        assert store_a.memory_bytes() == store_b.memory_bytes()

@@ -1,0 +1,91 @@
+"""Property-based tests for temporal correlation and history reconstruction."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.history import BrowsingHistoryReconstructor
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.analysis.temporal import IntentProfile, TemporalCorrelator
+from repro.hashing.digests import url_prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry
+
+_label = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=6)
+_timestamps = st.lists(st.floats(min_value=0, max_value=10_000, allow_nan=False),
+                       min_size=0, max_size=20)
+
+
+def _entry(cookie_name: str, timestamp: float, expression: str) -> RequestLogEntry:
+    return RequestLogEntry(
+        cookie=SafeBrowsingCookie(cookie_name),
+        timestamp=timestamp,
+        prefixes=(url_prefix(expression),),
+    )
+
+
+class TestTemporalProperties:
+    @given(_timestamps, st.floats(min_value=1.0, max_value=5_000.0))
+    @settings(max_examples=100)
+    def test_profile_matches_iff_both_urls_seen_within_window(self, times, window):
+        cfp = "https://petsymposium.org/2016/cfp.php"
+        submission = "https://petsymposium.org/2016/submission/"
+        profile = IntentProfile("author", (cfp, submission), min_matches=2)
+        correlator = TemporalCorrelator([profile], window_seconds=window)
+
+        log = []
+        for index, timestamp in enumerate(times):
+            expression = ("petsymposium.org/2016/cfp.php" if index % 2 == 0
+                          else "petsymposium.org/2016/submission/")
+            log.append(_entry("user", timestamp, expression))
+        visits = correlator.correlate(log)
+
+        # Ground truth: does any CFP sighting sit within `window` of a
+        # submission sighting?
+        cfp_times = sorted(times[0::2])
+        submission_times = sorted(times[1::2])
+        expected = any(
+            abs(a - b) <= window for a in cfp_times for b in submission_times
+        )
+        assert bool(visits) == expected
+
+    @given(st.lists(_label, min_size=1, max_size=10, unique=True))
+    @settings(max_examples=50)
+    def test_correlation_never_crosses_cookies(self, names):
+        url = "https://petsymposium.org/2016/cfp.php"
+        profile = IntentProfile("reader", (url,), min_matches=1)
+        correlator = TemporalCorrelator([profile], window_seconds=100)
+        log = [_entry(name, float(i), "petsymposium.org/2016/cfp.php")
+               for i, name in enumerate(names)]
+        visits = correlator.correlate(log)
+        assert {visit.cookie.value for visit in visits} == set(names)
+
+
+class TestHistoryProperties:
+    @given(st.lists(_label, min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_recovered_urls_are_always_real_candidates(self, page_names):
+        urls = [f"http://site.example.com/{name}.html" for name in dict.fromkeys(page_names)]
+        index = PrefixInvertedIndex()
+        index.add_urls(urls)
+        reconstructor = BrowsingHistoryReconstructor(ReidentificationEngine(index))
+
+        log = []
+        for offset, url in enumerate(urls):
+            entry = RequestLogEntry(
+                cookie=SafeBrowsingCookie("client"),
+                timestamp=float(offset),
+                prefixes=tuple(index.indexed_url(url).prefixes[:2]),
+            )
+            log.append(entry)
+        report = reconstructor.reconstruct(log)
+        assert report.total_requests == len(urls)
+        # Every URL-level recovery names a URL the client really visited.
+        history = report.history_for(SafeBrowsingCookie("client"))
+        assert history is not None
+        assert set(history.urls_recovered) <= set(urls)
+        # Domains are always recovered (all visits are on the indexed domain).
+        assert report.domain_recovery_rate == 1.0

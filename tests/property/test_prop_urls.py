@@ -1,0 +1,135 @@
+"""Property-based tests for canonicalization and decomposition invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.urls.canonicalize import canonicalize
+from repro.urls.decompose import decompositions
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+# -- strategies ---------------------------------------------------------------
+
+_label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+
+_host = st.builds(
+    lambda labels, tld: ".".join(labels + [tld]),
+    st.lists(_label, min_size=1, max_size=4),
+    st.sampled_from(["com", "org", "net", "ru", "fr", "io"]),
+)
+
+_path_segment = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_",
+    min_size=1, max_size=10,
+)
+
+_path = st.builds(
+    lambda segments, trailing: "/" + "/".join(segments) + ("/" if trailing and segments else ""),
+    st.lists(_path_segment, min_size=0, max_size=5),
+    st.booleans(),
+)
+
+_query = st.one_of(
+    st.none(),
+    st.builds(lambda k, v: f"{k}={v}", _path_segment, _path_segment),
+)
+
+
+@st.composite
+def urls(draw) -> str:
+    host = draw(_host)
+    path = draw(_path)
+    query = draw(_query)
+    scheme = draw(st.sampled_from(["http", "https"]))
+    url = f"{scheme}://{host}{path}"
+    if query is not None:
+        url += f"?{query}"
+    return url
+
+
+# -- canonicalization properties ----------------------------------------------
+
+
+class TestCanonicalizationProperties:
+    @given(urls())
+    @settings(max_examples=200)
+    def test_idempotent(self, url: str):
+        once = canonicalize(url)
+        assert canonicalize(once) == once
+
+    @given(urls())
+    @settings(max_examples=200)
+    def test_output_shape(self, url: str):
+        canonical = canonicalize(url)
+        assert "://" in canonical
+        host_and_path = canonical.split("://", 1)[1]
+        assert "/" in host_and_path
+
+    @given(urls())
+    @settings(max_examples=200)
+    def test_no_uppercase_in_host(self, url: str):
+        canonical = canonicalize(url.upper())
+        host = canonical.split("://", 1)[1].split("/", 1)[0]
+        assert host == host.lower()
+
+    @given(urls(), st.sampled_from(["#frag", "#a/b?c", "#"]))
+    @settings(max_examples=100)
+    def test_fragment_never_survives(self, url: str, fragment: str):
+        assert "#" not in canonicalize(url + fragment)
+
+    @given(urls())
+    @settings(max_examples=100)
+    def test_parse_canonical_round_trip(self, url: str):
+        canonical = canonicalize(url)
+        assert parse_url(canonical, canonical=True).url() == canonical
+
+
+# -- decomposition properties ---------------------------------------------------
+
+
+class TestDecompositionProperties:
+    @given(urls())
+    @settings(max_examples=200)
+    def test_at_least_one_decomposition(self, url: str):
+        assert len(decompositions(url)) >= 1
+
+    @given(urls())
+    @settings(max_examples=200)
+    def test_exact_expression_is_first_and_unique(self, url: str):
+        decomps = decompositions(url)
+        parsed = parse_url(url)
+        assert decomps[0] == parsed.expression()
+        assert len(decomps) == len(set(decomps))
+
+    @given(urls())
+    @settings(max_examples=200)
+    def test_api_limit_of_30_expressions(self, url: str):
+        assert len(decompositions(url)) <= 30
+
+    @given(urls())
+    @settings(max_examples=200)
+    def test_registered_domain_root_present(self, url: str):
+        parsed = parse_url(url)
+        domain_root = f"{registered_domain(parsed.host)}/"
+        assert domain_root in decompositions(url)
+
+    @given(urls())
+    @settings(max_examples=200)
+    def test_every_decomposition_is_suffix_host_plus_prefix_path(self, url: str):
+        parsed = parse_url(url)
+        for expression in decompositions(url):
+            host, _, path = expression.partition("/")
+            assert parsed.host.endswith(host)
+            assert ("/" + path).startswith("/")
+
+    @given(urls())
+    @settings(max_examples=100)
+    def test_decompositions_of_decompositions_are_subsets(self, url: str):
+        """Every decomposition, seen as a URL, decomposes into a subset."""
+        decomps = set(decompositions(url))
+        for expression in list(decomps)[:3]:
+            nested = decompositions(f"http://{expression}")
+            assert set(nested) <= decomps

@@ -1,0 +1,158 @@
+"""Unit tests for the blacklist auditor (Section 7 measurements)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.audit import BlacklistAuditor
+from repro.clock import ManualClock
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.exceptions import AnalysisError
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.lists import GOOGLE_LISTS, YANDEX_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.urls.decompose import decompositions
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return CorpusGenerator(CorpusConfig.random_like(25, seed=21)).generate()
+
+
+@pytest.fixture()
+def server(small_corpus) -> SafeBrowsingServer:
+    """A Google-shaped server with known content for auditing."""
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock())
+    server.blacklist("goog-malware-shavar", [
+        "malware-site-one.example/",
+        "malware-site-two.example/drop.exe",
+        "shared-entry.example/",
+    ])
+    server.blacklist("googpub-phish-shavar", ["phish.example/login", "shared-entry.example/"])
+    server.insert_orphan_prefixes("goog-malware-shavar",
+                                  [Prefix.from_int(0xAAAAAAAA, 32),
+                                   Prefix.from_int(0xBBBBBBBB, 32)])
+    return server
+
+
+@pytest.fixture()
+def auditor(server) -> BlacklistAuditor:
+    return BlacklistAuditor(server)
+
+
+class TestInversion:
+    def test_full_dictionary_inverts_everything_but_orphans(self, auditor):
+        dictionary = ["malware-site-one.example/", "malware-site-two.example/drop.exe",
+                      "shared-entry.example/"]
+        report = auditor.inversion_report("goog-malware-shavar", "exact", dictionary)
+        assert report.matched_prefixes == 3
+        assert report.list_prefix_count == 5  # 3 entries + 2 orphans
+        assert report.match_rate == pytest.approx(3 / 5)
+
+    def test_unrelated_dictionary_matches_nothing(self, auditor):
+        report = auditor.inversion_report("goog-malware-shavar", "noise",
+                                          [f"unrelated-{i}.example/" for i in range(50)])
+        assert report.matched_prefixes == 0
+        assert report.match_rate == 0.0
+
+    def test_partial_dictionary(self, auditor):
+        report = auditor.inversion_report("goog-malware-shavar", "partial",
+                                          ["malware-site-one.example/"])
+        assert report.matched_prefixes == 1
+
+    def test_inversion_matrix_covers_all_pairs(self, auditor):
+        matrix = auditor.inversion_matrix(
+            ["goog-malware-shavar", "googpub-phish-shavar"],
+            {"a": ["malware-site-one.example/"], "b": ["phish.example/login"]},
+        )
+        assert len(matrix) == 4
+        assert {(r.list_name, r.dictionary_name) for r in matrix} == {
+            ("goog-malware-shavar", "a"), ("goog-malware-shavar", "b"),
+            ("googpub-phish-shavar", "a"), ("googpub-phish-shavar", "b"),
+        }
+
+    def test_empty_list_has_zero_rate(self, auditor):
+        report = auditor.inversion_report("goog-unwanted-shavar", "a", ["x.example/"])
+        assert report.match_rate == 0.0
+
+
+class TestOrphans:
+    def test_orphan_counts(self, auditor):
+        report = auditor.orphan_report("goog-malware-shavar")
+        assert report.prefixes_with_zero_hashes == 2
+        assert report.prefixes_with_one_hash == 3
+        assert report.prefixes_with_two_or_more_hashes == 0
+        assert report.total_prefixes == 5
+        assert report.orphan_fraction == pytest.approx(2 / 5)
+
+    def test_orphan_report_without_corpus_has_no_hits(self, auditor):
+        report = auditor.orphan_report("goog-malware-shavar")
+        assert report.total_corpus_hits == 0
+
+    def test_corpus_hits_on_orphan_prefixes(self, server, small_corpus):
+        # Make one corpus URL's domain-root prefix an orphan: the scan must
+        # count that URL as hitting an orphan prefix.
+        site = small_corpus.sites[0]
+        root_expression = f"{site.registered_domain}/"
+        from repro.hashing.digests import url_prefix
+
+        server.insert_orphan_prefixes("goog-malware-shavar", [url_prefix(root_expression)])
+        auditor = BlacklistAuditor(server)
+        report = auditor.orphan_report("goog-malware-shavar", small_corpus)
+        assert report.corpus_hits_on_orphans >= 1
+
+    def test_corpus_hits_on_populated_prefixes(self, server, small_corpus):
+        site = small_corpus.sites[1]
+        server.blacklist("goog-malware-shavar", [f"{site.registered_domain}/"])
+        auditor = BlacklistAuditor(server)
+        report = auditor.orphan_report("goog-malware-shavar", small_corpus)
+        assert report.corpus_hits_on_single_parent >= 1
+
+
+class TestMultiPrefix:
+    def test_no_multi_prefix_urls_in_clean_corpus(self, auditor, small_corpus):
+        report = auditor.multi_prefix_report(small_corpus)
+        assert report.url_count == 0
+        assert report.urls_scanned == small_corpus.url_count
+
+    def test_blacklisting_domain_and_page_creates_multi_prefix_url(self, server, small_corpus):
+        site = max(small_corpus.sites, key=lambda s: s.url_count)
+        target = max(site.urls, key=lambda url: len(decompositions(url)))
+        exact_expression = decompositions(target)[0]
+        domain_root = f"{registered_domain(parse_url(target).host)}/"
+        server.blacklist("goog-malware-shavar", [exact_expression, domain_root])
+        auditor = BlacklistAuditor(server)
+        report = auditor.multi_prefix_report(small_corpus)
+        assert any(found.url == target for found in report.urls)
+        found = next(found for found in report.urls if found.url == target)
+        assert found.hit_count >= 2
+        assert "goog-malware-shavar" in found.lists
+
+    def test_min_hits_validated(self, auditor, small_corpus):
+        with pytest.raises(AnalysisError):
+            auditor.multi_prefix_report(small_corpus, min_hits=0)
+
+    def test_per_list_breakdown(self, server, small_corpus):
+        site = max(small_corpus.sites, key=lambda s: s.url_count)
+        target = max(site.urls, key=lambda url: len(decompositions(url)))
+        exact_expression = decompositions(target)[0]
+        domain_root = f"{registered_domain(parse_url(target).host)}/"
+        server.blacklist("googpub-phish-shavar", [exact_expression, domain_root])
+        auditor = BlacklistAuditor(server)
+        report = auditor.multi_prefix_report(small_corpus)
+        assert report.per_list().get("googpub-phish-shavar", 0) >= 1
+
+
+class TestOverlap:
+    def test_overlap_between_providers(self, server):
+        yandex = SafeBrowsingServer(YANDEX_LISTS, clock=ManualClock())
+        yandex.blacklist("ydx-malware-shavar", ["malware-site-one.example/",
+                                                "yandex-only.example/"])
+        report = BlacklistAuditor(server).overlap_with(
+            BlacklistAuditor(yandex), "goog-malware-shavar", "ydx-malware-shavar")
+        assert report.common_prefixes == 1
+        assert report.first_count == 5
+        assert report.second_count == 2
+        assert 0.0 < report.jaccard < 1.0

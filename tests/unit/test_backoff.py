@@ -1,0 +1,76 @@
+"""Unit tests for the update scheduler and its error back-off."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.safebrowsing.backoff import INITIAL_BACKOFF, MAX_BACKOFF, UpdateScheduler
+
+
+class TestValidation:
+    def test_poll_interval_must_be_positive(self):
+        with pytest.raises(ProtocolError):
+            UpdateScheduler(poll_interval=0)
+
+    def test_jitter_fraction_bounds(self):
+        with pytest.raises(ProtocolError):
+            UpdateScheduler(jitter_fraction=1.0)
+        UpdateScheduler(jitter_fraction=0.0)  # no jitter is allowed
+
+
+class TestScheduling:
+    def test_first_update_allowed_immediately(self):
+        assert UpdateScheduler().can_update(0.0)
+
+    def test_success_schedules_next_poll(self):
+        scheduler = UpdateScheduler(poll_interval=1000.0, jitter_fraction=0.0)
+        next_at = scheduler.record_success(now=0.0)
+        assert next_at == pytest.approx(1000.0)
+        assert not scheduler.can_update(999.0)
+        assert scheduler.can_update(1000.0)
+
+    def test_server_interval_overrides_default(self):
+        scheduler = UpdateScheduler(poll_interval=1000.0, jitter_fraction=0.0)
+        assert scheduler.record_success(0.0, server_interval=60.0) == pytest.approx(60.0)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        first = UpdateScheduler(poll_interval=1000.0, jitter_fraction=0.1, seed="x")
+        second = UpdateScheduler(poll_interval=1000.0, jitter_fraction=0.1, seed="x")
+        next_first = first.record_success(0.0)
+        next_second = second.record_success(0.0)
+        assert next_first == next_second
+        assert 900.0 <= next_first <= 1100.0
+
+    def test_errors_back_off_exponentially(self):
+        scheduler = UpdateScheduler(jitter_fraction=0.0)
+        delays = []
+        now = 0.0
+        for _ in range(5):
+            next_at = scheduler.record_error(now)
+            delays.append(next_at - now)
+            now = next_at
+        assert delays[0] == pytest.approx(INITIAL_BACKOFF)
+        assert all(later >= earlier for earlier, later in zip(delays, delays[1:]))
+        assert delays[-1] == pytest.approx(INITIAL_BACKOFF * 2**4)
+
+    def test_backoff_capped(self):
+        scheduler = UpdateScheduler(jitter_fraction=0.0)
+        for _ in range(30):
+            scheduler.record_error(0.0)
+        assert scheduler.current_backoff() == pytest.approx(MAX_BACKOFF)
+
+    def test_success_resets_error_count(self):
+        scheduler = UpdateScheduler(jitter_fraction=0.0)
+        scheduler.record_error(0.0)
+        scheduler.record_error(0.0)
+        scheduler.record_success(0.0)
+        assert scheduler.consecutive_errors == 0
+        assert scheduler.current_backoff() == pytest.approx(INITIAL_BACKOFF)
+
+    def test_reset_clears_state(self):
+        scheduler = UpdateScheduler(jitter_fraction=0.0)
+        scheduler.record_error(100.0)
+        scheduler.reset()
+        assert scheduler.can_update(0.0)
+        assert scheduler.consecutive_errors == 0

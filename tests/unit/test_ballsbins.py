@@ -1,0 +1,144 @@
+"""Unit tests for the balls-into-bins analysis (paper Section 5 / Table 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ballsbins import (
+    BallsIntoBinsModel,
+    DOMAIN_COUNT_HISTORY,
+    URL_COUNT_HISTORY,
+    expected_max_load_poisson,
+    max_load_upper_bound,
+    select_regime,
+    simulate_max_load,
+)
+from repro.exceptions import AnalysisError
+
+
+class TestRegimeSelection:
+    def test_dense_regime_for_huge_m(self):
+        assert select_regime(10**15, 2**16) == "dense"
+
+    def test_sparse_regime_for_small_m(self):
+        assert select_regime(10**6, 2**32) == "sparse"
+
+    def test_urls_2013_at_32_bits_is_not_sparse(self):
+        regime = select_regime(URL_COUNT_HISTORY[2013], 2**32)
+        assert regime in {"polylog", "dense", "linearithmic"}
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            select_regime(0, 2**32)
+        with pytest.raises(AnalysisError):
+            select_regime(10, 1)
+
+
+class TestUpperBound:
+    def test_bound_positive(self):
+        assert max_load_upper_bound(10**12, 2**32) > 0
+
+    def test_bound_grows_with_m(self):
+        small = max_load_upper_bound(URL_COUNT_HISTORY[2008], 2**32)
+        large = max_load_upper_bound(URL_COUNT_HISTORY[2013], 2**32)
+        assert large > small
+
+    def test_bound_shrinks_with_prefix_width(self):
+        wide = max_load_upper_bound(10**12, 2**64)
+        narrow = max_load_upper_bound(10**12, 2**32)
+        assert wide < narrow
+
+    def test_bound_at_least_mean_load_when_dense(self):
+        m, n = 10**12, 2**32
+        assert max_load_upper_bound(m, n) >= m / n
+
+    def test_alpha_increases_bound_in_dense_regimes(self):
+        m, n = 10**13, 2**32
+        assert max_load_upper_bound(m, n, alpha=2.0) > max_load_upper_bound(m, n, alpha=1.0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(AnalysisError):
+            max_load_upper_bound(10, 16, alpha=0.0)
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(AnalysisError):
+            max_load_upper_bound(10, 16, regime="bogus")
+
+    def test_explicit_regime_accepted(self):
+        value = max_load_upper_bound(10**12, 2**32, regime="polylog")
+        assert value > 0
+
+
+class TestPoissonEstimate:
+    def test_matches_simulation_small_scale(self):
+        m, n = 200_000, 4096
+        estimate = expected_max_load_poisson(m, n)
+        simulated = simulate_max_load(m, n, rounds=5, seed=3)
+        assert abs(estimate - simulated) / simulated < 0.25
+
+    def test_matches_simulation_sparse(self):
+        m, n = 5_000, 2**16
+        estimate = expected_max_load_poisson(m, n)
+        simulated = simulate_max_load(m, n, rounds=10, seed=4)
+        assert abs(estimate - simulated) <= 2
+
+    def test_monotone_in_m(self):
+        assert expected_max_load_poisson(10**13, 2**32) >= expected_max_load_poisson(10**12, 2**32)
+
+    def test_at_least_one(self):
+        assert expected_max_load_poisson(10, 2**32) >= 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            expected_max_load_poisson(0, 10)
+
+
+class TestSimulation:
+    def test_result_at_least_mean(self):
+        assert simulate_max_load(10_000, 100, seed=1) >= 100.0
+
+    def test_rejects_oversized_runs(self):
+        with pytest.raises(AnalysisError):
+            simulate_max_load(10**9, 10, rounds=10)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            simulate_max_load(0, 10)
+
+
+class TestModelAndPaperShape:
+    def test_bin_count(self):
+        assert BallsIntoBinsModel(10**12, 32).bin_count == 2**32
+
+    def test_load_factor(self):
+        model = BallsIntoBinsModel(2**34, 32)
+        assert model.load_factor == pytest.approx(4.0)
+
+    def test_urls_at_32_bits_are_well_hidden(self):
+        # Paper Table 5: hundreds to tens of thousands of URLs per prefix.
+        for year, count in URL_COUNT_HISTORY.items():
+            uncertainty = BallsIntoBinsModel(count, 32).worst_case_uncertainty()
+            assert uncertainty > 100, year
+
+    def test_urls_at_64_bits_are_nearly_unique(self):
+        for count in URL_COUNT_HISTORY.values():
+            assert BallsIntoBinsModel(count, 64).worst_case_uncertainty() <= 5
+
+    def test_domains_at_32_bits_nearly_unique(self):
+        # Paper Table 5: 2-3 domains per prefix.
+        for count in DOMAIN_COUNT_HISTORY.values():
+            uncertainty = BallsIntoBinsModel(count, 32).worst_case_uncertainty()
+            assert uncertainty <= 10
+
+    def test_domains_at_16_bits_hidden(self):
+        for count in DOMAIN_COUNT_HISTORY.values():
+            assert BallsIntoBinsModel(count, 16).worst_case_uncertainty() > 1000
+
+    def test_reidentifiable_predicate(self):
+        assert not BallsIntoBinsModel(URL_COUNT_HISTORY[2013], 32).reidentifiable()
+        assert BallsIntoBinsModel(DOMAIN_COUNT_HISTORY[2013], 96).reidentifiable()
+
+    def test_history_constants_match_paper(self):
+        assert URL_COUNT_HISTORY[2008] == 10**12
+        assert URL_COUNT_HISTORY[2013] == 60 * 10**12
+        assert DOMAIN_COUNT_HISTORY[2012] == 252 * 10**6

@@ -1,0 +1,116 @@
+"""Unit tests for the Bloom filter and its prefix-store wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datastructures.bloom import (
+    BloomFilter,
+    BloomPrefixStore,
+    optimal_bloom_parameters,
+)
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+
+class TestOptimalParameters:
+    def test_lower_false_positive_rate_needs_more_bits(self):
+        m_strict, _ = optimal_bloom_parameters(1000, 1e-6)
+        m_loose, _ = optimal_bloom_parameters(1000, 1e-2)
+        assert m_strict > m_loose
+
+    def test_bits_scale_linearly_with_capacity(self):
+        m_small, _ = optimal_bloom_parameters(1000, 1e-4)
+        m_large, _ = optimal_bloom_parameters(10_000, 1e-4)
+        assert 9 <= m_large / m_small <= 11
+
+    def test_zero_capacity_gives_minimal_filter(self):
+        m_bits, k = optimal_bloom_parameters(0, 1e-4)
+        assert m_bits >= 8
+        assert k >= 1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(DataStructureError):
+            optimal_bloom_parameters(10, 0.0)
+        with pytest.raises(DataStructureError):
+            optimal_bloom_parameters(10, 1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(DataStructureError):
+            optimal_bloom_parameters(-1, 0.01)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=500)
+        items = [f"item-{i}".encode() for i in range(500)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_close_to_target(self):
+        bloom = BloomFilter(capacity=2000, false_positive_rate=1e-3)
+        for i in range(2000):
+            bloom.add(f"member-{i}".encode())
+        false_positives = sum(
+            1 for i in range(10_000) if f"absent-{i}".encode() in bloom
+        )
+        assert false_positives / 10_000 < 1e-2  # an order of magnitude of slack
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(capacity=10)
+        bloom.add(b"a")
+        bloom.add(b"b")
+        assert len(bloom) == 2
+
+    def test_memory_independent_of_item_width(self):
+        bloom = BloomFilter(capacity=1000)
+        size_before = bloom.memory_bytes()
+        for i in range(1000):
+            bloom.add(("x" * 64 + str(i)).encode())
+        assert bloom.memory_bytes() == size_before
+
+    def test_estimated_false_positive_rate_grows_with_fill(self):
+        bloom = BloomFilter(capacity=100)
+        empty_rate = bloom.estimated_false_positive_rate()
+        for i in range(100):
+            bloom.add(f"{i}".encode())
+        assert bloom.estimated_false_positive_rate() > empty_rate
+
+
+class TestBloomPrefixStore:
+    def test_membership_after_insert(self):
+        store = BloomPrefixStore([Prefix.from_int(i, 32) for i in range(100)])
+        assert Prefix.from_int(5, 32) in store
+        assert len(store) == 100
+
+    def test_deletion_unsupported(self):
+        store = BloomPrefixStore([Prefix.from_int(1, 32)])
+        with pytest.raises(DataStructureError):
+            store.discard(Prefix.from_int(1, 32))
+
+    def test_is_approximate(self):
+        assert BloomPrefixStore.approximate is True
+
+    def test_width_checked(self):
+        store = BloomPrefixStore(bits=32)
+        with pytest.raises(DataStructureError):
+            store.add(Prefix.from_int(1, 64))
+
+    def test_memory_constant_across_prefix_widths(self):
+        # The paper's observation: the Bloom filter size depends only on the
+        # number of entries and the false-positive target, not on the width.
+        count = 2000
+        store32 = BloomPrefixStore([Prefix.from_int(i, 32) for i in range(count)],
+                                   bits=32, capacity=count)
+        store256 = BloomPrefixStore([Prefix.from_int(i, 256) for i in range(count)],
+                                    bits=256, capacity=count)
+        assert store32.memory_bytes() == store256.memory_bytes()
+
+    def test_explicit_capacity_respected(self):
+        store = BloomPrefixStore(bits=32, capacity=10_000)
+        assert store.memory_bytes() == BloomPrefixStore(bits=32, capacity=10_000).memory_bytes()
+
+    def test_filter_accessor(self):
+        store = BloomPrefixStore([Prefix.from_int(1, 32)])
+        assert store.filter.hash_count >= 1

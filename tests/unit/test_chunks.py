@@ -1,0 +1,103 @@
+"""Unit tests for chunks and chunk ranges (shavar update format)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import Chunk, ChunkKind, ChunkRange
+
+
+def some_prefixes(count: int = 3) -> tuple[Prefix, ...]:
+    return tuple(Prefix.from_int(i + 1, 32) for i in range(count))
+
+
+class TestChunk:
+    def test_add_chunk(self):
+        chunk = Chunk(number=1, kind=ChunkKind.ADD, prefixes=some_prefixes())
+        assert len(chunk) == 3
+        assert chunk.referenced_add_chunk is None
+
+    def test_sub_chunk_references_add_chunk(self):
+        chunk = Chunk(number=1, kind=ChunkKind.SUB, prefixes=some_prefixes(1),
+                      referenced_add_chunk=1)
+        assert chunk.referenced_add_chunk == 1
+
+    def test_chunk_numbers_start_at_one(self):
+        with pytest.raises(ProtocolError):
+            Chunk(number=0, kind=ChunkKind.ADD, prefixes=())
+
+    def test_add_chunk_cannot_reference(self):
+        with pytest.raises(ProtocolError):
+            Chunk(number=1, kind=ChunkKind.ADD, prefixes=(), referenced_add_chunk=1)
+
+
+class TestChunkRangeParsing:
+    def test_parse_empty(self):
+        assert len(ChunkRange.parse("")) == 0
+
+    def test_parse_single_number(self):
+        assert ChunkRange.parse("7").numbers == {7}
+
+    def test_parse_range(self):
+        assert ChunkRange.parse("1-4").numbers == {1, 2, 3, 4}
+
+    def test_parse_mixed(self):
+        assert ChunkRange.parse("1-3,5,8-9").numbers == {1, 2, 3, 5, 8, 9}
+
+    def test_parse_with_spaces(self):
+        assert ChunkRange.parse(" 1-2 , 4 ").numbers == {1, 2, 4}
+
+    def test_parse_invalid_text(self):
+        with pytest.raises(ProtocolError):
+            ChunkRange.parse("abc")
+
+    def test_parse_reversed_range(self):
+        with pytest.raises(ProtocolError):
+            ChunkRange.parse("5-2")
+
+    def test_parse_zero_rejected(self):
+        with pytest.raises(ProtocolError):
+            ChunkRange.parse("0")
+
+
+class TestChunkRangeBehaviour:
+    def test_of_builder(self):
+        assert ChunkRange.of([3, 1, 2]).numbers == {1, 2, 3}
+
+    def test_membership_and_iteration(self):
+        chunk_range = ChunkRange.of([2, 1])
+        assert 1 in chunk_range
+        assert 5 not in chunk_range
+        assert list(chunk_range) == [1, 2]
+
+    def test_add(self):
+        chunk_range = ChunkRange()
+        chunk_range.add(3)
+        assert 3 in chunk_range
+
+    def test_add_invalid(self):
+        with pytest.raises(ProtocolError):
+            ChunkRange().add(0)
+
+    def test_merge(self):
+        merged = ChunkRange.of([1]).merge(ChunkRange.of([2]))
+        assert merged.numbers == {1, 2}
+
+    def test_missing_from(self):
+        held = ChunkRange.of([1, 2, 4])
+        assert held.missing_from([1, 2, 3, 4, 5]) == [3, 5]
+
+    def test_to_wire_collapses_runs(self):
+        assert ChunkRange.of([1, 2, 3, 5, 7, 8]).to_wire() == "1-3,5,7-8"
+
+    def test_to_wire_empty(self):
+        assert ChunkRange().to_wire() == ""
+
+    def test_wire_round_trip(self):
+        original = ChunkRange.of([1, 2, 3, 10, 12, 13, 14, 99])
+        assert ChunkRange.parse(original.to_wire()).numbers == original.numbers
+
+    def test_str_is_wire_format(self):
+        assert str(ChunkRange.of([1, 2])) == "1-2"

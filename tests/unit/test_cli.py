@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-a-table"])
+
+    def test_every_registered_experiment_resolves(self):
+        from repro.cli import _resolve_experiment
+
+        for name in _EXPERIMENTS:
+            assert callable(_resolve_experiment(name))
+
+
+class TestCommands:
+    def test_canonicalize(self, capsys):
+        assert main(["canonicalize", "HTTP://EXAMPLE.com:80/a/../b#x"]) == 0
+        assert capsys.readouterr().out.strip() == "http://example.com/b"
+
+    def test_canonicalize_error_exit_code(self, capsys):
+        assert main(["canonicalize", ""]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_decompose_prints_prefixes(self, capsys):
+        assert main(["decompose", "https://petsymposium.org/2016/cfp.php"]) == 0
+        output = capsys.readouterr().out
+        assert "petsymposium.org/2016/cfp.php\t0xe70ee6d1" in output
+        assert "petsymposium.org/\t0x33a02ef5" in output
+
+    def test_prefix_custom_width(self, capsys):
+        assert main(["prefix", "petsymposium.org/2016/cfp.php", "--bits", "64"]) == 0
+        assert capsys.readouterr().out.strip().startswith("0xe70ee6d1")
+
+    def test_track_leaf_target(self, capsys):
+        code = main([
+            "track", "https://petsymposium.org/2016/cfp.php",
+            "https://petsymposium.org/2016/", "https://petsymposium.org/",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mode   : leaf" in output
+        assert "0xe70ee6d1" in output
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "0xe70ee6d1" in capsys.readouterr().out
+
+    def test_experiment_table5(self, capsys):
+        assert main(["experiment", "table5"]) == 0
+        assert "Raab-Steger" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Unit tests for the deterministic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import Clock, ManualClock
+
+
+class TestManualClock:
+    def test_starts_at_zero_by_default(self):
+        assert ManualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert ManualClock(100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock(-1.0)
+
+    def test_advance(self):
+        clock = ManualClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_set(self):
+        clock = ManualClock()
+        clock.set(42.0)
+        assert clock.now() == 42.0
+
+    def test_set_backwards_rejected(self):
+        clock = ManualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_is_a_clock(self):
+        assert isinstance(ManualClock(), Clock)

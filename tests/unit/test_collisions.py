@@ -1,0 +1,128 @@
+"""Unit tests for Type I / II / III collision classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.collisions import (
+    CollisionType,
+    classify_collision,
+    collision_examples_for,
+    collision_probability_bound,
+)
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.urls.decompose import decompositions
+
+TARGET = "http://a.b.c/"
+
+
+class TestClassification:
+    def test_type1_for_related_url_sharing_decompositions(self):
+        # g.a.b.c's decompositions include a.b.c/ and b.c/ — the target's own
+        # expressions — so it can produce both observed prefixes (Type I).
+        example = classify_collision(TARGET, "http://g.a.b.c/")
+        assert example.collision_type is CollisionType.TYPE_I
+        assert "a.b.c/" in example.shared_expressions
+        assert "b.c/" in example.shared_expressions
+
+    def test_none_when_candidate_cannot_produce_all_prefixes(self):
+        # g.b.c shares only b.c/ with the target; the a.b.c/ prefix cannot be
+        # produced without a truncation collision, which real SHA-256 will not
+        # provide, so the candidate is ruled out entirely.
+        example = classify_collision(TARGET, "http://g.b.c/")
+        assert example.collision_type is CollisionType.NONE
+
+    def test_none_for_unrelated_url(self):
+        example = classify_collision(TARGET, "http://d.e.f/")
+        assert example.collision_type is CollisionType.NONE
+
+    def test_child_page_is_type1_of_parent_directory(self):
+        parent = "http://a.b.c/docs/"
+        child = "http://a.b.c/docs/page.html"
+        example = classify_collision(parent, child)
+        assert example.collision_type is CollisionType.TYPE_I
+
+    def test_sibling_pages_do_not_explain_exact_prefix(self):
+        first = "http://a.b.c/one.html"
+        second = "http://a.b.c/two.html"
+        example = classify_collision(first, second)
+        assert example.collision_type is CollisionType.NONE
+
+    def test_restricting_observed_prefixes_to_shared_ones_gives_type1(self):
+        first = "http://a.b.c/one.html"
+        second = "http://a.b.c/two.html"
+        shared_prefix = url_prefix("a.b.c/")
+        example = classify_collision(first, second, observed_prefixes=(shared_prefix,))
+        assert example.collision_type is CollisionType.TYPE_I
+
+    def test_type2_when_one_prefix_collides_by_truncation(self):
+        # At an 8-bit width, truncation collisions are easy to find: locate a
+        # sibling page whose exact expression collides with the target's on
+        # the first byte of the digest.  The provider observes the pair
+        # (target exact prefix, domain root prefix): the sibling shares the
+        # domain root (one real shared decomposition) and reproduces the
+        # exact prefix only through the truncation collision -> Type II.
+        target = "http://a.b.c/page-0.html"
+        target_prefix = url_prefix("a.b.c/page-0.html", 8)
+        observed = (target_prefix, url_prefix("b.c/", 8))
+        sibling = None
+        for index in range(1, 4000):
+            expression = f"a.b.c/page-{index}.html"
+            if url_prefix(expression, 8) == target_prefix:
+                sibling = f"http://{expression}"
+                break
+        assert sibling is not None, "no 8-bit collision found in 4000 candidates"
+        example = classify_collision(target, sibling, prefix_bits=8,
+                                     observed_prefixes=observed)
+        assert example.collision_type is CollisionType.TYPE_II
+
+    def test_no_observed_prefixes_rejected(self):
+        with pytest.raises(AnalysisError):
+            classify_collision(TARGET, "http://g.a.b.c/", observed_prefixes=())
+
+    def test_collision_examples_for_list(self):
+        examples = collision_examples_for(TARGET, ["http://g.a.b.c/", "http://d.e.f/"])
+        assert [example.collision_type for example in examples] == [
+            CollisionType.TYPE_I,
+            CollisionType.NONE,
+        ]
+
+
+class TestProbabilityBounds:
+    def test_type3_probability_matches_paper(self):
+        # The paper: two 32-bit prefixes collide accidentally with prob 1/2^64.
+        bound = collision_probability_bound(CollisionType.TYPE_III,
+                                            prefix_bits=32, observed_prefix_count=2)
+        assert bound == pytest.approx(2.0**-64)
+
+    def test_type2_probability(self):
+        bound = collision_probability_bound(CollisionType.TYPE_II,
+                                            prefix_bits=32, observed_prefix_count=2)
+        assert bound == pytest.approx(2.0**-32)
+
+    def test_type1_has_no_accidental_bound(self):
+        assert collision_probability_bound(CollisionType.TYPE_I) == 1.0
+
+    def test_none_has_zero_probability(self):
+        assert collision_probability_bound(CollisionType.NONE) == 0.0
+
+    def test_ordering_matches_paper_inequality(self):
+        type1 = collision_probability_bound(CollisionType.TYPE_I)
+        type2 = collision_probability_bound(CollisionType.TYPE_II)
+        type3 = collision_probability_bound(CollisionType.TYPE_III)
+        assert type1 > type2 > type3
+
+    def test_invalid_prefix_count(self):
+        with pytest.raises(AnalysisError):
+            collision_probability_bound(CollisionType.TYPE_I, observed_prefix_count=0)
+
+
+class TestPaperTable6Structure:
+    def test_target_decompositions(self):
+        assert decompositions(TARGET) == ["a.b.c/", "b.c/"]
+
+    def test_type1_candidate_decompositions_contain_targets(self):
+        decomps = decompositions("http://g.a.b.c/")
+        assert "a.b.c/" in decomps
+        assert "b.c/" in decomps

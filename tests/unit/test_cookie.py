@@ -1,0 +1,46 @@
+"""Unit tests for the Safe Browsing cookie and cookie jar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.safebrowsing.cookie import CookieJar, SafeBrowsingCookie
+
+
+class TestSafeBrowsingCookie:
+    def test_value_preserved(self):
+        assert SafeBrowsingCookie("abc123").value == "abc123"
+
+    def test_str(self):
+        assert str(SafeBrowsingCookie("abc")) == "abc"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SafeBrowsingCookie("")
+
+    def test_equality(self):
+        assert SafeBrowsingCookie("x") == SafeBrowsingCookie("x")
+        assert SafeBrowsingCookie("x") != SafeBrowsingCookie("y")
+
+
+class TestCookieJar:
+    def test_issue_is_deterministic(self):
+        assert CookieJar().issue("alice") == CookieJar().issue("alice")
+
+    def test_issue_is_stable_within_a_jar(self):
+        jar = CookieJar()
+        assert jar.issue("alice") == jar.issue("alice")
+
+    def test_different_clients_get_different_cookies(self):
+        jar = CookieJar()
+        assert jar.issue("alice") != jar.issue("bob")
+
+    def test_different_seeds_give_different_cookies(self):
+        assert CookieJar("seed-a").issue("alice") != CookieJar("seed-b").issue("alice")
+
+    def test_known_clients(self):
+        jar = CookieJar()
+        jar.issue("bob")
+        jar.issue("alice")
+        assert jar.known_clients() == ["alice", "bob"]
+        assert len(jar) == 2

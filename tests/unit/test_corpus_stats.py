@@ -1,0 +1,121 @@
+"""Unit tests for the corpus statistics pipeline (Figures 5 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import HostSite
+from repro.corpus.stats import (
+    collect_corpus_statistics,
+    host_collision_counts,
+    site_decomposition_stats,
+)
+
+
+class TestSiteDecompositionStats:
+    def test_single_page_site(self):
+        site = HostSite("example.com", ("http://example.com/",))
+        stats = site_decomposition_stats(site)
+        assert stats.url_count == 1
+        assert stats.unique_decompositions == 1
+        assert stats.mean_decompositions_per_url == 1.0
+        assert stats.type1_collision_count == 0
+        assert stats.prefix_collisions == 0
+
+    def test_nested_site_has_type1_collisions(self):
+        site = HostSite("example.com", (
+            "http://example.com/",
+            "http://example.com/docs/",
+            "http://example.com/docs/page.html",
+        ))
+        stats = site_decomposition_stats(site)
+        # The root and the docs/ directory are decompositions of deeper URLs.
+        assert stats.type1_collision_count >= 2
+        assert stats.has_type1_collisions
+
+    def test_sibling_pages_have_no_type1_collisions(self):
+        site = HostSite("example.com", (
+            "http://example.com/a.html",
+            "http://example.com/b.html",
+        ))
+        stats = site_decomposition_stats(site)
+        assert stats.type1_collision_count == 0
+
+    def test_min_max_mean_consistent(self, random_corpus):
+        site = max(random_corpus.sites, key=lambda s: s.url_count)
+        stats = site_decomposition_stats(site)
+        assert stats.min_decompositions_per_url <= stats.mean_decompositions_per_url
+        assert stats.mean_decompositions_per_url <= stats.max_decompositions_per_url
+
+    def test_reduced_width_creates_collisions(self):
+        urls = tuple(f"http://example.com/page-{i}.html" for i in range(300))
+        site = HostSite("example.com", urls)
+        stats = site_decomposition_stats(site, prefix_bits=8)
+        assert stats.prefix_collisions > 0
+
+    def test_32_bit_collisions_absent_at_small_scale(self, random_corpus):
+        site = max(random_corpus.sites, key=lambda s: s.url_count)
+        stats = site_decomposition_stats(site, prefix_bits=32)
+        assert stats.prefix_collisions == 0
+
+
+class TestCorpusStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self, random_corpus):
+        return collect_corpus_statistics(random_corpus, max_sites=40)
+
+    def test_counts_cover_corpus(self, stats, random_corpus):
+        assert stats.site_count == random_corpus.site_count
+        assert stats.url_count == random_corpus.url_count
+        assert len(stats.urls_per_site_sorted) == random_corpus.site_count
+
+    def test_urls_per_site_sorted_descending(self, stats):
+        sorted_counts = list(stats.urls_per_site_sorted)
+        assert sorted_counts == sorted(sorted_counts, reverse=True)
+
+    def test_cumulative_fraction_monotone_and_ends_at_one(self, stats):
+        cumulative = stats.cumulative_url_fraction
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_sites_covering_80_percent(self, stats):
+        covering = stats.sites_covering_80_percent
+        assert 1 <= covering <= stats.site_count
+        assert stats.cumulative_url_fraction[covering - 1] >= 0.8
+
+    def test_fractions_are_probabilities(self, stats):
+        assert 0.0 <= stats.single_page_site_fraction <= 1.0
+        assert 0.0 <= stats.fraction_sites_max_decompositions_at_most_10 <= 1.0
+        assert 0.0 <= stats.fraction_sites_mean_decompositions_between_1_and_5 <= 1.0
+        assert 0.0 <= stats.fraction_sites_without_type1_collisions <= 1.0
+        assert 0.0 <= stats.fraction_sites_with_prefix_collisions <= 1.0
+
+    def test_random_corpus_has_many_single_page_sites(self, stats):
+        assert stats.single_page_site_fraction >= 0.3
+
+    def test_power_law_fit_attached(self, stats):
+        assert stats.power_law.alpha > 1.0
+        assert stats.power_law.sample_size > 0
+
+    def test_max_sites_caps_per_site_stats(self, stats):
+        assert len(stats.per_site) == 40
+
+    def test_nonzero_collision_counts_sorted(self, stats):
+        counts = stats.nonzero_collision_counts()
+        assert counts == sorted(counts, reverse=True)
+        assert all(count > 0 for count in counts)
+
+    def test_max_urls_on_a_site(self, stats):
+        assert stats.max_urls_on_a_site() == max(stats.urls_per_site_sorted)
+
+
+class TestHostCollisionCounts:
+    def test_lengths_match_sites(self, random_corpus):
+        counts = host_collision_counts(random_corpus, max_sites=10)
+        assert len(counts) == 10
+
+    def test_reduced_width_produces_more_collisions(self, random_corpus):
+        wide = sum(host_collision_counts(random_corpus, prefix_bits=32))
+        narrow = sum(host_collision_counts(random_corpus, prefix_bits=8))
+        assert narrow >= wide
+        assert narrow > 0

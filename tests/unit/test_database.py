@@ -1,0 +1,151 @@
+"""Unit tests for the server-side list database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ListNotFoundError, ProtocolError
+from repro.hashing.digests import FullHash, url_prefix
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.database import ListDatabase, ServerDatabase
+from repro.safebrowsing.lists import GOOGLE_LISTS, get_list, ListProvider
+
+
+@pytest.fixture()
+def database() -> ListDatabase:
+    return ListDatabase(get_list("goog-malware-shavar", ListProvider.GOOGLE))
+
+
+class TestListDatabase:
+    def test_add_expression_returns_prefix(self, database: ListDatabase):
+        prefix = database.add_expression("evil.example.com/")
+        assert prefix == url_prefix("evil.example.com/")
+        assert database.contains_prefix(prefix)
+
+    def test_full_hashes_for_added_expression(self, database: ListDatabase):
+        prefix = database.add_expression("evil.example.com/")
+        hashes = database.full_hashes_for(prefix)
+        assert FullHash.of("evil.example.com/") in hashes
+
+    def test_add_expression_idempotent(self, database: ListDatabase):
+        database.add_expression("evil.example.com/")
+        database.add_expression("evil.example.com/")
+        assert database.prefix_count() == 1
+        assert database.full_hash_count() == 1
+
+    def test_add_full_hash_without_cleartext(self, database: ListDatabase):
+        full = FullHash.of("secret.example.com/")
+        prefix = database.add_full_hash(full)
+        assert database.full_hashes_for(prefix) == (full,)
+        assert "secret.example.com/" not in database.expressions()
+
+    def test_orphan_prefix_has_no_full_hash(self, database: ListDatabase):
+        orphan = Prefix.from_int(0xDEADBEEF, 32)
+        database.add_orphan_prefix(orphan)
+        assert database.contains_prefix(orphan)
+        assert database.full_hashes_for(orphan) == ()
+        assert orphan in database.orphan_prefixes()
+
+    def test_orphan_with_wrong_width_rejected(self, database: ListDatabase):
+        with pytest.raises(ProtocolError):
+            database.add_orphan_prefix(Prefix.from_int(1, 64))
+
+    def test_adding_expression_clears_orphan_status(self, database: ListDatabase):
+        expression = "evil.example.com/"
+        orphan = url_prefix(expression)
+        database.add_orphan_prefix(orphan)
+        database.add_expression(expression)
+        assert orphan not in database.orphan_prefixes()
+        assert database.contains_prefix(orphan)
+
+    def test_remove_expression(self, database: ListDatabase):
+        prefix = database.add_expression("evil.example.com/")
+        database.remove_expression("evil.example.com/")
+        assert not database.contains_prefix(prefix)
+        assert database.prefix_count() == 0
+
+    def test_remove_orphan_prefix(self, database: ListDatabase):
+        orphan = Prefix.from_int(1, 32)
+        database.add_orphan_prefix(orphan)
+        database.remove_orphan_prefix(orphan)
+        assert not database.contains_prefix(orphan)
+
+    def test_prefix_count_counts_orphans(self, database: ListDatabase):
+        database.add_expression("a.example.com/")
+        database.add_orphan_prefix(Prefix.from_int(99, 32))
+        assert database.prefix_count() == 2
+        assert len(database) == 2
+
+    def test_prefixes_returns_prefix_set(self, database: ListDatabase):
+        database.add_expression("a.example.com/")
+        database.add_orphan_prefix(Prefix.from_int(99, 32))
+        prefixes = database.prefixes()
+        assert len(prefixes) == 2
+        assert url_prefix("a.example.com/") in prefixes
+
+
+class TestChunkManagement:
+    def test_commit_creates_add_chunk(self, database: ListDatabase):
+        database.add_expressions(["a.com/", "b.com/"])
+        add_chunk, sub_chunk = database.commit_pending()
+        assert add_chunk is not None and len(add_chunk) == 2
+        assert sub_chunk is None
+        assert database.add_chunks == (add_chunk,)
+
+    def test_commit_creates_sub_chunk_on_removal(self, database: ListDatabase):
+        database.add_expression("a.com/")
+        database.commit_pending()
+        database.remove_expression("a.com/")
+        add_chunk, sub_chunk = database.commit_pending()
+        assert add_chunk is None
+        assert sub_chunk is not None and len(sub_chunk) == 1
+
+    def test_commit_with_nothing_pending(self, database: ListDatabase):
+        assert database.commit_pending() == (None, None)
+
+    def test_chunk_numbers_increase(self, database: ListDatabase):
+        database.add_expression("a.com/")
+        database.commit_pending()
+        database.add_expression("b.com/")
+        database.commit_pending()
+        assert [chunk.number for chunk in database.add_chunks] == [1, 2]
+
+    def test_chunks_after_held_set(self, database: ListDatabase):
+        database.add_expression("a.com/")
+        database.commit_pending()
+        database.add_expression("b.com/")
+        database.commit_pending()
+        missing_add, missing_sub = database.chunks_after([1], [])
+        assert [chunk.number for chunk in missing_add] == [2]
+        assert missing_sub == []
+
+
+class TestServerDatabase:
+    def test_lists_created_from_descriptors(self):
+        server_db = ServerDatabase(GOOGLE_LISTS)
+        assert len(server_db) == len(GOOGLE_LISTS)
+        assert "goog-malware-shavar" in server_db
+
+    def test_unknown_list_rejected(self):
+        server_db = ServerDatabase(GOOGLE_LISTS)
+        with pytest.raises(ListNotFoundError):
+            server_db["nope"]
+
+    def test_lists_containing(self):
+        server_db = ServerDatabase(GOOGLE_LISTS)
+        prefix = server_db["goog-malware-shavar"].add_expression("evil.com/")
+        server_db["googpub-phish-shavar"].add_expression("evil.com/")
+        assert set(server_db.lists_containing(prefix)) == {
+            "goog-malware-shavar", "googpub-phish-shavar",
+        }
+
+    def test_commit_all(self):
+        server_db = ServerDatabase(GOOGLE_LISTS)
+        server_db["goog-malware-shavar"].add_expression("evil.com/")
+        server_db.commit_all()
+        assert len(server_db["goog-malware-shavar"].add_chunks) == 1
+
+    def test_iteration_and_names(self):
+        server_db = ServerDatabase(GOOGLE_LISTS)
+        assert set(server_db.list_names) == {entry.name for entry in GOOGLE_LISTS}
+        assert len(list(iter(server_db))) == len(GOOGLE_LISTS)

@@ -1,0 +1,140 @@
+"""Unit tests for the dataset builders (corpora, snapshots, dictionaries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.datasets import (
+    AUDITED_LISTS,
+    PAPER_DICTIONARY_SIZES,
+    PAPER_INVERSION_RATES,
+    PAPER_ORPHAN_RATES,
+    build_blacklist_snapshot,
+    build_dataset_bundle,
+    build_inversion_dictionaries,
+)
+from repro.exceptions import CorpusError
+from repro.safebrowsing.lists import ListProvider, get_list
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_dataset_bundle(host_count=40, seed=77)
+
+
+@pytest.fixture(scope="module")
+def google_snapshot(bundle):
+    return build_blacklist_snapshot(ListProvider.GOOGLE, scale=0.002, seed=3,
+                                    multi_prefix_sites=bundle.alexa,
+                                    multi_prefix_site_count=4)
+
+
+@pytest.fixture(scope="module")
+def yandex_snapshot(bundle):
+    return build_blacklist_snapshot(ListProvider.YANDEX, scale=0.002, seed=4,
+                                    multi_prefix_sites=bundle.alexa,
+                                    multi_prefix_site_count=4)
+
+
+class TestDatasetBundle:
+    def test_bundle_labels(self, bundle):
+        assert bundle.alexa.label == "alexa"
+        assert bundle.random.label == "random"
+
+    def test_bundle_sizes(self, bundle):
+        assert bundle.alexa.site_count == 40
+        assert bundle.random.site_count == 40
+
+    def test_alexa_denser_than_random(self, bundle):
+        assert bundle.alexa.url_count > bundle.random.url_count
+
+    def test_corpora_accessor(self, bundle):
+        assert bundle.corpora() == (bundle.alexa, bundle.random)
+
+
+class TestBlacklistSnapshot:
+    def test_scale_validation(self):
+        with pytest.raises(CorpusError):
+            build_blacklist_snapshot(ListProvider.GOOGLE, scale=0.0)
+        with pytest.raises(CorpusError):
+            build_blacklist_snapshot(ListProvider.GOOGLE, scale=1.5)
+
+    def test_list_sizes_scale_with_paper_counts(self, google_snapshot):
+        malware = google_snapshot.server.database["goog-malware-shavar"].prefix_count()
+        phishing = google_snapshot.server.database["googpub-phish-shavar"].prefix_count()
+        paper_malware = get_list("goog-malware-shavar", ListProvider.GOOGLE).paper_prefix_count
+        paper_phish = get_list("googpub-phish-shavar").paper_prefix_count
+        # Relative ordering and rough proportion preserved.
+        assert malware > phishing * 0.8
+        assert abs(malware - paper_malware * 0.002) / (paper_malware * 0.002) < 0.3
+
+    def test_orphan_rates_follow_table11(self, yandex_snapshot):
+        phish = yandex_snapshot.server.database["ydx-phish-shavar"]
+        rate = len(phish.orphan_prefixes()) / phish.prefix_count()
+        assert rate > 0.9  # the paper reports 99% orphans for ydx-phish-shavar
+        malware = yandex_snapshot.server.database["ydx-malware-shavar"]
+        malware_rate = len(malware.orphan_prefixes()) / malware.prefix_count()
+        assert malware_rate < 0.1
+
+    def test_google_orphans_negligible(self, google_snapshot):
+        malware = google_snapshot.server.database["goog-malware-shavar"]
+        assert len(malware.orphan_prefixes()) <= 2
+
+    def test_ground_truth_matches_database(self, google_snapshot):
+        database = google_snapshot.server.database["goog-malware-shavar"]
+        expressions = google_snapshot.ground_truth["goog-malware-shavar"]
+        assert expressions
+        from repro.hashing.digests import url_prefix
+
+        assert all(database.contains_prefix(url_prefix(expression))
+                   for expression in expressions[:50])
+
+    def test_multi_prefix_entries_present(self, google_snapshot, bundle):
+        from repro.analysis.audit import BlacklistAuditor
+
+        auditor = BlacklistAuditor(google_snapshot.server)
+        report = auditor.multi_prefix_report(bundle.alexa, max_sites=40)
+        assert report.url_count >= 1
+
+    def test_dictionaries_attached(self, yandex_snapshot):
+        dictionaries = build_inversion_dictionaries(yandex_snapshot)
+        sizes = dictionaries.sizes()
+        assert set(sizes) == set(PAPER_DICTIONARY_SIZES)
+        assert sizes["dns-census"] > 0
+        assert all(entry.endswith("/") for entry in dictionaries.dns_census[:100])
+
+    def test_dictionary_overlap_reproduces_paper_ordering(self, yandex_snapshot):
+        from repro.analysis.audit import BlacklistAuditor
+
+        auditor = BlacklistAuditor(yandex_snapshot.server)
+        dns_report = auditor.inversion_report(
+            "ydx-porno-hosts-top-shavar", "dns-census",
+            yandex_snapshot.dictionaries.dns_census)
+        phishing_report = auditor.inversion_report(
+            "ydx-porno-hosts-top-shavar", "phishing",
+            yandex_snapshot.dictionaries.phishing)
+        # The SLD dictionary inverts far more of the porn-hosts list than the
+        # phishing dictionary (paper: 55.7% vs 0.2%).
+        assert dns_report.match_rate > phishing_report.match_rate
+
+    def test_scale_recorded(self, google_snapshot):
+        assert google_snapshot.scale == 0.002
+        assert google_snapshot.provider is ListProvider.GOOGLE
+
+
+class TestPaperConstants:
+    def test_audited_lists_known_to_registry(self):
+        for provider, names in AUDITED_LISTS.items():
+            for name in names:
+                assert get_list(name, provider).is_url_list
+
+    def test_inversion_rates_between_zero_and_one(self):
+        for rates in PAPER_INVERSION_RATES.values():
+            assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+    def test_orphan_rates_between_zero_and_one(self):
+        assert all(0.0 <= rate <= 1.0 for rate in PAPER_ORPHAN_RATES.values())
+
+    def test_dictionary_sizes_match_table9(self):
+        assert PAPER_DICTIONARY_SIZES["malware"] == 1_240_300
+        assert PAPER_DICTIONARY_SIZES["dns-census"] == 106_923_807

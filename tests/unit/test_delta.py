@@ -1,0 +1,108 @@
+"""Unit tests for the delta-coded table and its prefix-store wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datastructures.delta import DeltaCodedPrefixStore, DeltaCodedTable
+from repro.datastructures.store import RawPrefixStore
+from repro.hashing.prefix import Prefix
+
+
+class TestDeltaCodedTable:
+    def test_round_trip(self):
+        values = [5, 100, 101, 70_000, 70_001, 2**31, 2**32 - 1]
+        table = DeltaCodedTable(values)
+        assert sorted(table) == sorted(set(values))
+
+    def test_membership(self):
+        table = DeltaCodedTable([10, 20, 30])
+        assert 20 in table
+        assert 25 not in table
+        assert 5 not in table
+        assert 40 not in table
+
+    def test_empty_table(self):
+        table = DeltaCodedTable()
+        assert len(table) == 0
+        assert 0 not in table
+        assert table.memory_bytes() == 0
+
+    def test_duplicates_removed(self):
+        assert len(DeltaCodedTable([7, 7, 7])) == 1
+
+    def test_large_gap_starts_new_group(self):
+        # Gap larger than 0xFFFF forces a new index entry.
+        table = DeltaCodedTable([0, 1, 2, 10_000_000])
+        assert table.group_count() == 2
+
+    def test_group_size_limit_starts_new_group(self):
+        table = DeltaCodedTable(range(0, 500, 2), group_size=100)
+        assert table.group_count() >= 3
+
+    def test_memory_smaller_than_raw_for_dense_values(self):
+        values = list(range(0, 60_000, 3))
+        table = DeltaCodedTable(values)
+        assert table.memory_bytes() < 4 * len(values)
+
+    def test_memory_accounting(self):
+        # One group: 4 bytes for the index entry + 2 bytes per delta.
+        table = DeltaCodedTable([1, 2, 3, 4])
+        assert table.memory_bytes() == 4 + 3 * 2
+
+
+class TestDeltaCodedPrefixStore:
+    def test_matches_raw_store_semantics(self):
+        values = [1, 2, 3, 100_000, 2**32 - 1]
+        prefixes = [Prefix.from_int(value, 32) for value in values]
+        delta = DeltaCodedPrefixStore(prefixes)
+        raw = RawPrefixStore(prefixes)
+        probes = values + [0, 4, 99_999, 2**31]
+        for probe in probes:
+            prefix = Prefix.from_int(probe, 32)
+            assert (prefix in delta) == (prefix in raw)
+
+    def test_supports_deletion(self):
+        prefixes = [Prefix.from_int(i, 32) for i in range(10)]
+        store = DeltaCodedPrefixStore(prefixes)
+        store.discard(Prefix.from_int(3, 32))
+        assert Prefix.from_int(3, 32) not in store
+        assert len(store) == 9
+
+    def test_discard_absent_is_noop(self):
+        store = DeltaCodedPrefixStore([Prefix.from_int(1, 32)])
+        store.discard(Prefix.from_int(9, 32))
+        assert len(store) == 1
+
+    def test_iteration_sorted(self):
+        store = DeltaCodedPrefixStore([Prefix.from_int(v, 32) for v in (9, 1, 5)])
+        assert [prefix.to_int() for prefix in store] == [1, 5, 9]
+
+    def test_memory_for_32_bits_is_about_2_bytes_per_entry(self):
+        prefixes = [Prefix.from_int(i * 37, 32) for i in range(5000)]
+        store = DeltaCodedPrefixStore(prefixes)
+        per_entry = store.memory_bytes() / len(prefixes)
+        assert 1.9 <= per_entry <= 2.5
+
+    def test_memory_for_wider_prefixes_adds_residual_bytes(self):
+        import hashlib
+
+        digests = [hashlib.sha256(str(i).encode()).digest() for i in range(2000)]
+        store32 = DeltaCodedPrefixStore([Prefix.from_digest(d, 32) for d in digests], 32)
+        store64 = DeltaCodedPrefixStore([Prefix.from_digest(d, 64) for d in digests], 64)
+        extra_per_entry = (store64.memory_bytes() - store32.memory_bytes()) / 2000
+        assert 3.5 <= extra_per_entry <= 4.5
+
+    def test_rebuild_threshold_does_not_change_semantics(self):
+        store = DeltaCodedPrefixStore(rebuild_threshold=2)
+        for value in range(50):
+            store.add(Prefix.from_int(value, 32))
+        assert len(store) == 50
+        assert Prefix.from_int(25, 32) in store
+
+    def test_not_approximate(self):
+        assert DeltaCodedPrefixStore.approximate is False
+
+    def test_table_accessor_reflects_contents(self):
+        store = DeltaCodedPrefixStore([Prefix.from_int(v, 32) for v in (1, 2, 3)])
+        assert sorted(store.table) == [1, 2, 3]

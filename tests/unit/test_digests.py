@@ -1,0 +1,84 @@
+"""Unit tests for SHA-256 digests and hash-and-truncate helpers."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.exceptions import PrefixError
+from repro.hashing.digests import (
+    DEFAULT_PREFIX_BITS,
+    FullHash,
+    full_digest,
+    sha256_digest,
+    truncate_digest,
+    url_prefix,
+)
+
+
+class TestSha256Digest:
+    def test_matches_hashlib(self):
+        expression = "petsymposium.org/2016/cfp.php"
+        assert sha256_digest(expression) == hashlib.sha256(expression.encode()).digest()
+
+    def test_accepts_bytes(self):
+        assert sha256_digest(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_digest_length(self):
+        assert len(sha256_digest("x")) == 32
+
+
+class TestFullHash:
+    def test_of_expression(self):
+        full = FullHash.of("example.com/")
+        assert full.digest == sha256_digest("example.com/")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(PrefixError):
+            FullHash(b"\x00" * 16)
+
+    def test_prefix_default_width(self):
+        full = FullHash.of("example.com/")
+        assert full.prefix().bits == DEFAULT_PREFIX_BITS
+
+    def test_prefix_custom_width(self):
+        full = FullHash.of("example.com/")
+        assert full.prefix(64).value == full.digest[:8]
+
+    def test_hex_and_str(self):
+        full = FullHash.of("example.com/")
+        assert full.hex() == full.digest.hex()
+        assert str(full) == "0x" + full.digest.hex()
+
+    def test_full_digest_helper(self):
+        assert full_digest("example.com/") == FullHash.of("example.com/")
+
+    def test_equality_by_value(self):
+        assert FullHash.of("a.com/") == FullHash.of("a.com/")
+        assert FullHash.of("a.com/") != FullHash.of("b.com/")
+
+
+class TestTruncation:
+    def test_truncate_digest(self):
+        digest = sha256_digest("example.com/")
+        assert truncate_digest(digest, 32).value == digest[:4]
+
+    def test_url_prefix_paper_value(self):
+        # The paper's Table 4 prefix for the PETS CFP page.
+        assert str(url_prefix("petsymposium.org/2016/cfp.php")) == "0xe70ee6d1"
+
+    def test_url_prefix_other_paper_values(self):
+        assert str(url_prefix("petsymposium.org/2016/")) == "0x1d13ba6a"
+        assert str(url_prefix("petsymposium.org/")) == "0x33a02ef5"
+
+    def test_url_prefix_custom_width(self):
+        prefix = url_prefix("example.com/", bits=16)
+        assert prefix.bits == 16
+        assert prefix.value == sha256_digest("example.com/")[:2]
+
+    def test_prefix_is_deterministic(self):
+        assert url_prefix("example.com/") == url_prefix("example.com/")
+
+    def test_different_expressions_generally_differ(self):
+        assert url_prefix("example.com/") != url_prefix("example.org/")

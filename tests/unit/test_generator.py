@@ -1,0 +1,148 @@
+"""Unit tests for the synthetic web-corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator, HostSite, WebCorpus
+from repro.exceptions import CorpusError
+from repro.urls.hierarchy import registered_domain
+from repro.urls.parse import parse_url
+
+
+class TestCorpusConfig:
+    def test_defaults_valid(self):
+        assert CorpusConfig().host_count == 1000
+
+    def test_alexa_preset(self):
+        config = CorpusConfig.alexa_like(50)
+        assert config.label == "alexa"
+        assert config.single_page_fraction < 0.2
+
+    def test_random_preset_matches_paper_fractions(self):
+        config = CorpusConfig.random_like(50)
+        assert config.label == "random"
+        assert config.single_page_fraction == pytest.approx(0.61)
+        assert config.alpha == pytest.approx(1.312)
+
+    def test_invalid_host_count(self):
+        with pytest.raises(CorpusError):
+            CorpusConfig(host_count=0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(CorpusError):
+            CorpusConfig(alpha=0.9)
+
+    def test_invalid_single_page_fraction(self):
+        with pytest.raises(CorpusError):
+            CorpusConfig(single_page_fraction=1.5)
+
+    def test_invalid_cap(self):
+        with pytest.raises(CorpusError):
+            CorpusConfig(max_urls_per_host=0)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def corpus(self) -> WebCorpus:
+        return CorpusGenerator(CorpusConfig.random_like(50, seed=5)).generate()
+
+    def test_site_count(self, corpus: WebCorpus):
+        assert corpus.site_count == 50
+        assert len(corpus) == 50
+
+    def test_every_site_has_at_least_one_url(self, corpus: WebCorpus):
+        assert all(site.url_count >= 1 for site in corpus)
+
+    def test_urls_respect_cap(self, corpus: WebCorpus):
+        assert max(site.url_count for site in corpus) <= 1000
+
+    def test_urls_live_on_their_registered_domain(self, corpus: WebCorpus):
+        for site in corpus.sites[:10]:
+            for url in site.urls[:20]:
+                assert registered_domain(parse_url(url).host) == site.registered_domain
+
+    def test_urls_unique_within_site(self, corpus: WebCorpus):
+        for site in corpus:
+            assert len(set(site.urls)) == site.url_count
+
+    def test_domains_unique_across_sites(self, corpus: WebCorpus):
+        domains = [site.registered_domain for site in corpus]
+        assert len(set(domains)) == len(domains)
+
+    def test_every_site_serves_its_root(self, corpus: WebCorpus):
+        for site in corpus.sites[:20]:
+            hosts = {parse_url(url).host for url in site.urls}
+            roots = {f"http://{host}/" for host in hosts}
+            assert roots & set(site.urls)
+
+    def test_generation_is_deterministic(self):
+        config = CorpusConfig.random_like(20, seed=9)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert [site.urls for site in first] == [site.urls for site in second]
+
+    def test_different_seeds_differ(self):
+        first = CorpusGenerator(CorpusConfig.random_like(20, seed=1)).generate()
+        second = CorpusGenerator(CorpusConfig.random_like(20, seed=2)).generate()
+        assert [site.urls for site in first] != [site.urls for site in second]
+
+    def test_single_page_fraction_near_target(self):
+        corpus = CorpusGenerator(CorpusConfig.random_like(400, seed=8)).generate()
+        fraction = sum(1 for site in corpus if site.url_count == 1) / len(corpus)
+        assert 0.45 <= fraction <= 0.75
+
+    def test_alexa_corpus_is_denser_than_random(self):
+        alexa = CorpusGenerator(CorpusConfig.alexa_like(100, seed=4)).generate()
+        random = CorpusGenerator(CorpusConfig.random_like(100, seed=4)).generate()
+        assert alexa.url_count > random.url_count
+
+
+class TestWebCorpusApi:
+    @pytest.fixture(scope="class")
+    def corpus(self) -> WebCorpus:
+        return CorpusGenerator(CorpusConfig.random_like(30, seed=6)).generate()
+
+    def test_url_count_is_sum_of_sites(self, corpus: WebCorpus):
+        assert corpus.url_count == sum(site.url_count for site in corpus)
+
+    def test_all_urls_iterates_everything(self, corpus: WebCorpus):
+        assert len(list(corpus.all_urls())) == corpus.url_count
+
+    def test_urls_per_site(self, corpus: WebCorpus):
+        assert corpus.urls_per_site() == [site.url_count for site in corpus]
+
+    def test_indexing(self, corpus: WebCorpus):
+        assert corpus[0] is corpus.sites[0]
+
+    def test_site_for_domain(self, corpus: WebCorpus):
+        target = corpus.sites[3]
+        assert corpus.site_for_domain(target.registered_domain) is target
+
+    def test_site_for_unknown_domain(self, corpus: WebCorpus):
+        with pytest.raises(KeyError):
+            corpus.site_for_domain("nope.invalid")
+
+    def test_sample_sites_deterministic(self, corpus: WebCorpus):
+        assert [site.registered_domain for site in corpus.sample_sites(5, seed=1)] == \
+            [site.registered_domain for site in corpus.sample_sites(5, seed=1)]
+
+    def test_sample_sites_larger_than_corpus(self, corpus: WebCorpus):
+        assert len(corpus.sample_sites(10_000)) == len(corpus)
+
+    def test_host_site_hierarchy(self, corpus: WebCorpus):
+        site = max(corpus.sites, key=lambda s: s.url_count)
+        hierarchy = site.hierarchy()
+        assert len(hierarchy) == site.url_count
+
+    def test_host_site_unique_decompositions(self, corpus: WebCorpus):
+        site = corpus.sites[0]
+        decomps = site.unique_decompositions()
+        assert decomps
+        # Every URL's own (exact) expression mentions the registered domain;
+        # host suffixes may go below it (e.g. bare "co.uk/"), per the API.
+        assert any(site.registered_domain in expression for expression in decomps)
+        tld = site.registered_domain.rsplit(".", 1)[-1]
+        assert all(f".{tld}/" in expression or expression.startswith(f"{tld}/")
+                   or f".{tld}" in expression.split("/", 1)[0]
+                   for expression in decomps)

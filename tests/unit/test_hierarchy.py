@@ -1,0 +1,136 @@
+"""Unit tests for domain hierarchies, registered domains and leaf URLs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.urls.hierarchy import (
+    HostHierarchy,
+    normalize_expression,
+    registered_domain,
+    second_level_domain,
+    split_host,
+)
+
+FIGURE4_URLS = [
+    "http://a.b.c/1",
+    "http://a.b.c/2",
+    "http://a.b.c/3",
+    "http://a.b.c/3/3.1",
+    "http://a.b.c/3/3.2",
+    "http://d.b.c/",
+    "http://a.b.c/",
+    "http://b.c/",
+]
+
+
+class TestRegisteredDomain:
+    def test_two_label_host(self):
+        assert registered_domain("example.com") == "example.com"
+
+    def test_subdomain_stripped(self):
+        assert registered_domain("www.blog.example.com") == "example.com"
+
+    def test_multi_label_public_suffix(self):
+        assert registered_domain("shop.example.co.uk") == "example.co.uk"
+
+    def test_ip_address_unchanged(self):
+        assert registered_domain("192.168.0.1") == "192.168.0.1"
+
+    def test_single_label(self):
+        assert registered_domain("localhost") == "localhost"
+
+    def test_second_level_domain_from_url(self):
+        assert second_level_domain("http://a.b.example.com/x/y") == "example.com"
+
+    def test_second_level_domain_from_host(self):
+        assert second_level_domain("a.b.example.com") == "example.com"
+
+
+class TestSplitAndNormalize:
+    def test_split_host(self):
+        assert split_host("a.b.c") == ("a", "b", "c")
+
+    def test_split_host_ignores_empty_labels(self):
+        assert split_host(".a..b.") == ("a", "b")
+
+    def test_normalize_strips_directory_slash(self):
+        assert normalize_expression("a.b.c/3/") == "a.b.c/3"
+
+    def test_normalize_keeps_host_root_slash(self):
+        assert normalize_expression("a.b.c/") == "a.b.c/"
+
+    def test_normalize_noop_on_files(self):
+        assert normalize_expression("a.b.c/x.html") == "a.b.c/x.html"
+
+
+class TestHostHierarchy:
+    @pytest.fixture()
+    def hierarchy(self) -> HostHierarchy:
+        hierarchy = HostHierarchy("b.c")
+        hierarchy.add_urls(FIGURE4_URLS)
+        return hierarchy
+
+    def test_url_count(self, hierarchy: HostHierarchy):
+        assert len(hierarchy) == len(FIGURE4_URLS)
+
+    def test_rejects_url_on_other_domain(self, hierarchy: HostHierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.add_url("http://other.example.com/")
+
+    def test_adding_same_url_twice_is_idempotent(self, hierarchy: HostHierarchy):
+        hierarchy.add_url("http://a.b.c/1")
+        assert len(hierarchy) == len(FIGURE4_URLS)
+
+    def test_contains(self, hierarchy: HostHierarchy):
+        assert "http://a.b.c/1" in hierarchy
+        assert "http://a.b.c/nonexistent" not in hierarchy
+        assert "not a url" not in hierarchy
+
+    def test_leaf_urls_match_paper_figure4(self, hierarchy: HostHierarchy):
+        leaves = set(hierarchy.leaf_urls())
+        assert leaves == {
+            "http://a.b.c/1",
+            "http://a.b.c/2",
+            "http://a.b.c/3/3.1",
+            "http://a.b.c/3/3.2",
+            "http://d.b.c/",
+        }
+
+    def test_internal_node_is_not_leaf(self, hierarchy: HostHierarchy):
+        assert not hierarchy.is_leaf("http://a.b.c/3")
+        assert not hierarchy.is_leaf("http://a.b.c/")
+        assert not hierarchy.is_leaf("http://b.c/")
+
+    def test_type1_collisions_of_internal_node(self, hierarchy: HostHierarchy):
+        colliders = hierarchy.type1_collisions("http://a.b.c/3")
+        assert "http://a.b.c/3/3.1" in colliders
+        assert "http://a.b.c/3/3.2" in colliders
+        assert "http://a.b.c/3" not in colliders
+
+    def test_type1_collisions_of_leaf_is_empty(self, hierarchy: HostHierarchy):
+        assert hierarchy.type1_collisions("http://a.b.c/1") == []
+
+    def test_domain_root_collides_with_everything(self, hierarchy: HostHierarchy):
+        colliders = hierarchy.type1_collisions("http://b.c/")
+        assert len(colliders) == len(FIGURE4_URLS) - 1
+
+    def test_ancestors_excludes_exact_expression(self, hierarchy: HostHierarchy):
+        ancestors = hierarchy.ancestors("http://a.b.c/3/3.1")
+        assert "a.b.c/3/3.1" not in ancestors
+        assert "b.c/" in ancestors
+
+    def test_expressions_cover_all_decompositions(self, hierarchy: HostHierarchy):
+        expressions = hierarchy.expressions()
+        assert "b.c/" in expressions
+        assert "a.b.c/" in expressions
+        assert hierarchy.expression_count() == len(expressions)
+
+    def test_urls_sharing_expression(self, hierarchy: HostHierarchy):
+        sharers = hierarchy.urls_sharing_expression("a.b.c/3/")
+        assert "http://a.b.c/3/3.1" in sharers
+        assert "http://a.b.c/3" in sharers
+
+    def test_url_decompositions_returned_in_order(self, hierarchy: HostHierarchy):
+        decomps = hierarchy.url_decompositions("http://a.b.c/1")
+        assert decomps[0] == "a.b.c/1"

@@ -1,0 +1,103 @@
+"""Unit tests for the provider's prefix inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.hashing.digests import url_prefix
+from repro.hashing.prefix import Prefix
+
+SITE_URLS = [
+    "http://shop.acme-widgets.com/",
+    "http://shop.acme-widgets.com/catalog/",
+    "http://shop.acme-widgets.com/catalog/item-1.html",
+    "http://acme-widgets.com/",
+    "http://news.other-site.org/story.html",
+]
+
+
+@pytest.fixture()
+def index() -> PrefixInvertedIndex:
+    index = PrefixInvertedIndex()
+    index.add_urls(SITE_URLS)
+    return index
+
+
+class TestConstruction:
+    def test_len_counts_urls(self, index):
+        assert len(index) == len(SITE_URLS)
+
+    def test_contains(self, index):
+        assert SITE_URLS[0] in index
+        assert "http://unknown.example/" not in index
+
+    def test_add_url_idempotent(self, index):
+        entry_first = index.add_url(SITE_URLS[0])
+        entry_second = index.add_url(SITE_URLS[0])
+        assert entry_first is entry_second
+        assert len(index) == len(SITE_URLS)
+
+    def test_indexed_url_fields(self, index):
+        entry = index.indexed_url("http://shop.acme-widgets.com/catalog/item-1.html")
+        assert entry.registered_domain == "acme-widgets.com"
+        assert entry.expressions[0] == "shop.acme-widgets.com/catalog/item-1.html"
+        assert entry.exact_prefix == url_prefix(entry.expressions[0])
+        assert len(entry.prefixes) == len(entry.expressions)
+
+    def test_from_corpus(self, random_corpus):
+        index = PrefixInvertedIndex.from_corpus(random_corpus, max_sites=10)
+        assert len(index) > 0
+        assert index.prefix_count() > 0
+
+
+class TestQueries:
+    def test_urls_for_prefix_of_shared_decomposition(self, index):
+        domain_prefix = url_prefix("acme-widgets.com/")
+        urls = index.urls_for_prefix(domain_prefix)
+        # Every URL on the acme-widgets.com domain can produce this prefix.
+        assert len(urls) == 4
+
+    def test_urls_for_prefix_of_exact_page(self, index):
+        prefix = url_prefix("shop.acme-widgets.com/catalog/item-1.html")
+        assert index.urls_for_prefix(prefix) == {
+            "http://shop.acme-widgets.com/catalog/item-1.html"
+        }
+
+    def test_urls_for_unknown_prefix(self, index):
+        assert index.urls_for_prefix(Prefix.from_int(1, 32)) == set()
+
+    def test_urls_for_prefixes_requires_all(self, index):
+        exact = url_prefix("shop.acme-widgets.com/catalog/item-1.html")
+        domain = url_prefix("acme-widgets.com/")
+        assert index.urls_for_prefixes([exact, domain]) == {
+            "http://shop.acme-widgets.com/catalog/item-1.html"
+        }
+
+    def test_urls_for_prefixes_empty_input(self, index):
+        assert index.urls_for_prefixes([]) == set()
+
+    def test_urls_for_prefixes_disjoint_prefixes(self, index):
+        first = url_prefix("shop.acme-widgets.com/catalog/item-1.html")
+        unrelated = url_prefix("news.other-site.org/story.html")
+        assert index.urls_for_prefixes([first, unrelated]) == set()
+
+    def test_expressions_for_prefix(self, index):
+        prefix = url_prefix("acme-widgets.com/")
+        assert index.expressions_for_prefix(prefix) == {"acme-widgets.com/"}
+
+    def test_urls_on_domain(self, index):
+        assert len(index.urls_on_domain("acme-widgets.com")) == 4
+        assert index.urls_on_domain("other-site.org") == {
+            "http://news.other-site.org/story.html"
+        }
+        assert index.urls_on_domain("unknown.example") == set()
+
+    def test_domains_for_prefix(self, index):
+        prefix = url_prefix("acme-widgets.com/")
+        assert index.domains_for_prefix(prefix) == {"acme-widgets.com"}
+
+    def test_anonymity_set_size(self, index):
+        prefix = url_prefix("acme-widgets.com/")
+        assert index.anonymity_set_size(prefix) == 4
+        assert index.anonymity_set_size(Prefix.from_int(3, 32)) == 0

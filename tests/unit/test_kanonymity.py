@@ -1,0 +1,64 @@
+"""Unit tests for the empirical k-anonymity privacy metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.kanonymity import anonymity_sets, metric_across_widths, privacy_metric
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+
+
+@pytest.fixture(scope="module")
+def universe() -> list[str]:
+    return [f"host{i}.example.com/page-{j}" for i in range(50) for j in range(20)]
+
+
+class TestAnonymitySets:
+    def test_groups_cover_universe(self, universe):
+        groups = anonymity_sets(universe, prefix_bits=8)
+        assert sum(len(group) for group in groups.values()) == len(universe)
+
+    def test_group_members_share_prefix(self, universe):
+        groups = anonymity_sets(universe, prefix_bits=8)
+        for prefix, members in groups.items():
+            assert all(url_prefix(member, 8) == prefix for member in members)
+
+    def test_wide_prefixes_mostly_singletons(self, universe):
+        groups = anonymity_sets(universe, prefix_bits=32)
+        assert max(len(group) for group in groups.values()) <= 2
+
+
+class TestPrivacyMetric:
+    def test_report_fields_consistent(self, universe):
+        report = privacy_metric(universe, prefix_bits=16)
+        assert report.universe_size == len(universe)
+        assert report.min_set_size <= report.mean_set_size <= report.max_set_size
+        assert 0.0 <= report.singleton_fraction <= 1.0
+
+    def test_metric_decreases_with_prefix_width(self, universe):
+        narrow = privacy_metric(universe, prefix_bits=8)
+        wide = privacy_metric(universe, prefix_bits=32)
+        assert narrow.max_set_size >= wide.max_set_size
+        assert narrow.occupied_prefixes <= wide.occupied_prefixes
+
+    def test_k_anonymity_is_min_set_size(self, universe):
+        report = privacy_metric(universe, prefix_bits=16)
+        assert report.k_anonymity == report.min_set_size
+
+    def test_reidentifiable_fraction_is_singleton_fraction(self, universe):
+        report = privacy_metric(universe, prefix_bits=32)
+        assert report.reidentifiable_fraction == report.singleton_fraction
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(AnalysisError):
+            privacy_metric([])
+
+    def test_duplicates_count_toward_set_sizes(self):
+        report = privacy_metric(["a.com/", "a.com/", "b.com/"], prefix_bits=32)
+        assert report.max_set_size == 2
+
+    def test_metric_across_widths(self, universe):
+        reports = metric_across_widths(universe, widths=(8, 16, 32))
+        assert [report.prefix_bits for report in reports] == [8, 16, 32]
+        assert reports[0].universe_size == reports[-1].universe_size

@@ -1,0 +1,76 @@
+"""Unit tests for the blacklist registry (paper Tables 1 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ListNotFoundError
+from repro.safebrowsing.lists import (
+    GOOGLE_LISTS,
+    PAPER_LIST_OVERLAPS,
+    YANDEX_LISTS,
+    ListProvider,
+    all_lists,
+    get_list,
+    lists_for_provider,
+)
+
+
+class TestRegistryContents:
+    def test_google_list_count_matches_table1(self):
+        assert len(GOOGLE_LISTS) == 5
+
+    def test_yandex_list_count_matches_table3(self):
+        assert len(YANDEX_LISTS) == 19
+
+    def test_google_malware_prefix_count(self):
+        descriptor = get_list("goog-malware-shavar", ListProvider.GOOGLE)
+        assert descriptor.paper_prefix_count == 317_807
+
+    def test_google_phishing_prefix_count(self):
+        descriptor = get_list("googpub-phish-shavar")
+        assert descriptor.paper_prefix_count == 312_621
+
+    def test_yandex_malware_prefix_count(self):
+        descriptor = get_list("ydx-malware-shavar")
+        assert descriptor.paper_prefix_count == 283_211
+
+    def test_yandex_porno_hosts_prefix_count(self):
+        assert get_list("ydx-porno-hosts-top-shavar").paper_prefix_count == 99_990
+
+    def test_unknown_counts_are_none(self):
+        assert get_list("goog-unwanted-shavar").paper_prefix_count is None
+
+    def test_digestvar_lists_are_not_url_lists(self):
+        assert not get_list("ydx-badbin-digestvar").is_url_list
+        assert get_list("ydx-malware-shavar").is_url_list
+
+    def test_list_names_unique_per_provider(self):
+        for provider in ListProvider:
+            names = [entry.name for entry in lists_for_provider(provider)]
+            assert len(names) == len(set(names))
+
+    def test_paper_overlaps_recorded(self):
+        assert PAPER_LIST_OVERLAPS[("goog-malware-shavar", "ydx-malware-shavar")] == 36_547
+
+
+class TestLookups:
+    def test_all_lists_is_google_plus_yandex(self):
+        assert len(all_lists()) == len(GOOGLE_LISTS) + len(YANDEX_LISTS)
+
+    def test_lists_for_provider(self):
+        google = lists_for_provider(ListProvider.GOOGLE)
+        assert all(entry.provider is ListProvider.GOOGLE for entry in google)
+
+    def test_get_list_unknown_name(self):
+        with pytest.raises(ListNotFoundError):
+            get_list("not-a-real-list")
+
+    def test_get_list_ambiguous_name_requires_provider(self):
+        # goog-malware-shavar is served (with different content) by both.
+        with pytest.raises(ListNotFoundError):
+            get_list("goog-malware-shavar")
+        assert get_list("goog-malware-shavar", ListProvider.YANDEX).provider is ListProvider.YANDEX
+
+    def test_get_list_unambiguous_name_without_provider(self):
+        assert get_list("ydx-yellow-shavar").description == "shocking content"

@@ -1,0 +1,102 @@
+"""Unit tests for the privacy-unfriendly lookup services (Lookup API, WOT-style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.safebrowsing.cookie import CookieJar
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.lookup_api import (
+    DomainReputationServer,
+    LegacyLookupClient,
+    LegacyLookupServer,
+    summarize_cleartext_log,
+)
+from repro.safebrowsing.protocol import Verdict
+
+
+@pytest.fixture()
+def lookup_server() -> LegacyLookupServer:
+    server = LegacyLookupServer(GOOGLE_LISTS, clock=ManualClock())
+    server.database["goog-malware-shavar"].add_expressions(["evil.example.com/bad.html"])
+    return server
+
+
+@pytest.fixture()
+def reputation_server() -> DomainReputationServer:
+    server = DomainReputationServer(GOOGLE_LISTS, clock=ManualClock())
+    # Domain-reputation services key on the registered domain.
+    server.database["goog-malware-shavar"].add_expressions(["badsite.example/"])
+    return server
+
+
+class TestLegacyLookupServer:
+    def test_blacklisted_url_flagged(self, lookup_server):
+        client = LegacyLookupClient(lookup_server, "alice")
+        assert client.lookup("http://evil.example.com/bad.html") is Verdict.MALICIOUS
+
+    def test_safe_url_still_revealed_in_clear(self, lookup_server):
+        client = LegacyLookupClient(lookup_server, "alice")
+        assert client.lookup("http://harmless.example.net/page") is Verdict.SAFE
+        # The decisive difference with the v3 API: even the miss is logged.
+        assert len(lookup_server.log) == 1
+        assert lookup_server.log[0].payload == "http://harmless.example.net/page"
+        assert lookup_server.log[0].kind == "url"
+
+    def test_every_visit_produces_one_log_entry(self, lookup_server):
+        client = LegacyLookupClient(lookup_server, "alice")
+        for index in range(5):
+            client.lookup(f"http://site-{index}.example/")
+        assert len(lookup_server.log) == 5
+        assert client.checks == 5
+
+    def test_log_carries_the_cookie(self, lookup_server):
+        jar = CookieJar()
+        alice = LegacyLookupClient(lookup_server, "alice", cookie_jar=jar)
+        bob = LegacyLookupClient(lookup_server, "bob", cookie_jar=jar)
+        alice.lookup("http://a.example/")
+        bob.lookup("http://b.example/")
+        cookies = {entry.cookie for entry in lookup_server.log}
+        assert cookies == {alice.cookie, bob.cookie}
+
+    def test_domain_level_blacklist_matches_deeper_pages(self, lookup_server):
+        lookup_server.database["goog-malware-shavar"].add_expressions(["evil.example.com/"])
+        client = LegacyLookupClient(lookup_server, "alice")
+        assert client.lookup("http://evil.example.com/any/page.html") is Verdict.MALICIOUS
+
+
+class TestDomainReputationServer:
+    def test_only_the_domain_is_logged(self, reputation_server):
+        client = LegacyLookupClient(reputation_server, "alice")
+        client.lookup("http://sub.level.example.com/deep/secret.html?q=1")
+        assert reputation_server.log[0].payload == "example.com"
+        assert reputation_server.log[0].kind == "domain"
+
+    def test_blacklisted_domain_flagged(self, reputation_server):
+        client = LegacyLookupClient(reputation_server, "alice")
+        assert client.lookup("http://www.badsite.example/whatever") is Verdict.MALICIOUS
+
+    def test_unlisted_domain_safe(self, reputation_server):
+        client = LegacyLookupClient(reputation_server, "alice")
+        assert client.lookup("http://nice.example.net/") is Verdict.SAFE
+
+
+class TestLeakageSummary:
+    def test_summary_counts_unique_payloads(self, lookup_server):
+        client = LegacyLookupClient(lookup_server, "alice")
+        client.lookup("http://a.example/")
+        client.lookup("http://a.example/")
+        client.lookup("http://b.example/")
+        summary = summarize_cleartext_log("Lookup API", 3, lookup_server.log)
+        assert summary.requests_sent == 3
+        assert summary.urls_revealed_in_clear == 2
+        assert summary.urls_reidentifiable == 2
+        assert summary.contacts_per_visit == pytest.approx(1.0)
+
+    def test_domain_summary(self, reputation_server):
+        client = LegacyLookupClient(reputation_server, "alice")
+        client.lookup("http://x.example.org/")
+        summary = summarize_cleartext_log("WOT", 1, reputation_server.log)
+        assert summary.domains_revealed_in_clear == 1
+        assert summary.urls_revealed_in_clear == 0

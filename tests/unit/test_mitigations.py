@@ -1,0 +1,143 @@
+"""Unit tests for the Section 8 mitigations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.mitigations import (
+    DummyQueryClient,
+    OnePrefixAtATimeClient,
+    compare_mitigations,
+)
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.clock import ManualClock
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.protocol import Verdict
+from repro.safebrowsing.server import SafeBrowsingServer
+
+SITE_URLS = [
+    "http://target.example.com/",
+    "http://target.example.com/private/",
+    "http://target.example.com/private/report.html",
+    "http://example.com/",
+]
+TARGET = "http://target.example.com/private/report.html"
+
+
+@pytest.fixture()
+def tracked_setup():
+    """A server whose malware list tracks TARGET (exact + domain root)."""
+    clock = ManualClock()
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    server.blacklist("goog-malware-shavar",
+                     ["target.example.com/private/report.html", "example.com/"])
+    index = PrefixInvertedIndex()
+    index.add_urls(SITE_URLS)
+    engine = ReidentificationEngine(index)
+    return clock, server, engine
+
+
+def make_client(server, clock, name):
+    client = SafeBrowsingClient(server, name=name, clock=clock)
+    client.update()
+    return client
+
+
+class TestDummyQueryClient:
+    def test_dummies_are_deterministic(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        wrapper = DummyQueryClient(make_client(server, clock, "dummy"), dummies_per_query=3)
+        prefix = url_prefix("example.com/")
+        assert wrapper.dummy_prefixes(prefix) == wrapper.dummy_prefixes(prefix)
+        assert len(wrapper.dummy_prefixes(prefix)) == 3
+
+    def test_negative_dummy_count_rejected(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        with pytest.raises(AnalysisError):
+            DummyQueryClient(make_client(server, clock, "dummy"), dummies_per_query=-1)
+
+    def test_lookup_pads_requests(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        wrapper = DummyQueryClient(make_client(server, clock, "dummy"), dummies_per_query=4)
+        result = wrapper.lookup(TARGET)
+        # 2 real hits, each padded with 4 dummies.
+        assert len(result.local_hits) == 2
+        assert len(result.sent_prefixes) == 10
+        assert result.verdict is Verdict.MALICIOUS
+
+    def test_safe_url_sends_nothing(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        wrapper = DummyQueryClient(make_client(server, clock, "dummy"))
+        result = wrapper.lookup("http://unrelated.example.org/")
+        assert not result.contacted_server
+
+    def test_dummy_queries_do_not_prevent_reidentification(self, tracked_setup):
+        # The paper's conclusion: the two real prefixes still co-occur, so the
+        # best-coverage attack recovers the visited URL despite the dummies.
+        clock, server, engine = tracked_setup
+        wrapper = DummyQueryClient(make_client(server, clock, "dummy"), dummies_per_query=4)
+        result = wrapper.lookup(TARGET)
+        outcome = engine.reidentify_best_coverage(result.sent_prefixes)
+        assert outcome.identified_url == TARGET
+
+    def test_stats_record_dummy_prefixes(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        client = make_client(server, clock, "dummy")
+        wrapper = DummyQueryClient(client, dummies_per_query=4)
+        wrapper.lookup(TARGET)
+        assert client.stats.extra_requests["dummy-prefixes"] == 8
+
+
+class TestOnePrefixAtATimeClient:
+    def test_only_root_prefix_sent_when_root_is_blacklisted(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        wrapper = OnePrefixAtATimeClient(make_client(server, clock, "careful"))
+        result = wrapper.lookup(TARGET)
+        # The domain root (example.com/) is blacklisted, so the first query
+        # already confirms it and the deeper prefix is never revealed.
+        assert result.sent_prefixes == (url_prefix("example.com/"),)
+        assert result.verdict is Verdict.MALICIOUS
+
+    def test_provider_only_learns_the_domain(self, tracked_setup):
+        clock, server, engine = tracked_setup
+        wrapper = OnePrefixAtATimeClient(make_client(server, clock, "careful"))
+        result = wrapper.lookup(TARGET)
+        outcome = engine.reidentify_best_coverage(result.sent_prefixes)
+        assert outcome.identified_url is None
+        assert outcome.identified_domain == "example.com"
+
+    def test_safe_url_sends_nothing(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        wrapper = OnePrefixAtATimeClient(make_client(server, clock, "careful"))
+        result = wrapper.lookup("http://unrelated.example.org/")
+        assert not result.contacted_server
+
+    def test_deeper_prefix_revealed_when_root_not_confirmed(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        # Blacklist only the deep page (no domain-root entry): the client must
+        # work through the hits until the malicious one is confirmed.
+        server.unblacklist("goog-malware-shavar", ["example.com/"])
+        wrapper = OnePrefixAtATimeClient(make_client(server, clock, "careful2"))
+        result = wrapper.lookup(TARGET)
+        assert result.verdict is Verdict.MALICIOUS
+        assert url_prefix("target.example.com/private/report.html") in result.sent_prefixes
+
+
+class TestComparisonHarness:
+    def test_compare_mitigations_structure(self, tracked_setup):
+        clock, server, engine = tracked_setup
+        baseline_client = make_client(server, clock, "baseline")
+        baseline = [baseline_client.lookup(TARGET)]
+        mitigated_client = OnePrefixAtATimeClient(make_client(server, clock, "careful"))
+        mitigated = [mitigated_client.lookup(TARGET)]
+        comparison = compare_mitigations("one-prefix", baseline, mitigated, engine)
+        assert comparison.urls_evaluated == 1
+        assert comparison.baseline_url_rate == 1.0
+        assert comparison.mitigated_url_rate == 0.0
+        assert comparison.url_rate_improvement == pytest.approx(1.0)
+        assert comparison.average_prefixes_sent_baseline >= 2
+        assert comparison.average_prefixes_sent_mitigated == 1

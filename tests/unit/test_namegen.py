@@ -1,0 +1,87 @@
+"""Unit tests for the deterministic name generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.namegen import NameGenerator
+from repro.exceptions import CorpusError
+from repro.urls.canonicalize import canonicalize
+
+
+@pytest.fixture()
+def names() -> NameGenerator:
+    return NameGenerator(np.random.default_rng(7))
+
+
+class TestRegisteredDomains:
+    def test_domains_are_unique(self, names: NameGenerator):
+        domains = [names.registered_domain() for _ in range(500)]
+        assert len(set(domains)) == 500
+
+    def test_domains_have_a_tld(self, names: NameGenerator):
+        domain = names.registered_domain()
+        assert "." in domain
+
+    def test_determinism_across_generators(self):
+        first = NameGenerator(np.random.default_rng(3))
+        second = NameGenerator(np.random.default_rng(3))
+        assert [first.registered_domain() for _ in range(10)] == \
+            [second.registered_domain() for _ in range(10)]
+
+
+class TestSubdomains:
+    def test_count_respected(self, names: NameGenerator):
+        assert len(names.subdomains(5)) == 5
+
+    def test_zero_subdomains(self, names: NameGenerator):
+        assert names.subdomains(0) == []
+
+    def test_negative_rejected(self, names: NameGenerator):
+        with pytest.raises(CorpusError):
+            names.subdomains(-1)
+
+    def test_labels_distinct(self, names: NameGenerator):
+        labels = names.subdomains(30)
+        assert len(set(labels)) == 30
+
+    def test_host_assembly(self, names: NameGenerator):
+        assert names.host("example.com", "www") == "www.example.com"
+        assert names.host("example.com", None) == "example.com"
+
+
+class TestPaths:
+    def test_root_path(self, names: NameGenerator):
+        assert names.path(0) == "/"
+
+    def test_depth_respected(self, names: NameGenerator):
+        path = names.path(3)
+        assert path.count("/") >= 3
+
+    def test_negative_depth_rejected(self, names: NameGenerator):
+        with pytest.raises(CorpusError):
+            names.path(-1)
+
+    def test_query_appended(self, names: NameGenerator):
+        assert "?" in names.path(2, with_query=True)
+
+    def test_directory_ends_with_slash(self, names: NameGenerator):
+        assert names.path(2, directory=True).endswith("/")
+
+    def test_unique_paths_are_unique(self, names: NameGenerator):
+        paths = names.unique_paths(2000)
+        assert len(set(paths)) == 2000
+
+    def test_unique_paths_zero(self, names: NameGenerator):
+        assert names.unique_paths(0) == []
+
+    def test_unique_paths_negative_rejected(self, names: NameGenerator):
+        with pytest.raises(CorpusError):
+            names.unique_paths(-5)
+
+    def test_generated_urls_survive_canonicalization(self, names: NameGenerator):
+        domain = names.registered_domain()
+        for path in names.unique_paths(50):
+            url = f"http://{domain}{path}"
+            assert canonicalize(url)  # does not raise

@@ -1,0 +1,87 @@
+"""Unit tests for the ParsedURL structured view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CanonicalizationError
+from repro.urls.parse import ParsedURL, parse_url
+
+
+class TestParseUrl:
+    def test_basic_components(self):
+        parsed = parse_url("http://www.example.com/a/b.html?x=1")
+        assert parsed.scheme == "http"
+        assert parsed.host == "www.example.com"
+        assert parsed.port is None
+        assert parsed.path == "/a/b.html"
+        assert parsed.query == "x=1"
+
+    def test_canonicalization_applied_by_default(self):
+        parsed = parse_url("HTTP://EXAMPLE.com:80/a/../b")
+        assert parsed.host == "example.com"
+        assert parsed.path == "/b"
+        assert parsed.port is None
+
+    def test_canonical_flag_skips_normalization(self):
+        parsed = parse_url("http://example.com/a/b", canonical=True)
+        assert parsed.host == "example.com"
+
+    def test_explicit_port(self):
+        parsed = parse_url("http://example.com:8443/x")
+        assert parsed.port == 8443
+
+    def test_query_absent_is_none(self):
+        assert parse_url("http://example.com/x").query is None
+
+    def test_empty_query_is_empty_string(self):
+        assert parse_url("http://example.com/x?").query == ""
+
+    def test_not_canonical_string_rejected_in_canonical_mode(self):
+        with pytest.raises(CanonicalizationError):
+            parse_url("not-a-canonical-url", canonical=True)
+
+
+class TestDerivedViews:
+    def test_host_labels(self):
+        parsed = parse_url("http://a.b.example.com/")
+        assert parsed.host_labels == ("a", "b", "example", "com")
+
+    def test_path_segments(self):
+        parsed = parse_url("http://example.com/a/b/c.html")
+        assert parsed.path_segments == ("a", "b", "c.html")
+
+    def test_depth_of_root_is_zero(self):
+        assert parse_url("http://example.com/").depth == 0
+
+    def test_depth_counts_segments(self):
+        assert parse_url("http://example.com/a/b/").depth == 2
+
+    def test_host_is_ip_true(self):
+        assert parse_url("http://10.0.0.1/").host_is_ip
+
+    def test_host_is_ip_false(self):
+        assert not parse_url("http://example.com/").host_is_ip
+
+    def test_host_is_ip_rejects_out_of_range(self):
+        parsed = ParsedURL("http", "300.1.2.3", None, "/", None)
+        assert not parsed.host_is_ip
+
+    def test_expression_includes_query(self):
+        parsed = parse_url("http://example.com/a?x=1")
+        assert parsed.expression() == "example.com/a?x=1"
+
+    def test_expression_without_query(self):
+        parsed = parse_url("http://example.com/a/b/")
+        assert parsed.expression() == "example.com/a/b/"
+
+    def test_url_round_trip(self):
+        original = "http://example.com:8080/a/b?x=1"
+        assert parse_url(original).url() == original
+
+    def test_with_path_replaces_path_and_query(self):
+        parsed = parse_url("http://example.com/a?x=1")
+        replaced = parsed.with_path("new/page", query="y=2")
+        assert replaced.path == "/new/page"
+        assert replaced.query == "y=2"
+        assert replaced.host == parsed.host

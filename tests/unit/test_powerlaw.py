@@ -1,0 +1,104 @@
+"""Unit tests for power-law sampling and fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.powerlaw import (
+    discrete_counts,
+    fit_power_law,
+    sample_power_law,
+    truncated_power_law_sample,
+)
+from repro.exceptions import CorpusError
+
+
+class TestSampling:
+    def test_samples_respect_x_min(self):
+        rng = np.random.default_rng(1)
+        samples = sample_power_law(rng, alpha=2.0, x_min=1.0, size=1000)
+        assert np.all(samples >= 1.0)
+
+    def test_sample_size(self):
+        rng = np.random.default_rng(1)
+        assert sample_power_law(rng, 2.0, 1.0, 123).shape == (123,)
+
+    def test_heavier_tail_for_smaller_alpha(self):
+        rng = np.random.default_rng(2)
+        light = sample_power_law(rng, alpha=3.5, x_min=1.0, size=20_000)
+        heavy = sample_power_law(np.random.default_rng(2), alpha=1.5, x_min=1.0, size=20_000)
+        assert np.quantile(heavy, 0.99) > np.quantile(light, 0.99)
+
+    def test_invalid_alpha_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(CorpusError):
+            sample_power_law(rng, alpha=1.0, x_min=1.0, size=10)
+
+    def test_invalid_x_min_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(CorpusError):
+            sample_power_law(rng, alpha=2.0, x_min=0.0, size=10)
+
+    def test_negative_size_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(CorpusError):
+            sample_power_law(rng, alpha=2.0, x_min=1.0, size=-1)
+
+
+class TestTruncatedSampling:
+    def test_samples_bounded(self):
+        rng = np.random.default_rng(3)
+        samples = truncated_power_law_sample(rng, alpha=1.3, x_min=1.0, x_max=500.0, size=5000)
+        assert np.all(samples >= 1.0)
+        assert np.all(samples <= 500.0)
+
+    def test_invalid_bounds_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(CorpusError):
+            truncated_power_law_sample(rng, alpha=1.3, x_min=10.0, x_max=5.0, size=10)
+
+
+class TestDiscreteCounts:
+    def test_floor_and_clamp(self):
+        counts = discrete_counts(np.array([0.2, 1.7, 9.9, 500.0]), minimum=1, maximum=100)
+        assert list(counts) == [1, 1, 9, 100]
+
+    def test_dtype_is_integer(self):
+        assert discrete_counts(np.array([2.5])).dtype == np.int64
+
+
+class TestFitting:
+    def test_recovers_known_exponent(self):
+        rng = np.random.default_rng(42)
+        samples = sample_power_law(rng, alpha=2.5, x_min=1.0, size=50_000)
+        fit = fit_power_law(samples)
+        assert fit.alpha == pytest.approx(2.5, abs=0.05)
+
+    def test_sigma_formula(self):
+        rng = np.random.default_rng(42)
+        samples = sample_power_law(rng, alpha=2.0, x_min=1.0, size=10_000)
+        fit = fit_power_law(samples)
+        assert fit.sigma == pytest.approx((fit.alpha - 1) / np.sqrt(fit.sample_size))
+
+    def test_values_below_x_min_excluded(self):
+        fit = fit_power_law([0.5, 0.2, 2.0, 3.0, 4.0], x_min=1.0)
+        assert fit.sample_size == 3
+
+    def test_density_zero_below_x_min(self):
+        rng = np.random.default_rng(1)
+        fit = fit_power_law(sample_power_law(rng, 2.0, 1.0, 1000))
+        assert fit.probability_density(0.5) == 0.0
+        assert fit.probability_density(1.0) > 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(CorpusError):
+            fit_power_law([2.0])
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(CorpusError):
+            fit_power_law([1.0, 1.0, 1.0])
+
+    def test_invalid_x_min_rejected(self):
+        with pytest.raises(CorpusError):
+            fit_power_law([1, 2, 3], x_min=0.0)

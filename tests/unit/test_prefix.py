@@ -1,0 +1,127 @@
+"""Unit tests for the Prefix value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PrefixError
+from repro.hashing.digests import sha256_digest
+from repro.hashing.prefix import Prefix
+
+
+class TestConstruction:
+    def test_default_width_is_32_bits(self):
+        prefix = Prefix(b"\x01\x02\x03\x04")
+        assert prefix.bits == 32
+
+    def test_bytearray_converted_to_bytes(self):
+        prefix = Prefix(bytearray(b"\x01\x02\x03\x04"))
+        assert isinstance(prefix.value, bytes)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix(b"\x01\x02\x03", bits=32)
+
+    def test_non_multiple_of_8_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix(b"\x01\x02\x03\x04", bits=30)
+
+    def test_width_out_of_range_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix(b"", bits=0)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(PrefixError):
+            Prefix("abcd", bits=32)  # type: ignore[arg-type]
+
+
+class TestFactories:
+    def test_from_digest_truncates(self):
+        digest = sha256_digest("petsymposium.org/2016/cfp.php")
+        prefix = Prefix.from_digest(digest, 32)
+        assert prefix.value == digest[:4]
+
+    def test_from_digest_rejects_short_digest(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_digest(b"\x01\x02", 32)
+
+    def test_from_hex_with_0x(self):
+        prefix = Prefix.from_hex("0xe70ee6d1")
+        assert prefix.bits == 32
+        assert prefix.value == bytes.fromhex("e70ee6d1")
+
+    def test_from_hex_bare(self):
+        assert Prefix.from_hex("deadbeef").to_int() == 0xDEADBEEF
+
+    def test_from_hex_explicit_bits_must_match(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_hex("0xe70ee6d1", bits=64)
+
+    def test_from_hex_invalid_characters(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_hex("0xnotahex1")
+
+    def test_from_hex_empty(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_hex("0x")
+
+    def test_from_int_round_trip(self):
+        assert Prefix.from_int(0x01020304, 32).to_int() == 0x01020304
+
+    def test_from_int_rejects_negative(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_int(-1)
+
+    def test_from_int_rejects_overflow(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_int(2**32, 32)
+
+
+class TestBehaviour:
+    def test_equality_and_hash(self):
+        first = Prefix.from_hex("0xe70ee6d1")
+        second = Prefix.from_hex("0xe70ee6d1")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first in {second}
+
+    def test_string_rendering_matches_paper_style(self):
+        assert str(Prefix.from_hex("0xe70ee6d1")) == "0xe70ee6d1"
+
+    def test_hex_without_prefix(self):
+        assert Prefix.from_hex("0xe70ee6d1").hex() == "e70ee6d1"
+
+    def test_ordering_is_lexicographic(self):
+        low = Prefix.from_int(1, 32)
+        high = Prefix.from_int(2, 32)
+        assert low < high
+        assert sorted([high, low]) == [low, high]
+
+    def test_ordering_across_widths_rejected(self):
+        with pytest.raises(PrefixError):
+            _ = Prefix.from_int(1, 32) < Prefix.from_int(1, 64)
+
+    def test_matches_digest(self):
+        digest = sha256_digest("example.com/")
+        prefix = Prefix.from_digest(digest, 32)
+        assert prefix.matches_digest(digest)
+        assert not prefix.matches_digest(sha256_digest("other.org/"))
+
+    def test_widen_extends_prefix(self):
+        digest = sha256_digest("example.com/")
+        prefix = Prefix.from_digest(digest, 32)
+        widened = prefix.widen(64, digest)
+        assert widened.bits == 64
+        assert widened.value[:4] == prefix.value
+
+    def test_widen_rejects_mismatched_digest(self):
+        digest = sha256_digest("example.com/")
+        prefix = Prefix.from_digest(digest, 32)
+        with pytest.raises(PrefixError):
+            prefix.widen(64, sha256_digest("other.org/"))
+
+    def test_widen_rejects_narrower_width(self):
+        digest = sha256_digest("example.com/")
+        prefix = Prefix.from_digest(digest, 64)
+        with pytest.raises(PrefixError):
+            prefix.widen(32, digest)

@@ -1,0 +1,88 @@
+"""Unit tests for the PrefixSet algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PrefixError
+from repro.hashing.prefix import Prefix
+from repro.hashing.prefix_set import PrefixSet
+
+
+def make(*values: int, bits: int = 32) -> PrefixSet:
+    return PrefixSet((Prefix.from_int(value, bits) for value in values), bits=bits)
+
+
+class TestConstruction:
+    def test_empty_set_defaults_to_32_bits(self):
+        assert PrefixSet().bits == 32
+        assert len(PrefixSet()) == 0
+
+    def test_duplicates_collapsed(self):
+        assert len(make(1, 1, 2)) == 2
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(PrefixError):
+            PrefixSet([Prefix.from_int(1, 32), Prefix.from_int(1, 64)])
+
+    def test_from_expressions(self):
+        prefix_set = PrefixSet.from_expressions(["example.com/", "example.org/"])
+        assert len(prefix_set) == 2
+        assert prefix_set.bits == 32
+
+    def test_from_hex(self):
+        prefix_set = PrefixSet.from_hex(["0xe70ee6d1", "33a02ef5"])
+        assert Prefix.from_hex("0xe70ee6d1") in prefix_set
+
+
+class TestProtocol:
+    def test_membership(self):
+        assert Prefix.from_int(1, 32) in make(1, 2)
+        assert Prefix.from_int(3, 32) not in make(1, 2)
+
+    def test_iteration_is_sorted(self):
+        values = [prefix.to_int() for prefix in make(3, 1, 2)]
+        assert values == [1, 2, 3]
+
+    def test_equality_and_hash(self):
+        assert make(1, 2) == make(2, 1)
+        assert hash(make(1, 2)) == hash(make(2, 1))
+
+    def test_sorted_values(self):
+        assert [p.to_int() for p in make(5, 3).sorted_values()] == [3, 5]
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert (make(1, 2) | make(2, 3)) == make(1, 2, 3)
+
+    def test_intersection(self):
+        assert (make(1, 2) & make(2, 3)) == make(2)
+
+    def test_difference(self):
+        assert (make(1, 2, 3) - make(2)) == make(1, 3)
+
+    def test_incompatible_widths_rejected(self):
+        with pytest.raises(PrefixError):
+            make(1, bits=32).union(make(1, bits=64))
+
+    def test_union_with_empty_set(self):
+        assert (make(1) | PrefixSet()) == make(1)
+
+
+class TestMeasures:
+    def test_jaccard_identical(self):
+        assert make(1, 2).jaccard(make(1, 2)) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert make(1).jaccard(make(2)) == 0.0
+
+    def test_jaccard_empty_sets(self):
+        assert PrefixSet().jaccard(PrefixSet()) == 0.0
+
+    def test_coverage(self):
+        # Half of the first set is covered by the second.
+        assert make(1, 2).coverage(make(2, 3, 4)) == 0.5
+
+    def test_coverage_of_empty_set(self):
+        assert PrefixSet().coverage(make(1)) == 0.0

@@ -1,0 +1,95 @@
+"""Unit tests for the protocol message types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.hashing.digests import FullHash
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import Chunk, ChunkKind, ChunkRange
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.protocol import (
+    ClientStats,
+    FullHashMatch,
+    FullHashRequest,
+    FullHashResponse,
+    ListState,
+    ListUpdate,
+    LookupResult,
+    UpdateRequest,
+    UpdateResponse,
+    Verdict,
+)
+
+COOKIE = SafeBrowsingCookie("test-cookie")
+
+
+class TestUpdateMessages:
+    def test_update_request_state_lookup(self):
+        state = ListState("goog-malware-shavar", ChunkRange.of([1]), ChunkRange())
+        request = UpdateRequest(cookie=COOKIE, states=(state,))
+        assert request.state_for("goog-malware-shavar") is state
+        assert request.state_for("other") is None
+
+    def test_list_update_is_empty(self):
+        assert ListUpdate("x").is_empty
+        chunk = Chunk(1, ChunkKind.ADD, (Prefix.from_int(1, 32),))
+        assert not ListUpdate("x", add_chunks=(chunk,)).is_empty
+
+    def test_update_response_lookup(self):
+        update = ListUpdate("a")
+        response = UpdateResponse(updates=(update,), next_poll_seconds=60.0)
+        assert response.update_for("a") is update
+        assert response.update_for("b") is None
+
+
+class TestFullHashMessages:
+    def test_request_requires_prefixes(self):
+        with pytest.raises(ProtocolError):
+            FullHashRequest(cookie=COOKIE, prefixes=())
+
+    def test_response_matches_for(self):
+        prefix = Prefix.from_int(1, 32)
+        other = Prefix.from_int(2, 32)
+        match = FullHashMatch("list", prefix, FullHash.of("example.com/"))
+        response = FullHashResponse(matches=(match,))
+        assert response.matches_for(prefix) == (match,)
+        assert response.matches_for(other) == ()
+
+    def test_response_orphan_prefixes(self):
+        answered = Prefix.from_int(1, 32)
+        orphan = Prefix.from_int(2, 32)
+        response = FullHashResponse(
+            matches=(FullHashMatch("list", answered, FullHash.of("x.com/")),)
+        )
+        assert response.orphan_prefixes((answered, orphan)) == (orphan,)
+
+
+class TestLookupResult:
+    def test_contacted_server_reflects_sent_prefixes(self):
+        result = LookupResult(url="u", canonical_url="u", verdict=Verdict.SAFE,
+                              decompositions=("a/",))
+        assert not result.contacted_server
+        result_hit = LookupResult(url="u", canonical_url="u", verdict=Verdict.MALICIOUS,
+                                  decompositions=("a/",),
+                                  sent_prefixes=(Prefix.from_int(1, 32),))
+        assert result_hit.contacted_server
+        assert result_hit.is_malicious
+
+    def test_verdict_enum_values(self):
+        assert Verdict.SAFE.value == "safe"
+        assert Verdict.MALICIOUS.value == "malicious"
+
+
+class TestClientStats:
+    def test_record_extra_accumulates(self):
+        stats = ClientStats()
+        stats.record_extra("dummy-prefixes", 3)
+        stats.record_extra("dummy-prefixes", 2)
+        assert stats.extra_requests["dummy-prefixes"] == 5
+
+    def test_default_counters_zero(self):
+        stats = ClientStats()
+        assert stats.urls_checked == 0
+        assert stats.full_hash_requests == 0

@@ -1,0 +1,121 @@
+"""Unit tests for URL re-identification from received prefixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.reidentification import ReidentificationEngine
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+
+URLS = [
+    "http://alpha.example.com/",
+    "http://alpha.example.com/blog/",
+    "http://alpha.example.com/blog/post-1.html",
+    "http://alpha.example.com/blog/post-2.html",
+    "http://example.com/",
+    "http://beta.example.org/page.html",
+    "http://beta.example.org/",
+]
+
+
+@pytest.fixture()
+def engine() -> ReidentificationEngine:
+    index = PrefixInvertedIndex()
+    index.add_urls(URLS)
+    return ReidentificationEngine(index)
+
+
+class TestSinglePrefix:
+    def test_single_domain_prefix_is_ambiguous_among_urls(self, engine):
+        result = engine.reidentify([url_prefix("example.com/")])
+        assert result.ambiguity == 5  # every URL on example.com
+        assert not result.url_identified
+        assert result.domain_identified  # but the domain is pinned down
+
+    def test_single_exact_prefix_identifies_unique_page(self, engine):
+        result = engine.reidentify([url_prefix("beta.example.org/page.html")])
+        assert result.identified_url == "http://beta.example.org/page.html"
+
+    def test_unknown_prefix_gives_empty_candidates(self, engine):
+        result = engine.reidentify([url_prefix("unknown.invalid/")])
+        assert result.ambiguity == 0
+        assert not result.url_identified
+        assert not result.domain_identified
+
+    def test_single_prefix_anonymity(self, engine):
+        assert engine.single_prefix_anonymity(url_prefix("example.com/")) == 5
+
+    def test_empty_prefix_list_rejected(self, engine):
+        with pytest.raises(AnalysisError):
+            engine.reidentify([])
+
+
+class TestMultiplePrefixes:
+    def test_two_prefixes_identify_a_leaf_url(self, engine):
+        prefixes = [
+            url_prefix("alpha.example.com/blog/post-1.html"),
+            url_prefix("example.com/"),
+        ]
+        result = engine.reidentify(prefixes)
+        assert result.identified_url == "http://alpha.example.com/blog/post-1.html"
+        assert result.identified_domain == "example.com"
+
+    def test_non_leaf_prefixes_leave_type1_ambiguity(self, engine):
+        prefixes = [url_prefix("alpha.example.com/blog/"), url_prefix("example.com/")]
+        result = engine.reidentify(prefixes)
+        # blog/, post-1 and post-2 can all produce these two prefixes.
+        assert result.ambiguity == 3
+        assert not result.url_identified
+        assert result.identified_domain == "example.com"
+        from repro.analysis.collisions import CollisionType
+
+        assert result.collision_breakdown.get(CollisionType.TYPE_I, 0) == 2
+
+    def test_duplicate_prefixes_deduplicated(self, engine):
+        prefix = url_prefix("beta.example.org/page.html")
+        result = engine.reidentify([prefix, prefix])
+        assert result.observed_prefixes == (prefix,)
+
+    def test_best_coverage_ignores_noise_prefixes(self, engine):
+        real = [
+            url_prefix("alpha.example.com/blog/post-1.html"),
+            url_prefix("example.com/"),
+        ]
+        noise = [url_prefix(f"noise-{i}.invalid/") for i in range(4)]
+        result = engine.reidentify_best_coverage(real + noise)
+        assert result.identified_url == "http://alpha.example.com/blog/post-1.html"
+
+    def test_best_coverage_falls_back_to_strict_semantics(self, engine):
+        result = engine.reidentify_best_coverage([url_prefix("example.com/")])
+        assert result.ambiguity == 5
+
+    def test_best_coverage_empty_rejected(self, engine):
+        with pytest.raises(AnalysisError):
+            engine.reidentify_best_coverage([])
+
+
+class TestRates:
+    def test_leaf_urls_fully_reidentified_with_two_prefixes(self, engine):
+        leaves = [
+            "http://alpha.example.com/blog/post-1.html",
+            "http://alpha.example.com/blog/post-2.html",
+            "http://beta.example.org/page.html",
+        ]
+        assert engine.reidentification_rate(leaves, prefixes_per_url=2) == 1.0
+
+    def test_domain_recovery_rate_is_total(self, engine):
+        assert engine.domain_recovery_rate(URLS, prefixes_per_url=2) == 1.0
+
+    def test_rates_reject_empty_input(self, engine):
+        with pytest.raises(AnalysisError):
+            engine.reidentification_rate([])
+        with pytest.raises(AnalysisError):
+            engine.domain_recovery_rate([])
+
+    def test_rate_adds_unknown_urls_to_index(self, engine):
+        rate = engine.reidentification_rate(["http://fresh.example.net/new.html"],
+                                            prefixes_per_url=2)
+        assert rate == 1.0
+        assert "http://fresh.example.net/new.html" in engine.index

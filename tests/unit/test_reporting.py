@@ -1,0 +1,81 @@
+"""Unit tests for the reporting helpers (tables and figure data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.figures import FigureData, Series
+from repro.reporting.tables import Table, format_table
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2.5, "y")
+        rendered = table.render()
+        assert "T" in rendered
+        assert "a" in rendered and "b" in rendered
+        assert "2.50" in rendered
+
+    def test_row_width_validated(self):
+        table = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = Table(title="T", columns=["a"])
+        table.add_row(1)
+        table.add_note("remember this")
+        assert "remember this" in table.render()
+
+    def test_str_equals_render(self):
+        table = Table(title="T", columns=["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+    def test_markdown_output(self):
+        table = Table(title="T", columns=["a", "b"])
+        table.add_row(1, 2)
+        markdown = table.to_markdown()
+        assert "| a | b |" in markdown
+        assert "| --- | --- |" in markdown
+        assert "| 1 | 2 |" in markdown
+
+    def test_large_numbers_get_thousand_separators(self):
+        table = Table(title="T", columns=["n"])
+        table.add_row(1_234_567)
+        assert "1,234,567" in table.render()
+
+    def test_small_floats_rendered_with_precision(self):
+        text = format_table("T", ["x"], [[0.0012]])
+        assert "0.0012" in text
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_from_values_builds_rank_series(self):
+        series = Series.from_values("s", [10, 5, 2])
+        assert series.x == (1.0, 2.0, 3.0)
+        assert series.y == (10.0, 5.0, 2.0)
+        assert len(series) == 3
+
+    def test_head(self):
+        series = Series.from_values("s", [4, 3, 2, 1])
+        assert series.head(2) == [(1.0, 4.0), (2.0, 3.0)]
+
+
+class TestFigureData:
+    def test_describe_mentions_series_and_summary(self):
+        figure = FigureData("fig5a", "URLs per host")
+        figure.add_series(Series.from_values("alexa", [100, 10, 1]))
+        figure.add_series(Series("empty", (), ()))
+        figure.add_summary("alpha", 1.31)
+        text = figure.describe()
+        assert "fig5a" in text
+        assert "alexa" in text
+        assert "(empty)" in text
+        assert "alpha" in text

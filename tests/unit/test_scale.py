@@ -1,0 +1,44 @@
+"""Unit tests for experiment scaling and the shared context cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import MEDIUM, SMALL, ExperimentContext, Scale, get_context
+from repro.safebrowsing.lists import ListProvider
+
+
+class TestScale:
+    def test_presets_are_valid(self):
+        assert SMALL.corpus_hosts < MEDIUM.corpus_hosts
+        assert SMALL.blacklist_fraction <= MEDIUM.blacklist_fraction
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Scale("bad", corpus_hosts=0, blacklist_fraction=0.01, stats_sites=1,
+                  index_sites=1, tracked_targets=1, clients=1)
+        with pytest.raises(ValueError):
+            Scale("bad", corpus_hosts=10, blacklist_fraction=2.0, stats_sites=1,
+                  index_sites=1, tracked_targets=1, clients=1)
+
+
+class TestContext:
+    def test_context_is_cached_per_scale(self):
+        assert get_context(SMALL) is get_context(SMALL)
+
+    def test_bundle_built_once(self):
+        context = get_context(SMALL)
+        assert context.bundle is context.bundle
+        assert context.bundle.alexa.site_count == SMALL.corpus_hosts
+
+    def test_snapshot_cached_per_provider(self):
+        context = get_context(SMALL)
+        assert context.snapshot(ListProvider.GOOGLE) is context.snapshot(ListProvider.GOOGLE)
+
+    def test_inverted_index_cached_per_corpus(self):
+        context = get_context(SMALL)
+        assert context.inverted_index("alexa") is context.inverted_index("alexa")
+
+    def test_fresh_context_starts_empty(self):
+        context = ExperimentContext(SMALL)
+        assert context._bundle is None

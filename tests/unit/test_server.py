@@ -1,0 +1,123 @@
+"""Unit tests for the Safe Browsing server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.hashing.digests import FullHash, url_prefix
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import ChunkRange
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.protocol import FullHashRequest, ListState, UpdateRequest
+from repro.safebrowsing.server import SafeBrowsingServer
+
+COOKIE = SafeBrowsingCookie("unit-test-cookie")
+
+
+@pytest.fixture()
+def server() -> SafeBrowsingServer:
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock())
+    server.blacklist("goog-malware-shavar", ["evil.example.com/", "bad.example.org/x"])
+    return server
+
+
+def empty_state(list_name: str) -> ListState:
+    return ListState(list_name, ChunkRange(), ChunkRange())
+
+
+class TestProvisioning:
+    def test_blacklist_returns_prefixes(self, server: SafeBrowsingServer):
+        prefixes = server.blacklist("googpub-phish-shavar", ["phish.example.net/login"])
+        assert prefixes == [url_prefix("phish.example.net/login")]
+
+    def test_blacklist_commits_a_chunk(self, server: SafeBrowsingServer):
+        assert len(server.database["goog-malware-shavar"].add_chunks) == 1
+
+    def test_unblacklist_creates_sub_chunk(self, server: SafeBrowsingServer):
+        server.unblacklist("goog-malware-shavar", ["evil.example.com/"])
+        assert len(server.database["goog-malware-shavar"].sub_chunks) == 1
+
+    def test_insert_orphan_prefixes(self, server: SafeBrowsingServer):
+        orphans = [Prefix.from_int(7, 32)]
+        server.insert_orphan_prefixes("goog-malware-shavar", orphans)
+        assert len(server.database["goog-malware-shavar"].orphan_prefixes()) == 1
+
+    def test_push_tracking_prefixes_indistinguishable_from_blacklist(self, server):
+        prefixes = server.push_tracking_prefixes("goog-malware-shavar",
+                                                 ["petsymposium.org/2016/cfp.php"])
+        assert server.database["goog-malware-shavar"].contains_prefix(prefixes[0])
+
+
+class TestUpdateEndpoint:
+    def test_new_client_receives_all_chunks(self, server: SafeBrowsingServer):
+        request = UpdateRequest(cookie=COOKIE, states=(empty_state("goog-malware-shavar"),))
+        response = server.handle_update(request)
+        update = response.update_for("goog-malware-shavar")
+        assert update is not None and len(update.add_chunks) == 1
+
+    def test_up_to_date_client_receives_nothing(self, server: SafeBrowsingServer):
+        state = ListState("goog-malware-shavar", ChunkRange.of([1]), ChunkRange())
+        response = server.handle_update(UpdateRequest(cookie=COOKIE, states=(state,)))
+        assert response.update_for("goog-malware-shavar").is_empty
+
+    def test_update_for_unknown_list_rejected(self, server: SafeBrowsingServer):
+        from repro.exceptions import ListNotFoundError
+
+        request = UpdateRequest(cookie=COOKIE, states=(empty_state("nope"),))
+        with pytest.raises(ListNotFoundError):
+            server.handle_update(request)
+
+    def test_poll_interval_propagated(self, server: SafeBrowsingServer):
+        server.poll_interval = 123.0
+        response = server.handle_update(UpdateRequest(cookie=COOKIE, states=()))
+        assert response.next_poll_seconds == 123.0
+
+    def test_stats_count_update_requests(self, server: SafeBrowsingServer):
+        server.handle_update(UpdateRequest(cookie=COOKIE, states=()))
+        assert server.stats.update_requests == 1
+        assert COOKIE.value in server.stats.clients_seen
+
+
+class TestFullHashEndpoint:
+    def test_known_prefix_returns_full_hashes(self, server: SafeBrowsingServer):
+        prefix = url_prefix("evil.example.com/")
+        response = server.handle_full_hash(FullHashRequest(cookie=COOKIE, prefixes=(prefix,)))
+        digests = {match.full_hash for match in response.matches_for(prefix)}
+        assert FullHash.of("evil.example.com/") in digests
+
+    def test_unknown_prefix_returns_nothing(self, server: SafeBrowsingServer):
+        prefix = Prefix.from_int(123456, 32)
+        response = server.handle_full_hash(FullHashRequest(cookie=COOKIE, prefixes=(prefix,)))
+        assert response.matches == ()
+
+    def test_request_is_logged_with_cookie_and_time(self, server: SafeBrowsingServer):
+        server.clock.advance(100.0)
+        prefix = url_prefix("evil.example.com/")
+        server.handle_full_hash(FullHashRequest(cookie=COOKIE, prefixes=(prefix,)))
+        assert len(server.request_log) == 1
+        entry = server.request_log[0]
+        assert entry.cookie == COOKIE
+        assert entry.timestamp == 100.0
+        assert entry.prefixes == (prefix,)
+
+    def test_requests_from_filters_by_cookie(self, server: SafeBrowsingServer):
+        other = SafeBrowsingCookie("other")
+        prefix = url_prefix("evil.example.com/")
+        server.handle_full_hash(FullHashRequest(cookie=COOKIE, prefixes=(prefix,)))
+        server.handle_full_hash(FullHashRequest(cookie=other, prefixes=(prefix,)))
+        assert len(server.requests_from(COOKIE)) == 1
+
+    def test_clear_request_log(self, server: SafeBrowsingServer):
+        prefix = url_prefix("evil.example.com/")
+        server.handle_full_hash(FullHashRequest(cookie=COOKIE, prefixes=(prefix,)))
+        server.clear_request_log()
+        assert server.request_log == ()
+
+    def test_stats_count_prefixes(self, server: SafeBrowsingServer):
+        prefix = url_prefix("evil.example.com/")
+        other = Prefix.from_int(5, 32)
+        server.handle_full_hash(FullHashRequest(cookie=COOKIE, prefixes=(prefix, other)))
+        assert server.stats.full_hash_requests == 1
+        assert server.stats.prefixes_received == 2

@@ -1,0 +1,73 @@
+"""Unit tests for the raw sorted-array prefix store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datastructures.store import RawPrefixStore
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+
+def prefixes_of(*values: int, bits: int = 32) -> list[Prefix]:
+    return [Prefix.from_int(value, bits) for value in values]
+
+
+class TestRawPrefixStore:
+    def test_empty_store(self):
+        store = RawPrefixStore()
+        assert len(store) == 0
+        assert store.memory_bytes() == 0
+        assert Prefix.from_int(1, 32) not in store
+
+    def test_add_and_membership(self):
+        store = RawPrefixStore(prefixes_of(5, 3, 9))
+        assert Prefix.from_int(3, 32) in store
+        assert Prefix.from_int(4, 32) not in store
+
+    def test_duplicates_not_stored_twice(self):
+        store = RawPrefixStore(prefixes_of(1, 1, 1))
+        assert len(store) == 1
+
+    def test_values_kept_sorted(self):
+        store = RawPrefixStore(prefixes_of(9, 1, 5))
+        assert store.values() == [1, 5, 9]
+
+    def test_discard_present(self):
+        store = RawPrefixStore(prefixes_of(1, 2))
+        store.discard(Prefix.from_int(1, 32))
+        assert Prefix.from_int(1, 32) not in store
+        assert len(store) == 1
+
+    def test_discard_absent_is_noop(self):
+        store = RawPrefixStore(prefixes_of(1))
+        store.discard(Prefix.from_int(7, 32))
+        assert len(store) == 1
+
+    def test_memory_is_width_times_count(self):
+        store = RawPrefixStore(prefixes_of(1, 2, 3))
+        assert store.memory_bytes() == 3 * 4
+        store64 = RawPrefixStore(prefixes_of(1, 2, 3, bits=64), bits=64)
+        assert store64.memory_bytes() == 3 * 8
+
+    def test_iteration_yields_prefixes_in_order(self):
+        store = RawPrefixStore(prefixes_of(2, 1))
+        assert [prefix.to_int() for prefix in store] == [1, 2]
+
+    def test_wrong_width_rejected(self):
+        store = RawPrefixStore(bits=32)
+        with pytest.raises(DataStructureError):
+            store.add(Prefix.from_int(1, 64))
+
+    def test_invalid_store_width_rejected(self):
+        with pytest.raises(DataStructureError):
+            RawPrefixStore(bits=13)
+
+    def test_bulk_update_and_discard(self):
+        store = RawPrefixStore()
+        store.update(prefixes_of(1, 2, 3, 4))
+        store.discard_many(prefixes_of(2, 3))
+        assert store.values() == [1, 4]
+
+    def test_not_approximate(self):
+        assert RawPrefixStore.approximate is False

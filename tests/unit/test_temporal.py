@@ -1,0 +1,116 @@
+"""Unit tests for the temporal-correlation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.temporal import CorrelatedVisit, IntentProfile, TemporalCorrelator
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry
+
+CFP = "https://petsymposium.org/2016/cfp.php"
+SUBMISSION = "https://petsymposium.org/2016/submission/"
+
+ALICE = SafeBrowsingCookie("alice-cookie")
+BOB = SafeBrowsingCookie("bob-cookie")
+
+
+def entry(cookie, timestamp, *expressions):
+    return RequestLogEntry(
+        cookie=cookie,
+        timestamp=timestamp,
+        prefixes=tuple(url_prefix(expression) for expression in expressions),
+    )
+
+
+@pytest.fixture()
+def correlator() -> TemporalCorrelator:
+    profile = IntentProfile(name="prospective-author", urls=(CFP, SUBMISSION), min_matches=2)
+    return TemporalCorrelator([profile], window_seconds=3600)
+
+
+class TestIntentProfile:
+    def test_prefix_mapping(self):
+        profile = IntentProfile(name="p", urls=(CFP,), min_matches=1)
+        mapping = profile.prefixes()
+        assert mapping[url_prefix("petsymposium.org/2016/cfp.php")] == CFP
+
+    def test_requires_urls(self):
+        with pytest.raises(AnalysisError):
+            IntentProfile(name="p", urls=())
+
+    def test_requires_positive_min_matches(self):
+        with pytest.raises(AnalysisError):
+            IntentProfile(name="p", urls=(CFP,), min_matches=0)
+
+
+class TestCorrelator:
+    def test_requires_profiles(self):
+        with pytest.raises(AnalysisError):
+            TemporalCorrelator([])
+
+    def test_requires_positive_window(self):
+        with pytest.raises(AnalysisError):
+            TemporalCorrelator([IntentProfile("p", (CFP,), 1)], window_seconds=0)
+
+    def test_group_by_cookie_sorts_by_time(self):
+        log = [entry(ALICE, 50, "petsymposium.org/"), entry(ALICE, 10, "petsymposium.org/")]
+        grouped = TemporalCorrelator.group_by_cookie(log)
+        assert [e.timestamp for e in grouped[ALICE]] == [10, 50]
+
+    def test_detects_profile_within_window(self, correlator):
+        log = [
+            entry(ALICE, 0, "petsymposium.org/2016/cfp.php"),
+            entry(ALICE, 600, "petsymposium.org/2016/submission/"),
+        ]
+        visits = correlator.correlate(log)
+        assert len(visits) == 1
+        visit = visits[0]
+        assert isinstance(visit, CorrelatedVisit)
+        assert visit.cookie == ALICE
+        assert visit.profile == "prospective-author"
+        assert set(visit.matched_urls) == {CFP, SUBMISSION}
+        assert visit.span_seconds == 600
+
+    def test_no_detection_when_only_one_url_seen(self, correlator):
+        log = [entry(ALICE, 0, "petsymposium.org/2016/cfp.php")]
+        assert correlator.correlate(log) == []
+
+    def test_no_detection_when_queries_too_far_apart(self, correlator):
+        log = [
+            entry(ALICE, 0, "petsymposium.org/2016/cfp.php"),
+            entry(ALICE, 7200, "petsymposium.org/2016/submission/"),
+        ]
+        assert correlator.correlate(log) == []
+
+    def test_queries_from_different_cookies_not_merged(self, correlator):
+        log = [
+            entry(ALICE, 0, "petsymposium.org/2016/cfp.php"),
+            entry(BOB, 60, "petsymposium.org/2016/submission/"),
+        ]
+        assert correlator.correlate(log) == []
+
+    def test_multiple_clients_detected_independently(self, correlator):
+        log = [
+            entry(ALICE, 0, "petsymposium.org/2016/cfp.php"),
+            entry(ALICE, 60, "petsymposium.org/2016/submission/"),
+            entry(BOB, 100, "petsymposium.org/2016/cfp.php"),
+            entry(BOB, 200, "petsymposium.org/2016/submission/"),
+        ]
+        visits = correlator.correlate(log)
+        assert {visit.cookie for visit in visits} == {ALICE, BOB}
+
+    def test_unrelated_prefixes_ignored(self, correlator):
+        log = [
+            entry(ALICE, 0, "some.other.site/page.html"),
+            entry(ALICE, 10, "another.site/"),
+        ]
+        assert correlator.correlate(log) == []
+
+    def test_profile_with_min_matches_one(self):
+        profile = IntentProfile(name="cfp-reader", urls=(CFP,), min_matches=1)
+        correlator = TemporalCorrelator([profile], window_seconds=60)
+        log = [entry(ALICE, 0, "petsymposium.org/2016/cfp.php")]
+        assert len(correlator.correlate(log)) == 1

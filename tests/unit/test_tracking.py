@@ -1,0 +1,167 @@
+"""Unit tests for Algorithm 1 and the end-to-end tracking system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.tracking import (
+    TrackingMode,
+    TrackingSystem,
+    tracking_prefixes,
+)
+from repro.clock import ManualClock
+from repro.exceptions import AnalysisError
+from repro.hashing.digests import url_prefix
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+PETS_URLS = [
+    "https://petsymposium.org/",
+    "https://petsymposium.org/2016/",
+    "https://petsymposium.org/2016/cfp.php",
+    "https://petsymposium.org/2016/links.php",
+    "https://petsymposium.org/2016/faqs.php",
+]
+
+CFP = "https://petsymposium.org/2016/cfp.php"
+INDEX_2016 = "https://petsymposium.org/2016/"
+
+
+@pytest.fixture()
+def web_index() -> PrefixInvertedIndex:
+    index = PrefixInvertedIndex()
+    index.add_urls(PETS_URLS)
+    return index
+
+
+class TestAlgorithm1:
+    def test_leaf_url_needs_two_prefixes(self, web_index):
+        decision = tracking_prefixes(CFP, web_index, delta=4)
+        assert decision.mode is TrackingMode.LEAF
+        assert decision.prefix_count == 2
+        assert "petsymposium.org/2016/cfp.php" in decision.expressions
+        assert "petsymposium.org/" in decision.expressions
+
+    def test_paper_prefix_values_for_cfp(self, web_index):
+        decision = tracking_prefixes(CFP, web_index, delta=4)
+        rendered = {str(prefix) for prefix in decision.prefixes}
+        assert "0xe70ee6d1" in rendered  # paper Table 4
+        assert "0x33a02ef5" in rendered
+
+    def test_non_leaf_url_includes_type1_colliders(self, web_index):
+        decision = tracking_prefixes(INDEX_2016, web_index, delta=4)
+        assert decision.mode is TrackingMode.WITH_TYPE1
+        colliders = set(decision.type1_collisions)
+        assert CFP in colliders
+        assert "https://petsymposium.org/2016/links.php" in colliders
+        assert "https://petsymposium.org/2016/faqs.php" in colliders
+        # Its own prefix + domain + the three colliders.
+        assert decision.prefix_count == 5
+
+    def test_small_delta_degrades_to_domain_only(self, web_index):
+        decision = tracking_prefixes(INDEX_2016, web_index, delta=2)
+        assert decision.mode is TrackingMode.DOMAIN_ONLY
+        assert not decision.url_trackable
+        assert decision.prefix_count == 2
+
+    def test_tiny_domain_blacklists_all_decompositions(self):
+        index = PrefixInvertedIndex()
+        index.add_urls(["http://tiny.example.net/"])
+        decision = tracking_prefixes("http://tiny.example.net/", index, delta=4)
+        assert decision.mode is TrackingMode.TINY_DOMAIN
+        assert decision.prefix_count <= 2
+
+    def test_unknown_target_is_added_to_index(self, web_index):
+        target = "https://petsymposium.org/2016/news.php"
+        decision = tracking_prefixes(target, web_index, delta=4)
+        assert target in web_index
+        assert decision.target_domain == "petsymposium.org"
+
+    def test_delta_must_be_at_least_two(self, web_index):
+        with pytest.raises(AnalysisError):
+            tracking_prefixes(CFP, web_index, delta=1)
+
+    def test_failure_probability_decreases_with_prefixes(self, web_index):
+        leaf = tracking_prefixes(CFP, web_index, delta=4)
+        with_colliders = tracking_prefixes(INDEX_2016, web_index, delta=4)
+        assert with_colliders.failure_probability() < leaf.failure_probability()
+
+
+class TestTrackingSystem:
+    @pytest.fixture()
+    def setup(self, web_index):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        tracker = TrackingSystem(server=server, index=web_index,
+                                 list_name="goog-malware-shavar", delta=4)
+        return clock, server, tracker
+
+    def test_track_pushes_prefixes_into_the_list(self, setup):
+        _, server, tracker = setup
+        decision = tracker.track(CFP)
+        database = server.database["goog-malware-shavar"]
+        assert all(database.contains_prefix(prefix) for prefix in decision.prefixes)
+
+    def test_shadow_prefixes_accumulate(self, setup):
+        _, _, tracker = setup
+        tracker.track_many([CFP, INDEX_2016])
+        assert url_prefix("petsymposium.org/2016/cfp.php") in tracker.shadow_prefixes
+        assert url_prefix("petsymposium.org/") in tracker.shadow_prefixes
+
+    def test_visit_to_target_is_detected_with_cookie(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        clock.advance(30)
+        client.lookup(CFP)
+        outcomes = tracker.detect()
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert outcome.cookie == client.cookie
+        assert outcome.target_url == CFP
+        assert outcome.url_level
+        assert outcome.timestamp == clock.now()
+
+    def test_unrelated_browsing_is_not_detected(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        client = SafeBrowsingClient(server, name="bystander", clock=clock)
+        client.update()
+        client.lookup("http://unrelated.example.org/whatever.html")
+        assert tracker.detect() == []
+
+    def test_visit_to_type1_collider_detected_at_domain_level(self, setup):
+        clock, server, tracker = setup
+        tracker.track(INDEX_2016)
+        client = SafeBrowsingClient(server, name="reader", clock=clock)
+        client.update()
+        client.lookup("https://petsymposium.org/2016/links.php")
+        outcomes = tracker.detect()
+        assert outcomes, "the collider visit must match the shadow database"
+        assert all(outcome.target_domain == "petsymposium.org" for outcome in outcomes)
+
+    def test_detected_cookies_per_target(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        visitor = SafeBrowsingClient(server, name="visitor", clock=clock)
+        other = SafeBrowsingClient(server, name="other", clock=clock)
+        for client in (visitor, other):
+            client.update()
+        visitor.lookup(CFP)
+        other.lookup("http://something.else.example/")
+        cookies = tracker.detected_cookies(CFP)
+        assert cookies == {visitor.cookie}
+
+    def test_detection_works_on_an_explicit_log(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        client.lookup(CFP)
+        log = server.request_log
+        server.clear_request_log()
+        assert tracker.detect(log)  # detection from the captured log still works
+        assert tracker.detect() == []  # nothing left on the live log
