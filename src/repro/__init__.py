@@ -39,7 +39,16 @@ from repro.exceptions import (
     UpdateError,
 )
 from repro.clock import Clock, ManualClock
-from repro.hashing import FullHash, Prefix, PrefixSet, full_digest, sha256_digest, url_prefix
+from repro.hashing import (
+    FullHash,
+    Prefix,
+    PrefixSet,
+    digests_of,
+    full_digest,
+    prefixes_of,
+    sha256_digest,
+    url_prefix,
+)
 from repro.urls import (
     HostHierarchy,
     ParsedURL,
@@ -54,6 +63,7 @@ from repro.datastructures import (
     BloomPrefixStore,
     DeltaCodedPrefixStore,
     RawPrefixStore,
+    SortedArrayPrefixStore,
     store_memory_report,
 )
 from repro.safebrowsing import (
@@ -126,6 +136,7 @@ __all__ = [
     "ReproError",
     "SafeBrowsingClient",
     "SafeBrowsingServer",
+    "SortedArrayPrefixStore",
     "TemporalCorrelator",
     "TrackingSystem",
     "UpdateError",
@@ -137,8 +148,10 @@ __all__ = [
     "canonicalize",
     "collect_corpus_statistics",
     "decompositions",
+    "digests_of",
     "fit_power_law",
     "full_digest",
+    "prefixes_of",
     "parse_url",
     "privacy_metric",
     "registered_domain",

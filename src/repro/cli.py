@@ -14,6 +14,9 @@ often, without writing Python:
     Run Algorithm 1 over the given site URLs for the first URL as target.
 ``python -m repro experiment NAME``
     Regenerate one of the paper's tables/figures at SMALL scale and print it.
+``python -m repro fleet [--scale NAME] [--mode MODE] ...``
+    Run the fleet traffic simulator (N clients, one server, one shared
+    clock) and print per-mode throughput, server traffic and cache rates.
 """
 
 from __future__ import annotations
@@ -49,7 +52,13 @@ _EXPERIMENTS: dict[str, str] = {
     "ecosystem": "repro.experiments.ecosystem_leakage:ecosystem_table",
     "history": "repro.experiments.history_reconstruction:history_table",
     "stores": "repro.experiments.structure_ablation:structure_ablation_table",
+    "fleet": "repro.experiments.fleet:fleet_table",
 }
+
+#: Store backends offered by ``repro fleet``.  Mirrors the keys of
+#: ``repro.safebrowsing.client._STORE_BACKENDS`` (kept in sync by a unit
+#: test) so building the parser does not import the safebrowsing stack.
+_FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "raw", "sorted-array")
 
 
 def _resolve_experiment(name: str) -> Callable[[], object]:
@@ -98,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one of the paper's tables/figures")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
 
+    fleet = subparsers.add_parser(
+        "fleet", help="simulate a fleet of clients and report throughput")
+    fleet.add_argument("--scale", choices=["small", "medium"], default="small",
+                       help="workload size (default small)")
+    fleet.add_argument("--mode", choices=["scalar", "batched", "both"],
+                       default="both",
+                       help="lookup path to drive (default: compare both)")
+    fleet.add_argument("--clients", type=int, default=None,
+                       help="override the number of simulated clients")
+    fleet.add_argument("--urls", type=int, default=None,
+                       help="override the stream length per client")
+    fleet.add_argument("--batch-size", type=int, default=None,
+                       help="override the page-load batch size")
+    fleet.add_argument("--store-backend", default="sorted-array",
+                       choices=_FLEET_STORE_BACKENDS,
+                       help="client store backend (default sorted-array)")
+    fleet.add_argument("--seed", type=int, default=None,
+                       help="override the traffic seed")
+
     return parser
 
 
@@ -141,12 +169,56 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.fleet import FleetConfig, fleet_table, run_fleet
+    from repro.experiments.scale import MEDIUM, SMALL
+
+    scale = SMALL if args.scale == "small" else MEDIUM
+    overrides = {}
+    if args.clients is not None:
+        overrides["clients"] = args.clients
+    if args.urls is not None:
+        overrides["fleet_urls_per_client"] = args.urls
+    if args.batch_size is not None:
+        overrides["fleet_batch_size"] = args.batch_size
+    if overrides:
+        try:
+            scale = dc_replace(scale, name=f"{scale.name}-custom", **overrides)
+        except ValueError as error:
+            # Scale validation raises plain ValueError; surface it like every
+            # other CLI input error instead of a traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    config = FleetConfig(store_backend=args.store_backend)
+    if args.seed is not None:
+        config = dc_replace(config, seed=args.seed)
+
+    if args.mode == "both":
+        print(fleet_table(scale, config).render())
+        return 0
+    report = run_fleet(scale, dc_replace(config, mode=args.mode))
+    print(f"mode            : {report.mode}")
+    print(f"clients         : {report.clients}")
+    print(f"URLs checked    : {report.urls_checked}")
+    print(f"URLs/s          : {report.urls_per_second:,.0f}")
+    print(f"full-hash reqs  : {report.server_full_hash_requests}")
+    print(f"update reqs     : {report.server_update_requests}")
+    print(f"prefixes sent   : {report.server_prefixes_received}")
+    print(f"cache hit rate  : {report.cache_hit_rate:.4f}")
+    print(f"malicious       : {report.malicious_verdicts}")
+    return 0
+
+
 _COMMANDS = {
     "canonicalize": _command_canonicalize,
     "decompose": _command_decompose,
     "prefix": _command_prefix,
     "track": _command_track,
     "experiment": _command_experiment,
+    "fleet": _command_fleet,
 }
 
 

@@ -6,12 +6,15 @@ Table 2) compares the two structures Google deployed: a Bloom filter (early
 Chromium) and the delta-coded table that replaced it, and explains the switch
 by measuring the memory footprint for different prefix widths.
 
-This package implements both structures plus a plain sorted-array store, all
-behind the :class:`PrefixStore` interface, and a byte-accurate memory model
-used to regenerate Table 2.
+This package implements both structures plus two exact array stores — the
+boxed :class:`RawPrefixStore` and the packed :class:`SortedArrayPrefixStore`
+with batched :meth:`~PrefixStore.contains_many` lookups — all behind the
+:class:`PrefixStore` interface, and a byte-accurate memory model used to
+regenerate Table 2.
 """
 
 from repro.datastructures.store import PrefixStore, RawPrefixStore
+from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.bloom import BloomFilter, BloomPrefixStore, optimal_bloom_parameters
 from repro.datastructures.delta import DeltaCodedTable, DeltaCodedPrefixStore
 from repro.datastructures.memory import MemoryReport, STORE_FACTORIES, store_memory_report
@@ -25,6 +28,7 @@ __all__ = [
     "PrefixStore",
     "RawPrefixStore",
     "STORE_FACTORIES",
+    "SortedArrayPrefixStore",
     "optimal_bloom_parameters",
     "store_memory_report",
 ]

@@ -1,0 +1,139 @@
+"""A packed sorted-array prefix store with batched membership queries.
+
+:class:`SortedArrayPrefixStore` keeps the prefixes as a flat, sorted,
+machine-typed :mod:`array` (one unsigned 64-bit slot per prefix for widths up
+to 64 bits, plain Python integers beyond), instead of the boxed
+:class:`~repro.hashing.prefix.Prefix` objects or per-entry byte strings the
+other stores manipulate.  Two things follow:
+
+* memory locality — the whole index is one contiguous buffer, and the
+  serialized size is exactly the raw ``n * bits / 8`` bytes of the paper's
+  Table 2 "raw data" row;
+* batched lookups — :meth:`contains_many` answers a whole batch of prefixes
+  with one pass of :func:`bisect.bisect_left` calls that reuse the previous
+  probe's position as a lower bound when the batch is sorted, which is what
+  the batched client lookup path (``SafeBrowsingClient.check_urls``) hits on
+  every page load of the fleet simulator.
+
+The store is exact (no false positives) and supports removal, so unlike the
+Bloom filter it can apply *sub* chunks.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections.abc import Iterable, Iterator
+
+from repro.datastructures.store import PrefixStore
+from repro.hashing.prefix import Prefix
+
+#: Widths (in bits) that fit one unsigned 64-bit array slot.
+_MACHINE_WIDTH_BITS = 64
+
+
+class SortedArrayPrefixStore(PrefixStore):
+    """A sorted, packed array of prefix values with batch lookups.
+
+    Functionally equivalent to :class:`~repro.datastructures.store.RawPrefixStore`
+    (same serialized size, same exact membership semantics); the difference is
+    the storage layout and the :meth:`contains_many` fast path.
+    """
+
+    approximate = False
+
+    def __init__(self, prefixes: Iterable[Prefix] = (), bits: int = 32) -> None:
+        super().__init__(bits)
+        values = sorted({self._check(prefix).to_int() for prefix in prefixes})
+        if bits <= _MACHINE_WIDTH_BITS:
+            self._values: array | list[int] = array("Q", values)
+        else:
+            # Wider prefixes do not fit a machine word; fall back to Python
+            # integers while keeping the same sorted-array algorithms.
+            self._values = values
+
+    # -- single-prefix operations ---------------------------------------------
+
+    def add(self, prefix: Prefix) -> None:
+        value = self._check(prefix).to_int()
+        index = bisect_left(self._values, value)
+        if index >= len(self._values) or self._values[index] != value:
+            self._values.insert(index, value)
+
+    def discard(self, prefix: Prefix) -> None:
+        value = self._check(prefix).to_int()
+        index = bisect_left(self._values, value)
+        if index < len(self._values) and self._values[index] == value:
+            del self._values[index]
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        value = self._check(prefix).to_int()
+        index = bisect_left(self._values, value)
+        return index < len(self._values) and self._values[index] == value
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        for value in self._values:
+            yield Prefix.from_int(int(value), self._bits)
+
+    def memory_bytes(self) -> int:
+        # Serialized form is the raw layout: n prefixes of bits/8 bytes each.
+        return len(self._values) * (self._bits // 8)
+
+    def values(self) -> list[int]:
+        """The sorted integer values of the stored prefixes."""
+        return [int(value) for value in self._values]
+
+    # -- bulk operations -------------------------------------------------------
+
+    def update(self, prefixes: Iterable[Prefix]) -> None:
+        """Insert many prefixes: merge and re-sort once instead of n inserts."""
+        incoming = {self._check(prefix).to_int() for prefix in prefixes}
+        if not incoming:
+            return
+        if len(incoming) <= 8:
+            for value in sorted(incoming):
+                index = bisect_left(self._values, value)
+                if index >= len(self._values) or self._values[index] != value:
+                    self._values.insert(index, value)
+            return
+        merged = sorted(set(self._values) | incoming)
+        if isinstance(self._values, array):
+            self._values = array("Q", merged)
+        else:
+            self._values = merged
+
+    def contains_many(self, prefixes: Iterable[Prefix]) -> int:
+        """Batched membership: bit ``i`` of the result is set iff
+        ``prefixes[i]`` is in the store.
+
+        The probes are processed in sorted order so each binary search starts
+        from the previous hit position, turning a batch of ``k`` lookups over
+        ``n`` entries into ``O(k log(n / k) + k log k)`` comparisons instead
+        of ``k`` independent full-range searches.
+        """
+        probes = [(self._check(prefix).to_int(), position)
+                  for position, prefix in enumerate(prefixes)]
+        if not probes:
+            return 0
+        probes.sort()
+        values = self._values
+        size = len(values)
+        bitmask = 0
+        low = 0
+        previous_value: int | None = None
+        previous_hit = False
+        for value, position in probes:
+            if value == previous_value:
+                if previous_hit:
+                    bitmask |= 1 << position
+                continue
+            index = bisect_left(values, value, low)
+            previous_value = value
+            previous_hit = index < size and values[index] == value
+            low = index
+            if previous_hit:
+                bitmask |= 1 << position
+        return bitmask

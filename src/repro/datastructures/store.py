@@ -81,6 +81,21 @@ class PrefixStore(ABC):
         for prefix in prefixes:
             self.discard(prefix)
 
+    def contains_many(self, prefixes: Iterable[Prefix]) -> int:
+        """Batched membership query returning a bitmask.
+
+        Bit ``i`` of the result is set iff the ``i``-th prefix of the batch
+        is in the store (approximate stores keep their one-sided error: bits
+        may be spuriously set, never spuriously clear).  Backends with a
+        batch-friendly layout override this with a faster implementation;
+        the default simply loops over :meth:`__contains__`.
+        """
+        bitmask = 0
+        for position, prefix in enumerate(prefixes):
+            if prefix in self:
+                bitmask |= 1 << position
+        return bitmask
+
 
 class RawPrefixStore(PrefixStore):
     """A sorted array of prefixes.

@@ -9,5 +9,25 @@ functions; EXPERIMENTS.md records paper-reported vs. measured values.
 """
 
 from repro.experiments.scale import Scale, SMALL, MEDIUM, get_context, ExperimentContext
+from repro.experiments.fleet import (
+    FleetConfig,
+    FleetReport,
+    FleetSimulator,
+    fleet_comparison,
+    fleet_table,
+    run_fleet,
+)
 
-__all__ = ["ExperimentContext", "MEDIUM", "SMALL", "Scale", "get_context"]
+__all__ = [
+    "ExperimentContext",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSimulator",
+    "MEDIUM",
+    "SMALL",
+    "Scale",
+    "fleet_comparison",
+    "fleet_table",
+    "get_context",
+    "run_fleet",
+]

@@ -1,0 +1,326 @@
+"""Fleet traffic simulator: N clients hammering one provider.
+
+The paper's headline numbers come from workloads far beyond a per-URL loop
+(10^9 decompositions against 10^5-prefix blacklists), and the ROADMAP's north
+star is a service shaped for millions of clients.  This module drives that
+direction at reproduction scale: a :class:`FleetSimulator` runs ``N``
+simulated Safe Browsing clients against one :class:`SafeBrowsingServer` over
+a *shared* :class:`~repro.clock.ManualClock`, feeding each client a
+deterministic, revisit-heavy URL stream drawn from the synthetic corpora.
+
+Two execution modes share identical streams, schedules and verdict
+semantics:
+
+* ``"scalar"`` — every URL goes through :meth:`SafeBrowsingClient.check_url`
+  (the reference oracle, one full pipeline pass per URL);
+* ``"batched"`` — URLs are checked in page-load batches through
+  :meth:`SafeBrowsingClient.check_urls`, which amortizes canonicalization,
+  hashing, store probes and full-hash requests batch-wide.
+
+The simulator reports wall-clock throughput (URLs/s), the server's request
+counters and the fleet's cache behaviour; ``benchmarks/bench_fleet_throughput.py``
+asserts the batched mode's >= 10x speedup at ``MEDIUM`` scale and the perf
+smoke test holds the two modes to identical traffic totals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.clock import ManualClock
+from repro.exceptions import ExperimentError
+from repro.experiments.scale import ExperimentContext, Scale, SMALL, get_context
+from repro.reporting.tables import Table
+from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+from repro.safebrowsing.lists import ListProvider, lists_for_provider
+from repro.safebrowsing.server import SafeBrowsingServer
+
+#: Execution modes understood by the simulator.
+FLEET_MODES = ("scalar", "batched")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetConfig:
+    """Tunable behaviour of one fleet simulation.
+
+    Attributes
+    ----------
+    mode:
+        ``"scalar"`` (per-URL oracle) or ``"batched"``.
+    provider:
+        Whose lists the simulated server serves.
+    store_backend:
+        Client-side store backend (the packed sorted-array by default, so
+        the batched mode exercises :meth:`PrefixStore.contains_many`).
+    working_set_size:
+        Size of each client's personal working set of revisited URLs.
+    working_set_fraction:
+        Fraction of each stream drawn from the working set (browsing is
+        revisit-heavy); the rest explores the whole corpus pool.
+    malicious_fraction:
+        Fraction of each stream replaced by blacklisted URLs, so full-hash
+        traffic actually flows.
+    malicious_pool_size:
+        Size of the per-client sample of the blacklist that its malicious
+        visits come from (a user keeps running into the same few bad sites,
+        not uniform draws over the provider's whole list).
+    zipf_exponent:
+        Popularity skew inside the working set.
+    round_seconds:
+        Logical seconds the shared clock advances between rounds (drives
+        update polls and full-hash cache expiry).
+    update_jitter_fraction:
+        Per-client update jitter, so the fleet desynchronizes its polls.
+    seed:
+        Master seed; client ``i`` derives its stream from ``seed + i``.
+    """
+
+    mode: str = "batched"
+    provider: ListProvider = ListProvider.GOOGLE
+    store_backend: str = "sorted-array"
+    working_set_size: int = 40
+    working_set_fraction: float = 0.95
+    malicious_fraction: float = 0.03
+    malicious_pool_size: int = 25
+    zipf_exponent: float = 1.1
+    round_seconds: float = 120.0
+    update_jitter_fraction: float = 0.1
+    seed: int = 20160628
+
+    def __post_init__(self) -> None:
+        if self.mode not in FLEET_MODES:
+            raise ExperimentError(
+                f"unknown fleet mode {self.mode!r}; expected one of {FLEET_MODES}"
+            )
+        if self.working_set_size <= 0 or self.malicious_pool_size <= 0:
+            raise ExperimentError("working_set_size and malicious_pool_size "
+                                  "must be positive")
+        if not (0.0 <= self.working_set_fraction <= 1.0):
+            raise ExperimentError("working_set_fraction must be in [0, 1]")
+        if not (0.0 <= self.malicious_fraction <= 1.0):
+            raise ExperimentError("malicious_fraction must be in [0, 1]")
+        if self.malicious_fraction + self.working_set_fraction > 1.0 + 1e-9:
+            raise ExperimentError("stream fractions must not exceed 1")
+        if self.zipf_exponent <= 0:
+            raise ExperimentError("zipf_exponent must be positive")
+        if self.round_seconds < 0:
+            raise ExperimentError("round_seconds must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetReport:
+    """Everything one fleet run measured."""
+
+    mode: str
+    scale: str
+    clients: int
+    urls_checked: int
+    rounds: int
+    elapsed_seconds: float
+    urls_per_second: float
+    server_update_requests: int
+    server_full_hash_requests: int
+    server_prefixes_received: int
+    local_hits: int
+    cache_hits: int
+    malicious_verdicts: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of locally-hitting checks served from the full-hash cache."""
+        if self.local_hits == 0:
+            return 0.0
+        return self.cache_hits / self.local_hits
+
+    def traffic_signature(self) -> tuple[int, int, int]:
+        """The mode-independent traffic totals.
+
+        Coalescing changes *how many requests* carry the prefixes, never
+        *which prefixes* are revealed or *which verdicts* come back — so
+        these three totals must be identical between scalar and batched runs
+        over the same streams (the perf smoke test's oracle check).
+        """
+        return (self.server_prefixes_received, self.local_hits,
+                self.malicious_verdicts)
+
+
+class FleetSimulator:
+    """Drive a fleet of clients over one shared logical clock."""
+
+    def __init__(self, scale: Scale = SMALL, config: FleetConfig | None = None,
+                 *, context: ExperimentContext | None = None) -> None:
+        self.scale = scale
+        self.config = config if config is not None else FleetConfig()
+        self._context = context if context is not None else get_context(scale)
+
+    # -- workload construction ------------------------------------------------
+
+    def _blacklisted_urls(self) -> list[str]:
+        """URLs whose canonical expressions the provider blacklists."""
+        snapshot = self._context.snapshot(self.config.provider)
+        urls = [f"http://{expression}"
+                for expressions in snapshot.ground_truth.values()
+                for expression in expressions]
+        if not urls:
+            raise ExperimentError("snapshot has no blacklisted expressions")
+        return urls
+
+    def build_server(self, clock: ManualClock) -> SafeBrowsingServer:
+        """A fresh provisioned server on ``clock``.
+
+        The context's cached snapshot server keeps its own clock and is
+        shared by other experiments, so the fleet provisions its own server
+        from the snapshot's ground truth instead of mutating shared state.
+        """
+        snapshot = self._context.snapshot(self.config.provider)
+        server = SafeBrowsingServer(lists_for_provider(self.config.provider),
+                                    clock=clock)
+        for list_name, expressions in snapshot.ground_truth.items():
+            if expressions:
+                server.blacklist(list_name, expressions)
+        return server
+
+    def build_clients(self, server: SafeBrowsingServer,
+                      clock: ManualClock) -> list[SafeBrowsingClient]:
+        """One client per ``scale.clients``, with per-client jitter seeds."""
+        client_config = ClientConfig(
+            store_backend=self.config.store_backend,
+            update_jitter_fraction=self.config.update_jitter_fraction,
+        )
+        return [
+            SafeBrowsingClient(server, name=f"fleet-client-{index:03d}",
+                               config=client_config, clock=clock)
+            for index in range(self.scale.clients)
+        ]
+
+    def client_stream(self, index: int) -> list[str]:
+        """The deterministic URL stream of client ``index``.
+
+        A mixture of revisits to a small personal working set (Zipf-skewed,
+        the shape of real browsing), exploration of the whole corpus pool,
+        and occasional blacklisted URLs.
+        """
+        config = self.config
+        rng = np.random.default_rng(config.seed + index)
+        pool = self._context.url_pool("alexa")
+        malicious = self._blacklisted_urls()
+        length = self.scale.fleet_urls_per_client
+
+        working_size = min(config.working_set_size, len(pool))
+        working_indexes = rng.choice(len(pool), size=working_size, replace=False)
+        ranks = np.arange(1, working_size + 1, dtype=float)
+        zipf_weights = ranks ** -config.zipf_exponent
+        zipf_weights /= zipf_weights.sum()
+        malicious_size = min(config.malicious_pool_size, len(malicious))
+        malicious_indexes = rng.choice(len(malicious), size=malicious_size,
+                                       replace=False)
+
+        draws = rng.random(length)
+        working_picks = rng.choice(working_indexes, size=length, p=zipf_weights)
+        pool_picks = rng.integers(0, len(pool), size=length)
+        malicious_picks = rng.choice(malicious_indexes, size=length)
+
+        revisit_cut = config.working_set_fraction
+        malicious_cut = revisit_cut + config.malicious_fraction
+        stream: list[str] = []
+        for position in range(length):
+            draw = draws[position]
+            if draw < revisit_cut:
+                stream.append(pool[working_picks[position]])
+            elif draw < malicious_cut:
+                stream.append(malicious[malicious_picks[position]])
+            else:
+                stream.append(pool[pool_picks[position]])
+        return stream
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> FleetReport:
+        """Build the fleet, replay every stream, and measure."""
+        config = self.config
+        clock = ManualClock()
+        server = self.build_server(clock)
+        clients = self.build_clients(server, clock)
+        streams = [self.client_stream(index) for index in range(len(clients))]
+
+        batch_size = self.scale.fleet_batch_size
+        length = self.scale.fleet_urls_per_client
+        rounds = (length + batch_size - 1) // batch_size
+
+        started = time.perf_counter()
+        for round_index in range(rounds):
+            start = round_index * batch_size
+            stop = min(start + batch_size, length)
+            for client, stream in zip(clients, streams):
+                batch = stream[start:stop]
+                if config.mode == "batched":
+                    client.check_urls(batch)
+                else:
+                    for url in batch:
+                        client.check_url(url)
+            clock.advance(config.round_seconds)
+        elapsed = time.perf_counter() - started
+
+        urls_checked = sum(client.stats.urls_checked for client in clients)
+        return FleetReport(
+            mode=config.mode,
+            scale=self.scale.name,
+            clients=len(clients),
+            urls_checked=urls_checked,
+            rounds=rounds,
+            elapsed_seconds=elapsed,
+            urls_per_second=urls_checked / elapsed if elapsed > 0 else float("inf"),
+            server_update_requests=server.stats.update_requests,
+            server_full_hash_requests=server.stats.full_hash_requests,
+            server_prefixes_received=server.stats.prefixes_received,
+            local_hits=sum(client.stats.local_hits for client in clients),
+            cache_hits=sum(client.stats.cache_hits for client in clients),
+            malicious_verdicts=sum(client.stats.malicious_verdicts
+                                   for client in clients),
+        )
+
+
+def run_fleet(scale: Scale = SMALL, config: FleetConfig | None = None,
+              *, context: ExperimentContext | None = None) -> FleetReport:
+    """Run one fleet simulation and return its report."""
+    return FleetSimulator(scale, config, context=context).run()
+
+
+def fleet_comparison(scale: Scale = SMALL, config: FleetConfig | None = None,
+                     *, context: ExperimentContext | None = None
+                     ) -> tuple[FleetReport, FleetReport]:
+    """Run the scalar oracle and the batched mode over identical streams."""
+    base = config if config is not None else FleetConfig()
+    scalar = run_fleet(scale, replace(base, mode="scalar"), context=context)
+    batched = run_fleet(scale, replace(base, mode="batched"), context=context)
+    return scalar, batched
+
+
+def fleet_table(scale: Scale = SMALL, config: FleetConfig | None = None,
+                *, context: ExperimentContext | None = None) -> Table:
+    """Scalar-vs-batched comparison table (the CLI's ``experiment fleet``)."""
+    scalar, batched = fleet_comparison(scale, config, context=context)
+    table = Table(
+        title=f"Fleet throughput ({scale.name} scale, {scalar.clients} clients)",
+        columns=["mode", "URLs", "URLs/s", "full-hash reqs", "prefixes sent",
+                 "cache hit rate", "malicious"],
+    )
+    for report in (scalar, batched):
+        table.add_row(
+            report.mode,
+            report.urls_checked,
+            report.urls_per_second,
+            report.server_full_hash_requests,
+            report.server_prefixes_received,
+            report.cache_hit_rate,
+            report.malicious_verdicts,
+        )
+    speedup = (batched.urls_per_second / scalar.urls_per_second
+               if scalar.urls_per_second else float("inf"))
+    table.add_note(f"batched/scalar speedup: {speedup:.1f}x")
+    table.add_note("traffic signatures match: "
+                   f"{scalar.traffic_signature() == batched.traffic_signature()}")
+    return table

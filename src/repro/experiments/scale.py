@@ -41,7 +41,12 @@ class Scale:
     tracked_targets:
         Number of target URLs tracked in the Algorithm 1 experiment.
     clients:
-        Number of simulated Safe Browsing clients in end-to-end experiments.
+        Number of simulated Safe Browsing clients in end-to-end experiments
+        (and in the fleet traffic simulator).
+    fleet_urls_per_client:
+        Length of each simulated client's URL stream in the fleet simulator.
+    fleet_batch_size:
+        Page-load batch size used by the fleet simulator's batched mode.
     """
 
     name: str
@@ -51,12 +56,18 @@ class Scale:
     index_sites: int
     tracked_targets: int
     clients: int
+    fleet_urls_per_client: int = 200
+    fleet_batch_size: int = 50
 
     def __post_init__(self) -> None:
         if self.corpus_hosts <= 0 or self.stats_sites <= 0 or self.index_sites <= 0:
             raise ValueError("scale sizes must be positive")
+        if self.clients <= 0:
+            raise ValueError("scale must have at least one client")
         if not (0.0 < self.blacklist_fraction <= 1.0):
             raise ValueError("blacklist_fraction must be in (0, 1]")
+        if self.fleet_urls_per_client <= 0 or self.fleet_batch_size <= 0:
+            raise ValueError("fleet sizes must be positive")
 
 
 #: Sized for the unit/integration test suite.
@@ -68,6 +79,8 @@ SMALL = Scale(
     index_sites=60,
     tracked_targets=5,
     clients=4,
+    fleet_urls_per_client=150,
+    fleet_batch_size=25,
 )
 
 #: Sized for the benchmark run.
@@ -79,6 +92,8 @@ MEDIUM = Scale(
     index_sites=200,
     tracked_targets=15,
     clients=8,
+    fleet_urls_per_client=2500,
+    fleet_batch_size=125,
 )
 
 
@@ -90,6 +105,7 @@ class ExperimentContext:
         self._bundle: DatasetBundle | None = None
         self._snapshots: dict[ListProvider, BlacklistSnapshot] = {}
         self._indexes: dict[str, PrefixInvertedIndex] = {}
+        self._url_pools: dict[str, tuple[str, ...]] = {}
 
     @property
     def bundle(self) -> DatasetBundle:
@@ -118,17 +134,38 @@ class ExperimentContext:
             )
         return self._indexes[corpus_label]
 
+    def url_pool(self, corpus_label: str = "alexa") -> tuple[str, ...]:
+        """Every URL of one corpus, flattened for traffic sampling.
+
+        The fleet simulator draws each client's stream from this pool; the
+        flattening is cached because the pool is shared by every client and
+        every simulated mode at one scale.
+        """
+        if corpus_label not in self._url_pools:
+            if corpus_label == "alexa":
+                corpus = self.bundle.alexa
+            elif corpus_label == "random":
+                corpus = self.bundle.random
+            else:
+                raise ValueError(f"unknown corpus label {corpus_label!r}; "
+                                 f"expected 'alexa' or 'random'")
+            self._url_pools[corpus_label] = tuple(corpus.all_urls())
+        return self._url_pools[corpus_label]
+
 
 @lru_cache(maxsize=4)
 def _context_for(name: str, corpus_hosts: int, blacklist_fraction: float,
                  stats_sites: int, index_sites: int, tracked_targets: int,
-                 clients: int) -> ExperimentContext:
+                 clients: int, fleet_urls_per_client: int,
+                 fleet_batch_size: int) -> ExperimentContext:
     return ExperimentContext(Scale(name, corpus_hosts, blacklist_fraction,
-                                   stats_sites, index_sites, tracked_targets, clients))
+                                   stats_sites, index_sites, tracked_targets,
+                                   clients, fleet_urls_per_client, fleet_batch_size))
 
 
 def get_context(scale: Scale = SMALL) -> ExperimentContext:
     """Return the cached :class:`ExperimentContext` for ``scale``."""
     return _context_for(scale.name, scale.corpus_hosts, scale.blacklist_fraction,
                         scale.stats_sites, scale.index_sites, scale.tracked_targets,
-                        scale.clients)
+                        scale.clients, scale.fleet_urls_per_client,
+                        scale.fleet_batch_size)

@@ -18,7 +18,9 @@ a hit.  This package provides:
 from repro.hashing.digests import (
     DEFAULT_PREFIX_BITS,
     FullHash,
+    digests_of,
     full_digest,
+    prefixes_of,
     sha256_digest,
     truncate_digest,
     url_prefix,
@@ -31,7 +33,9 @@ __all__ = [
     "FullHash",
     "Prefix",
     "PrefixSet",
+    "digests_of",
     "full_digest",
+    "prefixes_of",
     "sha256_digest",
     "truncate_digest",
     "url_prefix",

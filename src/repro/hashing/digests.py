@@ -10,6 +10,7 @@ layer.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import PrefixError
@@ -80,6 +81,42 @@ def full_digest(expression: str | bytes) -> FullHash:
 def truncate_digest(digest: bytes, bits: int = DEFAULT_PREFIX_BITS) -> Prefix:
     """Truncate a digest to its first ``bits`` bits."""
     return Prefix.from_digest(digest, bits)
+
+
+def digests_of(expressions: Iterable[str | bytes]) -> list[FullHash]:
+    """Hash a whole batch of canonical expressions.
+
+    Semantically ``[full_digest(e) for e in expressions]``, but in one tight
+    loop with the hash constructor bound locally — the shape the batched
+    client lookup path (:meth:`SafeBrowsingClient.check_urls`) feeds with the
+    deduplicated decompositions of a page-load batch.
+    """
+    sha256 = hashlib.sha256
+    return [
+        FullHash(sha256(
+            expression.encode("utf-8") if isinstance(expression, str) else expression
+        ).digest())
+        for expression in expressions
+    ]
+
+
+def prefixes_of(expressions: Sequence[str | bytes],
+                bits: int = DEFAULT_PREFIX_BITS) -> list[Prefix]:
+    """Hash-and-truncate a whole batch of canonical expressions.
+
+    Returns one ``bits``-bit prefix per expression, in input order.  This is
+    the batched counterpart of :func:`url_prefix`; the two agree exactly::
+
+        prefixes_of(batch, bits) == [url_prefix(e, bits) for e in batch]
+    """
+    nbytes = bits // 8
+    sha256 = hashlib.sha256
+    return [
+        Prefix(sha256(
+            expression.encode("utf-8") if isinstance(expression, str) else expression
+        ).digest()[:nbytes], bits)
+        for expression in expressions
+    ]
 
 
 def url_prefix(expression: str | bytes, bits: int = DEFAULT_PREFIX_BITS) -> Prefix:

@@ -15,9 +15,16 @@ Figure 3:
 5. cache returned full digests until the next update discards them, so
    repeated visits do not re-contact the server.
 
-The local store backend is pluggable (delta-coded table by default, Bloom
-filter or raw array otherwise) to support the paper's Table 2 comparison and
-the false-positive experiments.
+The local store backend is pluggable (delta-coded table by default; Bloom
+filter, raw array or packed sorted array otherwise) to support the paper's
+Table 2 comparison and the false-positive experiments.
+
+Two lookup paths share these semantics: :meth:`SafeBrowsingClient.check_url`
+runs the flow above for one URL (the scalar reference), while
+:meth:`SafeBrowsingClient.check_urls` checks a whole page-load batch —
+deduplicating and memoizing the pure derivations, probing the stores with
+one bitmask query per list, and coalescing every uncached full-hash lookup
+into a single request — with verdicts identical to the scalar path.
 """
 
 from __future__ import annotations
@@ -28,10 +35,12 @@ from dataclasses import dataclass, field
 from repro.clock import Clock, ManualClock
 from repro.datastructures.bloom import BloomPrefixStore
 from repro.datastructures.delta import DeltaCodedPrefixStore
+from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.store import PrefixStore, RawPrefixStore
 from repro.exceptions import UpdateError
-from repro.hashing.digests import FullHash
+from repro.hashing.digests import FullHash, digests_of
 from repro.hashing.prefix import Prefix
+from repro.safebrowsing.backoff import UpdateScheduler
 from repro.safebrowsing.chunks import ChunkKind, ChunkRange
 from repro.safebrowsing.cookie import CookieJar, SafeBrowsingCookie
 from repro.safebrowsing.protocol import (
@@ -41,6 +50,7 @@ from repro.safebrowsing.protocol import (
     ListState,
     LookupResult,
     UpdateRequest,
+    UpdateResponse,
     Verdict,
 )
 from repro.safebrowsing.server import SafeBrowsingServer
@@ -52,6 +62,7 @@ _STORE_BACKENDS = {
     "delta-coded": DeltaCodedPrefixStore,
     "bloom": BloomPrefixStore,
     "raw": RawPrefixStore,
+    "sorted-array": SortedArrayPrefixStore,
 }
 
 
@@ -73,6 +84,18 @@ class ClientConfig:
     auto_update:
         Whether :meth:`SafeBrowsingClient.lookup` refreshes the local
         database when the server-mandated poll interval has elapsed.
+    update_jitter_fraction:
+        Deterministic jitter applied to the update schedule, as a fraction
+        of each delay.  Zero (the default) keeps the schedule exact for
+        tests; fleet simulations use a non-zero fraction so clients sharing
+        one clock desynchronize, as the deployed clients do.
+    plan_cache_size:
+        Upper bound on the batched path's per-URL memos (derivations and
+        store-membership answers).  Memoizing them cannot change a verdict
+        — derivations are pure, and membership memos are invalidated on
+        every applied update — so the bound only caps memory.  ``0``
+        disables cross-batch memoization entirely (within one batch, work
+        is still shared: that is the point of the batched path).
     """
 
     store_backend: str = "delta-coded"
@@ -80,6 +103,8 @@ class ClientConfig:
     decomposition_policy: DecompositionPolicy = API_POLICY
     full_hash_cache_seconds: float = 2700.0
     auto_update: bool = True
+    update_jitter_fraction: float = 0.0
+    plan_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.store_backend not in _STORE_BACKENDS:
@@ -147,7 +172,28 @@ class SafeBrowsingClient:
             for list_name in subscribed
         }
         self._full_hash_cache: dict[Prefix, _CachedFullHashes] = {}
-        self._next_update_at = 0.0
+        # Memos of pure URL/expression derivations used by check_urls();
+        # bounded by config.plan_cache_size, never consulted by lookup().
+        self._plan_cache: dict[str, tuple[str, tuple[str, ...], tuple[Prefix, ...]]] = {}
+        self._hash_cache: dict[str, tuple[FullHash, Prefix]] = {}
+        # Local-store membership memos for the batched path.  Membership only
+        # changes when an update applies chunks, so both sets are dropped
+        # whenever update() applies anything (alongside the full-hash cache).
+        self._known_hits: set[Prefix] = set()
+        self._known_misses: set[Prefix] = set()
+        # Memoized results for URLs with *no* local hit: such a result is a
+        # pure function of the URL and the local stores (no server state, no
+        # cache expiry is involved), so it stays valid until the next applied
+        # update.  LookupResult is frozen, so sharing instances is safe.
+        self._safe_result_cache: dict[str, LookupResult] = {}
+        # Each client owns its scheduler, seeded by its name: clients sharing
+        # one clock keep independent (and, with jitter, desynchronized)
+        # update/backoff schedules.
+        self.scheduler = UpdateScheduler(
+            poll_interval=server.poll_interval,
+            jitter_fraction=self.config.update_jitter_fraction,
+            seed=f"client:{name}",
+        )
         self.stats = ClientStats()
 
     # -- update protocol ------------------------------------------------------
@@ -158,11 +204,16 @@ class SafeBrowsingClient:
         return tuple(self._lists)
 
     def needs_update(self) -> bool:
-        """Whether the server-mandated poll interval has elapsed."""
-        return self.clock.now() >= self._next_update_at
+        """Whether the update scheduler allows a poll right now."""
+        return self.scheduler.can_update(self.clock.now())
 
     def update(self) -> int:
-        """Refresh the local database; returns the number of chunks applied."""
+        """Refresh the local database; returns the number of chunks applied.
+
+        A failed update — whether the transport raised or the response could
+        not be applied — is recorded on the client's :class:`UpdateScheduler`,
+        so retries back off exponentially as the deployed clients do.
+        """
         states = tuple(
             ListState(
                 list_name=list_name,
@@ -173,8 +224,37 @@ class SafeBrowsingClient:
         )
         request = UpdateRequest(cookie=self.cookie, states=states,
                                 timestamp=self.clock.now())
-        response = self.server.handle_update(request)
+        try:
+            response = self.server.handle_update(request)
+        except Exception:
+            self.scheduler.record_error(self.clock.now())
+            raise
+        try:
+            applied = self._apply_update(response)
+        except Exception:
+            # The response may have been partially applied before failing, so
+            # the stores are in an unknown state: every store-derived memo
+            # must go or the batched path would serve pre-failure answers.
+            self._invalidate_store_memos()
+            self.scheduler.record_error(self.clock.now())
+            raise
+        if applied:
+            # Updates invalidate cached full hashes (paper Section 2.2.1:
+            # "they are locally stored until an update discards them") and
+            # the batched path's membership memos (the stores just changed).
+            self._invalidate_store_memos()
+        self.scheduler.record_success(self.clock.now(), response.next_poll_seconds)
+        return applied
 
+    def _invalidate_store_memos(self) -> None:
+        """Drop every memo whose answers depend on the local stores."""
+        self._full_hash_cache.clear()
+        self._known_hits.clear()
+        self._known_misses.clear()
+        self._safe_result_cache.clear()
+
+    def _apply_update(self, response: UpdateResponse) -> int:
+        """Apply the chunks of one update response to the local stores."""
         applied = 0
         for update in response.updates:
             state = self._lists.get(update.list_name)
@@ -199,11 +279,6 @@ class SafeBrowsingClient:
                     ) from exc
                 state.sub_chunks.add(chunk.number)
                 applied += 1
-        if applied:
-            # Updates invalidate cached full hashes (paper Section 2.2.1:
-            # "they are locally stored until an update discards them").
-            self._full_hash_cache.clear()
-        self._next_update_at = self.clock.now() + response.next_poll_seconds
         return applied
 
     # -- local database -------------------------------------------------------
@@ -280,6 +355,191 @@ class SafeBrowsingClient:
             matched_expressions=matched_expressions,
             served_from_cache=not missing,
         )
+
+    def check_url(self, url: str) -> LookupResult:
+        """Check one URL — the scalar reference path.
+
+        Alias of :meth:`lookup`, named for symmetry with the batched
+        :meth:`check_urls`; the property tests hold the two paths to
+        identical verdicts.
+        """
+        return self.lookup(url)
+
+    # -- batched lookup flow ---------------------------------------------------
+
+    def check_urls(self, urls: Sequence[str]) -> list[LookupResult]:
+        """Check a batch of URLs, amortizing every stage of the pipeline.
+
+        Produces exactly the verdicts of ``[self.check_url(u) for u in urls]``
+        (at a fixed clock), but does the work batch-wide instead of per URL:
+
+        * repeated URLs are canonicalized and decomposed once;
+        * every *unique* decomposition across the batch is hashed once
+          (URLs sharing a host share their domain-root decompositions);
+        * local stores are probed with one :meth:`PrefixStore.contains_many`
+          bitmask query per list over the unique prefixes;
+        * all uncached full-hash lookups are coalesced into a single server
+          request instead of one request per hitting URL.
+
+        Attribution mirrors the scalar path: a prefix appears in
+        ``sent_prefixes`` of the first URL (in batch order) that needed it,
+        and later URLs reusing it are ``served_from_cache``.
+        """
+        if not urls:
+            # An empty scalar loop has no side effects; neither may we.
+            return []
+        if self.config.auto_update and self.needs_update():
+            self.update()
+        self.stats.urls_checked += len(urls)
+
+        # Stage 1: serve memoized no-hit results outright; resolve a plan
+        # (canonical form, decompositions, deduplicated prefixes) for the rest.
+        safe_cache = self._safe_result_cache
+        plan_cache = self._plan_cache
+        results: list[LookupResult | None] = [None] * len(urls)
+        pending: list[tuple[int, str, tuple[str, tuple[str, ...], tuple[Prefix, ...]]]] = []
+        for position, url in enumerate(urls):
+            memoized = safe_cache.get(url)
+            if memoized is not None:
+                results[position] = memoized
+                continue
+            plan = plan_cache.get(url)
+            if plan is None:
+                plan = self._build_plan(url)
+            pending.append((position, url, plan))
+
+        # Stage 2: batch-probe the list stores for every prefix whose
+        # membership is not already memoized from an earlier batch.
+        known_hits = self._known_hits
+        known_misses = self._known_misses
+        unknown: dict[Prefix, None] = {}
+        for _, _, (_, _, prefixes) in pending:
+            for prefix in prefixes:
+                if prefix not in known_misses and prefix not in known_hits:
+                    unknown[prefix] = None
+        if unknown:
+            probes = list(unknown)
+            hit_mask = 0
+            for state in self._lists.values():
+                hit_mask |= state.store.contains_many(probes)
+            for index, prefix in enumerate(probes):
+                if hit_mask >> index & 1:
+                    known_hits.add(prefix)
+                else:
+                    known_misses.add(prefix)
+
+        # Stage 3: walk the batch in order.  URLs with no local hit memoize a
+        # shared SAFE result; hitting URLs split their prefixes into cached /
+        # to-request exactly as the scalar path would have seen them.
+        requested: dict[Prefix, None] = {}
+        hitting: list[tuple[int, str, tuple, tuple[Prefix, ...], tuple[Prefix, ...]]] = []
+        for position, url, plan in pending:
+            canonical, decomps, prefixes = plan
+            local_hits = tuple(prefix for prefix in prefixes if prefix in known_hits)
+            if not local_hits:
+                result = LookupResult(
+                    url=url, canonical_url=canonical, verdict=Verdict.SAFE,
+                    decompositions=decomps,
+                )
+                safe_cache[url] = result
+                results[position] = result
+                continue
+            _, missing = self._split_cached(
+                [prefix for prefix in local_hits if prefix not in requested]
+            )
+            for prefix in missing:
+                requested[prefix] = None
+            hitting.append((position, url, plan, local_hits, tuple(missing)))
+
+        # Stage 4: one coalesced full-hash request for the whole batch.
+        if requested:
+            response = self._request_full_hashes(list(requested))
+            self._cache_response(list(requested), response)
+
+        # Stage 5: verdicts for the hitting URLs from the (now warm) cache.
+        for position, url, (canonical, decomps, _), local_hits, sent in hitting:
+            self.stats.local_hits += 1
+            if not sent:
+                self.stats.cache_hits += 1
+            hashes = self._hashes_for(decomps)
+            matched_lists, matched_expressions = self._match_digests(
+                {expression: entry[0] for expression, entry in hashes.items()},
+                {expression: entry[1] for expression, entry in hashes.items()},
+                local_hits,
+            )
+            verdict = Verdict.MALICIOUS if matched_expressions else Verdict.SAFE
+            if verdict is Verdict.MALICIOUS:
+                self.stats.malicious_verdicts += 1
+            results[position] = LookupResult(
+                url=url,
+                canonical_url=canonical,
+                verdict=verdict,
+                decompositions=decomps,
+                local_hits=local_hits,
+                sent_prefixes=sent,
+                matched_lists=matched_lists,
+                matched_expressions=matched_expressions,
+                served_from_cache=not sent,
+            )
+        # Trim at batch end so a limit of 0 means "nothing carries over":
+        # within a batch the sharing is the whole point of the batched path.
+        self._trim_memos()
+        return results
+
+    def _build_plan(self, url: str) -> tuple[str, tuple[str, ...], tuple[Prefix, ...]]:
+        """Memoize the pure derivations of one URL for the batched path."""
+        canonical = canonicalize(url)
+        decomps = tuple(
+            decompositions(canonical, policy=self.config.decomposition_policy,
+                           canonical=True)
+        )
+        hash_cache = self._hash_cache
+        bits = self.config.prefix_bits
+        missing = [expression for expression in decomps
+                   if expression not in hash_cache]
+        for expression, digest in zip(missing, digests_of(missing)):
+            hash_cache[expression] = (digest, digest.prefix(bits))
+        prefixes = tuple(dict.fromkeys(
+            hash_cache[expression][1] for expression in decomps
+        ))
+        plan = (canonical, decomps, prefixes)
+        self._plan_cache[url] = plan
+        return plan
+
+    def _hashes_for(self, expressions: Sequence[str]
+                    ) -> dict[str, tuple[FullHash, Prefix]]:
+        """Digest and prefix of each expression, re-deriving evicted memos."""
+        hash_cache = self._hash_cache
+        bits = self.config.prefix_bits
+        hashes: dict[str, tuple[FullHash, Prefix]] = {}
+        for expression in expressions:
+            entry = hash_cache.get(expression)
+            if entry is None:
+                digest = FullHash.of(expression)
+                entry = (digest, digest.prefix(bits))
+                hash_cache[expression] = entry
+            hashes[expression] = entry
+        return hashes
+
+    def _trim_memos(self) -> None:
+        """Keep the batched-path memos within ``plan_cache_size`` entries.
+
+        Dict memos evict their oldest half (insertion order), so a hot
+        working set re-memoizes quickly while a one-off crawl cannot grow
+        the caches without bound.  The membership sets carry no useful
+        ordering and are simply rebuilt from scratch once oversized (the
+        next batch re-probes the stores).  With a limit of 0 everything is
+        emptied, so nothing survives from one batch to the next.
+        """
+        limit = self.config.plan_cache_size
+        keep = limit // 2 or limit  # half the bound, but never zero for limit >= 1
+        for cache in (self._plan_cache, self._hash_cache, self._safe_result_cache):
+            if len(cache) > limit:
+                for key in list(cache)[: len(cache) - keep]:
+                    del cache[key]
+        for memo in (self._known_hits, self._known_misses):
+            if len(memo) > limit:
+                memo.clear()
 
     # -- full-hash plumbing ---------------------------------------------------
 

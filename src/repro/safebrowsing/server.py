@@ -132,7 +132,13 @@ class SafeBrowsingServer:
         )
 
     def handle_full_hash(self, request: FullHashRequest) -> FullHashResponse:
-        """Serve the full digests for the queried prefixes, and log the request."""
+        """Serve the full digests for the queried prefixes, and log the request.
+
+        Requests may carry a whole batch of prefixes (the batched client
+        coalesces every uncached hit of a page-load batch into one request);
+        the database scan runs once per *unique* prefix and the response
+        keeps the request's prefix order.
+        """
         self.stats.full_hash_requests += 1
         self.stats.prefixes_received += len(request.prefixes)
         self.stats.clients_seen.add(request.cookie.value)
@@ -144,16 +150,21 @@ class SafeBrowsingServer:
         )
 
         matches: list[FullHashMatch] = []
+        matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]] = {}
         for prefix in request.prefixes:
-            for database in self.database:
-                for full_hash in database.full_hashes_for(prefix):
-                    matches.append(
-                        FullHashMatch(
-                            list_name=database.descriptor.name,
-                            prefix=prefix,
-                            full_hash=full_hash,
-                        )
+            found = matches_by_prefix.get(prefix)
+            if found is None:
+                found = tuple(
+                    FullHashMatch(
+                        list_name=database.descriptor.name,
+                        prefix=prefix,
+                        full_hash=full_hash,
                     )
+                    for database in self.database
+                    for full_hash in database.full_hashes_for(prefix)
+                )
+                matches_by_prefix[prefix] = found
+            matches.extend(found)
         self.stats.full_hashes_served += len(matches)
         return FullHashResponse(matches=tuple(matches), timestamp=timestamp)
 

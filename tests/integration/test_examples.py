@@ -16,6 +16,7 @@ EXAMPLES = [
     ("anonymity_analysis.py", ["Table 5", "anonymity sets", "domain roots"]),
     ("blacklist_audit.py", ["Inversion", "Orphan prefixes", "multiple matching prefixes"]),
     ("mitigation_comparison.py", ["baseline", "dummy queries", "one prefix at a time"]),
+    ("fleet_demo.py", ["coalesced", "Fleet throughput", "traffic signatures match: True"]),
 ]
 
 

@@ -1,0 +1,46 @@
+"""Perf smoke test for the fleet simulator (``slow`` marker, not tier-1).
+
+Runs the full scalar-vs-batched comparison at SMALL scale and checks that
+
+* the whole thing finishes under a generous wall-clock bound (a perf
+  regression that makes the simulator orders of magnitude slower fails
+  loudly instead of silently eating benchmark time), and
+* the batched mode's server-side traffic matches the scalar oracle:
+  identical prefixes revealed, identical update polls, and at most as many
+  full-hash requests (coalescing can only merge them).
+
+Run explicitly with ``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.fleet import fleet_comparison
+from repro.experiments.scale import SMALL
+
+#: Generous bound; the run takes well under a second on a laptop.
+WALL_CLOCK_BOUND_SECONDS = 120.0
+
+
+@pytest.mark.slow
+def test_fleet_smoke_small_scale_matches_scalar_oracle():
+    started = time.perf_counter()
+    scalar, batched = fleet_comparison(SMALL)
+    wall = time.perf_counter() - started
+
+    assert wall < WALL_CLOCK_BOUND_SECONDS
+
+    expected_urls = SMALL.clients * SMALL.fleet_urls_per_client
+    assert scalar.urls_checked == expected_urls
+    assert batched.urls_checked == expected_urls
+
+    # The oracle check: what the fleet reveals to the provider must be
+    # mode-independent even though the batched mode repackages requests.
+    assert batched.traffic_signature() == scalar.traffic_signature()
+    assert batched.server_update_requests == scalar.server_update_requests
+    assert batched.server_full_hash_requests <= scalar.server_full_hash_requests
+    assert batched.malicious_verdicts == scalar.malicious_verdicts
+    assert batched.cache_hits == scalar.cache_hits

@@ -22,6 +22,16 @@ class TestParser:
         for name in _EXPERIMENTS:
             assert callable(_resolve_experiment(name))
 
+    def test_fleet_backend_choices_mirror_client_registry(self):
+        from repro.cli import _FLEET_STORE_BACKENDS
+        from repro.safebrowsing.client import _STORE_BACKENDS
+
+        assert sorted(_FLEET_STORE_BACKENDS) == sorted(_STORE_BACKENDS)
+
+    def test_fleet_rejects_unknown_backend_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--store-backend", "trie"])
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):

@@ -168,6 +168,58 @@ class TestLookupFlow:
         assert updated_client.local_memory_bytes() > 0
 
 
+class TestBatchedLookupMemos:
+    def test_check_urls_basic_verdicts(self, updated_client):
+        results = updated_client.check_urls([MALWARE_URL, SAFE_URL])
+        assert results[0].verdict is Verdict.MALICIOUS
+        assert results[1].verdict is Verdict.SAFE
+
+    def test_plan_cache_size_zero_disables_cross_batch_memos(self, google_server, clock):
+        config = ClientConfig(plan_cache_size=0)
+        client = SafeBrowsingClient(google_server, clock=clock, config=config)
+        client.update()
+        client.check_urls([MALWARE_URL, SAFE_URL, SAFE_URL])
+        assert client._plan_cache == {}
+        assert client._hash_cache == {}
+        assert client._safe_result_cache == {}
+        assert not client._known_hits
+        assert not client._known_misses
+
+    def test_empty_batch_has_no_side_effects(self, google_server, clock):
+        client = SafeBrowsingClient(google_server, clock=clock)
+        assert client.check_urls([]) == []
+        assert google_server.stats.update_requests == 0
+
+    def test_small_positive_cache_limit_still_memoizes(self, google_server, clock):
+        config = ClientConfig(plan_cache_size=1)
+        client = SafeBrowsingClient(google_server, clock=clock, config=config)
+        client.update()
+        client.check_urls([SAFE_URL, MALWARE_URL])
+        # The newest entry survives the trim instead of everything vanishing.
+        assert len(client._plan_cache) == 1
+
+    def test_membership_memos_bounded_by_plan_cache_size(self, google_server, clock):
+        config = ClientConfig(plan_cache_size=4)
+        client = SafeBrowsingClient(google_server, clock=clock, config=config)
+        client.update()
+        urls = [f"http://site-{index}.example.org/page.html" for index in range(20)]
+        client.check_urls(urls)
+        limit = config.plan_cache_size
+        assert len(client._plan_cache) <= limit
+        assert len(client._hash_cache) <= limit
+        assert len(client._known_hits) <= limit
+        assert len(client._known_misses) <= limit
+
+    def test_applied_update_clears_membership_memos(self, google_server, clock):
+        client = SafeBrowsingClient(google_server, clock=clock)
+        client.update()
+        url = "http://soon.bad.example.org/"
+        assert client.check_urls([url])[0].verdict is Verdict.SAFE
+        google_server.blacklist("goog-malware-shavar", ["soon.bad.example.org/"])
+        clock.advance(google_server.poll_interval + 1)
+        assert client.check_urls([url])[0].verdict is Verdict.MALICIOUS
+
+
 class TestRawPrefixInterface:
     def test_send_raw_prefixes_logs_request(self, updated_client, google_server):
         prefix = url_prefix("evil.example.com/")

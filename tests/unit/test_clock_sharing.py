@@ -1,0 +1,178 @@
+"""Tests for clients sharing one ManualClock.
+
+The fleet simulator runs every client off a single logical clock, which a
+naive scheduler implementation breaks in two ways: one client's update can
+consume another's eligibility (shared schedule state), or repeated polls at
+one instant can push the next slot further and further out (relative
+"+= interval" double-advancing).  These tests pin the fixed behaviour: each
+client owns an :class:`UpdateScheduler` seeded by its name, successes set the
+next slot *absolutely*, errors back off only the failing client, and with
+jitter enabled the fleet desynchronizes instead of polling in lockstep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.exceptions import ProtocolError, UpdateError
+from repro.safebrowsing.backoff import INITIAL_BACKOFF, UpdateScheduler
+from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+
+class FlakyServer(SafeBrowsingServer):
+    """A server whose update endpoint can be forced to fail."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.failing = False
+
+    def handle_update(self, request):
+        if self.failing:
+            raise ProtocolError("simulated outage")
+        return super().handle_update(request)
+
+
+@pytest.fixture()
+def shared_clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture()
+def server(shared_clock) -> FlakyServer:
+    server = FlakyServer(GOOGLE_LISTS, clock=shared_clock)
+    server.blacklist("goog-malware-shavar", ["evil.example.com/"])
+    return server
+
+
+def make_client(server, name, *, jitter: float = 0.0) -> SafeBrowsingClient:
+    config = ClientConfig(update_jitter_fraction=jitter)
+    return SafeBrowsingClient(server, name=name, config=config,
+                              clock=server.clock)
+
+
+class TestInterleavedSchedules:
+    def test_one_clients_update_does_not_consume_the_others(self, server, shared_clock):
+        alice = make_client(server, "alice")
+        bob = make_client(server, "bob")
+        assert alice.needs_update() and bob.needs_update()
+        alice.update()
+        # Alice polled; Bob's schedule must be untouched.
+        assert not alice.needs_update()
+        assert bob.needs_update()
+        bob.update()
+        assert not bob.needs_update()
+        assert server.stats.update_requests == 2
+
+    def test_schedules_interleave_across_poll_intervals(self, server, shared_clock):
+        alice = make_client(server, "alice")
+        bob = make_client(server, "bob")
+        alice.update()
+        shared_clock.advance(server.poll_interval / 2)
+        bob.update()
+        # Half an interval later, Alice is due again but Bob is not.
+        shared_clock.advance(server.poll_interval / 2)
+        assert alice.needs_update()
+        assert not bob.needs_update()
+
+    def test_repeated_polls_do_not_double_advance(self, server, shared_clock):
+        alice = make_client(server, "alice")
+        alice.update()
+        first_slot = alice.scheduler.next_allowed_at
+        alice.update()  # explicit immediate re-poll at the same instant
+        # The next slot is set absolutely from "now", not pushed further out.
+        assert alice.scheduler.next_allowed_at == pytest.approx(first_slot)
+        shared_clock.advance(server.poll_interval + 1)
+        assert alice.needs_update()
+
+    def test_jittered_clients_desynchronize(self, server, shared_clock):
+        alice = make_client(server, "alice", jitter=0.1)
+        bob = make_client(server, "bob", jitter=0.1)
+        alice.update()
+        bob.update()
+        # Same clock, same poll interval — but per-name seeds split the fleet.
+        assert alice.scheduler.next_allowed_at != bob.scheduler.next_allowed_at
+
+    def test_same_name_means_same_schedule(self, server):
+        # The jitter is deterministic: a rebuilt client replays its schedule.
+        first = make_client(server, "alice", jitter=0.1)
+        second = make_client(server, "alice", jitter=0.1)
+        first.update()
+        second.update()
+        assert first.scheduler.next_allowed_at == second.scheduler.next_allowed_at
+
+
+class TestBackoffIsolation:
+    def test_failed_update_backs_off_only_the_failing_client(self, server, shared_clock):
+        alice = make_client(server, "alice")
+        bob = make_client(server, "bob")
+        server.failing = True
+        with pytest.raises(ProtocolError):
+            alice.update()
+        server.failing = False
+        assert alice.scheduler.consecutive_errors == 1
+        assert not alice.needs_update()  # backed off
+        assert bob.needs_update()        # unaffected
+        bob.update()
+        assert bob.scheduler.consecutive_errors == 0
+
+    def test_backoff_delays_follow_the_scheduler(self, server, shared_clock):
+        alice = make_client(server, "alice")
+        server.failing = True
+        with pytest.raises(ProtocolError):
+            alice.update()
+        assert not alice.needs_update()
+        shared_clock.advance(INITIAL_BACKOFF + 1)
+        assert alice.needs_update()
+        server.failing = False
+        alice.update()
+        assert alice.scheduler.consecutive_errors == 0
+
+    def test_client_side_apply_failure_also_backs_off(self, server, shared_clock):
+        config = ClientConfig(store_backend="bloom")
+        alice = SafeBrowsingClient(server, name="alice", config=config,
+                                   clock=shared_clock)
+        alice.update()
+        server.unblacklist("goog-malware-shavar", ["evil.example.com/"])
+        shared_clock.advance(server.poll_interval + 1)
+        with pytest.raises(UpdateError):
+            alice.update()  # Bloom filters cannot apply sub chunks
+        assert alice.scheduler.consecutive_errors == 1
+
+    def test_failed_partial_update_invalidates_batched_memos(self, server, shared_clock):
+        from repro.safebrowsing.protocol import Verdict
+
+        config = ClientConfig(store_backend="bloom")
+        alice = SafeBrowsingClient(server, name="alice", config=config,
+                                   clock=shared_clock)
+        alice.update()
+        url = "http://new.threat.example/"
+        assert alice.check_urls([url])[0].verdict is Verdict.SAFE
+
+        # The server blacklists the URL and retires another entry.  The add
+        # chunk applies, then the sub chunk fails (Bloom filters cannot
+        # delete) — the stores mutated even though update() raised, so the
+        # batched path's memos must not keep answering from the old state.
+        server.blacklist("goog-malware-shavar", ["new.threat.example/"])
+        server.unblacklist("goog-malware-shavar", ["evil.example.com/"])
+        shared_clock.advance(server.poll_interval + 1)
+        with pytest.raises(UpdateError):
+            alice.update()
+
+        scalar = alice.lookup(url)
+        batched = alice.check_urls([url])[0]
+        assert scalar.verdict is Verdict.MALICIOUS
+        assert batched.verdict is Verdict.MALICIOUS
+
+    def test_auto_update_respects_backoff(self, server, shared_clock):
+        alice = make_client(server, "alice")
+        server.failing = True
+        with pytest.raises(ProtocolError):
+            alice.update()
+        server.failing = False
+        requests_before = server.stats.update_requests
+        # A lookup during the backoff window must not poll the server.
+        alice.lookup("http://anything.example.org/")
+        assert server.stats.update_requests == requests_before

@@ -1,0 +1,106 @@
+"""Unit tests for the fleet traffic simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.fleet import FleetConfig, FleetReport, FleetSimulator, run_fleet
+from repro.experiments.scale import SMALL, Scale
+
+#: A deliberately tiny scale so unit tests stay fast.
+TINY = Scale(
+    name="tiny-fleet",
+    corpus_hosts=40,
+    blacklist_fraction=0.002,
+    stats_sites=10,
+    index_sites=10,
+    tracked_targets=3,
+    clients=2,
+    fleet_urls_per_client=30,
+    fleet_batch_size=10,
+)
+
+
+class TestFleetConfig:
+    def test_defaults_are_valid(self):
+        config = FleetConfig()
+        assert config.mode == "batched"
+        assert config.store_backend == "sorted-array"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(mode="turbo")
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(working_set_fraction=1.2)
+        with pytest.raises(ExperimentError):
+            FleetConfig(working_set_fraction=0.9, malicious_fraction=0.2)
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(working_set_size=0)
+        with pytest.raises(ExperimentError):
+            FleetConfig(malicious_pool_size=0)
+
+
+class TestStreams:
+    def test_streams_are_deterministic(self):
+        simulator = FleetSimulator(TINY)
+        assert simulator.client_stream(0) == simulator.client_stream(0)
+
+    def test_streams_differ_per_client(self):
+        simulator = FleetSimulator(TINY)
+        assert simulator.client_stream(0) != simulator.client_stream(1)
+
+    def test_stream_length_follows_scale(self):
+        simulator = FleetSimulator(TINY)
+        assert len(simulator.client_stream(0)) == TINY.fleet_urls_per_client
+
+    def test_seed_changes_streams(self):
+        base = FleetSimulator(TINY, FleetConfig(seed=1))
+        other = FleetSimulator(TINY, FleetConfig(seed=2))
+        assert base.client_stream(0) != other.client_stream(0)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def reports(self) -> tuple[FleetReport, FleetReport]:
+        scalar = run_fleet(TINY, FleetConfig(mode="scalar"))
+        batched = run_fleet(TINY, FleetConfig(mode="batched"))
+        return scalar, batched
+
+    def test_all_urls_checked(self, reports):
+        scalar, batched = reports
+        expected = TINY.clients * TINY.fleet_urls_per_client
+        assert scalar.urls_checked == expected
+        assert batched.urls_checked == expected
+
+    def test_modes_reveal_identical_traffic(self, reports):
+        scalar, batched = reports
+        assert batched.traffic_signature() == scalar.traffic_signature()
+
+    def test_batched_coalesces_requests(self, reports):
+        scalar, batched = reports
+        assert batched.server_full_hash_requests <= scalar.server_full_hash_requests
+
+    def test_malicious_traffic_flows(self, reports):
+        scalar, _ = reports
+        assert scalar.malicious_verdicts > 0
+        assert scalar.server_prefixes_received > 0
+
+    def test_cache_hit_rate_bounded(self, reports):
+        for report in reports:
+            assert 0.0 <= report.cache_hit_rate <= 1.0
+
+    def test_throughput_positive(self, reports):
+        for report in reports:
+            assert report.urls_per_second > 0
+
+    def test_fleet_server_isolated_from_context_snapshot(self):
+        simulator = FleetSimulator(TINY)
+        snapshot_server = simulator._context.snapshot(simulator.config.provider).server
+        before = snapshot_server.stats.full_hash_requests
+        simulator.run()
+        assert snapshot_server.stats.full_hash_requests == before

@@ -42,3 +42,13 @@ class TestContext:
     def test_fresh_context_starts_empty(self):
         context = ExperimentContext(SMALL)
         assert context._bundle is None
+
+    def test_url_pool_cached_per_corpus(self):
+        context = get_context(SMALL)
+        assert context.url_pool("alexa") is context.url_pool("alexa")
+        assert context.url_pool("alexa")
+
+    def test_url_pool_rejects_unknown_label(self):
+        context = get_context(SMALL)
+        with pytest.raises(ValueError):
+            context.url_pool("Alexa ")

@@ -1,0 +1,111 @@
+"""Unit tests for the packed sorted-array store and its batched lookups."""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.datastructures.sorted_array import SortedArrayPrefixStore
+from repro.datastructures.store import RawPrefixStore
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+
+def prefixes_of(*values: int, bits: int = 32) -> list[Prefix]:
+    return [Prefix.from_int(value, bits) for value in values]
+
+
+class TestSortedArrayPrefixStore:
+    def test_empty_store(self):
+        store = SortedArrayPrefixStore()
+        assert len(store) == 0
+        assert store.memory_bytes() == 0
+        assert Prefix.from_int(1, 32) not in store
+        assert store.contains_many(prefixes_of(1, 2, 3)) == 0
+
+    def test_add_and_membership(self):
+        store = SortedArrayPrefixStore(prefixes_of(5, 3, 9))
+        assert Prefix.from_int(3, 32) in store
+        assert Prefix.from_int(4, 32) not in store
+
+    def test_duplicates_not_stored_twice(self):
+        store = SortedArrayPrefixStore(prefixes_of(1, 1, 1))
+        assert len(store) == 1
+
+    def test_values_kept_sorted(self):
+        store = SortedArrayPrefixStore(prefixes_of(9, 1, 5))
+        store.add(Prefix.from_int(4, 32))
+        assert store.values() == [1, 4, 5, 9]
+
+    def test_discard_present_and_absent(self):
+        store = SortedArrayPrefixStore(prefixes_of(1, 2))
+        store.discard(Prefix.from_int(1, 32))
+        store.discard(Prefix.from_int(7, 32))
+        assert store.values() == [2]
+
+    def test_packed_layout_for_machine_widths(self):
+        store = SortedArrayPrefixStore(prefixes_of(1, 2, 3))
+        assert isinstance(store._values, array)
+        store64 = SortedArrayPrefixStore(prefixes_of(1, 2, bits=64), bits=64)
+        assert isinstance(store64._values, array)
+
+    def test_wide_prefixes_fall_back_to_integers(self):
+        store = SortedArrayPrefixStore(prefixes_of(2**100, 7, bits=128), bits=128)
+        assert isinstance(store._values, list)
+        assert Prefix.from_int(2**100, 128) in store
+        assert store.contains_many(prefixes_of(7, 8, 2**100, bits=128)) == 0b101
+
+    def test_memory_is_width_times_count(self):
+        store = SortedArrayPrefixStore(prefixes_of(1, 2, 3))
+        assert store.memory_bytes() == 3 * 4
+        store64 = SortedArrayPrefixStore(prefixes_of(1, 2, 3, bits=64), bits=64)
+        assert store64.memory_bytes() == 3 * 8
+
+    def test_iteration_yields_prefixes_in_order(self):
+        store = SortedArrayPrefixStore(prefixes_of(2, 1))
+        assert [prefix.to_int() for prefix in store] == [1, 2]
+
+    def test_wrong_width_rejected(self):
+        store = SortedArrayPrefixStore(bits=32)
+        with pytest.raises(DataStructureError):
+            store.add(Prefix.from_int(1, 64))
+        with pytest.raises(DataStructureError):
+            store.contains_many(prefixes_of(1, bits=64))
+
+    def test_bulk_update_merges(self):
+        store = SortedArrayPrefixStore(prefixes_of(1, 5))
+        store.update(prefixes_of(3, 5, 2, 9, 8, 7, 6, 4, 10, 11))
+        assert store.values() == list(range(1, 12))
+
+    def test_small_bulk_update_inserts(self):
+        store = SortedArrayPrefixStore(prefixes_of(1, 5))
+        store.update(prefixes_of(3, 5))
+        assert store.values() == [1, 3, 5]
+
+
+class TestContainsMany:
+    def test_bitmask_positions_follow_input_order(self):
+        store = SortedArrayPrefixStore(prefixes_of(10, 20, 30))
+        mask = store.contains_many(prefixes_of(30, 11, 10, 20, 21))
+        assert mask == 0b01101
+
+    def test_duplicate_probes_share_position_bits(self):
+        store = SortedArrayPrefixStore(prefixes_of(10))
+        mask = store.contains_many(prefixes_of(10, 10, 11, 10))
+        assert mask == 0b1011
+
+    def test_unsorted_probes_equal_per_prefix_contains(self):
+        members = [7, 1, 99, 2**31, 2**32 - 1]
+        store = SortedArrayPrefixStore(prefixes_of(*members))
+        probes = prefixes_of(2**32 - 1, 0, 7, 98, 99, 1, 2**31, 3)
+        mask = store.contains_many(probes)
+        for position, probe in enumerate(probes):
+            assert bool(mask >> position & 1) == (probe in store)
+
+    def test_base_class_fallback_agrees(self):
+        members = [4, 8, 15, 16, 23, 42]
+        probes = prefixes_of(1, 4, 15, 40, 42, 23, 5)
+        packed = SortedArrayPrefixStore(prefixes_of(*members))
+        raw = RawPrefixStore(prefixes_of(*members))
+        assert packed.contains_many(probes) == raw.contains_many(probes)
