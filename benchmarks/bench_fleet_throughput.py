@@ -16,7 +16,7 @@ from repro.experiments.scale import MEDIUM, get_context
 MIN_SPEEDUP = 10.0
 
 
-def test_bench_fleet_throughput(benchmark, record_result):
+def test_bench_fleet_throughput(benchmark, record_result, record_json):
     context = get_context(MEDIUM)
     # Warm the shared workload (corpus pool + blacklist snapshot) outside the
     # timed region, then time the batched fleet run itself.
@@ -35,6 +35,21 @@ def test_bench_fleet_throughput(benchmark, record_result):
                    f"batched {batched_report.urls_per_second:,.0f} URLs/s "
                    f"({speedup:.1f}x)")
     record_result("fleet_throughput", table.render())
+    record_json("fleet_throughput", {
+        "scale": MEDIUM.name,
+        "clients": batched_report.clients,
+        "urls_checked": batched_report.urls_checked,
+        "scalar_urls_per_second": round(scalar_report.urls_per_second, 1),
+        "batched_urls_per_second": round(batched_report.urls_per_second, 1),
+        "speedup": round(speedup, 2),
+        "transport": batched_report.transport,
+        "shard_count": batched_report.shard_count,
+        "server_cache_hit_rate": round(batched_report.server_cache_hit_rate, 4),
+        "client_cache_hit_rate": round(batched_report.cache_hit_rate, 4),
+        "server_full_hash_requests": batched_report.server_full_hash_requests,
+        "log_entries_evicted": batched_report.log_entries_evicted,
+        "min_speedup_bar": MIN_SPEEDUP,
+    })
 
     # Coalescing may change how many requests carry the traffic, never what
     # the traffic reveals: the totals must match the scalar oracle exactly.

@@ -31,3 +31,22 @@ def record_result(results_dir):
         print(f"\n{text}\n")
 
     return _record
+
+
+@pytest.fixture()
+def record_json(results_dir):
+    """Write a machine-readable artifact to benchmarks/results/BENCH_<name>.json.
+
+    The JSON twins the rendered .txt tables so the perf trajectory (URLs/s,
+    speedups, configuration) is trackable across PRs by tooling instead of
+    by reading prose.
+    """
+    import json
+
+    def _record(name: str, payload: dict) -> None:
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\nwrote {path}\n")
+
+    return _record

@@ -60,6 +60,11 @@ _EXPERIMENTS: dict[str, str] = {
 #: test) so building the parser does not import the safebrowsing stack.
 _FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "raw", "sorted-array")
 
+#: Transport kinds offered by ``repro fleet``.  Mirrors
+#: ``repro.safebrowsing.transport.TRANSPORT_KINDS`` (kept in sync by a unit
+#: test) for the same lazy-import reason.
+_FLEET_TRANSPORTS = ("in-process", "simulated")
+
 
 def _resolve_experiment(name: str) -> Callable[[], object]:
     """Import the table builder for a named experiment."""
@@ -125,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client store backend (default sorted-array)")
     fleet.add_argument("--seed", type=int, default=None,
                        help="override the traffic seed")
+    fleet.add_argument("--transport", choices=_FLEET_TRANSPORTS,
+                       default="in-process",
+                       help="client<->server boundary (default in-process)")
+    fleet.add_argument("--latency", type=float, default=None, metavar="SECONDS",
+                       help="simulated network latency per request")
+    fleet.add_argument("--failure-rate", type=float, default=None,
+                       help="simulated network failure probability in [0, 1)")
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="server-side prefix index shard count")
+    fleet.add_argument("--server-cache-seconds", type=float, default=None,
+                       help="TTL of the server full-hash response cache "
+                            "(0 disables)")
 
     return parser
 
@@ -192,15 +209,26 @@ def _command_fleet(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
-    config = FleetConfig(store_backend=args.store_backend)
+    config = FleetConfig(store_backend=args.store_backend,
+                         transport=args.transport)
     if args.seed is not None:
         config = dc_replace(config, seed=args.seed)
+    if args.latency is not None:
+        config = dc_replace(config, latency_seconds=args.latency)
+    if args.failure_rate is not None:
+        config = dc_replace(config, failure_rate=args.failure_rate)
+    if args.shards is not None:
+        config = dc_replace(config, shard_count=args.shards)
+    if args.server_cache_seconds is not None:
+        config = dc_replace(config, server_cache_seconds=args.server_cache_seconds)
 
     if args.mode == "both":
         print(fleet_table(scale, config).render())
         return 0
     report = run_fleet(scale, dc_replace(config, mode=args.mode))
     print(f"mode            : {report.mode}")
+    print(f"transport       : {report.transport}")
+    print(f"server shards   : {report.shard_count}")
     print(f"clients         : {report.clients}")
     print(f"URLs checked    : {report.urls_checked}")
     print(f"URLs/s          : {report.urls_per_second:,.0f}")
@@ -208,7 +236,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
     print(f"update reqs     : {report.server_update_requests}")
     print(f"prefixes sent   : {report.server_prefixes_received}")
     print(f"cache hit rate  : {report.cache_hit_rate:.4f}")
+    print(f"server cache    : {report.server_cache_hit_rate:.4f}")
     print(f"malicious       : {report.malicious_verdicts}")
+    print(f"log evictions   : {report.log_entries_evicted}")
+    if report.transport != "in-process":
+        print(f"net failures    : {report.transport_failures}")
     return 0
 
 

@@ -11,10 +11,16 @@ boxed :class:`RawPrefixStore` and the packed :class:`SortedArrayPrefixStore`
 with batched :meth:`~PrefixStore.contains_many` lookups — all behind the
 :class:`PrefixStore` interface, and a byte-accurate memory model used to
 regenerate Table 2.
+
+The server side builds on the same interface: :class:`ShardedPrefixIndex`
+partitions any registered backend by leading prefix byte so the provider's
+per-list membership indexes scale horizontally (the storage layer of the
+sharded server core).
 """
 
 from repro.datastructures.store import PrefixStore, RawPrefixStore
 from repro.datastructures.sorted_array import SortedArrayPrefixStore
+from repro.datastructures.sharded import DEFAULT_SHARD_COUNT, ShardedPrefixIndex
 from repro.datastructures.bloom import BloomFilter, BloomPrefixStore, optimal_bloom_parameters
 from repro.datastructures.delta import DeltaCodedTable, DeltaCodedPrefixStore
 from repro.datastructures.memory import MemoryReport, STORE_FACTORIES, store_memory_report
@@ -22,12 +28,14 @@ from repro.datastructures.memory import MemoryReport, STORE_FACTORIES, store_mem
 __all__ = [
     "BloomFilter",
     "BloomPrefixStore",
+    "DEFAULT_SHARD_COUNT",
     "DeltaCodedPrefixStore",
     "DeltaCodedTable",
     "MemoryReport",
     "PrefixStore",
     "RawPrefixStore",
     "STORE_FACTORIES",
+    "ShardedPrefixIndex",
     "SortedArrayPrefixStore",
     "optimal_bloom_parameters",
     "store_memory_report",

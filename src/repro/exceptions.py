@@ -43,6 +43,16 @@ class ListNotFoundError(ProtocolError):
     """Raised when a client requests a blacklist the server does not serve."""
 
 
+class TransportError(ProtocolError):
+    """Raised when a transport fails to deliver a request.
+
+    The simulated network transport raises it for injected failures; the
+    client's update scheduler treats it like any other failed poll (backoff),
+    while a failed full-hash request propagates to the lookup caller, as a
+    network error would in a deployed client.
+    """
+
+
 class UpdateError(ProtocolError):
     """Raised when a client update cannot be applied to the local database."""
 

@@ -17,6 +17,14 @@ semantics:
   :meth:`SafeBrowsingClient.check_urls`, which amortizes canonicalization,
   hashing, store probes and full-hash requests batch-wide.
 
+Every client reaches the server through a
+:class:`~repro.safebrowsing.transport.Transport`: ``"in-process"`` (direct
+dispatch, the reference behaviour) or ``"simulated"`` (seeded latency and
+failure injection over the shared clock).  The server itself runs the
+sharded core — ``shard_count`` partitions per list index, a TTL'd full-hash
+response cache, and a rotating request log bounded by ``max_log_entries``
+so fleet runs stay memory-stable.
+
 The simulator reports wall-clock throughput (URLs/s), the server's request
 counters and the fleet's cache behaviour; ``benchmarks/bench_fleet_throughput.py``
 asserts the batched mode's >= 10x speedup at ``MEDIUM`` scale and the perf
@@ -31,15 +39,21 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.clock import ManualClock
-from repro.exceptions import ExperimentError
+from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
+from repro.exceptions import ExperimentError, TransportError
 from repro.experiments.scale import ExperimentContext, Scale, SMALL, get_context
 from repro.reporting.tables import Table
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.lists import ListProvider, lists_for_provider
-from repro.safebrowsing.server import SafeBrowsingServer
+from repro.safebrowsing.server import DEFAULT_RESPONSE_CACHE_SECONDS, SafeBrowsingServer
+from repro.safebrowsing.transport import TRANSPORT_KINDS
 
 #: Execution modes understood by the simulator.
 FLEET_MODES = ("scalar", "batched")
+
+#: Request-log bound used by fleet runs (analysis experiments replay the log
+#: and keep it unbounded; a fleet only reads counters, so it rotates).
+DEFAULT_FLEET_LOG_BOUND = 10_000
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +90,20 @@ class FleetConfig:
         Per-client update jitter, so the fleet desynchronizes its polls.
     seed:
         Master seed; client ``i`` derives its stream from ``seed + i``.
+    transport:
+        The client↔server boundary: ``"in-process"`` (direct dispatch, the
+        PR 1 reference behaviour) or ``"simulated"`` (seeded latency and
+        failure injection over the shared clock).
+    latency_seconds / latency_jitter_seconds / failure_rate:
+        Parameters of the simulated network transport (ignored in-process).
+    shard_count:
+        Partitions of every server-side list membership index.
+    server_cache_seconds:
+        TTL of the server's full-hash response cache (``0`` disables it).
+    max_log_entries:
+        Bound on the server request log.  Fleet runs default to a rotating
+        window (the simulator only reads counters); pass ``None`` to keep
+        the whole log, as the analysis experiments do.
     """
 
     mode: str = "batched"
@@ -89,12 +117,34 @@ class FleetConfig:
     round_seconds: float = 120.0
     update_jitter_fraction: float = 0.1
     seed: int = 20160628
+    transport: str = "in-process"
+    latency_seconds: float = 0.05
+    latency_jitter_seconds: float = 0.02
+    failure_rate: float = 0.0
+    shard_count: int = DEFAULT_SHARD_COUNT
+    server_cache_seconds: float = DEFAULT_RESPONSE_CACHE_SECONDS
+    max_log_entries: int | None = DEFAULT_FLEET_LOG_BOUND
 
     def __post_init__(self) -> None:
         if self.mode not in FLEET_MODES:
             raise ExperimentError(
                 f"unknown fleet mode {self.mode!r}; expected one of {FLEET_MODES}"
             )
+        if self.transport not in TRANSPORT_KINDS:
+            raise ExperimentError(
+                f"unknown transport {self.transport!r}; "
+                f"expected one of {TRANSPORT_KINDS}"
+            )
+        if self.shard_count < 1:
+            raise ExperimentError("shard_count must be positive")
+        if self.latency_seconds < 0 or self.latency_jitter_seconds < 0:
+            raise ExperimentError("latency parameters must be non-negative")
+        if not (0.0 <= self.failure_rate < 1.0):
+            raise ExperimentError("failure_rate must be in [0, 1)")
+        if self.server_cache_seconds < 0:
+            raise ExperimentError("server_cache_seconds must be non-negative")
+        if self.max_log_entries is not None and self.max_log_entries < 1:
+            raise ExperimentError("max_log_entries must be positive or None")
         if self.working_set_size <= 0 or self.malicious_pool_size <= 0:
             raise ExperimentError("working_set_size and malicious_pool_size "
                                   "must be positive")
@@ -127,6 +177,12 @@ class FleetReport:
     local_hits: int
     cache_hits: int
     malicious_verdicts: int
+    transport: str = "in-process"
+    shard_count: int = DEFAULT_SHARD_COUNT
+    server_cache_hits: int = 0
+    server_cache_misses: int = 0
+    log_entries_evicted: int = 0
+    transport_failures: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -134,6 +190,14 @@ class FleetReport:
         if self.local_hits == 0:
             return 0.0
         return self.cache_hits / self.local_hits
+
+    @property
+    def server_cache_hit_rate(self) -> float:
+        """Fraction of full-hash batches served from the server's response cache."""
+        total = self.server_cache_hits + self.server_cache_misses
+        if total == 0:
+            return 0.0
+        return self.server_cache_hits / total
 
     def traffic_signature(self) -> tuple[int, int, int]:
         """The mode-independent traffic totals.
@@ -176,8 +240,12 @@ class FleetSimulator:
         from the snapshot's ground truth instead of mutating shared state.
         """
         snapshot = self._context.snapshot(self.config.provider)
-        server = SafeBrowsingServer(lists_for_provider(self.config.provider),
-                                    clock=clock)
+        config = self.config
+        server = SafeBrowsingServer(lists_for_provider(config.provider),
+                                    clock=clock,
+                                    shard_count=config.shard_count,
+                                    response_cache_seconds=config.server_cache_seconds,
+                                    max_log_entries=config.max_log_entries)
         for list_name, expressions in snapshot.ground_truth.items():
             if expressions:
                 server.blacklist(list_name, expressions)
@@ -185,16 +253,27 @@ class FleetSimulator:
 
     def build_clients(self, server: SafeBrowsingServer,
                       clock: ManualClock) -> list[SafeBrowsingClient]:
-        """One client per ``scale.clients``, with per-client jitter seeds."""
+        """One client per ``scale.clients``, each behind its own transport."""
+        config = self.config
         client_config = ClientConfig(
-            store_backend=self.config.store_backend,
-            update_jitter_fraction=self.config.update_jitter_fraction,
+            store_backend=config.store_backend,
+            update_jitter_fraction=config.update_jitter_fraction,
         )
-        return [
-            SafeBrowsingClient(server, name=f"fleet-client-{index:03d}",
-                               config=client_config, clock=clock)
-            for index in range(self.scale.clients)
-        ]
+        clients = []
+        for index in range(self.scale.clients):
+            transport = self._context.transport_for(
+                server, kind=config.transport,
+                latency_seconds=config.latency_seconds,
+                jitter_seconds=config.latency_jitter_seconds,
+                failure_rate=config.failure_rate,
+                seed=f"fleet:{config.seed}:transport:{index}",
+            )
+            clients.append(
+                SafeBrowsingClient(transport=transport,
+                                   name=f"fleet-client-{index:03d}",
+                                   config=client_config, clock=clock)
+            )
+        return clients
 
     def client_stream(self, index: int) -> list[str]:
         """The deterministic URL stream of client ``index``.
@@ -250,21 +329,30 @@ class FleetSimulator:
         length = self.scale.fleet_urls_per_client
         rounds = (length + batch_size - 1) // batch_size
 
+        transport_failures = 0
+        urls_checked = 0
         started = time.perf_counter()
         for round_index in range(rounds):
             start = round_index * batch_size
             stop = min(start + batch_size, length)
             for client, stream in zip(clients, streams):
                 batch = stream[start:stop]
-                if config.mode == "batched":
-                    client.check_urls(batch)
-                else:
-                    for url in batch:
-                        client.check_url(url)
+                try:
+                    if config.mode == "batched":
+                        urls_checked += len(client.check_urls(batch))
+                    else:
+                        for url in batch:
+                            client.check_url(url)
+                            urls_checked += 1
+                except TransportError:
+                    # An injected network failure loses the rest of this
+                    # client's batch (a real browser would retry later); the
+                    # fleet carries on, as the deployed service does under
+                    # partial outages.  Only URLs whose check *completed*
+                    # count as checked, whichever endpoint failed.
+                    transport_failures += 1
             clock.advance(config.round_seconds)
         elapsed = time.perf_counter() - started
-
-        urls_checked = sum(client.stats.urls_checked for client in clients)
         return FleetReport(
             mode=config.mode,
             scale=self.scale.name,
@@ -280,6 +368,12 @@ class FleetSimulator:
             cache_hits=sum(client.stats.cache_hits for client in clients),
             malicious_verdicts=sum(client.stats.malicious_verdicts
                                    for client in clients),
+            transport=config.transport,
+            shard_count=config.shard_count,
+            server_cache_hits=server.stats.response_cache_hits,
+            server_cache_misses=server.stats.response_cache_misses,
+            log_entries_evicted=server.stats.log_entries_evicted,
+            transport_failures=transport_failures,
         )
 
 
@@ -323,4 +417,7 @@ def fleet_table(scale: Scale = SMALL, config: FleetConfig | None = None,
     table.add_note(f"batched/scalar speedup: {speedup:.1f}x")
     table.add_note("traffic signatures match: "
                    f"{scalar.traffic_signature() == batched.traffic_signature()}")
+    table.add_note(f"transport: {batched.transport}, "
+                   f"server shards: {batched.shard_count}, "
+                   f"server cache hit rate: {batched.server_cache_hit_rate:.2f}")
     return table

@@ -17,6 +17,7 @@ from functools import lru_cache
 from repro.analysis.inverted_index import PrefixInvertedIndex
 from repro.corpus.datasets import BlacklistSnapshot, DatasetBundle, build_blacklist_snapshot, build_dataset_bundle
 from repro.safebrowsing.lists import ListProvider
+from repro.safebrowsing.transport import Transport, build_transport
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,6 +152,23 @@ class ExperimentContext:
                                  f"expected 'alexa' or 'random'")
             self._url_pools[corpus_label] = tuple(corpus.all_urls())
         return self._url_pools[corpus_label]
+
+    def transport_for(self, server, kind: str = "in-process", *,
+                      latency_seconds: float = 0.05,
+                      jitter_seconds: float = 0.0,
+                      failure_rate: float = 0.0,
+                      seed: int | str = 0) -> Transport:
+        """A client transport onto ``server``, named by kind.
+
+        Experiments never hand a raw server to a client: they go through
+        this factory so one scale-level switch ("in-process" vs "simulated")
+        flips every client of every experiment onto a modelled network.
+        """
+        return build_transport(
+            kind, server, latency_seconds=latency_seconds,
+            jitter_seconds=jitter_seconds, failure_rate=failure_rate,
+            seed=seed,
+        )
 
 
 @lru_cache(maxsize=4)

@@ -13,6 +13,15 @@ This package implements both sides of the protocol the paper analyzes:
   flow-chart of the paper's Figure 3 — canonicalize, decompose, look up the
   local database and, only on a hit, ask the server for full hashes.
 
+The server stack is layered: **storage** (sharded per-list prefix indexes,
+:mod:`repro.safebrowsing.database` over
+:class:`~repro.datastructures.sharded.ShardedPrefixIndex`), **service**
+(:class:`ServerCore` with the endpoint handlers in
+:mod:`repro.safebrowsing.protocol`, a TTL'd full-hash response cache and a
+bounded request log), and **transport** (:class:`Transport` —
+:class:`InProcessTransport` for exact direct-call behaviour,
+:class:`SimulatedNetworkTransport` for seeded latency/failure injection).
+
 The deployed Google endpoints cannot be (and must not be) contacted by this
 reproduction; the substitution is documented in DESIGN.md.  Everything the
 privacy analysis needs — which prefixes leave the client, with which cookie,
@@ -39,7 +48,19 @@ from repro.safebrowsing.protocol import (
     Verdict,
     LookupResult,
 )
-from repro.safebrowsing.server import RequestLogEntry, SafeBrowsingServer
+from repro.safebrowsing.server import (
+    RequestLogEntry,
+    SafeBrowsingServer,
+    ServerCore,
+    ServerStats,
+)
+from repro.safebrowsing.transport import (
+    InProcessTransport,
+    SimulatedNetworkTransport,
+    Transport,
+    TransportStats,
+    build_transport,
+)
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.backoff import UpdateScheduler
 from repro.safebrowsing.lookup_api import (
@@ -61,6 +82,7 @@ __all__ = [
     "FullHashRequest",
     "FullHashResponse",
     "GOOGLE_LISTS",
+    "InProcessTransport",
     "ListDatabase",
     "ListDescriptor",
     "ListProvider",
@@ -70,10 +92,16 @@ __all__ = [
     "SafeBrowsingClient",
     "SafeBrowsingCookie",
     "SafeBrowsingServer",
+    "ServerCore",
     "ServerDatabase",
+    "ServerStats",
+    "SimulatedNetworkTransport",
+    "Transport",
+    "TransportStats",
     "UpdateRequest",
     "UpdateResponse",
     "Verdict",
+    "build_transport",
     "YANDEX_LISTS",
     "get_list",
     "lists_for_provider",

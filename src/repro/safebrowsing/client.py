@@ -25,6 +25,12 @@ runs the flow above for one URL (the scalar reference), while
 deduplicating and memoizing the pure derivations, probing the stores with
 one bitmask query per list, and coalescing every uncached full-hash lookup
 into a single request — with verdicts identical to the scalar path.
+
+Everything the client sends crosses a
+:class:`~repro.safebrowsing.transport.Transport`.  Constructing a client
+with a bare server wraps it in the in-process transport (direct dispatch,
+the historical behaviour); passing ``transport=`` swaps in e.g. the
+simulated network, with no other change to the lookup flow.
 """
 
 from __future__ import annotations
@@ -53,7 +59,8 @@ from repro.safebrowsing.protocol import (
     UpdateResponse,
     Verdict,
 )
-from repro.safebrowsing.server import SafeBrowsingServer
+from repro.safebrowsing.server import ServerCore
+from repro.safebrowsing.transport import InProcessTransport, Transport
 from repro.urls.canonicalize import canonicalize
 from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
 
@@ -142,13 +149,31 @@ class _ListState:
 class SafeBrowsingClient:
     """A browser-side Safe Browsing implementation."""
 
-    def __init__(self, server: SafeBrowsingServer, name: str = "client", *,
+    def __init__(self, server: ServerCore | Transport | None = None,
+                 name: str = "client", *,
+                 transport: Transport | None = None,
                  lists: Iterable[str] | None = None,
                  config: ClientConfig | None = None,
                  clock: Clock | None = None,
                  cookie: SafeBrowsingCookie | None = None,
                  cookie_jar: CookieJar | None = None) -> None:
-        self.server = server
+        # Everything the client sends crosses a Transport.  Passing a bare
+        # server (the historical signature) wraps it in the in-process
+        # transport, which preserves direct-call behaviour exactly.
+        if transport is None:
+            if isinstance(server, Transport):
+                transport = server
+            elif server is not None:
+                transport = InProcessTransport(server)
+            else:
+                raise UpdateError("a client needs a server or a transport")
+        elif isinstance(server, Transport):
+            raise UpdateError("pass either a transport or a server, not both")
+        elif server is not None and transport.server is not server:
+            raise UpdateError("transport is bound to a different server")
+        self.transport = transport
+        self.server = transport.server
+        server = self.server
         self.name = name
         self.config = config if config is not None else ClientConfig()
         self.clock = clock if clock is not None else server.clock
@@ -225,7 +250,7 @@ class SafeBrowsingClient:
         request = UpdateRequest(cookie=self.cookie, states=states,
                                 timestamp=self.clock.now())
         try:
-            response = self.server.handle_update(request)
+            response = self.transport.send_update(request)
         except Exception:
             self.scheduler.record_error(self.clock.now())
             raise
@@ -565,7 +590,7 @@ class SafeBrowsingClient:
         )
         self.stats.full_hash_requests += 1
         self.stats.prefixes_sent += len(prefixes)
-        return self.server.handle_full_hash(request)
+        return self.transport.send_full_hash(request)
 
     def send_raw_prefixes(self, prefixes: Sequence[Prefix]) -> FullHashResponse:
         """Send an explicit full-hash request outside a URL lookup.

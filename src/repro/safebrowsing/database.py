@@ -21,9 +21,10 @@ must therefore support — go beyond a plain "insert malicious URL" API:
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
+from repro.datastructures.sharded import DEFAULT_SHARD_COUNT, ShardedPrefixIndex
 from repro.exceptions import ListNotFoundError, ProtocolError
 from repro.hashing.digests import DEFAULT_PREFIX_BITS, FullHash
 from repro.hashing.prefix import Prefix
@@ -34,10 +35,20 @@ from repro.safebrowsing.lists import ListDescriptor
 
 @dataclass
 class ListDatabase:
-    """One blacklist: prefixes, full digests, and chunk history."""
+    """One blacklist: prefixes, full digests, and chunk history.
+
+    Membership queries go through a :class:`ShardedPrefixIndex` that mirrors
+    the populated-or-orphan prefix set (``shard_count`` partitions of an
+    exact ``index_backend`` store), so the storage layer scales horizontally
+    while the full-digest buckets stay a plain mapping.  Every mutation bumps
+    :attr:`version`, which the server core uses to invalidate its full-hash
+    response cache.
+    """
 
     descriptor: ListDescriptor
     prefix_bits: int = DEFAULT_PREFIX_BITS
+    shard_count: int = DEFAULT_SHARD_COUNT
+    index_backend: str = "sorted-array"
     _full_hashes: dict[Prefix, set[FullHash]] = field(default_factory=lambda: defaultdict(set))
     _orphans: set[Prefix] = field(default_factory=set)
     _expressions: dict[str, FullHash] = field(default_factory=dict)
@@ -45,6 +56,13 @@ class ListDatabase:
     _sub_chunks: list[Chunk] = field(default_factory=list)
     _pending_additions: list[Prefix] = field(default_factory=list)
     _pending_removals: list[Prefix] = field(default_factory=list)
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        self._prefix_index = ShardedPrefixIndex(
+            bits=self.prefix_bits, backend=self.index_backend,
+            shard_count=self.shard_count,
+        )
 
     # -- content management ---------------------------------------------------
 
@@ -62,6 +80,8 @@ class ListDatabase:
         if full_hash not in self._full_hashes[prefix]:
             self._full_hashes[prefix].add(full_hash)
             self._pending_additions.append(prefix)
+            self._prefix_index.add(prefix)
+            self.version += 1
         self._orphans.discard(prefix)
         return prefix
 
@@ -75,6 +95,8 @@ class ListDatabase:
         if full_hash not in self._full_hashes[prefix]:
             self._full_hashes[prefix].add(full_hash)
             self._pending_additions.append(prefix)
+            self._prefix_index.add(prefix)
+            self.version += 1
         self._orphans.discard(prefix)
         return prefix
 
@@ -93,6 +115,8 @@ class ListDatabase:
             if prefix not in self._orphans:
                 self._orphans.add(prefix)
                 self._pending_additions.append(prefix)
+                self._prefix_index.add(prefix)
+                self.version += 1
 
     def remove_expression(self, expression: str) -> None:
         """Remove a previously blacklisted expression (creates a sub chunk)."""
@@ -103,15 +127,21 @@ class ListDatabase:
         bucket = self._full_hashes.get(prefix)
         if bucket and full_hash in bucket:
             bucket.remove(full_hash)
+            self.version += 1
             if not bucket:
                 del self._full_hashes[prefix]
                 self._pending_removals.append(prefix)
+                if prefix not in self._orphans:
+                    self._prefix_index.discard(prefix)
 
     def remove_orphan_prefix(self, prefix: Prefix) -> None:
         """Remove an orphan prefix."""
         if prefix in self._orphans:
             self._orphans.remove(prefix)
             self._pending_removals.append(prefix)
+            self.version += 1
+            if not self._full_hashes.get(prefix):
+                self._prefix_index.discard(prefix)
 
     # -- chunk management -----------------------------------------------------
 
@@ -180,9 +210,25 @@ class ListDatabase:
         return tuple(sorted(self._expressions))
 
     def contains_prefix(self, prefix: Prefix) -> bool:
-        """Whether ``prefix`` is in the list (populated or orphan)."""
-        bucket = self._full_hashes.get(prefix)
-        return bool(bucket) or prefix in self._orphans
+        """Whether ``prefix`` is in the list (populated or orphan).
+
+        Routed through the sharded membership index; the property suite pins
+        it to the dict-derived answer.
+        """
+        return prefix in self._prefix_index
+
+    def contains_many(self, prefixes: Sequence[Prefix]) -> int:
+        """Batched membership bitmask over the sharded index.
+
+        Bit ``i`` is set iff ``prefixes[i]`` is in the list, routed shard by
+        shard exactly like :meth:`contains_prefix`.
+        """
+        return self._prefix_index.contains_many(prefixes)
+
+    @property
+    def prefix_index(self) -> ShardedPrefixIndex:
+        """The sharded membership index (storage layer of the server core)."""
+        return self._prefix_index
 
     def prefix_count(self) -> int:
         """Number of prefixes in the list (the paper's Table 1/3 metric)."""
@@ -198,14 +244,26 @@ class ListDatabase:
 
 
 class ServerDatabase:
-    """All the lists one provider serves."""
+    """All the lists one provider serves.
+
+    Built on one :class:`ShardedPrefixIndex` per list: ``shard_count`` and
+    ``index_backend`` choose the partitioning and the per-shard store for
+    every list's membership index.
+    """
 
     def __init__(self, descriptors: Iterable[ListDescriptor],
-                 prefix_bits: int = DEFAULT_PREFIX_BITS) -> None:
+                 prefix_bits: int = DEFAULT_PREFIX_BITS, *,
+                 shard_count: int = DEFAULT_SHARD_COUNT,
+                 index_backend: str = "sorted-array") -> None:
         self._lists: dict[str, ListDatabase] = {}
         for descriptor in descriptors:
-            self._lists[descriptor.name] = ListDatabase(descriptor, prefix_bits)
+            self._lists[descriptor.name] = ListDatabase(
+                descriptor, prefix_bits,
+                shard_count=shard_count, index_backend=index_backend,
+            )
         self.prefix_bits = prefix_bits
+        self.shard_count = shard_count
+        self.index_backend = index_backend
 
     def __getitem__(self, list_name: str) -> ListDatabase:
         try:
@@ -232,7 +290,23 @@ class ServerDatabase:
         for database in self._lists.values():
             database.commit_pending()
 
+    @property
+    def version(self) -> int:
+        """Monotonic content version, bumped by any list mutation.
+
+        The server core's full-hash response cache stores the version it was
+        computed against and treats any bump as an invalidation.
+        """
+        return sum(database.version for database in self._lists.values())
+
     def lists_containing(self, prefix: Prefix) -> list[str]:
         """Names of the lists whose prefix set contains ``prefix``."""
         return [name for name, database in self._lists.items()
                 if database.contains_prefix(prefix)]
+
+    def contains_many(self, prefixes: Sequence[Prefix]) -> int:
+        """Bitmask of prefixes present in *any* served list."""
+        bitmask = 0
+        for database in self._lists.values():
+            bitmask |= database.contains_many(prefixes)
+        return bitmask

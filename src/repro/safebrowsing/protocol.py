@@ -1,21 +1,33 @@
-"""Protocol messages exchanged between client and server.
+"""Protocol messages and per-endpoint handlers.
 
 The message shapes follow the Safe Browsing v3 HTTP API, stripped of the
 transport details that are irrelevant to the privacy analysis: what matters
 is exactly which fields cross the wire, because those fields are what the
 provider (the adversary of the paper's threat model) gets to observe.
+
+Besides the messages, this module hosts the *thin endpoint handlers* of the
+service layer: :func:`serve_update` and :func:`serve_full_hash` validate one
+request each and dispatch it to a
+:class:`~repro.safebrowsing.server.ServerCore`.  Every path into the server —
+the in-process transport, the simulated network transport, or a direct
+``SafeBrowsingServer.handle_*`` call — funnels through these handlers, so
+the core only ever sees well-formed requests of the right endpoint.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ProtocolError
 from repro.hashing.digests import FullHash
 from repro.hashing.prefix import Prefix
 from repro.safebrowsing.chunks import Chunk, ChunkRange
 from repro.safebrowsing.cookie import SafeBrowsingCookie
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server imports us)
+    from repro.safebrowsing.server import ServerCore
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +142,31 @@ class FullHashResponse:
         """Queried prefixes for which the server returned no full digest."""
         answered = {match.prefix for match in self.matches}
         return tuple(prefix for prefix in queried if prefix not in answered)
+
+
+# ---------------------------------------------------------------------------
+# endpoint handlers (service layer)
+# ---------------------------------------------------------------------------
+
+
+def serve_update(core: ServerCore, request: UpdateRequest) -> UpdateResponse:
+    """The ``downloads`` endpoint: validate and dispatch an update request."""
+    if not isinstance(request, UpdateRequest):
+        raise ProtocolError(
+            f"the downloads endpoint takes an UpdateRequest, "
+            f"got {type(request).__name__}"
+        )
+    return core.process_update(request)
+
+
+def serve_full_hash(core: ServerCore, request: FullHashRequest) -> FullHashResponse:
+    """The ``gethash`` endpoint: validate and dispatch a full-hash request."""
+    if not isinstance(request, FullHashRequest):
+        raise ProtocolError(
+            f"the gethash endpoint takes a FullHashRequest, "
+            f"got {type(request).__name__}"
+        )
+    return core.process_full_hash(request)
 
 
 # ---------------------------------------------------------------------------

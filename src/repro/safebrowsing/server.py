@@ -1,20 +1,38 @@
-"""The Safe Browsing server.
+"""The Safe Browsing server core (service layer).
 
-:class:`SafeBrowsingServer` answers the two requests of the v3 API — list
-updates and full-hash lookups — over a :class:`ServerDatabase`.  It also
-plays the adversary of the paper's threat model: every full-hash request is
-appended to a request log (cookie, timestamp, prefixes), which is exactly the
-information an honest-but-curious (or coerced) provider can exploit for
-re-identification and tracking.  The analysis layer consumes that log; it
-never peeks inside the client.
+:class:`ServerCore` answers the two requests of the v3 API — list updates and
+full-hash lookups — over a :class:`ServerDatabase` whose per-list membership
+indexes are sharded (:class:`~repro.datastructures.sharded.ShardedPrefixIndex`).
+It also plays the adversary of the paper's threat model: every full-hash
+request is appended to a request log (cookie, timestamp, prefixes), which is
+exactly the information an honest-but-curious (or coerced) provider can
+exploit for re-identification and tracking.  The analysis layer consumes that
+log; it never peeks inside the client.
+
+Two provisions keep the core memory-stable and fast under fleet traffic:
+
+* a **TTL'd full-hash response cache** keyed by the request's prefix batch
+  (revisit-heavy fleets resend the same popular batches), invalidated both by
+  the clock and by any database mutation (:attr:`ServerDatabase.version`);
+* a **bounded request log**: ``max_log_entries`` rotates the oldest entries
+  out (surfaced as :attr:`ServerStats.log_entries_evicted`), so week-long
+  fleet runs do not grow the log without bound.  Analysis experiments keep
+  the default of ``None`` (unbounded) because they replay the whole log.
+
+The endpoint dispatch lives in :mod:`repro.safebrowsing.protocol` (thin
+per-endpoint handlers) and the client↔server boundary in
+:mod:`repro.safebrowsing.transport`; :class:`SafeBrowsingServer` is the
+backward-compatible facade combining the core with the endpoint handlers.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.clock import Clock, ManualClock
+from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
 from repro.hashing.prefix import Prefix
 from repro.safebrowsing.cookie import SafeBrowsingCookie
 from repro.safebrowsing.database import ServerDatabase
@@ -26,11 +44,23 @@ from repro.safebrowsing.protocol import (
     ListUpdate,
     UpdateRequest,
     UpdateResponse,
+    serve_full_hash,
+    serve_update,
 )
 
 #: Default interval, in seconds, that the server asks clients to wait before
 #: polling for updates again (the deployed service uses about 30 minutes).
 DEFAULT_POLL_INTERVAL = 1800.0
+
+#: Default TTL of the server-side full-hash response cache.  Short relative
+#: to the clients' 45-minute full-hash cache: the server cache only needs to
+#: absorb bursts of identical batches, not long-term state.
+DEFAULT_RESPONSE_CACHE_SECONDS = 300.0
+
+#: Default entry bound of the response cache.  Diverse traffic inserts one
+#: entry per distinct prefix batch, so without a bound a long fleet run
+#: would grow the cache linearly with requests.
+DEFAULT_RESPONSE_CACHE_ENTRIES = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,20 +86,64 @@ class ServerStats:
     chunks_served: int = 0
     full_hashes_served: int = 0
     clients_seen: set[str] = field(default_factory=set)
+    response_cache_hits: int = 0
+    response_cache_misses: int = 0
+    log_entries_evicted: int = 0
 
 
-class SafeBrowsingServer:
-    """In-memory Safe Browsing provider (Google- or Yandex-shaped)."""
+@dataclass(slots=True)
+class _CachedResponse:
+    """Per-prefix match tuples computed for one prefix batch."""
+
+    matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]]
+    expires_at: float
+    database_version: int
+
+
+class ServerCore:
+    """The provider's service layer: update + full-hash handlers.
+
+    Parameters
+    ----------
+    shard_count, index_backend:
+        Partitioning of every list's membership index (storage layer).
+    response_cache_seconds:
+        TTL of the full-hash response cache; ``0`` disables caching.
+    response_cache_entries:
+        Upper bound on cached batches; inserts past it first purge dead
+        (expired or version-stale) entries, then evict oldest-first.
+    max_log_entries:
+        Upper bound on the request log (``None`` = unbounded).  When the
+        bound is hit the oldest entries rotate out and
+        :attr:`ServerStats.log_entries_evicted` counts them.
+    """
 
     def __init__(self, descriptors: Iterable[ListDescriptor], *,
                  clock: Clock | None = None,
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
-                 prefix_bits: int = 32) -> None:
-        self.database = ServerDatabase(descriptors, prefix_bits)
+                 prefix_bits: int = 32,
+                 shard_count: int = DEFAULT_SHARD_COUNT,
+                 index_backend: str = "sorted-array",
+                 response_cache_seconds: float = DEFAULT_RESPONSE_CACHE_SECONDS,
+                 response_cache_entries: int = DEFAULT_RESPONSE_CACHE_ENTRIES,
+                 max_log_entries: int | None = None) -> None:
+        if max_log_entries is not None and max_log_entries < 1:
+            raise ValueError("max_log_entries must be positive (or None)")
+        if response_cache_seconds < 0:
+            raise ValueError("response_cache_seconds must be non-negative")
+        if response_cache_entries < 1:
+            raise ValueError("response_cache_entries must be positive")
+        self.database = ServerDatabase(descriptors, prefix_bits,
+                                       shard_count=shard_count,
+                                       index_backend=index_backend)
         self.clock = clock if clock is not None else ManualClock()
         self.poll_interval = poll_interval
+        self.response_cache_seconds = response_cache_seconds
+        self.response_cache_entries = response_cache_entries
+        self.max_log_entries = max_log_entries
         self.stats = ServerStats()
-        self._request_log: list[RequestLogEntry] = []
+        self._request_log: deque[RequestLogEntry] = deque()
+        self._response_cache: dict[tuple[Prefix, ...], _CachedResponse] = {}
 
     # -- provisioning ---------------------------------------------------------
 
@@ -104,9 +178,9 @@ class SafeBrowsingServer:
         """
         return self.blacklist(list_name, expressions)
 
-    # -- protocol endpoints ---------------------------------------------------
+    # -- request processing (called by the protocol endpoint handlers) --------
 
-    def handle_update(self, request: UpdateRequest) -> UpdateResponse:
+    def process_update(self, request: UpdateRequest) -> UpdateResponse:
         """Serve the chunks a client is missing for every list it asked about."""
         self.stats.update_requests += 1
         self.stats.clients_seen.add(request.cookie.value)
@@ -131,52 +205,118 @@ class SafeBrowsingServer:
             timestamp=self.clock.now(),
         )
 
-    def handle_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+    def process_full_hash(self, request: FullHashRequest) -> FullHashResponse:
         """Serve the full digests for the queried prefixes, and log the request.
 
         Requests may carry a whole batch of prefixes (the batched client
         coalesces every uncached hit of a page-load batch into one request);
-        the database scan runs once per *unique* prefix and the response
-        keeps the request's prefix order.
+        the database scan runs once per *unique* prefix — or not at all when
+        an identical batch is still warm in the response cache — and the
+        response keeps the request's prefix order.
         """
         self.stats.full_hash_requests += 1
         self.stats.prefixes_received += len(request.prefixes)
         self.stats.clients_seen.add(request.cookie.value)
 
         timestamp = self.clock.now()
-        self._request_log.append(
+        self._log_request(
             RequestLogEntry(cookie=request.cookie, timestamp=timestamp,
                             prefixes=tuple(request.prefixes))
         )
 
+        matches_by_prefix = self._matches_for_batch(request.prefixes, timestamp)
         matches: list[FullHashMatch] = []
-        matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]] = {}
         for prefix in request.prefixes:
-            found = matches_by_prefix.get(prefix)
-            if found is None:
-                found = tuple(
-                    FullHashMatch(
-                        list_name=database.descriptor.name,
-                        prefix=prefix,
-                        full_hash=full_hash,
-                    )
-                    for database in self.database
-                    for full_hash in database.full_hashes_for(prefix)
-                )
-                matches_by_prefix[prefix] = found
-            matches.extend(found)
+            matches.extend(matches_by_prefix[prefix])
         self.stats.full_hashes_served += len(matches)
         return FullHashResponse(matches=tuple(matches), timestamp=timestamp)
 
+    # -- full-hash response cache ---------------------------------------------
+
+    def _matches_for_batch(self, prefixes: Sequence[Prefix],
+                           now: float) -> dict[Prefix, tuple[FullHashMatch, ...]]:
+        """Match tuples per unique prefix, served from the TTL'd batch cache.
+
+        A cached entry is valid only while its TTL holds *and* the database
+        has not been mutated since it was computed, so caching can never
+        change an answer — only skip recomputing it.
+        """
+        key = tuple(dict.fromkeys(prefixes))
+        ttl = self.response_cache_seconds
+        if ttl > 0:
+            entry = self._response_cache.get(key)
+            if (entry is not None and entry.expires_at > now
+                    and entry.database_version == self.database.version):
+                self.stats.response_cache_hits += 1
+                return entry.matches_by_prefix
+            self.stats.response_cache_misses += 1
+
+        matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]] = {}
+        for prefix in key:
+            matches_by_prefix[prefix] = tuple(
+                FullHashMatch(
+                    list_name=database.descriptor.name,
+                    prefix=prefix,
+                    full_hash=full_hash,
+                )
+                for database in self.database
+                for full_hash in database.full_hashes_for(prefix)
+            )
+        if ttl > 0:
+            if len(self._response_cache) >= self.response_cache_entries:
+                self._prune_response_cache(now)
+            self._response_cache[key] = _CachedResponse(
+                matches_by_prefix=matches_by_prefix,
+                expires_at=now + ttl,
+                database_version=self.database.version,
+            )
+        return matches_by_prefix
+
+    def _prune_response_cache(self, now: float) -> None:
+        """Purge dead entries; evict oldest-first if the cache is still full.
+
+        Called before an insert would exceed the bound, so the cache never
+        grows past ``response_cache_entries`` no matter how diverse the
+        traffic is.
+        """
+        version = self.database.version
+        cache = self._response_cache
+        dead = [key for key, entry in cache.items()
+                if entry.expires_at <= now or entry.database_version != version]
+        for key in dead:
+            del cache[key]
+        overflow = len(cache) - self.response_cache_entries + 1
+        if overflow > 0:
+            for key in list(cache)[:overflow]:
+                del cache[key]
+
+    def clear_response_cache(self) -> None:
+        """Drop every cached full-hash response (TTL/version do this lazily)."""
+        self._response_cache.clear()
+
     # -- the provider's (adversary's) view ------------------------------------
+
+    def _log_request(self, entry: RequestLogEntry) -> None:
+        if (self.max_log_entries is not None
+                and len(self._request_log) >= self.max_log_entries):
+            overflow = len(self._request_log) - self.max_log_entries + 1
+            for _ in range(overflow):
+                self._request_log.popleft()
+            self.stats.log_entries_evicted += overflow
+        self._request_log.append(entry)
 
     @property
     def request_log(self) -> Sequence[RequestLogEntry]:
-        """Every full-hash request received, in arrival order."""
+        """Every retained full-hash request, in arrival order.
+
+        With ``max_log_entries`` set this is a rotating window over the most
+        recent requests; :attr:`ServerStats.log_entries_evicted` counts what
+        rotated out.
+        """
         return tuple(self._request_log)
 
     def requests_from(self, cookie: SafeBrowsingCookie) -> list[RequestLogEntry]:
-        """The requests attributable to one client via its cookie."""
+        """The retained requests attributable to one client via its cookie."""
         return [entry for entry in self._request_log if entry.cookie == cookie]
 
     def clear_request_log(self) -> None:
@@ -186,3 +326,23 @@ class SafeBrowsingServer:
     def list_names(self) -> tuple[str, ...]:
         """Names of the lists this server serves."""
         return self.database.list_names
+
+
+class SafeBrowsingServer(ServerCore):
+    """In-memory Safe Browsing provider (Google- or Yandex-shaped).
+
+    The historical entry point: a :class:`ServerCore` whose ``handle_*``
+    methods route through the thin per-endpoint handlers of
+    :mod:`repro.safebrowsing.protocol` — exactly the path every
+    :class:`~repro.safebrowsing.transport.Transport` takes, so calling the
+    server directly and calling it through a transport are indistinguishable
+    to the core.
+    """
+
+    def handle_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Serve an update request (the ``downloads`` endpoint)."""
+        return serve_update(self, request)
+
+    def handle_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+        """Serve a full-hash request (the ``gethash`` endpoint)."""
+        return serve_full_hash(self, request)

@@ -1,0 +1,203 @@
+"""The client↔server boundary (transport layer).
+
+Everything a client sends to the provider crosses a :class:`Transport`.  The
+abstraction exists so the same client, fleet simulator and CLI can run over
+
+* :class:`InProcessTransport` — direct dispatch into the server's endpoint
+  handlers, zero latency, never fails.  This preserves the exact behaviour
+  (request counts, cache hit rates, traffic signatures) of calling the
+  server's methods directly, and is the default everywhere.
+* :class:`SimulatedNetworkTransport` — a seeded model of a real network:
+  each delivery advances the shared :class:`~repro.clock.ManualClock` by a
+  deterministic latency sample and may raise
+  :class:`~repro.exceptions.TransportError` with a configured probability.
+  Latency moving the logical clock is what makes network realism observable:
+  update schedules drift, full-hash caches expire mid-burst, and the
+  provider's request log shows the skew a real fleet would produce.
+
+Both transports wrap a local :class:`ServerCore`; swapping in a remote one
+later only requires implementing ``send_update``/``send_full_hash``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.clock import Clock, ManualClock
+from repro.exceptions import TransportError
+from repro.safebrowsing.protocol import (
+    FullHashRequest,
+    FullHashResponse,
+    UpdateRequest,
+    UpdateResponse,
+    serve_full_hash,
+    serve_update,
+)
+from repro.safebrowsing.server import ServerCore
+
+#: Transport kinds selectable by name (fleet config and CLI).
+TRANSPORT_KINDS = ("in-process", "simulated")
+
+
+@dataclass
+class TransportStats:
+    """Counters a transport keeps about the traffic it carried."""
+
+    requests_sent: int = 0
+    update_requests: int = 0
+    full_hash_requests: int = 0
+    failures_injected: int = 0
+    simulated_latency_seconds: float = 0.0
+
+
+class Transport(ABC):
+    """One client's channel to the provider."""
+
+    def __init__(self, server: ServerCore) -> None:
+        self._server = server
+        self.stats = TransportStats()
+
+    @property
+    def server(self) -> ServerCore:
+        """The server core behind this transport.
+
+        Exposed for *configuration* (poll interval, served lists) and for
+        experiment assertions — request traffic must go through
+        :meth:`send_update` / :meth:`send_full_hash`.
+        """
+        return self._server
+
+    @abstractmethod
+    def send_update(self, request: UpdateRequest) -> UpdateResponse:
+        """Deliver an update request to the ``downloads`` endpoint."""
+
+    @abstractmethod
+    def send_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+        """Deliver a full-hash request to the ``gethash`` endpoint."""
+
+    # -- endpoint dispatch -----------------------------------------------------
+    #
+    # A SafeBrowsingServer facade may override handle_update/handle_full_hash
+    # (tests inject outages that way); dispatching through the facade when it
+    # exists keeps a transport-wrapped server byte-for-byte equivalent to
+    # calling it directly.  A bare ServerCore goes straight to the endpoint
+    # handlers.
+
+    def _dispatch_update(self, request: UpdateRequest) -> UpdateResponse:
+        handler = getattr(self._server, "handle_update", None)
+        if handler is not None:
+            return handler(request)
+        return serve_update(self._server, request)
+
+    def _dispatch_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+        handler = getattr(self._server, "handle_full_hash", None)
+        if handler is not None:
+            return handler(request)
+        return serve_full_hash(self._server, request)
+
+
+class InProcessTransport(Transport):
+    """Direct dispatch into the server's endpoint handlers (the reference)."""
+
+    def send_update(self, request: UpdateRequest) -> UpdateResponse:
+        self.stats.requests_sent += 1
+        self.stats.update_requests += 1
+        return self._dispatch_update(request)
+
+    def send_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+        self.stats.requests_sent += 1
+        self.stats.full_hash_requests += 1
+        return self._dispatch_full_hash(request)
+
+
+class SimulatedNetworkTransport(Transport):
+    """A seeded latency/failure model over a local server core.
+
+    Parameters
+    ----------
+    latency_seconds:
+        Base one-way-trip latency added to every delivery.
+    jitter_seconds:
+        Uniform extra latency in ``[0, jitter_seconds)``, drawn from the
+        seeded RNG (deterministic per transport instance).
+    failure_rate:
+        Probability in ``[0, 1)`` that a delivery raises
+        :class:`TransportError` instead of reaching the server.  Failures
+        are decided *after* the latency elapses, like a timeout.
+    seed:
+        Seeds the RNG; fleet runs derive one seed per client so failure
+        patterns are reproducible yet uncorrelated across the fleet.
+    clock:
+        The clock latency advances; defaults to the server's.  Only a
+        :class:`ManualClock` can be advanced — other clocks just record the
+        sampled latency in :attr:`TransportStats.simulated_latency_seconds`.
+    """
+
+    def __init__(self, server: ServerCore, *,
+                 latency_seconds: float = 0.05,
+                 jitter_seconds: float = 0.0,
+                 failure_rate: float = 0.0,
+                 seed: int | str = 0,
+                 clock: Clock | None = None) -> None:
+        super().__init__(server)
+        if latency_seconds < 0 or jitter_seconds < 0:
+            raise TransportError("latency and jitter must be non-negative")
+        if not (0.0 <= failure_rate < 1.0):
+            raise TransportError("failure_rate must be in [0, 1)")
+        self.latency_seconds = latency_seconds
+        self.jitter_seconds = jitter_seconds
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self._clock = clock if clock is not None else server.clock
+
+    def _deliver(self, endpoint: str) -> None:
+        """Elapse one delivery's latency, then maybe inject a failure."""
+        latency = self.latency_seconds
+        if self.jitter_seconds:
+            latency += self._rng.random() * self.jitter_seconds
+        if latency > 0 and isinstance(self._clock, ManualClock):
+            self._clock.advance(latency)
+        self.stats.simulated_latency_seconds += latency
+        if self.failure_rate and self._rng.random() < self.failure_rate:
+            self.stats.failures_injected += 1
+            raise TransportError(
+                f"injected network failure on the {endpoint} endpoint"
+            )
+
+    def send_update(self, request: UpdateRequest) -> UpdateResponse:
+        self.stats.requests_sent += 1
+        self.stats.update_requests += 1
+        self._deliver("downloads")
+        return self._dispatch_update(request)
+
+    def send_full_hash(self, request: FullHashRequest) -> FullHashResponse:
+        self.stats.requests_sent += 1
+        self.stats.full_hash_requests += 1
+        self._deliver("gethash")
+        return self._dispatch_full_hash(request)
+
+
+def build_transport(kind: str, server: ServerCore, *,
+                    latency_seconds: float = 0.05,
+                    jitter_seconds: float = 0.0,
+                    failure_rate: float = 0.0,
+                    seed: int | str = 0,
+                    clock: Clock | None = None) -> Transport:
+    """Construct a transport by kind name (``"in-process"`` / ``"simulated"``).
+
+    The network parameters are ignored for the in-process kind, so callers
+    can thread one configuration through both.
+    """
+    if kind == "in-process":
+        return InProcessTransport(server)
+    if kind == "simulated":
+        return SimulatedNetworkTransport(
+            server, latency_seconds=latency_seconds,
+            jitter_seconds=jitter_seconds, failure_rate=failure_rate,
+            seed=seed, clock=clock,
+        )
+    raise TransportError(
+        f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}"
+    )

@@ -17,6 +17,8 @@ EXAMPLES = [
     ("blacklist_audit.py", ["Inversion", "Orphan prefixes", "multiple matching prefixes"]),
     ("mitigation_comparison.py", ["baseline", "dummy queries", "one prefix at a time"]),
     ("fleet_demo.py", ["coalesced", "Fleet throughput", "traffic signatures match: True"]),
+    ("network_fleet_demo.py", ["in-process (the reference)", "simulated network",
+                               "server shards"]),
 ]
 
 

@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from repro.experiments.fleet import fleet_comparison
+from repro.experiments.fleet import FleetConfig, fleet_comparison, run_fleet
 from repro.experiments.scale import SMALL
 
 #: Generous bound; the run takes well under a second on a laptop.
@@ -44,3 +44,25 @@ def test_fleet_smoke_small_scale_matches_scalar_oracle():
     assert batched.server_full_hash_requests <= scalar.server_full_hash_requests
     assert batched.malicious_verdicts == scalar.malicious_verdicts
     assert batched.cache_hits == scalar.cache_hits
+
+
+@pytest.mark.slow
+def test_fleet_smoke_simulated_network_transport():
+    """The same fleet over the seeded network model: latency moves the shared
+    clock and deliveries may fail, but the run completes deterministically."""
+    config = FleetConfig(transport="simulated", latency_seconds=0.02,
+                         latency_jitter_seconds=0.01, failure_rate=0.0)
+    started = time.perf_counter()
+    report = run_fleet(SMALL, config)
+    wall = time.perf_counter() - started
+
+    assert wall < WALL_CLOCK_BOUND_SECONDS
+    assert report.transport == "simulated"
+    assert report.urls_checked == SMALL.clients * SMALL.fleet_urls_per_client
+    assert report.transport_failures == 0
+    assert report.server_full_hash_requests > 0
+
+    # Determinism: the seeded network produces the identical run twice.
+    repeat = run_fleet(SMALL, config)
+    assert repeat.traffic_signature() == report.traffic_signature()
+    assert repeat.server_full_hash_requests == report.server_full_hash_requests

@@ -32,6 +32,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--store-backend", "trie"])
 
+    def test_fleet_transport_choices_mirror_transport_registry(self):
+        from repro.cli import _FLEET_TRANSPORTS
+        from repro.safebrowsing.transport import TRANSPORT_KINDS
+
+        assert sorted(_FLEET_TRANSPORTS) == sorted(TRANSPORT_KINDS)
+
+    def test_fleet_rejects_unknown_transport_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--transport", "tcp"])
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):

@@ -44,6 +44,20 @@ class TestFleetConfig:
         with pytest.raises(ExperimentError):
             FleetConfig(malicious_pool_size=0)
 
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(transport="tcp")
+
+    def test_network_parameters_validated(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(failure_rate=1.0)
+        with pytest.raises(ExperimentError):
+            FleetConfig(latency_seconds=-0.1)
+        with pytest.raises(ExperimentError):
+            FleetConfig(shard_count=0)
+        with pytest.raises(ExperimentError):
+            FleetConfig(max_log_entries=0)
+
 
 class TestStreams:
     def test_streams_are_deterministic(self):
@@ -104,3 +118,38 @@ class TestRun:
         before = snapshot_server.stats.full_hash_requests
         simulator.run()
         assert snapshot_server.stats.full_hash_requests == before
+
+
+class TestTransports:
+    def test_in_process_report_carries_layer_metadata(self):
+        report = run_fleet(TINY, FleetConfig())
+        assert report.transport == "in-process"
+        assert report.shard_count == FleetConfig().shard_count
+        assert report.transport_failures == 0
+
+    def test_simulated_transport_completes_the_fleet(self):
+        report = run_fleet(TINY, FleetConfig(transport="simulated",
+                                             latency_seconds=0.01,
+                                             latency_jitter_seconds=0.005))
+        expected = TINY.clients * TINY.fleet_urls_per_client
+        assert report.urls_checked == expected
+        assert report.transport == "simulated"
+
+    def test_injected_failures_are_survived_and_counted(self):
+        report = run_fleet(TINY, FleetConfig(transport="simulated",
+                                             latency_seconds=0.0,
+                                             failure_rate=0.5))
+        assert report.transport_failures > 0
+        # The fleet survives the outages: the run completes, and only the
+        # batches whose delivery failed are lost.
+        assert 0 < report.urls_checked <= TINY.clients * TINY.fleet_urls_per_client
+
+    def test_bounded_log_rotates_under_fleet_traffic(self):
+        report = run_fleet(TINY, FleetConfig(max_log_entries=2))
+        assert report.log_entries_evicted > 0
+
+    def test_server_response_cache_sees_fleet_traffic(self):
+        report = run_fleet(TINY, FleetConfig())
+        assert report.server_cache_hits + report.server_cache_misses \
+            == report.server_full_hash_requests
+        assert 0.0 <= report.server_cache_hit_rate <= 1.0

@@ -1,0 +1,154 @@
+"""Unit tests for the transport layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.exceptions import TransportError, UpdateError
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.protocol import FullHashRequest
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.safebrowsing.transport import (
+    InProcessTransport,
+    SimulatedNetworkTransport,
+    build_transport,
+)
+
+COOKIE = SafeBrowsingCookie("transport-test-cookie")
+
+
+@pytest.fixture()
+def server() -> SafeBrowsingServer:
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock())
+    server.blacklist("goog-malware-shavar", ["evil.example.com/"])
+    return server
+
+
+def full_hash_request(server) -> FullHashRequest:
+    from repro.hashing.digests import url_prefix
+
+    return FullHashRequest(cookie=COOKIE, prefixes=(url_prefix("evil.example.com/"),))
+
+
+class TestInProcessTransport:
+    def test_matches_direct_server_call(self, server):
+        transport = InProcessTransport(server)
+        direct = server.handle_full_hash(full_hash_request(server))
+        via_transport = transport.send_full_hash(full_hash_request(server))
+        assert via_transport.matches == direct.matches
+
+    def test_counts_requests(self, server):
+        transport = InProcessTransport(server)
+        transport.send_full_hash(full_hash_request(server))
+        assert transport.stats.requests_sent == 1
+        assert transport.stats.full_hash_requests == 1
+        assert transport.stats.update_requests == 0
+
+    def test_does_not_advance_the_clock(self, server):
+        transport = InProcessTransport(server)
+        before = server.clock.now()
+        transport.send_full_hash(full_hash_request(server))
+        assert server.clock.now() == before
+
+
+class TestSimulatedNetworkTransport:
+    def test_latency_advances_the_shared_clock(self, server):
+        transport = SimulatedNetworkTransport(server, latency_seconds=0.25)
+        before = server.clock.now()
+        transport.send_full_hash(full_hash_request(server))
+        assert server.clock.now() == pytest.approx(before + 0.25)
+        assert transport.stats.simulated_latency_seconds == pytest.approx(0.25)
+
+    def test_seeded_jitter_is_deterministic(self, server):
+        samples = []
+        for _ in range(2):
+            transport = SimulatedNetworkTransport(
+                server, latency_seconds=0.0, jitter_seconds=1.0, seed="fixed")
+            transport.send_full_hash(full_hash_request(server))
+            samples.append(transport.stats.simulated_latency_seconds)
+        assert samples[0] == samples[1]
+
+    def test_failures_raise_transport_error(self, server):
+        transport = SimulatedNetworkTransport(
+            server, latency_seconds=0.0, failure_rate=0.999999, seed=7)
+        with pytest.raises(TransportError):
+            transport.send_full_hash(full_hash_request(server))
+        assert transport.stats.failures_injected == 1
+
+    def test_failed_delivery_never_reaches_the_server(self, server):
+        transport = SimulatedNetworkTransport(
+            server, latency_seconds=0.0, failure_rate=0.999999, seed=7)
+        with pytest.raises(TransportError):
+            transport.send_full_hash(full_hash_request(server))
+        assert server.stats.full_hash_requests == 0
+        assert server.request_log == ()
+
+    def test_parameter_validation(self, server):
+        with pytest.raises(TransportError):
+            SimulatedNetworkTransport(server, latency_seconds=-1.0)
+        with pytest.raises(TransportError):
+            SimulatedNetworkTransport(server, failure_rate=1.0)
+
+
+class TestBuildTransport:
+    def test_builds_by_kind(self, server):
+        assert isinstance(build_transport("in-process", server), InProcessTransport)
+        assert isinstance(build_transport("simulated", server),
+                          SimulatedNetworkTransport)
+
+    def test_unknown_kind_rejected(self, server):
+        with pytest.raises(TransportError):
+            build_transport("carrier-pigeon", server)
+
+
+class TestClientOverTransport:
+    def test_bare_server_wraps_in_process(self, server):
+        client = SafeBrowsingClient(server, name="compat")
+        assert isinstance(client.transport, InProcessTransport)
+        assert client.server is server
+
+    def test_explicit_transport_is_used(self, server):
+        transport = SimulatedNetworkTransport(server, latency_seconds=0.0)
+        client = SafeBrowsingClient(transport=transport, name="networked")
+        assert client.transport is transport
+        assert client.server is server
+
+    def test_transport_as_positional_argument(self, server):
+        transport = InProcessTransport(server)
+        client = SafeBrowsingClient(transport, name="positional")
+        assert client.transport is transport
+
+    def test_client_requires_a_channel(self):
+        with pytest.raises(UpdateError):
+            SafeBrowsingClient(name="nothing")
+
+    def test_mismatched_server_and_transport_rejected(self, server):
+        other = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock())
+        with pytest.raises(UpdateError):
+            SafeBrowsingClient(other, transport=InProcessTransport(server))
+
+    def test_update_failure_over_network_backs_off(self, server):
+        transport = SimulatedNetworkTransport(
+            server, latency_seconds=0.0, failure_rate=0.999999, seed=3)
+        client = SafeBrowsingClient(transport=transport, name="unlucky")
+        with pytest.raises(TransportError):
+            client.update()
+        # The failed poll is recorded on the scheduler: not eligible again
+        # until the backoff delay elapses.
+        assert not client.needs_update()
+
+    def test_lookup_verdicts_identical_across_transports(self, server):
+        other = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock())
+        other.blacklist("goog-malware-shavar", ["evil.example.com/"])
+        direct = SafeBrowsingClient(server, name="direct")
+        networked = SafeBrowsingClient(
+            transport=SimulatedNetworkTransport(other, latency_seconds=0.5,
+                                                jitter_seconds=0.1, seed=11),
+            name="networked")
+        urls = ["http://evil.example.com/", "http://good.example.org/"]
+        direct_verdicts = [result.verdict for result in direct.check_urls(urls)]
+        networked_verdicts = [result.verdict for result in networked.check_urls(urls)]
+        assert networked_verdicts == direct_verdicts
