@@ -1,0 +1,139 @@
+"""Benchmark: tracking detection throughput, shadow-prefix index vs. rescan.
+
+The measured operation is matching a MEDIUM-scale request-log workload
+against the adversary's tracked targets.  The baseline is the historical
+full-rescan detector (:func:`repro.analysis.tracking.full_rescan_detect`,
+O(entries x targets), target/collider prefixes re-derived per matching
+entry); the candidate is the shadow-prefix inverted index that now backs
+both :meth:`TrackingSystem.detect` and the streaming detector
+(O(prefixes-in-entry) dictionary probes per entry).
+
+The acceptance bar is a >= 5x detection throughput speedup with detections
+present in the workload and *identical* outcomes from both detectors.  The
+result is written to ``benchmarks/results/BENCH_tracking_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.tracking import (
+    ShadowPrefixIndex,
+    full_rescan_detect,
+    tracking_prefixes,
+)
+from repro.experiments.scale import MEDIUM
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry
+
+#: The acceptance bar for the indexed detector.
+MIN_SPEEDUP = 5.0
+
+#: Workload shape: a fleet-scale adversary tracks an order of magnitude more
+#: targets than the MEDIUM experiment scale plants, against a bounded-log's
+#: worth of request entries (matching ``DEFAULT_FLEET_LOG_BOUND``).
+TARGET_COUNT = MEDIUM.tracked_targets * 8  # 120 tracked targets
+ENTRY_COUNT = 10_000
+PLANTED_FRACTION = 0.1
+NOISE_PREFIXES_PER_ENTRY = 3
+COOKIE_COUNT = 64
+MIN_MATCHES = 2
+
+
+def build_workload() -> tuple[dict, list[RequestLogEntry]]:
+    """Algorithm 1 decisions for the targets, plus a synthetic request log.
+
+    10% of the entries are planted visits (both prefixes of one target plus
+    noise, the shape a real visit produces); the rest carry only noise
+    prefixes, the shape of benign full-hash traffic.
+    """
+    index = PrefixInvertedIndex()
+    decisions = {}
+    for target_index in range(TARGET_COUNT):
+        target = f"http://bench-tracked-{target_index:04d}.example/visit.html"
+        decisions[target] = tracking_prefixes(target, index)
+
+    rng = np.random.default_rng(20160628)
+    targets = list(decisions)
+    cookies = [SafeBrowsingCookie(f"bench-cookie-{i:03d}")
+               for i in range(COOKIE_COUNT)]
+    entries: list[RequestLogEntry] = []
+    for entry_index in range(ENTRY_COUNT):
+        prefixes: list[Prefix] = []
+        if rng.random() < PLANTED_FRACTION:
+            decision = decisions[targets[int(rng.integers(0, len(targets)))]]
+            prefixes.extend(decision.prefixes)
+        prefixes.extend(
+            Prefix.from_int(int(value), 32)
+            for value in rng.integers(0, 2**32, size=NOISE_PREFIXES_PER_ENTRY)
+        )
+        entries.append(
+            RequestLogEntry(
+                cookie=cookies[int(rng.integers(0, COOKIE_COUNT))],
+                timestamp=float(entry_index),
+                prefixes=tuple(prefixes),
+            )
+        )
+    return decisions, entries
+
+
+def indexed_detect(shadow_index: ShadowPrefixIndex,
+                   entries: list[RequestLogEntry]) -> list:
+    """One full detection pass over the log through the inverted index."""
+    outcomes = []
+    for entry in entries:
+        outcomes.extend(shadow_index.match_entry(entry, min_matches=MIN_MATCHES))
+    return outcomes
+
+
+def _best_of(callable_, rounds: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_tracking_throughput(benchmark, record_json):
+    decisions, entries = build_workload()
+    shadow_index = ShadowPrefixIndex()
+    shadow_index.add_many(decisions.values())
+
+    legacy_seconds, legacy_outcomes = _best_of(
+        lambda: full_rescan_detect(decisions, entries, min_matches=MIN_MATCHES),
+        rounds=2,
+    )
+    indexed_seconds, indexed_outcomes = _best_of(
+        lambda: indexed_detect(shadow_index, entries), rounds=3,
+    )
+    benchmark.pedantic(lambda: indexed_detect(shadow_index, entries),
+                       rounds=1, iterations=1)
+
+    # The index is an optimization, never a semantics change: element-for-
+    # element identical outcomes (order included) to the legacy rescan.
+    assert indexed_outcomes == legacy_outcomes
+    assert len(indexed_outcomes) > 0, "the workload must contain detections"
+
+    speedup = legacy_seconds / indexed_seconds
+    record_json("tracking_throughput", {
+        "scale": MEDIUM.name,
+        "tracked_targets": TARGET_COUNT,
+        "log_entries": ENTRY_COUNT,
+        "detections": len(indexed_outcomes),
+        "min_matches": MIN_MATCHES,
+        "legacy_rescan_entries_per_second": round(
+            ENTRY_COUNT / legacy_seconds, 1),
+        "indexed_entries_per_second": round(ENTRY_COUNT / indexed_seconds, 1),
+        "speedup": round(speedup, 2),
+        "min_speedup_bar": MIN_SPEEDUP,
+    })
+    assert speedup >= MIN_SPEEDUP, (
+        f"indexed detection ran at {speedup:.1f}x the full rescan, "
+        f"expected >= {MIN_SPEEDUP}x"
+    )

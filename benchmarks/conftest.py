@@ -8,11 +8,26 @@ timing collected by pytest-benchmark, the rendered table is written to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_json_artifact(path: Path, payload: dict) -> None:
+    """Serialize a benchmark payload to ``path`` as *standard* JSON.
+
+    ``allow_nan=False`` makes non-finite values (``inf``/``nan``) raise
+    ``ValueError`` instead of silently emitting the non-standard
+    ``Infinity``/``NaN`` tokens, which downstream JSON parsers reject —
+    a degenerate measurement must fail the benchmark, not poison the
+    artifact.  (Plain function so the regression tests can exercise it
+    without pytest's fixture machinery.)
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    path.write_text(text + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="session")
@@ -39,14 +54,13 @@ def record_json(results_dir):
 
     The JSON twins the rendered .txt tables so the perf trajectory (URLs/s,
     speedups, configuration) is trackable across PRs by tooling instead of
-    by reading prose.
+    by reading prose.  Non-finite values are rejected
+    (see :func:`write_json_artifact`).
     """
-    import json
 
     def _record(name: str, payload: dict) -> None:
         path = results_dir / f"BENCH_{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
+        write_json_artifact(path, payload)
         print(f"\nwrote {path}\n")
 
     return _record

@@ -15,7 +15,9 @@ This package quantifies what a Safe Browsing provider can learn from the
 * :mod:`repro.analysis.reidentification` — single- and multi-prefix URL
   re-identification;
 * :mod:`repro.analysis.tracking` — Algorithm 1 and the end-to-end tracking
-  system of Section 6.3;
+  system of Section 6.3, matched through a shadow-prefix inverted index;
+* :mod:`repro.analysis.streaming` — online tracking detection over the
+  server's request-log observer stream (fleet-scale adversary);
 * :mod:`repro.analysis.temporal` — aggregation of a client's queries over
   time (the CFP-then-submission example);
 * :mod:`repro.analysis.audit` — blacklist auditing: orphan prefixes,
@@ -45,11 +47,14 @@ from repro.analysis.reidentification import (
     ReidentificationResult,
 )
 from repro.analysis.tracking import (
+    ShadowPrefixIndex,
     TrackingDecision,
     TrackingOutcome,
     TrackingSystem,
+    full_rescan_detect,
     tracking_prefixes,
 )
+from repro.analysis.streaming import StreamingTrackingDetector
 from repro.analysis.temporal import TemporalCorrelator, CorrelatedVisit
 from repro.analysis.audit import (
     BlacklistAuditor,
@@ -81,6 +86,8 @@ __all__ = [
     "PrefixInvertedIndex",
     "ReidentificationEngine",
     "ReidentificationResult",
+    "ShadowPrefixIndex",
+    "StreamingTrackingDetector",
     "TemporalCorrelator",
     "TrackingDecision",
     "TrackingOutcome",
@@ -91,6 +98,7 @@ __all__ = [
     "collision_examples_for",
     "compare_mitigations",
     "expected_max_load_poisson",
+    "full_rescan_detect",
     "max_load_upper_bound",
     "privacy_metric",
     "simulate_max_load",

@@ -1,0 +1,130 @@
+"""Streaming tracking detection: the adversary keeps up with the traffic.
+
+The offline :meth:`~repro.analysis.tracking.TrackingSystem.detect` replays a
+*retained* request log after the fact.  That breaks down at fleet scale: the
+server's bounded log rotates old entries out (``max_log_entries``), so a
+post-hoc scan of a long run silently under-counts, and re-scanning an
+ever-growing log is wasted work when the adversary only ever needs to look
+at each request once.
+
+:class:`StreamingTrackingDetector` closes the gap.  It registers as a *log
+observer* on :class:`~repro.safebrowsing.server.ServerCore`
+(:meth:`~repro.safebrowsing.server.ServerCore.add_log_observer`), receives
+every :class:`~repro.safebrowsing.server.RequestLogEntry` the moment it is
+logged — before retention can drop it — and matches it online against the
+shadow-prefix inverted index
+(:class:`~repro.analysis.tracking.ShadowPrefixIndex`), accumulating exactly
+the outcomes the offline detector would produce over the same entries.
+
+Detection is O(prefixes-in-entry) per request instead of O(targets), so the
+adversary's cost scales with the traffic, not with how many URLs it tracks;
+the property suite pins the outcomes to the historical full rescan
+(:func:`~repro.analysis.tracking.full_rescan_detect`), and
+``benchmarks/bench_tracking_throughput.py`` measures the speedup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.tracking import (
+    ShadowPrefixIndex,
+    TrackingDecision,
+    TrackingOutcome,
+)
+from repro.exceptions import AnalysisError
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry, ServerCore
+
+
+class StreamingTrackingDetector:
+    """Online tracking detection over a live stream of request-log entries.
+
+    Feed it entries either by attaching it to a server
+    (:meth:`attach` registers :meth:`observe` as a log observer) or by
+    calling :meth:`observe` directly with captured entries.  Outcomes
+    accumulate on :attr:`outcomes` in arrival order and are, entry for
+    entry, identical to what
+    :meth:`~repro.analysis.tracking.TrackingSystem.detect` would return over
+    the same entries with the same ``min_matches``.
+    """
+
+    def __init__(self, *, prefix_bits: int = 32, min_matches: int = 2) -> None:
+        if min_matches < 1:
+            raise AnalysisError("min_matches must be at least 1")
+        self.index = ShadowPrefixIndex(prefix_bits=prefix_bits)
+        self.min_matches = min_matches
+        self.outcomes: list[TrackingOutcome] = []
+        self.entries_observed = 0
+        self._attached: ServerCore | None = None
+
+    # -- target registration --------------------------------------------------
+
+    def watch(self, decision: TrackingDecision) -> None:
+        """Start matching entries against one Algorithm 1 decision."""
+        self.index.add(decision)
+
+    def watch_many(self, decisions: Iterable[TrackingDecision]) -> None:
+        """Start matching entries against several decisions."""
+        self.index.add_many(decisions)
+
+    @property
+    def targets_watched(self) -> int:
+        """Number of tracked targets currently matched against."""
+        return len(self.index)
+
+    # -- the entry stream ------------------------------------------------------
+
+    def observe(self, entry: RequestLogEntry) -> list[TrackingOutcome]:
+        """Match one entry; returns (and accumulates) its detections.
+
+        This is the observer callable registered by :meth:`attach`; it is
+        also the API for replaying captured entries by hand.
+        """
+        self.entries_observed += 1
+        matched = self.index.match_entry(entry, min_matches=self.min_matches)
+        if matched:
+            self.outcomes.extend(matched)
+        return matched
+
+    def attach(self, core: ServerCore) -> "StreamingTrackingDetector":
+        """Subscribe to ``core``'s request log; returns ``self`` for chaining."""
+        if self._attached is not None:
+            raise AnalysisError("detector is already attached to a server")
+        core.add_log_observer(self.observe)
+        self._attached = core
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the attached server (idempotent)."""
+        if self._attached is not None:
+            self._attached.remove_log_observer(self.observe)
+            self._attached = None
+
+    # -- the adversary's tallies ----------------------------------------------
+
+    @property
+    def detections(self) -> int:
+        """Total outcomes accumulated so far."""
+        return len(self.outcomes)
+
+    def detected_pairs(self) -> set[tuple[str, str]]:
+        """Unique ``(cookie value, target URL)`` pairs detected so far.
+
+        The de-duplicated form of :attr:`outcomes`: one client visiting one
+        target many times (or one batched request matching one target) is
+        one pair.  Precision/recall against a ground truth of planted visits
+        is computed over these pairs.
+        """
+        return {(outcome.cookie.value, outcome.target_url)
+                for outcome in self.outcomes}
+
+    def detected_cookies(self, target_url: str) -> set[SafeBrowsingCookie]:
+        """Cookies of the clients detected visiting ``target_url``."""
+        return {outcome.cookie for outcome in self.outcomes
+                if outcome.target_url == target_url}
+
+    def clear(self) -> None:
+        """Forget accumulated outcomes and counters (targets stay watched)."""
+        self.outcomes.clear()
+        self.entries_observed = 0

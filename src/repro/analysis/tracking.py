@@ -21,7 +21,8 @@ so the whole attack can be executed end-to-end in the experiments.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Sequence
+import math
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.inverted_index import PrefixInvertedIndex
@@ -65,14 +66,36 @@ class TrackingDecision:
         """Whether the exact URL (not just the domain) can be re-identified."""
         return self.mode is not TrackingMode.DOMAIN_ONLY
 
+    def log2_failure_probability(self) -> float:
+        """Base-2 logarithm of the mis-identification bound.
+
+        Exact for any decision size: ``-32 * max(1, k - 1)`` for ``k``
+        inserted prefixes.  Large Type-I / tiny-domain decisions push the
+        linear-space bound below what a float can represent, so comparisons
+        and reporting should prefer this accessor.
+        """
+        return -32.0 * max(1, len(self.prefixes) - 1)
+
     def failure_probability(self) -> float:
         """Probability that re-identification is wrong (accidental collisions).
 
         The paper notes that with prefixes inserted per Algorithm 1 the
         probability of mis-identification is ``(1 / 2**32) ** delta``-like;
         we report the bound for the number of prefixes actually inserted.
+
+        Computed in log space: the naive ``(2**-32) ** k`` underflows to
+        exactly ``0.0`` once ``k`` is large (32+ prefixes), which would make
+        big decisions look *perfectly* reliable.  Exponentiating the base-2
+        logarithm is bit-exact for representable magnitudes (the exponent is
+        an integer), and the result is clamped to the smallest positive
+        float below them, so it stays finite and positive however many
+        prefixes were inserted; for exact comparisons at that magnitude use
+        :meth:`log2_failure_probability`.
         """
-        return (2.0**-32) ** max(1, len(self.prefixes) - 1)
+        bound = 2.0 ** self.log2_failure_probability()
+        if bound == 0.0:
+            return math.ulp(0.0)
+        return bound
 
 
 def _target_expression(url: str) -> str:
@@ -155,6 +178,214 @@ def tracking_prefixes(target_url: str, index: PrefixInvertedIndex, *, delta: int
 
 
 @dataclass(frozen=True, slots=True)
+class _PreparedDecision:
+    """A tracking decision with its per-target detection constants.
+
+    ``detect`` needs, for every match, the prefix of the target's own
+    expression and the prefixes of its Type I colliders; computing them per
+    log entry (as the original full rescan did) re-parses and re-hashes the
+    same URLs millions of times in a fleet run.  They are pure functions of
+    the decision, so the index computes them once at registration.
+    """
+
+    decision: TrackingDecision
+    order: int
+    target_prefix: Prefix
+    collider_prefixes: frozenset[Prefix]
+
+
+class ShadowPrefixIndex:
+    """Inverted index over the shadow database: prefix -> tracking decisions.
+
+    The adversary's matching rule is per *target*: a log entry triggers a
+    detection when at least ``min_matches`` of one target's tracking prefixes
+    appear in it.  Scanning every tracked target for every entry is
+    O(entries x targets); this index maps each shadow prefix back to the
+    decisions containing it, so an entry is matched against only the
+    *candidate* targets that share at least one prefix with it —
+    O(prefixes-in-entry) dictionary probes plus O(candidates) scoring.
+
+    Candidate discovery is lossless for ``min_matches >= 1`` (a target with
+    zero shared prefixes can never reach the threshold), and candidates are
+    scored in registration order, so the produced outcomes are *identical*,
+    element for element, to the full rescan's
+    (:func:`full_rescan_detect` is kept as the reference oracle; the
+    property suite pins the equivalence).  Both the offline
+    :meth:`TrackingSystem.detect` and the online
+    :class:`~repro.analysis.streaming.StreamingTrackingDetector` run on this
+    index.
+    """
+
+    def __init__(self, *, prefix_bits: int = 32) -> None:
+        self.prefix_bits = prefix_bits
+        self._prepared: dict[str, _PreparedDecision] = {}
+        self._targets_by_prefix: dict[Prefix, list[str]] = {}
+        self._order = 0
+
+    def __len__(self) -> int:
+        return len(self._prepared)
+
+    def __contains__(self, target_url: str) -> bool:
+        return target_url in self._prepared
+
+    @property
+    def shadow_prefixes(self) -> set[Prefix]:
+        """Every indexed tracking prefix."""
+        return set(self._targets_by_prefix)
+
+    def add(self, decision: TrackingDecision) -> None:
+        """Index one decision; re-adding a target replaces its decision.
+
+        A replaced target keeps its original registration order, mirroring
+        how re-tracking a URL updates ``TrackingSystem.decisions`` in place.
+        A decision with no prefixes is rejected: Algorithm 1 never produces
+        one, and the historical rescan's behaviour for it (``required =
+        min(min_matches, 0) = 0``, so *every* log entry matches) is a
+        degenerate accident no caller should rely on.
+        """
+        if not decision.prefixes:
+            raise AnalysisError(
+                f"cannot index a tracking decision with no prefixes "
+                f"(target {decision.target_url!r})"
+            )
+        target_url = decision.target_url
+        existing = self._prepared.get(target_url)
+        if existing is not None:
+            order = existing.order
+            for prefix in existing.decision.prefixes:
+                targets = self._targets_by_prefix.get(prefix)
+                if targets is not None:
+                    try:
+                        targets.remove(target_url)
+                    except ValueError:
+                        pass
+                    if not targets:
+                        del self._targets_by_prefix[prefix]
+        else:
+            order = self._order
+            self._order += 1
+        # Derive the width from the decision itself: a decision built at a
+        # non-default prefix_bits (the stores support 8-256 bits) must have
+        # its target/collider prefixes computed at that same width, or a
+        # URL-level detection would silently downgrade to domain level
+        # (a 32-bit target prefix never appears among 16-bit entries).
+        bits = decision.prefixes[0].bits
+        self._prepared[target_url] = _PreparedDecision(
+            decision=decision,
+            order=order,
+            target_prefix=url_prefix(_target_expression(target_url), bits),
+            collider_prefixes=frozenset(
+                url_prefix(_target_expression(collider), bits)
+                for collider in decision.type1_collisions
+            ),
+        )
+        for prefix in dict.fromkeys(decision.prefixes):
+            self._targets_by_prefix.setdefault(prefix, []).append(target_url)
+
+    def add_many(self, decisions: Iterable[TrackingDecision]) -> None:
+        """Index several decisions."""
+        for decision in decisions:
+            self.add(decision)
+
+    def decision_for(self, target_url: str) -> TrackingDecision | None:
+        """The indexed decision for one target, if any."""
+        prepared = self._prepared.get(target_url)
+        return prepared.decision if prepared is not None else None
+
+    def ordered_targets(self) -> tuple[str, ...]:
+        """The indexed targets in registration (= scoring) order."""
+        return tuple(sorted(self._prepared,
+                            key=lambda url: self._prepared[url].order))
+
+    def match_entry(self, entry: RequestLogEntry, *,
+                    min_matches: int = 2) -> list[TrackingOutcome]:
+        """Detections triggered by one log entry, in registration order."""
+        if min_matches < 1:
+            raise AnalysisError("min_matches must be at least 1")
+        received = set(entry.prefixes)
+        candidates: dict[str, None] = {}
+        for prefix in received:
+            for target_url in self._targets_by_prefix.get(prefix, ()):
+                candidates[target_url] = None
+        if not candidates:
+            return []
+
+        prepared_by_target = self._prepared
+        outcomes: list[TrackingOutcome] = []
+        for target_url in sorted(candidates,
+                                 key=lambda url: prepared_by_target[url].order):
+            prepared = prepared_by_target[target_url]
+            decision = prepared.decision
+            matched = tuple(prefix for prefix in decision.prefixes
+                            if prefix in received)
+            required = min(min_matches, len(decision.prefixes))
+            if len(matched) < required:
+                continue
+            # A visit to a Type I collider also sends the target's prefix
+            # (the target is one of the collider's decompositions); the
+            # collider's own exact prefix distinguishes the two cases, so
+            # its presence downgrades the detection to domain level.
+            collider_seen = bool(prepared.collider_prefixes & received)
+            url_level = (decision.url_trackable
+                         and prepared.target_prefix in received
+                         and not collider_seen)
+            outcomes.append(
+                TrackingOutcome(
+                    cookie=entry.cookie,
+                    timestamp=entry.timestamp,
+                    target_url=target_url,
+                    target_domain=decision.target_domain,
+                    matched_prefixes=matched,
+                    url_level=url_level,
+                )
+            )
+        return outcomes
+
+
+def full_rescan_detect(decisions: Mapping[str, TrackingDecision],
+                       log: Sequence[RequestLogEntry], *,
+                       min_matches: int = 2,
+                       prefix_bits: int = 32) -> list[TrackingOutcome]:
+    """The original quadratic detector: every log entry x every target.
+
+    This is the pre-index implementation of :meth:`TrackingSystem.detect`,
+    kept verbatim as the reference oracle: the property suite pins the
+    indexed detectors to its exact outcomes, and
+    ``benchmarks/bench_tracking_throughput.py`` measures the index's speedup
+    against it.  Do not use it for anything else — it re-derives the target
+    and collider prefixes per matching entry and scans all targets per entry.
+    """
+    outcomes: list[TrackingOutcome] = []
+    for entry in log:
+        received = set(entry.prefixes)
+        for target_url, decision in decisions.items():
+            matched = tuple(prefix for prefix in decision.prefixes if prefix in received)
+            required = min(min_matches, len(decision.prefixes))
+            if len(matched) < required:
+                continue
+            target_prefix = url_prefix(_target_expression(target_url), prefix_bits)
+            collider_prefixes = {
+                url_prefix(_target_expression(collider), prefix_bits)
+                for collider in decision.type1_collisions
+            }
+            collider_seen = bool(collider_prefixes & received)
+            url_level = (decision.url_trackable
+                         and target_prefix in received
+                         and not collider_seen)
+            outcomes.append(
+                TrackingOutcome(
+                    cookie=entry.cookie,
+                    timestamp=entry.timestamp,
+                    target_url=target_url,
+                    target_domain=decision.target_domain,
+                    matched_prefixes=matched,
+                    url_level=url_level,
+                )
+            )
+    return outcomes
+
+
+@dataclass(frozen=True, slots=True)
 class TrackingOutcome:
     """One detection: a client was observed visiting a tracked target."""
 
@@ -181,12 +412,34 @@ class TrackingSystem:
     delta: int = 4
     decisions: dict[str, TrackingDecision] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self.shadow_index = ShadowPrefixIndex(prefix_bits=self.index.prefix_bits)
+        self.shadow_index.add_many(self.decisions.values())
+
+    def _sync_shadow_index(self) -> None:
+        """Rebuild the shadow index if ``decisions`` was mutated directly.
+
+        ``decisions`` is a public field and code predating the index edited
+        it in place (pop a target, overwrite a decision); detection must
+        keep honouring that, so a cheap O(targets) identity-and-order check
+        guards every scan and a mismatch re-indexes from the dict.
+        """
+        index = self.shadow_index
+        if (len(index) == len(self.decisions)
+                and index.ordered_targets() == tuple(self.decisions)
+                and all(index.decision_for(url) is decision
+                        for url, decision in self.decisions.items())):
+            return
+        self.shadow_index = ShadowPrefixIndex(prefix_bits=self.index.prefix_bits)
+        self.shadow_index.add_many(self.decisions.values())
+
     def track(self, target_url: str) -> TrackingDecision:
         """Choose and push the prefixes needed to track ``target_url``."""
         decision = tracking_prefixes(target_url, self.index, delta=self.delta,
                                      prefix_bits=self.index.prefix_bits)
         self.server.push_tracking_prefixes(self.list_name, decision.expressions)
         self.decisions[target_url] = decision
+        self.shadow_index.add(decision)
         return decision
 
     def track_many(self, target_urls: Iterable[str]) -> list[TrackingDecision]:
@@ -204,49 +457,45 @@ class TrackingSystem:
     # -- detection --------------------------------------------------------------
 
     def detect(self, log: Sequence[RequestLogEntry] | None = None,
-               *, min_matches: int = 2) -> list[TrackingOutcome]:
+               *, min_matches: int = 2,
+               allow_rotated: bool = False) -> list[TrackingOutcome]:
         """Scan the request log for visits to the tracked targets.
 
         A log entry triggers a detection for a target when at least
         ``min_matches`` of the target's tracking prefixes appear in the
         entry (the paper's rule).  The detection is *URL-level* when the
         prefix of the target URL itself is among the matches, and
-        domain-level otherwise.
+        domain-level otherwise.  Matching runs on the shadow-prefix inverted
+        index, so each entry is scored against only its candidate targets;
+        the outcomes are identical to the historical full rescan
+        (:func:`full_rescan_detect`).
+
+        Scanning the live log of a server whose bounded log has already
+        rotated entries out (``stats.log_entries_evicted > 0``) would
+        silently under-count, so it raises :class:`AnalysisError` unless
+        ``allow_rotated=True`` explicitly accepts the partial window; for a
+        complete view over a bounded-log server, attach a
+        :class:`~repro.analysis.streaming.StreamingTrackingDetector`
+        instead.  An explicitly passed ``log`` is scanned as given.
         """
+        if min_matches < 1:
+            raise AnalysisError("min_matches must be at least 1")
+        self._sync_shadow_index()
         if log is None:
+            evicted = self.server.stats.log_entries_evicted
+            if evicted and not allow_rotated:
+                raise AnalysisError(
+                    f"the server's bounded request log has rotated {evicted} "
+                    f"entries out, so detect() would silently under-count; "
+                    f"attach a StreamingTrackingDetector for complete online "
+                    f"detection, or pass allow_rotated=True to scan the "
+                    f"retained window anyway"
+                )
             log = self.server.request_log
         outcomes: list[TrackingOutcome] = []
         for entry in log:
-            received = set(entry.prefixes)
-            for target_url, decision in self.decisions.items():
-                matched = tuple(prefix for prefix in decision.prefixes if prefix in received)
-                required = min(min_matches, len(decision.prefixes))
-                if len(matched) < required:
-                    continue
-                target_prefix = url_prefix(_target_expression(target_url),
-                                           self.index.prefix_bits)
-                # A visit to a Type I collider also sends the target's prefix
-                # (the target is one of the collider's decompositions); the
-                # collider's own exact prefix distinguishes the two cases, so
-                # its presence downgrades the detection to domain level.
-                collider_prefixes = {
-                    url_prefix(_target_expression(collider), self.index.prefix_bits)
-                    for collider in decision.type1_collisions
-                }
-                collider_seen = bool(collider_prefixes & received)
-                url_level = (decision.url_trackable
-                             and target_prefix in received
-                             and not collider_seen)
-                outcomes.append(
-                    TrackingOutcome(
-                        cookie=entry.cookie,
-                        timestamp=entry.timestamp,
-                        target_url=target_url,
-                        target_domain=decision.target_domain,
-                        matched_prefixes=matched,
-                        url_level=url_level,
-                    )
-                )
+            outcomes.extend(self.shadow_index.match_entry(entry,
+                                                          min_matches=min_matches))
         return outcomes
 
     def detected_cookies(self, target_url: str) -> set[SafeBrowsingCookie]:

@@ -53,6 +53,7 @@ _EXPERIMENTS: dict[str, str] = {
     "history": "repro.experiments.history_reconstruction:history_table",
     "stores": "repro.experiments.structure_ablation:structure_ablation_table",
     "fleet": "repro.experiments.fleet:fleet_table",
+    "fleet-adversary": "repro.experiments.fleet:fleet_adversary_table",
 }
 
 #: Store backends offered by ``repro fleet``.  Mirrors the keys of
@@ -142,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--server-cache-seconds", type=float, default=None,
                        help="TTL of the server full-hash response cache "
                             "(0 disables)")
+    fleet.add_argument("--adversary", action="store_true",
+                       help="run the streaming tracking adversary alongside "
+                            "the fleet and score it against planted visits")
+    fleet.add_argument("--tracked-targets", type=int, default=None,
+                       metavar="N",
+                       help="how many targets the adversary tracks "
+                            "(default: the scale's tracked_targets; "
+                            "implies --adversary)")
 
     return parser
 
@@ -221,6 +230,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
         config = dc_replace(config, shard_count=args.shards)
     if args.server_cache_seconds is not None:
         config = dc_replace(config, server_cache_seconds=args.server_cache_seconds)
+    if args.adversary or args.tracked_targets is not None:
+        # --tracked-targets implies the adversary: a target count with no
+        # adversary to track it would otherwise be silently ignored.
+        config = dc_replace(config, adversary=True,
+                            tracked_target_count=args.tracked_targets)
 
     if args.mode == "both":
         print(fleet_table(scale, config).render())
@@ -241,6 +255,13 @@ def _command_fleet(args: argparse.Namespace) -> int:
     print(f"log evictions   : {report.log_entries_evicted}")
     if report.transport != "in-process":
         print(f"net failures    : {report.transport_failures}")
+    if report.adversary:
+        print(f"tracked targets : {report.tracked_targets}")
+        print(f"detections      : {report.tracking_detections}")
+        print(f"detected pairs  : {report.tracking_detected_pairs}"
+              f"/{report.tracking_true_pairs}")
+        print(f"precision       : {report.tracking_precision:.4f}")
+        print(f"recall          : {report.tracking_recall:.4f}")
     return 0
 
 

@@ -29,15 +29,34 @@ The simulator reports wall-clock throughput (URLs/s), the server's request
 counters and the fleet's cache behaviour; ``benchmarks/bench_fleet_throughput.py``
 asserts the batched mode's >= 10x speedup at ``MEDIUM`` scale and the perf
 smoke test holds the two modes to identical traffic totals.
+
+**The adversary rides along.**  With ``FleetConfig(adversary=True)`` the
+simulator runs the paper's tracking attack *online* against its own
+traffic: it plants synthetic tracked targets (dedicated ``.example``
+domains, guaranteed disjoint from the corpus and the blacklists), pushes
+their Algorithm 1 prefixes through the normal provisioning channel, plants
+visits into the client streams at deterministic positions (the ground
+truth), and attaches a
+:class:`~repro.analysis.streaming.StreamingTrackingDetector` to the
+server's log-observer hook.  Detection therefore sees every request even
+though fleet runs rotate the bounded request log, and the report scores the
+detector's (client, target) pairs against the planted ground truth
+(precision/recall).  Detection runs on the shadow-prefix index, so the
+adversary's cost scales with the traffic, not the target count.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.streaming import StreamingTrackingDetector
+from repro.analysis.tracking import TrackingSystem
 from repro.clock import ManualClock
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
 from repro.exceptions import ExperimentError, TransportError
@@ -52,8 +71,19 @@ from repro.safebrowsing.transport import TRANSPORT_KINDS
 FLEET_MODES = ("scalar", "batched")
 
 #: Request-log bound used by fleet runs (analysis experiments replay the log
-#: and keep it unbounded; a fleet only reads counters, so it rotates).
+#: and keep it unbounded; a fleet only reads counters, so it rotates —
+#: which is exactly why the fleet adversary detects online, through the
+#: log-observer hook, instead of rescanning the log post hoc).
 DEFAULT_FLEET_LOG_BOUND = 10_000
+
+#: Template of the synthetic URLs the adversary tracks.  Each target lives
+#: alone on its own two-label registered domain under ``.example`` — a TLD
+#: the corpus generator never emits — so Algorithm 1 resolves every target
+#: to a 2-prefix TINY_DOMAIN decision and neither benign browsing nor the
+#: blacklisted pool can collide with a tracking prefix.  Planted ground
+#: truth is therefore exact: precision and recall measure the detector, not
+#: workload noise.
+TRACKED_TARGET_TEMPLATE = "http://fleet-tracked-{index:03d}.example/visit.html"
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +134,19 @@ class FleetConfig:
         Bound on the server request log.  Fleet runs default to a rotating
         window (the simulator only reads counters); pass ``None`` to keep
         the whole log, as the analysis experiments do.
+    adversary:
+        Run the streaming tracking adversary alongside the fleet: plant
+        tracked targets, push their Algorithm 1 prefixes, attach a
+        :class:`~repro.analysis.streaming.StreamingTrackingDetector` to the
+        server's log-observer hook, and score detections against the
+        planted ground truth.
+    tracked_target_count:
+        How many synthetic targets the adversary tracks (``None`` uses the
+        scale's ``tracked_targets``).
+    tracked_visit_fraction:
+        Fraction of each client's stream replaced by visits to tracked
+        targets; every client plants at least one visit, so an adversary
+        run always has ground truth to score against.
     """
 
     mode: str = "batched"
@@ -124,8 +167,15 @@ class FleetConfig:
     shard_count: int = DEFAULT_SHARD_COUNT
     server_cache_seconds: float = DEFAULT_RESPONSE_CACHE_SECONDS
     max_log_entries: int | None = DEFAULT_FLEET_LOG_BOUND
+    adversary: bool = False
+    tracked_target_count: int | None = None
+    tracked_visit_fraction: float = 0.02
 
     def __post_init__(self) -> None:
+        if self.tracked_target_count is not None and self.tracked_target_count < 1:
+            raise ExperimentError("tracked_target_count must be positive or None")
+        if not (0.0 <= self.tracked_visit_fraction <= 1.0):
+            raise ExperimentError("tracked_visit_fraction must be in [0, 1]")
         if self.mode not in FLEET_MODES:
             raise ExperimentError(
                 f"unknown fleet mode {self.mode!r}; expected one of {FLEET_MODES}"
@@ -160,6 +210,19 @@ class FleetConfig:
             raise ExperimentError("round_seconds must be non-negative")
 
 
+def _throughput(urls_checked: int, elapsed_seconds: float) -> float:
+    """URLs per second, with ``0.0`` for degenerate (zero-elapsed) runs.
+
+    ``float("inf")`` would serialize as the non-standard ``Infinity`` token
+    in the benchmark JSON artifacts (which are written with
+    ``allow_nan=False`` precisely to catch that), so a run too fast or too
+    empty to measure reports zero throughput instead.
+    """
+    if elapsed_seconds <= 0.0:
+        return 0.0
+    return urls_checked / elapsed_seconds
+
+
 @dataclass(frozen=True, slots=True)
 class FleetReport:
     """Everything one fleet run measured."""
@@ -183,6 +246,18 @@ class FleetReport:
     server_cache_misses: int = 0
     log_entries_evicted: int = 0
     transport_failures: int = 0
+    adversary: bool = False
+    tracked_targets: int = 0
+    tracking_detections: int = 0
+    tracking_detected_pairs: int = 0
+    tracking_true_pairs: int = 0
+    tracking_precision: float = 1.0
+    tracking_recall: float = 1.0
+    #: Digest of the sorted detected (client, target) pairs, so "the modes
+    #: detected the *same* pairs" is checkable from two reports without
+    #: carrying the sets themselves (equal counts or ratios would not
+    #: distinguish different pair sets of the same size).
+    tracking_pair_digest: str = ""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -221,6 +296,16 @@ class FleetSimulator:
         self._context = context if context is not None else get_context(scale)
 
     # -- workload construction ------------------------------------------------
+
+    def tracked_targets(self) -> tuple[str, ...]:
+        """The synthetic URLs the adversary tracks (empty when disabled)."""
+        if not self.config.adversary:
+            return ()
+        count = self.config.tracked_target_count
+        if count is None:
+            count = self.scale.tracked_targets
+        return tuple(TRACKED_TARGET_TEMPLATE.format(index=index)
+                     for index in range(count))
 
     def _blacklisted_urls(self) -> list[str]:
         """URLs whose canonical expressions the provider blacklists."""
@@ -313,17 +398,68 @@ class FleetSimulator:
                 stream.append(malicious[malicious_picks[position]])
             else:
                 stream.append(pool[pool_picks[position]])
+
+        # Adversary: overwrite deterministic positions with tracked-target
+        # visits (the planted ground truth).  A dedicated rng keeps the base
+        # stream identical whether or not the adversary runs, and at least
+        # one visit per client guarantees ground truth to score against.
+        targets = self.tracked_targets()
+        if targets:
+            plant_rng = np.random.default_rng([config.seed, index, 0xAD5E])
+            plant_count = min(length,
+                              max(1, round(length * config.tracked_visit_fraction)))
+            positions = plant_rng.choice(length, size=plant_count, replace=False)
+            picks = plant_rng.integers(0, len(targets), size=plant_count)
+            for position, pick in zip(positions, picks):
+                stream[position] = targets[pick]
         return stream
 
+    def planted_ground_truth(
+            self, streams: Sequence[Sequence[str]]) -> set[tuple[int, str]]:
+        """The ``(client index, target URL)`` pairs planted into ``streams``."""
+        targets = set(self.tracked_targets())
+        return {(client_index, url)
+                for client_index, stream in enumerate(streams)
+                for url in stream
+                if url in targets}
+
     # -- execution -------------------------------------------------------------
+
+    def _attach_adversary(self, server: SafeBrowsingServer
+                          ) -> StreamingTrackingDetector | None:
+        """Provision the tracking attack and subscribe its online detector.
+
+        Runs *before* the clients are built, so their first update already
+        downloads the tracking prefixes alongside the genuine threat
+        entries — indistinguishably, which is the paper's point.  The
+        detector hangs off the server's log-observer hook, so it sees every
+        full-hash request even though fleet runs rotate the bounded log.
+        """
+        targets = self.tracked_targets()
+        if not targets:
+            return None
+        list_name = next(descriptor.name
+                         for descriptor in lists_for_provider(self.config.provider)
+                         if descriptor.is_url_list)
+        # A private web index: the targets live on dedicated domains, so
+        # nothing from the shared context index is needed (and the shared,
+        # cached index must not be mutated by fleet runs).
+        tracker = TrackingSystem(server=server, index=PrefixInvertedIndex(),
+                                 list_name=list_name)
+        decisions = tracker.track_many(targets)
+        detector = StreamingTrackingDetector()
+        detector.watch_many(decisions)
+        return detector.attach(server)
 
     def run(self) -> FleetReport:
         """Build the fleet, replay every stream, and measure."""
         config = self.config
         clock = ManualClock()
         server = self.build_server(clock)
+        detector = self._attach_adversary(server)
         clients = self.build_clients(server, clock)
         streams = [self.client_stream(index) for index in range(len(clients))]
+        ground_truth = self.planted_ground_truth(streams) if detector else set()
 
         batch_size = self.scale.fleet_batch_size
         length = self.scale.fleet_urls_per_client
@@ -353,6 +489,32 @@ class FleetSimulator:
                     transport_failures += 1
             clock.advance(config.round_seconds)
         elapsed = time.perf_counter() - started
+
+        detections = 0
+        detected_pairs: set[tuple[int, str]] = set()
+        pair_digest = ""
+        precision = recall = 1.0
+        if detector is not None:
+            client_by_cookie = {client.cookie.value: client_index
+                                for client_index, client in enumerate(clients)}
+            detections = detector.detections
+            detected_pairs = {
+                (client_by_cookie[cookie_value], target_url)
+                for cookie_value, target_url in detector.detected_pairs()
+                if cookie_value in client_by_cookie
+            }
+            correct = detected_pairs & ground_truth
+            if detected_pairs:
+                precision = len(correct) / len(detected_pairs)
+            if ground_truth:
+                recall = len(correct) / len(ground_truth)
+            pair_digest = hashlib.sha256(
+                "\n".join(f"{client_index}\t{target_url}"
+                          for client_index, target_url in sorted(detected_pairs))
+                .encode("utf-8")
+            ).hexdigest()[:16]
+            detector.detach()
+
         return FleetReport(
             mode=config.mode,
             scale=self.scale.name,
@@ -360,7 +522,7 @@ class FleetSimulator:
             urls_checked=urls_checked,
             rounds=rounds,
             elapsed_seconds=elapsed,
-            urls_per_second=urls_checked / elapsed if elapsed > 0 else float("inf"),
+            urls_per_second=_throughput(urls_checked, elapsed),
             server_update_requests=server.stats.update_requests,
             server_full_hash_requests=server.stats.full_hash_requests,
             server_prefixes_received=server.stats.prefixes_received,
@@ -374,6 +536,14 @@ class FleetSimulator:
             server_cache_misses=server.stats.response_cache_misses,
             log_entries_evicted=server.stats.log_entries_evicted,
             transport_failures=transport_failures,
+            adversary=config.adversary,
+            tracked_targets=len(self.tracked_targets()),
+            tracking_detections=detections,
+            tracking_detected_pairs=len(detected_pairs),
+            tracking_true_pairs=len(ground_truth),
+            tracking_precision=precision,
+            tracking_recall=recall,
+            tracking_pair_digest=pair_digest,
         )
 
 
@@ -420,4 +590,57 @@ def fleet_table(scale: Scale = SMALL, config: FleetConfig | None = None,
     table.add_note(f"transport: {batched.transport}, "
                    f"server shards: {batched.shard_count}, "
                    f"server cache hit rate: {batched.server_cache_hit_rate:.2f}")
+    if batched.adversary:
+        table.add_note(
+            f"adversary: {batched.tracked_targets} tracked targets, "
+            f"{batched.tracking_detected_pairs}/{batched.tracking_true_pairs} "
+            f"planted pairs detected, precision {batched.tracking_precision:.2f}, "
+            f"recall {batched.tracking_recall:.2f}"
+        )
+    return table
+
+
+def fleet_adversary_table(scale: Scale = SMALL, config: FleetConfig | None = None,
+                          *, context: ExperimentContext | None = None) -> Table:
+    """Streaming-adversary comparison table (``experiment fleet-adversary``).
+
+    Runs the fleet with the online tracking adversary attached, in both
+    execution modes over identical streams, and scores each run's
+    detections against the planted ground truth.  Coalescing repackages
+    *requests*, never the prefixes they reveal, so the detected (client,
+    target) pairs — and therefore precision and recall — must be identical
+    across modes; the note records that check.
+    """
+    base = config if config is not None else FleetConfig()
+    base = replace(base, adversary=True)
+    reports = [run_fleet(scale, replace(base, mode=mode), context=context)
+               for mode in FLEET_MODES]
+    table = Table(
+        title=(f"Streaming tracking adversary over fleet traffic "
+               f"({scale.name} scale, {reports[0].clients} clients, "
+               f"{reports[0].tracked_targets} targets)"),
+        columns=["mode", "URLs", "entries seen", "detections", "detected pairs",
+                 "true pairs", "precision", "recall"],
+    )
+    for report in reports:
+        table.add_row(
+            report.mode,
+            report.urls_checked,
+            report.server_full_hash_requests,
+            report.tracking_detections,
+            report.tracking_detected_pairs,
+            report.tracking_true_pairs,
+            report.tracking_precision,
+            report.tracking_recall,
+        )
+    scalar, batched = reports
+    # Digest equality certifies the *sets* are identical, not merely their
+    # sizes or the derived ratios.
+    pairs_match = (scalar.tracking_pair_digest == batched.tracking_pair_digest
+                   and scalar.tracking_true_pairs == batched.tracking_true_pairs)
+    table.add_note(f"detected pairs mode-independent: {pairs_match}")
+    table.add_note("detection is online (log-observer hook + shadow-prefix "
+                   "index): the bounded request log may rotate "
+                   f"({batched.log_entries_evicted} entries evicted in the "
+                   "batched run) without losing detections")
     return table

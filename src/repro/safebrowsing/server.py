@@ -19,6 +19,15 @@ Two provisions keep the core memory-stable and fast under fleet traffic:
   fleet runs do not grow the log without bound.  Analysis experiments keep
   the default of ``None`` (unbounded) because they replay the whole log.
 
+Analysis that must see *every* request regardless of log retention registers
+a **log observer** (:meth:`ServerCore.add_log_observer`): each
+:class:`RequestLogEntry` is published to the observers at ``_log_request``
+time, before rotation can drop it.  The streaming tracking detector
+(:class:`~repro.analysis.streaming.StreamingTrackingDetector`) is the
+canonical observer: it keeps the adversary's view complete over bounded-log
+fleet runs, where a post-hoc scan of :attr:`ServerCore.request_log` would
+silently under-count.
+
 The endpoint dispatch lives in :mod:`repro.safebrowsing.protocol` (thin
 per-endpoint handlers) and the client↔server boundary in
 :mod:`repro.safebrowsing.transport`; :class:`SafeBrowsingServer` is the
@@ -28,7 +37,7 @@ backward-compatible facade combining the core with the endpoint handlers.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.clock import Clock, ManualClock
@@ -144,6 +153,7 @@ class ServerCore:
         self.stats = ServerStats()
         self._request_log: deque[RequestLogEntry] = deque()
         self._response_cache: dict[tuple[Prefix, ...], _CachedResponse] = {}
+        self._log_observers: list[Callable[[RequestLogEntry], None]] = []
 
     # -- provisioning ---------------------------------------------------------
 
@@ -240,8 +250,13 @@ class ServerCore:
         A cached entry is valid only while its TTL holds *and* the database
         has not been mutated since it was computed, so caching can never
         change an answer — only skip recomputing it.
+
+        The key is the *sorted* unique prefixes, so two batches carrying the
+        same prefixes in different orders share one entry: the cached value
+        is keyed per prefix and the response is rebuilt per request in the
+        request's own order, so order cannot change an answer.
         """
-        key = tuple(dict.fromkeys(prefixes))
+        key = tuple(sorted(set(prefixes), key=lambda p: (p.bits, p.value)))
         ttl = self.response_cache_seconds
         if ttl > 0:
             entry = self._response_cache.get(key)
@@ -296,7 +311,27 @@ class ServerCore:
 
     # -- the provider's (adversary's) view ------------------------------------
 
+    def add_log_observer(self, observer: Callable[[RequestLogEntry], None]) -> None:
+        """Publish every future :class:`RequestLogEntry` to ``observer``.
+
+        Observers are invoked synchronously at ``_log_request`` time, before
+        the bounded log can rotate the entry out, so an observer's view is
+        complete even when :attr:`request_log` is a rotating window.  They
+        must not mutate the entry (it is frozen) and should be cheap: they
+        run on the full-hash request path.
+        """
+        self._log_observers.append(observer)
+
+    def remove_log_observer(self, observer: Callable[[RequestLogEntry], None]) -> None:
+        """Stop publishing log entries to ``observer`` (idempotent)."""
+        try:
+            self._log_observers.remove(observer)
+        except ValueError:
+            pass
+
     def _log_request(self, entry: RequestLogEntry) -> None:
+        for observer in tuple(self._log_observers):
+            observer(entry)
         if (self.max_log_entries is not None
                 and len(self._request_log) >= self.max_log_entries):
             overflow = len(self._request_log) - self.max_log_entries + 1

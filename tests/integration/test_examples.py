@@ -19,6 +19,9 @@ EXAMPLES = [
     ("fleet_demo.py", ["coalesced", "Fleet throughput", "traffic signatures match: True"]),
     ("network_fleet_demo.py", ["in-process (the reference)", "simulated network",
                                "server shards"]),
+    ("adversary_fleet_demo.py", ["streaming detections: 3", "rotated out",
+                                 "precision        : 1.00",
+                                 "recall           : 1.00"]),
 ]
 
 

@@ -19,7 +19,7 @@ import time
 import pytest
 
 from repro.experiments.fleet import FleetConfig, fleet_comparison, run_fleet
-from repro.experiments.scale import SMALL
+from repro.experiments.scale import MEDIUM, SMALL
 
 #: Generous bound; the run takes well under a second on a laptop.
 WALL_CLOCK_BOUND_SECONDS = 120.0
@@ -66,3 +66,31 @@ def test_fleet_smoke_simulated_network_transport():
     repeat = run_fleet(SMALL, config)
     assert repeat.traffic_signature() == report.traffic_signature()
     assert repeat.server_full_hash_requests == report.server_full_hash_requests
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("transport", ["in-process", "simulated"])
+def test_fleet_adversary_smoke_medium_scale(transport):
+    """The acceptance bar: at MEDIUM scale, on both transports, the streaming
+    adversary detects planted visits with perfect precision against the
+    simulator's ground truth — while the bounded request log rotates."""
+    # A tight log bound guarantees rotation at MEDIUM traffic (the default
+    # 10k bound is bigger than a coalesced batched run's request count).
+    config = FleetConfig(adversary=True, transport=transport,
+                         latency_seconds=0.01, latency_jitter_seconds=0.005,
+                         max_log_entries=100)
+    started = time.perf_counter()
+    report = run_fleet(MEDIUM, config)
+    wall = time.perf_counter() - started
+
+    assert wall < WALL_CLOCK_BOUND_SECONDS
+    assert report.adversary
+    assert report.transport == transport
+    assert report.tracked_targets == MEDIUM.tracked_targets
+    assert report.tracking_detections > 0
+    assert report.tracking_true_pairs > 0
+    assert report.tracking_precision == 1.0
+    assert report.tracking_recall == 1.0
+    # MEDIUM traffic overruns the default log bound: post-hoc detection
+    # would under-count, the observer-fed detector must not.
+    assert report.log_entries_evicted > 0

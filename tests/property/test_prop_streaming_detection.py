@@ -1,0 +1,111 @@
+"""Property: indexed detection is outcome-equivalent to the full rescan.
+
+The shadow-prefix inverted index (offline :meth:`TrackingSystem.detect` and
+the online :class:`StreamingTrackingDetector`) is an optimization of the
+historical full-rescan detector, never a semantics change.  Over randomized
+target sets (all Algorithm 1 modes), randomized logs (planted visits,
+partial matches, collider visits, pure noise) and randomized ``min_matches``,
+all three detectors must produce *identical* outcome lists — same elements,
+same order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.streaming import StreamingTrackingDetector
+from repro.analysis.tracking import (
+    ShadowPrefixIndex,
+    TrackingDecision,
+    full_rescan_detect,
+    tracking_prefixes,
+)
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.server import RequestLogEntry
+
+#: Decision shapes exercised: a lone URL on its own domain (TINY_DOMAIN), a
+#: leaf page among unrelated siblings (LEAF), and a directory page whose
+#: siblings are Type I colliders (WITH_TYPE1 at delta=4, DOMAIN_ONLY at
+#: delta=2).
+_SHAPES = ("tiny", "leaf", "colliders")
+
+
+def _build_decision(index: PrefixInvertedIndex, number: int, shape: str,
+                    delta: int) -> TrackingDecision:
+    domain = f"prop-target-{number:02d}.example"
+    if shape == "tiny":
+        target = f"http://{domain}/page.html"
+    elif shape == "leaf":
+        target = f"http://{domain}/page.html"
+        index.add_urls([f"http://{domain}/other-a.html",
+                        f"http://{domain}/other-b.html"])
+    else:  # colliders: siblings decompose through the directory target
+        target = f"http://{domain}/"
+        index.add_urls([f"http://{domain}/a.html", f"http://{domain}/b.html",
+                        f"http://{domain}/c.html"])
+    return tracking_prefixes(target, index, delta=delta)
+
+
+@st.composite
+def detection_workload(draw):
+    """Random decisions plus a random request log exercising every branch."""
+    shapes = draw(st.lists(st.sampled_from(_SHAPES), min_size=1, max_size=6))
+    delta = draw(st.sampled_from([2, 4]))
+    index = PrefixInvertedIndex()
+    decisions = {}
+    for number, shape in enumerate(shapes):
+        decision = _build_decision(index, number, shape, delta)
+        decisions[decision.target_url] = decision
+
+    # The pool an entry's prefixes are drawn from: every tracking prefix,
+    # every collider's exact prefix (already among the tracking prefixes for
+    # WITH_TYPE1, but also present for DOMAIN_ONLY decisions, where it is
+    # *not* tracked), plus pure noise.
+    pool: list[Prefix] = []
+    for url in decisions:
+        pool.extend(index.indexed_url(url).prefixes)
+        domain_urls = index.urls_on_domain(index.indexed_url(url).registered_domain)
+        for sibling in sorted(domain_urls):
+            pool.extend(index.indexed_url(sibling).prefixes)
+    pool = list(dict.fromkeys(pool))
+    noise = [Prefix.from_int(value, 32)
+             for value in draw(st.lists(st.integers(0, 2**32 - 1), max_size=8))]
+    pool.extend(noise)
+
+    entry_count = draw(st.integers(0, 12))
+    entries = []
+    for entry_number in range(entry_count):
+        chosen = draw(st.lists(st.sampled_from(pool), min_size=0, max_size=6))
+        entries.append(RequestLogEntry(
+            cookie=SafeBrowsingCookie(
+                f"prop-cookie-{draw(st.integers(0, 3))}"),
+            timestamp=float(entry_number),
+            prefixes=tuple(chosen),
+        ))
+    min_matches = draw(st.integers(1, 3))
+    return decisions, entries, min_matches
+
+
+@given(detection_workload())
+@settings(max_examples=60, deadline=None)
+def test_indexed_detectors_match_full_rescan(workload):
+    decisions, entries, min_matches = workload
+
+    reference = full_rescan_detect(decisions, entries, min_matches=min_matches)
+
+    shadow_index = ShadowPrefixIndex()
+    shadow_index.add_many(decisions.values())
+    indexed = []
+    for entry in entries:
+        indexed.extend(shadow_index.match_entry(entry, min_matches=min_matches))
+
+    streaming = StreamingTrackingDetector(min_matches=min_matches)
+    streaming.watch_many(decisions.values())
+    for entry in entries:
+        streaming.observe(entry)
+
+    assert indexed == reference
+    assert streaming.outcomes == reference
+    assert streaming.entries_observed == len(entries)

@@ -42,6 +42,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--transport", "tcp"])
 
+    def test_fleet_adversary_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fleet", "--adversary", "--tracked-targets", "7"])
+        assert args.adversary is True
+        assert args.tracked_targets == 7
+
+    def test_fleet_adversary_defaults_off(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.adversary is False
+        assert args.tracked_targets is None
+
+    def test_fleet_tracked_targets_implies_adversary(self, capsys):
+        from unittest import mock
+
+        from repro.experiments import fleet as fleet_module
+
+        captured = {}
+
+        def fake_run_fleet(scale, config):
+            captured["config"] = config
+            raise SystemExit(0)  # skip the actual simulation
+
+        with mock.patch.object(fleet_module, "run_fleet", fake_run_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched", "--tracked-targets", "3"])
+        assert captured["config"].adversary is True
+        assert captured["config"].tracked_target_count == 3
+
+    def test_fleet_adversary_experiment_registered(self):
+        assert "fleet-adversary" in _EXPERIMENTS
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ExperimentError
-from repro.experiments.fleet import FleetConfig, FleetReport, FleetSimulator, run_fleet
+from repro.experiments.fleet import (
+    FleetConfig,
+    FleetReport,
+    FleetSimulator,
+    _throughput,
+    run_fleet,
+)
 from repro.experiments.scale import SMALL, Scale
 
 #: A deliberately tiny scale so unit tests stay fast.
@@ -57,6 +63,14 @@ class TestFleetConfig:
             FleetConfig(shard_count=0)
         with pytest.raises(ExperimentError):
             FleetConfig(max_log_entries=0)
+
+    def test_adversary_parameters_validated(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(tracked_target_count=0)
+        with pytest.raises(ExperimentError):
+            FleetConfig(tracked_visit_fraction=1.5)
+        with pytest.raises(ExperimentError):
+            FleetConfig(tracked_visit_fraction=-0.1)
 
 
 class TestStreams:
@@ -118,6 +132,125 @@ class TestRun:
         before = snapshot_server.stats.full_hash_requests
         simulator.run()
         assert snapshot_server.stats.full_hash_requests == before
+
+
+class TestThroughputReporting:
+    def test_degenerate_elapsed_reports_zero_not_infinity(self):
+        """float('inf') would serialize as non-standard JSON ``Infinity``."""
+        assert _throughput(1000, 0.0) == 0.0
+        assert _throughput(0, 0.0) == 0.0
+        assert _throughput(500, 2.0) == 250.0
+
+    def test_bench_json_artifacts_reject_non_finite_values(self, tmp_path):
+        """The record_json fixture must refuse inf/nan payloads outright."""
+        import importlib.util
+        from pathlib import Path
+
+        conftest_path = (Path(__file__).resolve().parents[2]
+                         / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location("bench_conftest",
+                                                      conftest_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        target = tmp_path / "BENCH_degenerate.json"
+        with pytest.raises(ValueError):
+            module.write_json_artifact(target, {"urls_per_second": float("inf")})
+        assert not target.exists()
+        module.write_json_artifact(target, {"urls_per_second": 0.0})
+        assert target.read_text().strip().startswith("{")
+
+
+class TestAdversary:
+    @pytest.fixture(scope="class")
+    def adversary_reports(self) -> dict[tuple[str, str], FleetReport]:
+        """One adversary run per (mode, transport) over identical streams."""
+        return {
+            (mode, transport): run_fleet(
+                TINY, FleetConfig(mode=mode, transport=transport,
+                                  adversary=True))
+            for mode in ("scalar", "batched")
+            for transport in ("in-process", "simulated")
+        }
+
+    def test_detections_present_with_perfect_scores(self, adversary_reports):
+        for report in adversary_reports.values():
+            assert report.adversary
+            assert report.tracked_targets == TINY.tracked_targets
+            assert report.tracking_detections > 0
+            assert report.tracking_true_pairs > 0
+            assert report.tracking_precision == 1.0
+            assert report.tracking_recall == 1.0
+
+    def test_detected_pairs_mode_and_transport_independent(self, adversary_reports):
+        """Coalescing repackages requests; the pairs it reveals are fixed.
+
+        The digest pins the *sets*, not just the counts: different pair
+        sets of equal size would produce different digests.
+        """
+        digests = {report.tracking_pair_digest
+                   for report in adversary_reports.values()}
+        true_counts = {report.tracking_true_pairs
+                       for report in adversary_reports.values()}
+        assert len(digests) == 1
+        assert digests != {""}
+        assert len(true_counts) == 1
+
+    def test_adversary_run_is_deterministic(self, adversary_reports):
+        first = adversary_reports[("batched", "in-process")]
+        repeat = run_fleet(TINY, FleetConfig(adversary=True))
+        assert repeat.tracking_detections == first.tracking_detections
+        assert repeat.tracking_detected_pairs == first.tracking_detected_pairs
+        assert repeat.traffic_signature() == first.traffic_signature()
+
+    def test_planted_streams_only_differ_at_planted_positions(self):
+        base = FleetSimulator(TINY, FleetConfig())
+        adversarial = FleetSimulator(TINY, FleetConfig(adversary=True))
+        targets = set(adversarial.tracked_targets())
+        assert targets
+        base_stream = base.client_stream(0)
+        planted_stream = adversarial.client_stream(0)
+        assert len(base_stream) == len(planted_stream)
+        differing = [position for position, (left, right)
+                     in enumerate(zip(base_stream, planted_stream))
+                     if left != right]
+        assert differing, "at least one visit is always planted"
+        assert all(planted_stream[position] in targets for position in differing)
+
+    def test_ground_truth_matches_planted_streams(self):
+        simulator = FleetSimulator(TINY, FleetConfig(adversary=True))
+        streams = [simulator.client_stream(index)
+                   for index in range(TINY.clients)]
+        truth = simulator.planted_ground_truth(streams)
+        assert truth
+        targets = set(simulator.tracked_targets())
+        assert all(url in targets for _, url in truth)
+        assert {index for index, _ in truth} <= set(range(TINY.clients))
+
+    def test_tracked_target_count_override(self):
+        simulator = FleetSimulator(TINY, FleetConfig(adversary=True,
+                                                     tracked_target_count=7))
+        assert len(simulator.tracked_targets()) == 7
+
+    def test_disabled_adversary_reports_defaults(self):
+        report = run_fleet(TINY, FleetConfig())
+        assert not report.adversary
+        assert report.tracked_targets == 0
+        assert report.tracking_detections == 0
+        assert report.tracking_true_pairs == 0
+        assert report.tracking_precision == 1.0
+        assert report.tracking_recall == 1.0
+
+    def test_log_rotation_does_not_lose_detections(self):
+        """The tentpole scenario: online detection over a rotating log."""
+        bounded = run_fleet(TINY, FleetConfig(adversary=True, max_log_entries=2))
+        unbounded = run_fleet(TINY, FleetConfig(adversary=True,
+                                                max_log_entries=None))
+        assert bounded.log_entries_evicted > 0
+        assert bounded.tracking_detections == unbounded.tracking_detections
+        assert bounded.tracking_detected_pairs == unbounded.tracking_detected_pairs
+        assert bounded.tracking_precision == 1.0
+        assert bounded.tracking_recall == 1.0
 
 
 class TestTransports:

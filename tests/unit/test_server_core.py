@@ -96,6 +96,34 @@ class TestResponseCache:
         with pytest.raises(ValueError):
             make_server(response_cache_entries=0)
 
+    def test_permuted_batch_hits_the_cache(self):
+        """The cache key is order-insensitive: same prefixes, same entry."""
+        server = make_server()
+        p1 = url_prefix("evil.example.com/")
+        p2 = url_prefix("bad.example.org/x")
+        first = server.handle_full_hash(FullHashRequest(cookie=COOKIE,
+                                                        prefixes=(p1, p2)))
+        permuted = server.handle_full_hash(FullHashRequest(cookie=COOKIE,
+                                                           prefixes=(p2, p1)))
+        assert server.stats.response_cache_hits == 1
+        assert server.stats.response_cache_misses == 1
+        # Responses are rebuilt per request, so each keeps its own order.
+        assert first.matches_for(p1) == permuted.matches_for(p1)
+        assert first.matches_for(p2) == permuted.matches_for(p2)
+        assert [match.prefix for match in first.matches] == [p1, p2]
+        assert [match.prefix for match in permuted.matches] == [p2, p1]
+
+    def test_permuted_batch_with_duplicates_hits_the_cache(self):
+        server = make_server()
+        p1 = url_prefix("evil.example.com/")
+        p2 = url_prefix("bad.example.org/x")
+        server.handle_full_hash(FullHashRequest(cookie=COOKIE,
+                                                prefixes=(p1, p2, p1)))
+        response = server.handle_full_hash(FullHashRequest(cookie=COOKIE,
+                                                           prefixes=(p2, p1)))
+        assert server.stats.response_cache_hits == 1
+        assert [match.prefix for match in response.matches] == [p2, p1]
+
     def test_duplicate_prefixes_expand_in_request_order(self):
         server = make_server()
         prefix = url_prefix("evil.example.com/")

@@ -1,0 +1,246 @@
+"""Unit tests for the streaming adversary: observer-fed online detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.analysis.streaming import StreamingTrackingDetector
+from repro.analysis.tracking import TrackingSystem, full_rescan_detect
+from repro.clock import ManualClock
+from repro.exceptions import AnalysisError
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+PETS_URLS = [
+    "https://petsymposium.org/",
+    "https://petsymposium.org/2016/",
+    "https://petsymposium.org/2016/cfp.php",
+    "https://petsymposium.org/2016/links.php",
+    "https://petsymposium.org/2016/faqs.php",
+]
+
+CFP = "https://petsymposium.org/2016/cfp.php"
+INDEX_2016 = "https://petsymposium.org/2016/"
+
+
+@pytest.fixture()
+def setup():
+    index = PrefixInvertedIndex()
+    index.add_urls(PETS_URLS)
+    clock = ManualClock()
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    tracker = TrackingSystem(server=server, index=index,
+                             list_name="goog-malware-shavar", delta=4)
+    return clock, server, tracker
+
+
+def make_detector(tracker) -> StreamingTrackingDetector:
+    detector = StreamingTrackingDetector()
+    detector.watch_many(tracker.decisions.values())
+    return detector
+
+
+class TestStreamingDetector:
+    def test_attached_detector_sees_visits_live(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        detector = make_detector(tracker).attach(server)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        clock.advance(30)
+        client.lookup(CFP)
+        assert detector.detections == 1
+        outcome = detector.outcomes[0]
+        assert outcome.cookie == client.cookie
+        assert outcome.target_url == CFP
+        assert outcome.url_level
+
+    def test_outcomes_match_offline_detect(self, setup):
+        clock, server, tracker = setup
+        tracker.track_many([CFP, INDEX_2016])
+        detector = make_detector(tracker).attach(server)
+        client = SafeBrowsingClient(server, name="reader", clock=clock)
+        client.update()
+        for url in (CFP, "https://petsymposium.org/2016/links.php",
+                    "http://unrelated.example.org/x.html"):
+            clock.advance(10)
+            client.lookup(url)
+        assert detector.outcomes == tracker.detect()
+        assert detector.outcomes == full_rescan_detect(tracker.decisions,
+                                                       server.request_log)
+
+    def test_survives_log_rotation(self, setup):
+        """The whole point: detection is complete while the log is not."""
+        clock = ManualClock()
+        index = PrefixInvertedIndex()
+        index.add_urls(PETS_URLS)
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock, max_log_entries=1)
+        tracker = TrackingSystem(server=server, index=index,
+                                 list_name="goog-malware-shavar")
+        tracker.track(CFP)
+        detector = make_detector(tracker).attach(server)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        for _ in range(3):
+            # Step past the full-hash cache so every visit re-contacts the
+            # server; the 1-entry log then only ever retains the last one.
+            clock.advance(3000)
+            client.update()
+            client.lookup(CFP)
+        assert server.stats.log_entries_evicted > 0
+        assert detector.detections == 3
+        assert len(tracker.detect(allow_rotated=True)) == 1
+
+    def test_detach_stops_the_stream(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        detector = make_detector(tracker).attach(server)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        client.lookup(CFP)
+        detector.detach()
+        clock.advance(3000)
+        client.update()
+        client.lookup(CFP)
+        assert detector.detections == 1
+        assert detector.entries_observed == 1
+
+    def test_double_attach_rejected(self, setup):
+        _, server, tracker = setup
+        detector = make_detector(tracker).attach(server)
+        with pytest.raises(AnalysisError):
+            detector.attach(server)
+        detector.detach()
+        detector.detach()  # idempotent
+
+    def test_min_matches_validated(self):
+        with pytest.raises(AnalysisError):
+            StreamingTrackingDetector(min_matches=0)
+
+    def test_detected_pairs_and_cookies(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        detector = make_detector(tracker).attach(server)
+        visitor = SafeBrowsingClient(server, name="visitor", clock=clock)
+        other = SafeBrowsingClient(server, name="other", clock=clock)
+        for client in (visitor, other):
+            client.update()
+        visitor.lookup(CFP)
+        other.lookup("http://something.else.example/")
+        assert detector.detected_pairs() == {(visitor.cookie.value, CFP)}
+        assert detector.detected_cookies(CFP) == {visitor.cookie}
+
+    def test_clear_keeps_targets(self, setup):
+        clock, server, tracker = setup
+        tracker.track(CFP)
+        detector = make_detector(tracker).attach(server)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        client.lookup(CFP)
+        detector.clear()
+        assert detector.detections == 0
+        assert detector.entries_observed == 0
+        assert detector.targets_watched == 1
+        clock.advance(3000)
+        client.update()
+        client.lookup(CFP)
+        assert detector.detections == 1
+
+
+class TestShadowPrefixIndex:
+    def test_retracking_replaces_the_decision(self, setup):
+        _, server, tracker = setup
+        first = tracker.track(INDEX_2016)
+        # Re-track with a smaller delta: DOMAIN_ONLY, fewer prefixes.
+        tracker.delta = 2
+        second = tracker.track(INDEX_2016)
+        assert second.prefixes != first.prefixes
+        assert len(tracker.shadow_index) == 1
+        # Only the current decision's prefixes remain indexed.
+        assert tracker.shadow_index.shadow_prefixes == set(second.prefixes)
+
+    def test_shadow_prefixes_accumulate(self, setup):
+        _, _, tracker = setup
+        tracker.track_many([CFP, INDEX_2016])
+        assert tracker.shadow_index.shadow_prefixes == tracker.shadow_prefixes
+        assert CFP in tracker.shadow_index
+        assert len(tracker.shadow_index) == 2
+
+    def test_non_default_prefix_width_keeps_url_level_detections(self):
+        """Target/collider prefixes are derived at the decision's own width:
+        a 16-bit decision watched by a default detector must still yield
+        URL-level outcomes identical to the full rescan at 16 bits."""
+        from repro.analysis.tracking import tracking_prefixes
+        from repro.safebrowsing.cookie import SafeBrowsingCookie
+        from repro.safebrowsing.server import RequestLogEntry
+
+        index = PrefixInvertedIndex(prefix_bits=16)
+        decision = tracking_prefixes("http://narrow.example.net/page.html",
+                                     index, prefix_bits=16)
+        detector = StreamingTrackingDetector()  # default 32-bit construction
+        detector.watch(decision)
+        entry = RequestLogEntry(cookie=SafeBrowsingCookie("narrow-cookie"),
+                                timestamp=1.0, prefixes=decision.prefixes)
+        outcomes = detector.observe(entry)
+        reference = full_rescan_detect(
+            {decision.target_url: decision}, [entry], prefix_bits=16)
+        assert outcomes == reference
+        assert outcomes[0].url_level
+
+
+class TestShadowPrefixIndexValidation:
+    def test_empty_prefix_decision_rejected(self):
+        from repro.analysis.tracking import (
+            ShadowPrefixIndex,
+            TrackingDecision,
+            TrackingMode,
+        )
+
+        empty = TrackingDecision(
+            target_url="http://empty.example.net/",
+            target_domain="empty.example.net",
+            mode=TrackingMode.TINY_DOMAIN,
+            expressions=(),
+            prefixes=(),
+            type1_collisions=(),
+            delta=4,
+        )
+        with pytest.raises(AnalysisError, match="no prefixes"):
+            ShadowPrefixIndex().add(empty)
+
+
+class TestLogObserverHook:
+    def test_observer_called_per_logged_entry(self, setup):
+        clock, server, tracker = setup
+        seen = []
+        server.add_log_observer(seen.append)
+        tracker.track(CFP)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        client.lookup(CFP)
+        assert len(seen) == 1
+        assert seen[0] == server.request_log[0]
+
+    def test_observer_sees_entries_the_log_rotates_out(self):
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock, max_log_entries=2)
+        server.blacklist("goog-malware-shavar", ["evil.example.com/"])
+        seen = []
+        server.add_log_observer(seen.append)
+        client = SafeBrowsingClient(server, name="c", clock=clock)
+        client.update()
+        for _ in range(5):
+            clock.advance(3000)
+            client.update()
+            client.lookup("http://evil.example.com/")
+        assert len(server.request_log) == 2
+        assert len(seen) == 5
+
+    def test_remove_observer_is_idempotent(self, setup):
+        _, server, _ = setup
+        observer = lambda entry: None  # noqa: E731 - throwaway callable
+        server.add_log_observer(observer)
+        server.remove_log_observer(observer)
+        server.remove_log_observer(observer)

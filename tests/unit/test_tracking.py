@@ -6,8 +6,10 @@ import pytest
 
 from repro.analysis.inverted_index import PrefixInvertedIndex
 from repro.analysis.tracking import (
+    TrackingDecision,
     TrackingMode,
     TrackingSystem,
+    full_rescan_detect,
     tracking_prefixes,
 )
 from repro.clock import ManualClock
@@ -88,6 +90,44 @@ class TestAlgorithm1:
         with_colliders = tracking_prefixes(INDEX_2016, web_index, delta=4)
         assert with_colliders.failure_probability() < leaf.failure_probability()
 
+    @staticmethod
+    def _decision_with_k_prefixes(k: int) -> TrackingDecision:
+        from repro.hashing.prefix import Prefix
+
+        return TrackingDecision(
+            target_url="http://big.example.net/",
+            target_domain="big.example.net",
+            mode=TrackingMode.TINY_DOMAIN,
+            expressions=tuple(f"big.example.net/{i}" for i in range(k)),
+            prefixes=tuple(Prefix.from_int(i, 32) for i in range(k)),
+            type1_collisions=(),
+            delta=4,
+        )
+
+    def test_failure_probability_finite_and_positive_at_large_k(self):
+        """(2**-32)**k underflows to exactly 0.0 for k >= 34 in linear space;
+        the log-space bound must stay finite *and* positive however many
+        prefixes a tiny-domain/Type-I decision inserts."""
+        import math
+
+        for k in (33, 40, 64, 200):
+            decision = self._decision_with_k_prefixes(k)
+            probability = decision.failure_probability()
+            assert math.isfinite(probability)
+            assert probability > 0.0
+            assert decision.log2_failure_probability() == -32.0 * (k - 1)
+
+    def test_log2_failure_probability_strictly_monotone(self):
+        small = self._decision_with_k_prefixes(40)
+        large = self._decision_with_k_prefixes(80)
+        assert (large.log2_failure_probability()
+                < small.log2_failure_probability())
+        assert large.failure_probability() <= small.failure_probability()
+
+    def test_failure_probability_unchanged_for_paper_sizes(self, web_index):
+        leaf = tracking_prefixes(CFP, web_index, delta=4)  # 2 prefixes
+        assert leaf.failure_probability() == (2.0**-32) ** 1
+
 
 class TestTrackingSystem:
     @pytest.fixture()
@@ -165,3 +205,69 @@ class TestTrackingSystem:
         server.clear_request_log()
         assert tracker.detect(log)  # detection from the captured log still works
         assert tracker.detect() == []  # nothing left on the live log
+
+    def test_detect_matches_full_rescan_reference(self, setup):
+        clock, server, tracker = setup
+        tracker.track_many([CFP, INDEX_2016])
+        client = SafeBrowsingClient(server, name="reader", clock=clock)
+        client.update()
+        for url in (CFP, "https://petsymposium.org/2016/links.php"):
+            clock.advance(10)
+            client.lookup(url)
+        assert tracker.detect() == full_rescan_detect(tracker.decisions,
+                                                      server.request_log)
+
+    def test_detect_rejects_min_matches_below_one(self, setup):
+        _, _, tracker = setup
+        with pytest.raises(AnalysisError):
+            tracker.detect(min_matches=0)
+
+    @pytest.fixture()
+    def rotated(self, web_index):
+        """A tracker over a 1-entry log that has already rotated."""
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock, max_log_entries=1)
+        tracker = TrackingSystem(server=server, index=web_index,
+                                 list_name="goog-malware-shavar", delta=4)
+        tracker.track(CFP)
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        for _ in range(2):
+            clock.advance(3000)  # past the client's full-hash cache
+            client.update()
+            client.lookup(CFP)
+        assert server.stats.log_entries_evicted > 0
+        return server, tracker
+
+    def test_detect_refuses_a_rotated_live_log(self, rotated):
+        _, tracker = rotated
+        with pytest.raises(AnalysisError, match="StreamingTrackingDetector"):
+            tracker.detect()
+
+    def test_detect_rotated_escape_hatch(self, rotated):
+        server, tracker = rotated
+        outcomes = tracker.detect(allow_rotated=True)
+        # Only the retained window is scanned — exactly the under-count the
+        # guard exists to surface.
+        assert len(outcomes) == 1
+        assert len(server.request_log) == 1
+
+    def test_detect_explicit_log_bypasses_the_guard(self, rotated):
+        server, tracker = rotated
+        assert tracker.detect(server.request_log)  # caller chose the window
+
+    def test_direct_decisions_mutation_is_honoured(self, setup):
+        """`decisions` is a public dict; detect() resyncs after in-place edits."""
+        clock, server, tracker = setup
+        tracker.index.add_url("http://tiny.example.net/")
+        tracker.track_many([CFP, "http://tiny.example.net/"])
+        client = SafeBrowsingClient(server, name="victim", clock=clock)
+        client.update()
+        client.lookup(CFP)
+        assert tracker.detect()
+        removed = tracker.decisions.pop(CFP)
+        assert tracker.detect() == []  # the popped target no longer matches
+        tracker.decisions[CFP] = removed
+        assert tracker.detect()  # and reinserting it matches again
+        assert tracker.detect() == full_rescan_detect(tracker.decisions,
+                                                      server.request_log)
