@@ -13,39 +13,45 @@ Two mitigations are analyzed:
   deeper ones only if needed; the provider then learns the domain but not
   the full URL.
 
-Both are implemented as wrappers around :class:`SafeBrowsingClient` so they
-exercise the real protocol path, and :func:`compare_mitigations` measures
-their effect on the re-identification rate with the same engine used against
-the unprotected client.
+Both now live in the first-class policy layer
+(:mod:`repro.safebrowsing.privacy`), installed directly on
+:class:`SafeBrowsingClient` so that *both* lookup paths are defended — the
+historical wrapper classes here only intercepted the scalar ``lookup`` and
+let the batched ``check_urls`` bypass the mitigation entirely.
+:class:`DummyQueryClient` and :class:`OnePrefixAtATimeClient` remain as thin
+deprecation shims over that layer (same constructor, same ``lookup``
+surface, same re-identification numbers — pinned by a regression test), and
+:func:`compare_mitigations` still measures the effect on the
+re-identification rate with the same engine used against the unprotected
+client.
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.analysis.reidentification import ReidentificationEngine
 from repro.exceptions import AnalysisError
-from repro.hashing.digests import FullHash
 from repro.hashing.prefix import Prefix
 from repro.safebrowsing.client import SafeBrowsingClient
-from repro.safebrowsing.protocol import LookupResult, Verdict
-from repro.urls.canonicalize import canonicalize
-from repro.urls.decompose import decompositions
+from repro.safebrowsing.privacy import DummyQueryPolicy, OnePrefixAtATimePolicy
+from repro.safebrowsing.protocol import LookupResult
 
 
 # ---------------------------------------------------------------------------
-# dummy queries
+# deprecation shims over the policy layer
 # ---------------------------------------------------------------------------
 
 
 class DummyQueryClient:
-    """A client that pads every full-hash request with dummy prefixes.
+    """Deprecated shim: install a :class:`DummyQueryPolicy` on a client.
 
-    The dummies are *deterministic* functions of the real prefix (as in
-    Firefox, to resist differential analysis across repeated queries): the
-    i-th dummy of prefix ``p`` is the prefix of ``SHA-256(p || i)``.
+    Kept for the historical wrapper API.  Unlike the wrapper it replaces,
+    the installed policy also covers the batched ``check_urls`` path — the
+    wrapper silently let batches bypass the mitigation.  New code should
+    pass ``privacy_policy="dummy"`` (or a policy instance) to
+    :class:`SafeBrowsingClient` directly.
     """
 
     def __init__(self, client: SafeBrowsingClient, *, dummies_per_query: int = 4) -> None:
@@ -53,135 +59,35 @@ class DummyQueryClient:
             raise AnalysisError("dummies_per_query must be non-negative")
         self.client = client
         self.dummies_per_query = dummies_per_query
+        self.policy = DummyQueryPolicy(dummies_per_query=dummies_per_query)
+        client.privacy_policy = self.policy
 
     def dummy_prefixes(self, prefix: Prefix) -> list[Prefix]:
         """The deterministic dummies attached to one real prefix."""
-        dummies: list[Prefix] = []
-        for index in range(self.dummies_per_query):
-            digest = hashlib.sha256(prefix.value + bytes([index])).digest()
-            dummies.append(Prefix.from_digest(digest, prefix.bits))
-        return dummies
+        return self.policy.dummy_prefixes(prefix)
 
     def lookup(self, url: str) -> LookupResult:
         """Check a URL, padding any real request with dummies."""
-        canonical = canonicalize(url)
-        decomps = tuple(decompositions(canonical, canonical=True,
-                                       policy=self.client.config.decomposition_policy))
-        digest_by_expression = {expression: FullHash.of(expression) for expression in decomps}
-        prefix_by_expression = {
-            expression: digest.prefix(self.client.config.prefix_bits)
-            for expression, digest in digest_by_expression.items()
-        }
-        real_hits = [
-            prefix for prefix in dict.fromkeys(prefix_by_expression.values())
-            if self.client._local_hit(prefix)
-        ]
-        self.client.stats.urls_checked += 1
-        if not real_hits:
-            return LookupResult(url=url, canonical_url=canonical,
-                                verdict=Verdict.SAFE, decompositions=decomps)
-        self.client.stats.local_hits += 1
-
-        padded: list[Prefix] = []
-        for prefix in real_hits:
-            padded.append(prefix)
-            padded.extend(self.dummy_prefixes(prefix))
-        self.client.stats.record_extra("dummy-prefixes",
-                                       len(padded) - len(real_hits))
-        response = self.client.send_raw_prefixes(padded)
-
-        matched_expressions: list[str] = []
-        matched_lists: list[str] = []
-        for expression, digest in digest_by_expression.items():
-            for match in response.matches_for(prefix_by_expression[expression]):
-                if match.full_hash == digest:
-                    matched_expressions.append(expression)
-                    if match.list_name not in matched_lists:
-                        matched_lists.append(match.list_name)
-        verdict = Verdict.MALICIOUS if matched_expressions else Verdict.SAFE
-        if verdict is Verdict.MALICIOUS:
-            self.client.stats.malicious_verdicts += 1
-        return LookupResult(
-            url=url, canonical_url=canonical, verdict=verdict,
-            decompositions=decomps,
-            local_hits=tuple(real_hits),
-            sent_prefixes=tuple(padded),
-            matched_lists=tuple(matched_lists),
-            matched_expressions=tuple(matched_expressions),
-        )
-
-
-# ---------------------------------------------------------------------------
-# one prefix at a time
-# ---------------------------------------------------------------------------
+        return self.client.lookup(url)
 
 
 class OnePrefixAtATimeClient:
-    """A client that queries the root decomposition's prefix first.
+    """Deprecated shim: install a :class:`OnePrefixAtATimePolicy` on a client.
 
-    When several decompositions hit the local database, only the *least
-    specific* one (the registered-domain root, the last decomposition in API
-    order) is queried.  If the server confirms it as malicious the user can
-    already be warned; only when the root is not confirmed does the client
-    reveal the deeper prefixes.  The provider therefore learns the domain
-    but, in the common case, not which page was visited.
+    Kept for the historical wrapper API; the installed policy also covers
+    the batched ``check_urls`` path, which the wrapper it replaces silently
+    let through undefended.  New code should pass
+    ``privacy_policy="one-prefix"`` to :class:`SafeBrowsingClient` directly.
     """
 
     def __init__(self, client: SafeBrowsingClient) -> None:
         self.client = client
+        self.policy = OnePrefixAtATimePolicy()
+        client.privacy_policy = self.policy
 
     def lookup(self, url: str) -> LookupResult:
         """Check a URL revealing as few prefixes as possible."""
-        canonical = canonicalize(url)
-        decomps = tuple(decompositions(canonical, canonical=True,
-                                       policy=self.client.config.decomposition_policy))
-        digest_by_expression = {expression: FullHash.of(expression) for expression in decomps}
-        prefix_by_expression = {
-            expression: digest.prefix(self.client.config.prefix_bits)
-            for expression, digest in digest_by_expression.items()
-        }
-        hit_expressions = [
-            expression for expression, prefix in prefix_by_expression.items()
-            if self.client._local_hit(prefix)
-        ]
-        self.client.stats.urls_checked += 1
-        if not hit_expressions:
-            return LookupResult(url=url, canonical_url=canonical,
-                                verdict=Verdict.SAFE, decompositions=decomps)
-        self.client.stats.local_hits += 1
-
-        # Query the root (least specific) hit first: the last decomposition in
-        # API order is the registered-domain root.
-        ordered_hits = sorted(hit_expressions, key=decomps.index, reverse=True)
-        sent: list[Prefix] = []
-        matched_expressions: list[str] = []
-        matched_lists: list[str] = []
-        for expression in ordered_hits:
-            prefix = prefix_by_expression[expression]
-            response = self.client.send_raw_prefixes([prefix])
-            sent.append(prefix)
-            confirmed = False
-            for match in response.matches_for(prefix):
-                if match.full_hash == digest_by_expression[expression]:
-                    confirmed = True
-                    matched_expressions.append(expression)
-                    if match.list_name not in matched_lists:
-                        matched_lists.append(match.list_name)
-            if confirmed:
-                # The root decomposition is malicious: warn without revealing
-                # the more specific prefixes.
-                break
-        verdict = Verdict.MALICIOUS if matched_expressions else Verdict.SAFE
-        if verdict is Verdict.MALICIOUS:
-            self.client.stats.malicious_verdicts += 1
-        return LookupResult(
-            url=url, canonical_url=canonical, verdict=verdict,
-            decompositions=decomps,
-            local_hits=tuple(prefix_by_expression[expression] for expression in hit_expressions),
-            sent_prefixes=tuple(sent),
-            matched_lists=tuple(matched_lists),
-            matched_expressions=tuple(matched_expressions),
-        )
+        return self.client.lookup(url)
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,7 @@ _EXPERIMENTS: dict[str, str] = {
     "stores": "repro.experiments.structure_ablation:structure_ablation_table",
     "fleet": "repro.experiments.fleet:fleet_table",
     "fleet-adversary": "repro.experiments.fleet:fleet_adversary_table",
+    "armsrace": "repro.experiments.armsrace:armsrace_table",
 }
 
 #: Store backends offered by ``repro fleet``.  Mirrors the keys of
@@ -65,6 +66,11 @@ _FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "raw", "sorted-array")
 #: ``repro.safebrowsing.transport.TRANSPORT_KINDS`` (kept in sync by a unit
 #: test) for the same lazy-import reason.
 _FLEET_TRANSPORTS = ("in-process", "simulated")
+
+#: Privacy policies offered by ``repro fleet``.  Mirrors the keys of
+#: ``repro.safebrowsing.privacy.POLICY_FACTORIES`` (kept in sync by a unit
+#: test); argparse rejects anything else with a message listing these.
+_FLEET_POLICIES = ("dummy", "mix", "none", "one-prefix", "widen")
 
 
 def _resolve_experiment(name: str) -> Callable[[], object]:
@@ -151,6 +157,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how many targets the adversary tracks "
                             "(default: the scale's tracked_targets; "
                             "implies --adversary)")
+    fleet.add_argument("--privacy-policy", choices=_FLEET_POLICIES,
+                       default="none", metavar="POLICY",
+                       help="client-side defense installed on every client: "
+                            f"one of {', '.join(_FLEET_POLICIES)} "
+                            "(default none)")
+    fleet.add_argument("--dummy-count", type=int, default=None, metavar="N",
+                       help="dummies per real prefix for --privacy-policy "
+                            "dummy (default 4)")
+    fleet.add_argument("--widen-bits", type=int, default=None, metavar="BITS",
+                       help="revealed prefix width for --privacy-policy "
+                            "widen (default 16)")
+    fleet.add_argument("--mix-pool", type=int, default=None, metavar="N",
+                       help="replayed prefixes per request for "
+                            "--privacy-policy mix (default 8)")
+    fleet.add_argument("--mix-delay", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request delay for --privacy-policy mix "
+                            "(default 0.25)")
 
     return parser
 
@@ -235,6 +259,16 @@ def _command_fleet(args: argparse.Namespace) -> int:
         # adversary to track it would otherwise be silently ignored.
         config = dc_replace(config, adversary=True,
                             tracked_target_count=args.tracked_targets)
+    if args.privacy_policy != "none":
+        config = dc_replace(config, privacy_policy=args.privacy_policy)
+    if args.dummy_count is not None:
+        config = dc_replace(config, dummy_count=args.dummy_count)
+    if args.widen_bits is not None:
+        config = dc_replace(config, widen_bits=args.widen_bits)
+    if args.mix_pool is not None:
+        config = dc_replace(config, mix_pool_size=args.mix_pool)
+    if args.mix_delay is not None:
+        config = dc_replace(config, mix_delay_seconds=args.mix_delay)
 
     if args.mode == "both":
         print(fleet_table(scale, config).render())
@@ -255,6 +289,15 @@ def _command_fleet(args: argparse.Namespace) -> int:
     print(f"log evictions   : {report.log_entries_evicted}")
     if report.transport != "in-process":
         print(f"net failures    : {report.transport_failures}")
+    if report.privacy_policy != "none":
+        print(f"privacy policy  : {report.privacy_policy}")
+        print(f"client prefixes : {report.client_prefixes_sent} "
+              f"({report.client_dummy_prefixes_sent} cover traffic)")
+        print(f"bw overhead     : {report.bandwidth_overhead_ratio:.2f}")
+        print(f"k-anon (1 pfx)  : {report.single_prefix_k_anonymity:.2f}")
+        print(f"extra roundtrips: {report.client_extra_round_trips}")
+        if report.policy_delay_seconds:
+            print(f"policy delay    : {report.policy_delay_seconds:.1f}s")
     if report.adversary:
         print(f"tracked targets : {report.tracked_targets}")
         print(f"detections      : {report.tracking_detections}")

@@ -65,5 +65,14 @@ class AnalysisError(ReproError):
     """Raised by the privacy-analysis layer for invalid arguments."""
 
 
+class PolicyError(ReproError):
+    """Raised by the client-side privacy-defense policy layer.
+
+    Covers unknown policy names (the message lists the registered ones) and
+    invalid policy parameters (negative dummy counts, non-byte-aligned
+    widened prefixes, ...).
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness is configured inconsistently."""

@@ -1,0 +1,161 @@
+"""The Section 8 arms race at fleet scale: every defense vs. the adversary.
+
+The paper's closing argument is a cost/benefit analysis of client-side
+countermeasures: dummy queries raise the k-anonymity of a *single* prefix
+but do not survive multi-prefix tracking, while querying one prefix at a
+time degrades the provider's knowledge to the domain level at the price of
+extra round-trips.  This harness measures that argument end to end, against
+the PR 3 streaming adversary, over real fleet traffic:
+
+for each registered privacy policy it runs one adversarial fleet
+(``FleetConfig(adversary=True, privacy_policy=...)``) over *identical*
+streams and scores
+
+* the **adversary's degradation** — precision/recall of the
+  :class:`~repro.analysis.streaming.StreamingTrackingDetector` on the
+  planted (client, target) ground truth, relative to the undefended
+  baseline;
+* the **defender's gains** — the single-prefix k-anonymity factor (how much
+  cover traffic dilutes any one observed prefix);
+* the **costs** — bandwidth overhead ratio, extra round-trips, injected
+  delay.
+
+Verdict safety rides along for free: policies may reshape traffic but never
+verdicts, so every run's ``malicious_verdicts``/``local_hits`` must equal
+the baseline's (:func:`run_armsrace` asserts it — a policy that broke the
+client would be caught here before any privacy claim is made).
+
+``benchmarks/bench_armsrace.py`` runs this at MEDIUM scale, asserts the
+paper's headline finding (dummy queries: k-anonymity up, multi-prefix
+recall still ~1.0) and writes ``BENCH_armsrace.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ExperimentError
+from repro.experiments.fleet import FleetConfig, FleetReport, run_fleet
+from repro.experiments.scale import ExperimentContext, Scale, SMALL
+from repro.reporting.tables import Table
+from repro.safebrowsing.privacy import POLICY_FACTORIES
+
+#: Sweep order: the undefended baseline first (everything is scored
+#: against it), then the paper's two Section 8 defenses, then the two
+#: extrapolations this reproduction adds.
+ARMSRACE_POLICIES = ("none", "dummy", "one-prefix", "widen", "mix")
+
+
+@dataclass(frozen=True, slots=True)
+class ArmsRaceEntry:
+    """One policy's side of the arms race, scored against the baseline."""
+
+    policy: str
+    report: FleetReport
+    recall_degradation: float
+    precision_degradation: float
+
+    @property
+    def tracking_defeated(self) -> bool:
+        """Whether the multi-prefix tracker lost most of its recall."""
+        return self.report.tracking_recall <= 0.5
+
+
+def run_armsrace(scale: Scale = SMALL, config: FleetConfig | None = None, *,
+                 policies: tuple[str, ...] = ARMSRACE_POLICIES,
+                 context: ExperimentContext | None = None
+                 ) -> tuple[ArmsRaceEntry, ...]:
+    """Run the adversarial fleet once per policy and score the race.
+
+    The baseline (``"none"``) is always run — prepended if absent from
+    ``policies`` — because degradation is relative to it.  Every run uses
+    identical streams (same scale, same seed), so the only variable is the
+    defense.
+    """
+    unknown = [policy for policy in policies if policy not in POLICY_FACTORIES]
+    if unknown:
+        raise ExperimentError(
+            f"unknown privacy policies {unknown}; "
+            f"expected names from {sorted(POLICY_FACTORIES)}"
+        )
+    if "none" not in policies:
+        policies = ("none", *policies)
+    base = config if config is not None else FleetConfig()
+    base = replace(base, adversary=True)
+
+    reports = {
+        policy: run_fleet(scale, replace(base, privacy_policy=policy),
+                          context=context)
+        for policy in policies
+    }
+    baseline = reports["none"]
+    for policy, report in reports.items():
+        # The policy contract, enforced at fleet scale: traffic may change,
+        # verdicts may not.
+        if (report.malicious_verdicts, report.local_hits) != (
+                baseline.malicious_verdicts, baseline.local_hits):
+            raise ExperimentError(
+                f"policy {policy!r} changed fleet verdicts "
+                f"({report.malicious_verdicts} malicious / "
+                f"{report.local_hits} local hits vs. baseline "
+                f"{baseline.malicious_verdicts}/{baseline.local_hits}) — "
+                f"it is not a privacy policy, it is a bug"
+            )
+    return tuple(
+        ArmsRaceEntry(
+            policy=policy,
+            report=report,
+            recall_degradation=baseline.tracking_recall - report.tracking_recall,
+            precision_degradation=(baseline.tracking_precision
+                                   - report.tracking_precision),
+        )
+        for policy, report in reports.items()
+    )
+
+
+def armsrace_table(scale: Scale = SMALL, config: FleetConfig | None = None, *,
+                   context: ExperimentContext | None = None) -> Table:
+    """Render the arms race (the CLI's ``experiment armsrace``)."""
+    entries = run_armsrace(scale, config, context=context)
+    baseline = next(entry.report for entry in entries if entry.policy == "none")
+    table = Table(
+        title=(f"Section 8 arms race at fleet scale "
+               f"({scale.name}, {baseline.clients} clients, "
+               f"{baseline.tracked_targets} tracked targets)"),
+        columns=["policy", "recall", "precision", "k-anon (1 prefix)",
+                 "bandwidth overhead", "prefixes sent", "full-hash reqs",
+                 "extra round-trips"],
+    )
+    for entry in entries:
+        report = entry.report
+        table.add_row(
+            entry.policy,
+            report.tracking_recall,
+            report.tracking_precision,
+            report.single_prefix_k_anonymity,
+            report.bandwidth_overhead_ratio,
+            report.client_prefixes_sent,
+            report.client_full_hash_requests,
+            report.client_extra_round_trips,
+        )
+    dummy = next((entry for entry in entries if entry.policy == "dummy"), None)
+    if dummy is not None:
+        table.add_note(
+            "paper's Section 8 finding, reproduced online: dummy queries "
+            f"raise single-prefix k-anonymity to "
+            f"{dummy.report.single_prefix_k_anonymity:.1f}x but the "
+            f"multi-prefix tracker keeps recall "
+            f"{dummy.report.tracking_recall:.2f} (the real prefixes still "
+            "co-occur in one request)"
+        )
+    table.add_note(
+        "splitting defenses (one-prefix, widen) break prefix co-occurrence "
+        "and defeat the min-2-matches tracker — at the price of extra "
+        "round-trips or wider server responses"
+    )
+    table.add_note(
+        "verdict safety asserted: every policy run produced the baseline's "
+        f"{baseline.malicious_verdicts} malicious verdicts over identical "
+        "streams"
+    )
+    return table

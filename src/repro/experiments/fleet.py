@@ -43,6 +43,17 @@ though fleet runs rotate the bounded request log, and the report scores the
 detector's (client, target) pairs against the planted ground truth
 (precision/recall).  Detection runs on the shadow-prefix index, so the
 adversary's cost scales with the traffic, not the target count.
+
+**So does the defense.**  ``FleetConfig(privacy_policy=...)`` installs one
+of the registered client-side countermeasures
+(:mod:`repro.safebrowsing.privacy`) on every simulated client, and the
+report carries the fleet-wide bandwidth/latency accounting
+(``client_prefixes_sent``, ``client_dummy_prefixes_sent``,
+``bandwidth_overhead_ratio``, extra round-trips, injected delay).
+Combining ``adversary=True`` with a policy is the paper's Section 8 arms
+race at fleet scale; :mod:`repro.experiments.armsrace` sweeps every policy
+and scores the adversary's degradation against the bandwidth each defense
+costs.
 """
 
 from __future__ import annotations
@@ -59,11 +70,12 @@ from repro.analysis.streaming import StreamingTrackingDetector
 from repro.analysis.tracking import TrackingSystem
 from repro.clock import ManualClock
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
-from repro.exceptions import ExperimentError, TransportError
+from repro.exceptions import ExperimentError, PolicyError, TransportError
 from repro.experiments.scale import ExperimentContext, Scale, SMALL, get_context
 from repro.reporting.tables import Table
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.lists import ListProvider, lists_for_provider
+from repro.safebrowsing.privacy import build_policy
 from repro.safebrowsing.server import DEFAULT_RESPONSE_CACHE_SECONDS, SafeBrowsingServer
 from repro.safebrowsing.transport import TRANSPORT_KINDS
 
@@ -147,6 +159,15 @@ class FleetConfig:
         Fraction of each client's stream replaced by visits to tracked
         targets; every client plants at least one visit, so an adversary
         run always has ground truth to score against.
+    privacy_policy:
+        Client-side defense installed on every simulated client — a name
+        from :data:`repro.safebrowsing.privacy.POLICY_FACTORIES`
+        (``"none"`` keeps the undefended client).  Combined with
+        ``adversary=True`` this is the arms race: the streaming detector
+        scores against traffic the policy has reshaped.
+    dummy_count / widen_bits / mix_pool_size / mix_delay_seconds:
+        Parameters of the ``dummy`` / ``widen`` / ``mix`` policies (each
+        policy reads the ones it understands).
     """
 
     mode: str = "batched"
@@ -170,8 +191,27 @@ class FleetConfig:
     adversary: bool = False
     tracked_target_count: int | None = None
     tracked_visit_fraction: float = 0.02
+    privacy_policy: str = "none"
+    dummy_count: int = 4
+    widen_bits: int = 16
+    mix_pool_size: int = 8
+    mix_delay_seconds: float = 0.25
 
     def __post_init__(self) -> None:
+        # Policy name and parameters are validated by the policy layer
+        # itself (single source of truth): building each parameterized
+        # policy with this config's options surfaces any bad value,
+        # re-raised in the fleet's own error type.
+        try:
+            build_policy(self.privacy_policy)
+            build_policy("dummy", dummies_per_query=self.dummy_count)
+            # Fleet clients run the default 32-bit prefixes, so a widening
+            # width that cannot widen is rejected here, not mid-run.
+            build_policy("widen", widen_bits=self.widen_bits).validate_for(32)
+            build_policy("mix", mix_pool_size=self.mix_pool_size,
+                         mix_delay_seconds=self.mix_delay_seconds)
+        except PolicyError as exc:
+            raise ExperimentError(str(exc)) from exc
         if self.tracked_target_count is not None and self.tracked_target_count < 1:
             raise ExperimentError("tracked_target_count must be positive or None")
         if not (0.0 <= self.tracked_visit_fraction <= 1.0):
@@ -258,6 +298,44 @@ class FleetReport:
     #: carrying the sets themselves (equal counts or ratios would not
     #: distinguish different pair sets of the same size).
     tracking_pair_digest: str = ""
+    privacy_policy: str = "none"
+    client_prefixes_sent: int = 0
+    client_dummy_prefixes_sent: int = 0
+    client_full_hash_requests: int = 0
+    client_extra_round_trips: int = 0
+    policy_delay_seconds: float = 0.0
+
+    @property
+    def real_prefixes_sent(self) -> int:
+        """Prefixes sent that were genuine needs, not policy cover traffic."""
+        return self.client_prefixes_sent - self.client_dummy_prefixes_sent
+
+    @property
+    def bandwidth_overhead_ratio(self) -> float:
+        """Cover-traffic prefixes per real prefix sent.
+
+        ``0.0`` for a fleet that sent nothing (never ``inf``/NaN — these
+        ratios land in JSON artifacts written with ``allow_nan=False``).
+        """
+        real = self.real_prefixes_sent
+        if real <= 0:
+            return 0.0
+        return self.client_dummy_prefixes_sent / real
+
+    @property
+    def single_prefix_k_anonymity(self) -> float:
+        """Factor by which cover traffic dilutes a single observed prefix.
+
+        The provider cannot tell a real prefix from policy cover traffic,
+        so its confidence that any one received prefix is real is the
+        inverse of this factor (Section 8's single-prefix k-anonymity
+        argument).  ``1.0`` — no dilution — when nothing was sent, again
+        keeping JSON artifacts finite.
+        """
+        real = self.real_prefixes_sent
+        if real <= 0:
+            return 1.0
+        return self.client_prefixes_sent / real
 
     @property
     def cache_hit_rate(self) -> float:
@@ -353,10 +431,23 @@ class FleetSimulator:
                 failure_rate=config.failure_rate,
                 seed=f"fleet:{config.seed}:transport:{index}",
             )
+            name = f"fleet-client-{index:03d}"
+            # Policies are stateful (mixing pools, RNGs): one fresh instance
+            # per client, seeded by the client's name for determinism.
+            policy = None
+            if config.privacy_policy != "none":
+                policy = build_policy(
+                    config.privacy_policy,
+                    dummies_per_query=config.dummy_count,
+                    widen_bits=config.widen_bits,
+                    mix_pool_size=config.mix_pool_size,
+                    mix_delay_seconds=config.mix_delay_seconds,
+                    seed=f"fleet:{config.seed}:policy:{index}",
+                )
             clients.append(
-                SafeBrowsingClient(transport=transport,
-                                   name=f"fleet-client-{index:03d}",
-                                   config=client_config, clock=clock)
+                SafeBrowsingClient(transport=transport, name=name,
+                                   config=client_config, clock=clock,
+                                   privacy_policy=policy)
             )
         return clients
 
@@ -544,6 +635,17 @@ class FleetSimulator:
             tracking_precision=precision,
             tracking_recall=recall,
             tracking_pair_digest=pair_digest,
+            privacy_policy=config.privacy_policy,
+            client_prefixes_sent=sum(client.stats.prefixes_sent
+                                     for client in clients),
+            client_dummy_prefixes_sent=sum(client.stats.dummy_prefixes_sent
+                                           for client in clients),
+            client_full_hash_requests=sum(client.stats.full_hash_requests
+                                          for client in clients),
+            client_extra_round_trips=sum(client.stats.extra_round_trips
+                                         for client in clients),
+            policy_delay_seconds=sum(client.stats.policy_delay_seconds
+                                     for client in clients),
         )
 
 

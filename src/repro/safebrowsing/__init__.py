@@ -61,6 +61,17 @@ from repro.safebrowsing.transport import (
     TransportStats,
     build_transport,
 )
+from repro.safebrowsing.privacy import (
+    DummyQueryPolicy,
+    NoPolicy,
+    OnePrefixAtATimePolicy,
+    POLICY_FACTORIES,
+    POLICY_KINDS,
+    PrefixWideningPolicy,
+    PrivacyPolicy,
+    QueryMixingPolicy,
+    build_policy,
+)
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.backoff import UpdateScheduler
 from repro.safebrowsing.lookup_api import (
@@ -76,9 +87,18 @@ __all__ = [
     "ClientConfig",
     "CookieJar",
     "DomainReputationServer",
+    "DummyQueryPolicy",
     "LegacyLookupClient",
     "LegacyLookupServer",
+    "NoPolicy",
+    "OnePrefixAtATimePolicy",
+    "POLICY_FACTORIES",
+    "POLICY_KINDS",
+    "PrefixWideningPolicy",
+    "PrivacyPolicy",
+    "QueryMixingPolicy",
     "UpdateScheduler",
+    "build_policy",
     "FullHashRequest",
     "FullHashResponse",
     "GOOGLE_LISTS",

@@ -31,6 +31,14 @@ Everything the client sends crosses a
 with a bare server wraps it in the in-process transport (direct dispatch,
 the historical behaviour); passing ``transport=`` swaps in e.g. the
 simulated network, with no other change to the lookup flow.
+
+A client may also carry a **privacy policy**
+(:mod:`repro.safebrowsing.privacy`): every full-hash exchange — the moment
+either lookup path must resolve uncached locally-hitting prefixes — is then
+mediated by the policy, which decides what actually crosses the wire
+(padded with dummies, one prefix at a time, widened, mixed).  Policies may
+reshape traffic but never verdicts; with no policy set both paths keep
+their exact historical behaviour.
 """
 
 from __future__ import annotations
@@ -49,6 +57,12 @@ from repro.hashing.prefix import Prefix
 from repro.safebrowsing.backoff import UpdateScheduler
 from repro.safebrowsing.chunks import ChunkKind, ChunkRange
 from repro.safebrowsing.cookie import CookieJar, SafeBrowsingCookie
+from repro.safebrowsing.privacy import (
+    FullHashExchange,
+    PrivacyPolicy,
+    QueryGroup,
+    build_policy,
+)
 from repro.safebrowsing.protocol import (
     ClientStats,
     FullHashRequest,
@@ -156,7 +170,8 @@ class SafeBrowsingClient:
                  config: ClientConfig | None = None,
                  clock: Clock | None = None,
                  cookie: SafeBrowsingCookie | None = None,
-                 cookie_jar: CookieJar | None = None) -> None:
+                 cookie_jar: CookieJar | None = None,
+                 privacy_policy: PrivacyPolicy | str | None = None) -> None:
         # Everything the client sends crosses a Transport.  Passing a bare
         # server (the historical signature) wraps it in the in-process
         # transport, which preserves direct-call behaviour exactly.
@@ -176,6 +191,18 @@ class SafeBrowsingClient:
         server = self.server
         self.name = name
         self.config = config if config is not None else ClientConfig()
+        # The privacy-defense hook: every full-hash exchange (scalar and
+        # batched) is mediated by the policy when one is set.  A name is
+        # resolved through the policy registry; ``None`` keeps the exact
+        # undefended fast path.  Policy instances are stateful — one per
+        # client, never shared.
+        if isinstance(privacy_policy, str):
+            privacy_policy = build_policy(privacy_policy, seed=f"client:{name}")
+        if privacy_policy is not None:
+            # Fail loudly now rather than run a defense that silently
+            # degrades to a no-op at this client's prefix width.
+            privacy_policy.validate_for(self.config.prefix_bits)
+        self.privacy_policy = privacy_policy
         self.clock = clock if clock is not None else server.clock
         if cookie is not None:
             self.cookie = cookie
@@ -356,9 +383,19 @@ class SafeBrowsingClient:
         cached, missing = self._split_cached(local_hits)
         sent_prefixes: tuple[Prefix, ...] = ()
         if missing:
-            response = self._request_full_hashes(missing)
-            self._cache_response(missing, response)
-            sent_prefixes = tuple(missing)
+            if self.privacy_policy is None:
+                response = self._request_full_hashes(missing)
+                self._cache_response(missing, response)
+                sent_prefixes = tuple(missing)
+            else:
+                digest_by_prefix: dict[Prefix, FullHash] = {}
+                for expression, digest in digest_by_expression.items():
+                    digest_by_prefix.setdefault(
+                        prefix_by_expression[expression], digest)
+                sent_prefixes = tuple(self._run_policy_exchange([
+                    QueryGroup(prefixes=local_hits, missing=tuple(missing),
+                               digest_by_prefix=digest_by_prefix)
+                ]).sent)
         else:
             self.stats.cache_hits += 1
 
@@ -469,23 +506,65 @@ class SafeBrowsingClient:
                 safe_cache[url] = result
                 results[position] = result
                 continue
-            _, missing = self._split_cached(
-                [prefix for prefix in local_hits if prefix not in requested]
-            )
+            if self.privacy_policy is None:
+                # Cross-URL dedup: a prefix an earlier URL already put in
+                # the coalesced request is guaranteed to be fetched, so
+                # later URLs need not list it again.
+                candidates = [prefix for prefix in local_hits
+                              if prefix not in requested]
+            else:
+                # A policy may legitimately *withhold* a prefix another URL
+                # listed (the one-prefix early stop), so every URL's group
+                # must carry its own uncached hits; the exchange dedups the
+                # wire traffic instead.  Dropping a shared prefix here once
+                # returned SAFE for a blacklisted URL whose only evidence an
+                # earlier URL's early stop had withheld.
+                candidates = list(local_hits)
+            _, missing = self._split_cached(candidates)
             for prefix in missing:
                 requested[prefix] = None
             hitting.append((position, url, plan, local_hits, tuple(missing)))
 
-        # Stage 4: one coalesced full-hash request for the whole batch.
+        # Stage 4: one coalesced full-hash request for the whole batch — or,
+        # with a privacy policy set, one policy-mediated exchange carrying
+        # the per-URL needs (so batched lookups are defended exactly like
+        # scalar ones; the wrappers this layer replaced used to let
+        # check_urls bypass the mitigation entirely).
+        exchange: FullHashExchange | None = None
         if requested:
-            response = self._request_full_hashes(list(requested))
-            self._cache_response(list(requested), response)
+            if self.privacy_policy is None:
+                response = self._request_full_hashes(list(requested))
+                self._cache_response(list(requested), response)
+            else:
+                groups = []
+                for _, _, (_, decomps, _), local_hits, missing in hitting:
+                    if not missing:
+                        continue
+                    hashes = self._hashes_for(decomps)
+                    digest_by_prefix: dict[Prefix, FullHash] = {}
+                    for expression in decomps:
+                        digest, prefix = hashes[expression]
+                        digest_by_prefix.setdefault(prefix, digest)
+                    groups.append(QueryGroup(prefixes=local_hits,
+                                             missing=missing,
+                                             digest_by_prefix=digest_by_prefix))
+                exchange = self._run_policy_exchange(groups)
 
         # Stage 5: verdicts for the hitting URLs from the (now warm) cache.
-        for position, url, (canonical, decomps, _), local_hits, sent in hitting:
+        for position, url, (canonical, decomps, _), local_hits, missing in hitting:
             self.stats.local_hits += 1
-            if not sent:
+            if not missing:
                 self.stats.cache_hits += 1
+            if exchange is None:
+                sent = missing
+            else:
+                # Attribute the traffic the policy *actually* sent for this
+                # URL's prefixes (wire form: padded, widened, or withheld
+                # by an early stop) — never the plan.
+                sent = tuple(dict.fromkeys(
+                    wire for prefix in missing
+                    for wire in exchange.attributed_to(prefix)
+                ))
             hashes = self._hashes_for(decomps)
             matched_lists, matched_expressions = self._match_digests(
                 {expression: entry[0] for expression, entry in hashes.items()},
@@ -504,7 +583,7 @@ class SafeBrowsingClient:
                 sent_prefixes=sent,
                 matched_lists=matched_lists,
                 matched_expressions=matched_expressions,
-                served_from_cache=not sent,
+                served_from_cache=not missing,
             )
         # Trim at batch end so a limit of 0 means "nothing carries over":
         # within a batch the sharing is the whole point of the batched path.
@@ -568,6 +647,40 @@ class SafeBrowsingClient:
 
     # -- full-hash plumbing ---------------------------------------------------
 
+    def _run_policy_exchange(self, groups: Sequence[QueryGroup]) -> FullHashExchange:
+        """Let the privacy policy resolve one full-hash exchange.
+
+        Returns the finished exchange: ``exchange.sent`` is everything that
+        actually crossed the wire in send order (cover traffic included, the
+        scalar ``sent_prefixes``), and ``exchange.attributed_to`` maps each
+        needed prefix to its wire form for per-URL attribution on the
+        batched path.  Wire requests beyond the single coalesced request an
+        undefended client would have made are accounted as extra
+        round-trips.
+        """
+        exchange = FullHashExchange(self, groups)
+        self.privacy_policy.execute(exchange)
+        self.stats.extra_round_trips += max(0, exchange.requests_made - 1)
+        return exchange
+
+    def _store_full_hashes(self, prefix: Prefix,
+                           entries: Iterable[tuple[str, FullHash]]) -> None:
+        """Cache entries for one prefix on behalf of a privacy policy.
+
+        The widening policy queries a shorter prefix on the wire and filters
+        the superset response locally; what it stores here for the *real*
+        prefix is exactly what an undefended request would have cached.
+        """
+        self._full_hash_cache[prefix] = _CachedFullHashes(
+            entries=tuple(entries),
+            expires_at=self.clock.now() + self.config.full_hash_cache_seconds,
+        )
+
+    def _cached_digest_match(self, prefix: Prefix, digest: FullHash) -> bool:
+        """Whether the cache holds ``digest`` under ``prefix`` (confirmation)."""
+        entry = self._full_hash_cache.get(prefix)
+        return entry is not None and digest in entry.full_hashes
+
     def _split_cached(self, prefixes: Sequence[Prefix]) -> tuple[list[Prefix], list[Prefix]]:
         """Split prefixes into (still cached, must be requested)."""
         now = self.clock.now()
@@ -595,8 +708,10 @@ class SafeBrowsingClient:
     def send_raw_prefixes(self, prefixes: Sequence[Prefix]) -> FullHashResponse:
         """Send an explicit full-hash request outside a URL lookup.
 
-        Used by the mitigation layer (dummy queries, one-prefix-at-a-time)
-        which needs to control exactly which prefixes reach the provider.
+        Historically the hook the offline mitigation wrappers used; the
+        integrated policy layer goes through
+        :class:`~repro.safebrowsing.privacy.FullHashExchange` instead.  Kept
+        for experiments that probe the provider directly.
         """
         response = self._request_full_hashes(prefixes)
         self._cache_response(prefixes, response)

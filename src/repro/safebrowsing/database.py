@@ -20,6 +20,7 @@ must therefore support — go beyond a plain "insert malicious URL" API:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
@@ -63,6 +64,12 @@ class ListDatabase:
             bits=self.prefix_bits, backend=self.index_backend,
             shard_count=self.shard_count,
         )
+        # Sorted view of the populated bucket values for variable-width
+        # (wide) queries, rebuilt lazily when the version moves: wide
+        # matching is then a bisect + contiguous walk instead of a scan of
+        # every bucket per query.
+        self._wide_view: list[bytes] = []
+        self._wide_view_version = -1
 
     # -- content management ---------------------------------------------------
 
@@ -195,6 +202,50 @@ class ListDatabase:
     def full_hashes_for(self, prefix: Prefix) -> tuple[FullHash, ...]:
         """Full digests stored under ``prefix`` (empty for orphans)."""
         return tuple(sorted(self._full_hashes.get(prefix, set()), key=lambda fh: fh.digest))
+
+    def full_hashes_matching(self, prefix: Prefix) -> tuple[FullHash, ...]:
+        """Full digests whose own prefix is compatible with ``prefix``.
+
+        The variable-width counterpart of :meth:`full_hashes_for` (the
+        v4-style lookup the prefix-widening defense relies on):
+
+        * at the stored width, the exact bucket;
+        * a *shorter* (wider) query returns the union of every bucket whose
+          stored prefix starts with the queried bytes — a superset the
+          client filters locally;
+        * a *longer* query filters the owning bucket by the extra digest
+          bytes.
+
+        Prefixes are byte-aligned (multiples of 8 bits), so compatibility
+        is a plain byte-prefix comparison.
+        """
+        if prefix.bits == self.prefix_bits:
+            return self.full_hashes_for(prefix)
+        if prefix.bits < self.prefix_bits:
+            # Byte-prefix compatibility is a contiguous range in sorted
+            # order: bisect to the first candidate, walk while it matches.
+            view = self._populated_values()
+            matched: set[FullHash] = set()
+            for position in range(bisect_left(view, prefix.value), len(view)):
+                value = view[position]
+                if not value.startswith(prefix.value):
+                    break
+                matched.update(
+                    self._full_hashes[Prefix(value, self.prefix_bits)])
+            return tuple(sorted(matched, key=lambda fh: fh.digest))
+        stored = Prefix(prefix.value[: self.prefix_bits // 8], self.prefix_bits)
+        return tuple(full_hash for full_hash in self.full_hashes_for(stored)
+                     if full_hash.digest.startswith(prefix.value))
+
+    def _populated_values(self) -> list[bytes]:
+        """Sorted byte values of the populated buckets (wide-query view)."""
+        if self._wide_view_version != self.version:
+            self._wide_view = sorted(
+                stored.value for stored, bucket in self._full_hashes.items()
+                if bucket
+            )
+            self._wide_view_version = self.version
+        return self._wide_view
 
     def prefixes(self) -> PrefixSet:
         """Every prefix in the list (including orphans)."""

@@ -213,12 +213,25 @@ class LookupResult:
 
 @dataclass
 class ClientStats:
-    """Counters the client keeps about its own traffic (for experiments)."""
+    """Counters the client keeps about its own traffic (for experiments).
+
+    ``prefixes_sent`` counts *every* prefix that crossed the wire, cover
+    traffic included; ``dummy_prefixes_sent`` counts the cover-traffic
+    subset a privacy policy added (dummies, replayed mix prefixes), so
+    ``prefixes_sent - dummy_prefixes_sent`` is the client's real exposure.
+    ``extra_round_trips`` counts wire requests beyond the one coalesced
+    request an undefended lookup would have made (the one-prefix-at-a-time
+    policy's latency cost), and ``policy_delay_seconds`` accumulates the
+    artificial delay a policy injected on the clock.
+    """
 
     urls_checked: int = 0
     local_hits: int = 0
     full_hash_requests: int = 0
     prefixes_sent: int = 0
+    dummy_prefixes_sent: int = 0
+    extra_round_trips: int = 0
+    policy_delay_seconds: float = 0.0
     cache_hits: int = 0
     malicious_verdicts: int = 0
     extra_requests: dict[str, int] = field(default_factory=dict)

@@ -268,6 +268,10 @@ class ServerCore:
 
         matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]] = {}
         for prefix in key:
+            # Variable-width matching: a prefix shorter than the stored
+            # width (a widened privacy query) answers with the superset of
+            # every compatible bucket; the stored width stays an exact
+            # bucket lookup.
             matches_by_prefix[prefix] = tuple(
                 FullHashMatch(
                     list_name=database.descriptor.name,
@@ -275,7 +279,7 @@ class ServerCore:
                     full_hash=full_hash,
                 )
                 for database in self.database
-                for full_hash in database.full_hashes_for(prefix)
+                for full_hash in database.full_hashes_matching(prefix)
             )
         if ttl > 0:
             if len(self._response_cache) >= self.response_cache_entries:

@@ -22,6 +22,10 @@ EXAMPLES = [
     ("adversary_fleet_demo.py", ["streaming detections: 3", "rotated out",
                                  "precision        : 1.00",
                                  "recall           : 1.00"]),
+    ("armsrace_demo.py", ["prefixes on the wire : 10",
+                          "tracker detections   : 0",
+                          "Section 8 arms race at fleet scale",
+                          "paper's Section 8 finding"]),
 ]
 
 

@@ -1,0 +1,81 @@
+"""Unit tests for the Section 8 arms-race harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.armsrace import (
+    ARMSRACE_POLICIES,
+    ArmsRaceEntry,
+    armsrace_table,
+    run_armsrace,
+)
+from repro.experiments.fleet import FleetConfig
+from repro.experiments.scale import Scale
+
+#: Small enough for the unit suite, large enough that every client plants
+#: tracked visits and malicious traffic flows.
+TINY = Scale(
+    name="tiny-armsrace",
+    corpus_hosts=40,
+    blacklist_fraction=0.002,
+    stats_sites=10,
+    index_sites=10,
+    tracked_targets=3,
+    clients=2,
+    fleet_urls_per_client=30,
+    fleet_batch_size=10,
+)
+
+
+class TestRunArmsRace:
+    @pytest.fixture(scope="class")
+    def entries(self) -> tuple[ArmsRaceEntry, ...]:
+        return run_armsrace(TINY)
+
+    def test_sweeps_every_registered_policy(self, entries):
+        assert tuple(entry.policy for entry in entries) == ARMSRACE_POLICIES
+
+    def test_baseline_has_zero_degradation(self, entries):
+        baseline = next(entry for entry in entries if entry.policy == "none")
+        assert baseline.recall_degradation == 0.0
+        assert baseline.precision_degradation == 0.0
+        assert baseline.report.tracking_recall == 1.0
+
+    def test_splitting_policies_degrade_recall_fully(self, entries):
+        by_policy = {entry.policy: entry for entry in entries}
+        assert by_policy["one-prefix"].recall_degradation == 1.0
+        assert by_policy["one-prefix"].tracking_defeated
+        assert by_policy["widen"].recall_degradation == 1.0
+        assert by_policy["widen"].tracking_defeated
+
+    def test_padding_policies_do_not_degrade_recall(self, entries):
+        by_policy = {entry.policy: entry for entry in entries}
+        for policy in ("dummy", "mix"):
+            assert by_policy[policy].recall_degradation == 0.0
+            assert not by_policy[policy].tracking_defeated
+            assert by_policy[policy].report.bandwidth_overhead_ratio > 0.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_armsrace(TINY, policies=("none", "tor"))
+
+    def test_baseline_prepended_when_absent(self):
+        entries = run_armsrace(TINY, policies=("dummy",))
+        assert tuple(entry.policy for entry in entries) == ("none", "dummy")
+
+    def test_custom_config_carries_through(self):
+        entries = run_armsrace(
+            TINY, FleetConfig(dummy_count=2), policies=("dummy",))
+        dummy = next(entry for entry in entries if entry.policy == "dummy")
+        assert dummy.report.single_prefix_k_anonymity == pytest.approx(3.0)
+
+
+class TestArmsRaceTable:
+    def test_renders_with_conclusions(self):
+        rendered = armsrace_table(TINY).render()
+        assert "Section 8 arms race at fleet scale" in rendered
+        for policy in ARMSRACE_POLICIES:
+            assert policy in rendered
+        assert "verdict safety asserted" in rendered

@@ -73,6 +73,62 @@ class TestParser:
     def test_fleet_adversary_experiment_registered(self):
         assert "fleet-adversary" in _EXPERIMENTS
 
+    def test_fleet_policy_choices_mirror_policy_registry(self):
+        from repro.cli import _FLEET_POLICIES
+        from repro.safebrowsing.privacy import POLICY_FACTORIES
+
+        assert sorted(_FLEET_POLICIES) == sorted(POLICY_FACTORIES)
+
+    def test_fleet_rejects_unknown_policy_with_registered_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--privacy-policy", "tor"])
+        message = capsys.readouterr().err
+        # argparse's rejection must name every registered policy, so the
+        # user can correct the flag without reading the source.
+        for name in ("none", "dummy", "one-prefix", "widen", "mix"):
+            assert name in message
+
+    def test_fleet_policy_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fleet", "--privacy-policy", "dummy", "--dummy-count", "7",
+             "--widen-bits", "24", "--mix-pool", "3", "--mix-delay", "0.5"])
+        assert args.privacy_policy == "dummy"
+        assert args.dummy_count == 7
+        assert args.widen_bits == 24
+        assert args.mix_pool == 3
+        assert args.mix_delay == 0.5
+
+    def test_fleet_policy_defaults_off(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.privacy_policy == "none"
+        assert args.dummy_count is None
+        assert args.widen_bits is None
+        assert args.mix_pool is None
+        assert args.mix_delay is None
+
+    def test_fleet_policy_flags_reach_the_config(self):
+        from unittest import mock
+
+        from repro.experiments import fleet as fleet_module
+
+        captured = {}
+
+        def fake_run_fleet(scale, config):
+            captured["config"] = config
+            raise SystemExit(0)  # skip the actual simulation
+
+        with mock.patch.object(fleet_module, "run_fleet", fake_run_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched", "--privacy-policy", "mix",
+                      "--mix-pool", "5", "--mix-delay", "0.1"])
+        config = captured["config"]
+        assert config.privacy_policy == "mix"
+        assert config.mix_pool_size == 5
+        assert config.mix_delay_seconds == 0.1
+
+    def test_armsrace_experiment_registered(self):
+        assert "armsrace" in _EXPERIMENTS
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):

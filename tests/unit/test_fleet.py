@@ -72,6 +72,27 @@ class TestFleetConfig:
         with pytest.raises(ExperimentError):
             FleetConfig(tracked_visit_fraction=-0.1)
 
+    def test_unknown_privacy_policy_rejected_with_known_names(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            FleetConfig(privacy_policy="tor")
+        message = str(excinfo.value)
+        for name in ("none", "dummy", "one-prefix", "widen", "mix"):
+            assert name in message
+
+    def test_policy_parameters_validated(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(dummy_count=-1)
+        with pytest.raises(ExperimentError):
+            FleetConfig(widen_bits=12)
+        with pytest.raises(ExperimentError):
+            # At or above the clients' 32-bit width nothing is widened: a
+            # policy labelled "widen" that sends full prefixes must not run.
+            FleetConfig(widen_bits=32)
+        with pytest.raises(ExperimentError):
+            FleetConfig(mix_pool_size=-1)
+        with pytest.raises(ExperimentError):
+            FleetConfig(mix_delay_seconds=-0.5)
+
 
 class TestStreams:
     def test_streams_are_deterministic(self):
@@ -132,6 +153,57 @@ class TestRun:
         before = snapshot_server.stats.full_hash_requests
         simulator.run()
         assert snapshot_server.stats.full_hash_requests == before
+
+
+class TestPrivacyPolicyRuns:
+    @pytest.fixture(scope="class")
+    def policy_reports(self) -> dict[str, FleetReport]:
+        return {
+            policy: run_fleet(TINY, FleetConfig(adversary=True,
+                                                privacy_policy=policy))
+            for policy in ("none", "dummy", "one-prefix", "widen", "mix")
+        }
+
+    def test_no_policy_changes_fleet_verdicts(self, policy_reports):
+        baseline = policy_reports["none"]
+        for policy, report in policy_reports.items():
+            assert report.malicious_verdicts == baseline.malicious_verdicts, policy
+            assert report.local_hits == baseline.local_hits, policy
+            assert report.urls_checked == baseline.urls_checked, policy
+
+    def test_dummy_dilutes_single_prefix_but_not_tracking(self, policy_reports):
+        dummy = policy_reports["dummy"]
+        assert dummy.single_prefix_k_anonymity == pytest.approx(5.0)
+        assert dummy.bandwidth_overhead_ratio == pytest.approx(4.0)
+        assert dummy.tracking_recall == 1.0
+
+    def test_splitting_policies_defeat_the_tracker(self, policy_reports):
+        assert policy_reports["one-prefix"].tracking_recall == 0.0
+        assert policy_reports["widen"].tracking_recall == 0.0
+        assert policy_reports["one-prefix"].client_extra_round_trips > 0
+
+    def test_mixing_pays_bandwidth_and_delay_without_defeating(self, policy_reports):
+        mix = policy_reports["mix"]
+        assert mix.tracking_recall == 1.0
+        assert mix.client_dummy_prefixes_sent > 0
+        assert mix.policy_delay_seconds > 0.0
+
+    def test_report_carries_policy_accounting(self, policy_reports):
+        for policy, report in policy_reports.items():
+            assert report.privacy_policy == policy
+            assert report.client_full_hash_requests > 0
+            assert report.client_prefixes_sent >= report.client_dummy_prefixes_sent
+
+    def test_bandwidth_ratios_are_zero_safe(self):
+        # A fleet that sent nothing must report finite, JSON-safe ratios.
+        report = FleetReport(
+            mode="batched", scale="tiny", clients=0, urls_checked=0, rounds=0,
+            elapsed_seconds=0.0, urls_per_second=0.0, server_update_requests=0,
+            server_full_hash_requests=0, server_prefixes_received=0,
+            local_hits=0, cache_hits=0, malicious_verdicts=0,
+        )
+        assert report.bandwidth_overhead_ratio == 0.0
+        assert report.single_prefix_k_anonymity == 1.0
 
 
 class TestThroughputReporting:

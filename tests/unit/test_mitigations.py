@@ -127,6 +127,57 @@ class TestOnePrefixAtATimeClient:
         assert url_prefix("target.example.com/private/report.html") in result.sent_prefixes
 
 
+class TestPolicyPortRegression:
+    """The wrappers are now shims over the integrated policy layer.
+
+    Two guarantees must survive the port: the batched path is no longer a
+    bypass, and the Section 8 experiment's re-identification numbers are
+    bit-for-bit the wrapper era's (captured from the pre-port
+    implementation at SMALL scale).
+    """
+
+    def test_batched_path_no_longer_bypasses_dummy_queries(self, tracked_setup):
+        # The historical wrapper only intercepted lookup(): check_urls sent
+        # the bare prefixes.  The shim installs the policy on the client
+        # itself, so the batched request must be padded too.
+        clock, server, _ = tracked_setup
+        client = make_client(server, clock, "dummy-batched")
+        DummyQueryClient(client, dummies_per_query=4)
+        results = client.check_urls([TARGET])
+        assert results[0].verdict is Verdict.MALICIOUS
+        assert len(server.request_log[-1].prefixes) == 10
+        assert client.stats.dummy_prefixes_sent == 8
+
+    def test_batched_path_no_longer_bypasses_one_prefix(self, tracked_setup):
+        clock, server, _ = tracked_setup
+        client = make_client(server, clock, "careful-batched")
+        OnePrefixAtATimeClient(client)
+        results = client.check_urls([TARGET])
+        assert results[0].verdict is Verdict.MALICIOUS
+        assert server.request_log[-1].prefixes == (url_prefix("example.com/"),)
+
+    def test_compare_mitigations_numbers_pinned_across_port(self):
+        # Golden numbers from the pre-port wrapper implementation (SMALL
+        # scale): the port may change plumbing, not the Section 8 result.
+        from repro.experiments.mitigation_comparison import run_mitigation_experiment
+
+        experiment = run_mitigation_experiment()
+        dummy = experiment.dummy_comparison
+        assert dummy.urls_evaluated == 5
+        assert (dummy.baseline_url_rate, dummy.mitigated_url_rate) == (1.0, 1.0)
+        assert (dummy.baseline_domain_rate, dummy.mitigated_domain_rate) == (1.0, 1.0)
+        assert dummy.average_prefixes_sent_baseline == pytest.approx(2.0)
+        assert dummy.average_prefixes_sent_mitigated == pytest.approx(10.0)
+
+        one_prefix = experiment.one_prefix_comparison
+        assert one_prefix.urls_evaluated == 5
+        assert (one_prefix.baseline_url_rate, one_prefix.mitigated_url_rate) == (1.0, 0.0)
+        assert (one_prefix.baseline_domain_rate,
+                one_prefix.mitigated_domain_rate) == (1.0, 1.0)
+        assert one_prefix.average_prefixes_sent_baseline == pytest.approx(2.0)
+        assert one_prefix.average_prefixes_sent_mitigated == pytest.approx(1.0)
+
+
 class TestComparisonHarness:
     def test_compare_mitigations_structure(self, tracked_setup):
         clock, server, engine = tracked_setup
