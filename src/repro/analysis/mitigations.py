@@ -1,29 +1,29 @@
-"""Countermeasures discussed in the paper (Section 8).
+"""Deprecation shims and scoring for the Section 8 countermeasures.
 
-Two mitigations are analyzed:
+The mitigations themselves — dummy queries, one-prefix-at-a-time, prefix
+widening, query mixing — live in the first-class policy layer
+(:mod:`repro.safebrowsing.privacy`, PR 4), installed directly on
+:class:`SafeBrowsingClient` so *both* lookup paths (scalar ``lookup`` and
+batched ``check_urls``) are defended.  This module keeps two things:
 
-* **Dummy queries** (Firefox-style): every real full-hash request is
-  accompanied by deterministically chosen dummy prefixes, raising the
-  k-anonymity of a *single* prefix.  The paper notes the mitigation does not
-  survive multiple prefixes, because the probability that two given prefixes
-  are included as dummies of the same request is negligible — the
-  re-identification experiment below reproduces that conclusion.
-* **One-prefix-at-a-time**: when several decompositions hit the local
-  database, query only the prefix of the root decomposition first and the
-  deeper ones only if needed; the provider then learns the domain but not
-  the full URL.
-
-Both now live in the first-class policy layer
-(:mod:`repro.safebrowsing.privacy`), installed directly on
-:class:`SafeBrowsingClient` so that *both* lookup paths are defended — the
-historical wrapper classes here only intercepted the scalar ``lookup`` and
-let the batched ``check_urls`` bypass the mitigation entirely.
-:class:`DummyQueryClient` and :class:`OnePrefixAtATimeClient` remain as thin
-deprecation shims over that layer (same constructor, same ``lookup``
-surface, same re-identification numbers — pinned by a regression test), and
-:func:`compare_mitigations` still measures the effect on the
-re-identification rate with the same engine used against the unprotected
-client.
+* **Deprecation shims** — :class:`DummyQueryClient` and
+  :class:`OnePrefixAtATimeClient` preserve the historical wrapper API
+  (same constructors, same ``lookup`` surface) by installing the
+  corresponding policy on the wrapped client.  Unlike the wrappers they
+  replaced, the installed policy also covers ``check_urls``, which the
+  wrapper era silently let bypass the mitigation.  The Section 8
+  re-identification numbers were pinned across the port by a regression
+  test (``tests/unit/test_mitigations.py``); new code should pass
+  ``privacy_policy="dummy"`` / ``"one-prefix"`` (or a policy instance) to
+  :class:`SafeBrowsingClient` directly.
+* **Scoring** — :func:`compare_mitigations` turns two lookup traces
+  (baseline vs. mitigated) into a :class:`MitigationComparison` of
+  re-identification rates, using the same
+  :class:`~repro.analysis.reidentification.ReidentificationEngine` that
+  attacks the unprotected client.  The harness that drives it is
+  :mod:`repro.experiments.mitigation_comparison`; the fleet-scale
+  arms race (:mod:`repro.experiments.armsrace`) supersedes it for the
+  full policy × adversary sweep.
 """
 
 from __future__ import annotations
@@ -55,6 +55,8 @@ class DummyQueryClient:
     """
 
     def __init__(self, client: SafeBrowsingClient, *, dummies_per_query: int = 4) -> None:
+        """Install a dummy-query policy (``dummies_per_query`` per prefix)
+        on ``client`` and keep the historical wrapper surface."""
         if dummies_per_query < 0:
             raise AnalysisError("dummies_per_query must be non-negative")
         self.client = client
@@ -81,6 +83,7 @@ class OnePrefixAtATimeClient:
     """
 
     def __init__(self, client: SafeBrowsingClient) -> None:
+        """Install a one-prefix-at-a-time policy on ``client``."""
         self.client = client
         self.policy = OnePrefixAtATimePolicy()
         client.privacy_policy = self.policy

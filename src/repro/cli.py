@@ -17,6 +17,11 @@ often, without writing Python:
 ``python -m repro fleet [--scale NAME] [--mode MODE] ...``
     Run the fleet traffic simulator (N clients, one server, one shared
     clock) and print per-mode throughput, server traffic and cache rates.
+    ``--churn FRACTION [--restart-interval N] [--cold-restart]`` restarts
+    clients mid-simulation and reports the sync bandwidth warm starts save.
+``python -m repro snapshot save|load PATH``
+    Persist a provisioned server database to the versioned snapshot format,
+    or verify (checksum, format version) and summarize an existing snapshot.
 """
 
 from __future__ import annotations
@@ -60,7 +65,7 @@ _EXPERIMENTS: dict[str, str] = {
 #: Store backends offered by ``repro fleet``.  Mirrors the keys of
 #: ``repro.safebrowsing.client._STORE_BACKENDS`` (kept in sync by a unit
 #: test) so building the parser does not import the safebrowsing stack.
-_FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "raw", "sorted-array")
+_FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "mmap", "raw", "sorted-array")
 
 #: Transport kinds offered by ``repro fleet``.  Mirrors
 #: ``repro.safebrowsing.transport.TRANSPORT_KINDS`` (kept in sync by a unit
@@ -175,6 +180,33 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-request delay for --privacy-policy mix "
                             "(default 0.25)")
+    fleet.add_argument("--churn", type=float, default=None, metavar="FRACTION",
+                       help="fraction of the fleet restarted at every churn "
+                            "point (enables client churn)")
+    fleet.add_argument("--restart-interval", type=int, default=None,
+                       metavar="ROUNDS",
+                       help="rounds between churn points (default 1 when "
+                            "--churn is given)")
+    fleet.add_argument("--cold-restart", action="store_true",
+                       help="restarted clients cold-start empty instead of "
+                            "warm-starting from a snapshot")
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="save or inspect a persistent database snapshot")
+    snapshot_commands = snapshot.add_subparsers(dest="snapshot_command",
+                                                required=True)
+    snapshot_save = snapshot_commands.add_parser(
+        "save", help="provision a server at scale and snapshot its database")
+    snapshot_save.add_argument("path", help="file to write the snapshot to")
+    snapshot_save.add_argument("--provider", choices=["google", "yandex"],
+                               default="google",
+                               help="whose lists to provision (default google)")
+    snapshot_save.add_argument("--scale", choices=["small", "medium"],
+                               default="small",
+                               help="workload size (default small)")
+    snapshot_load = snapshot_commands.add_parser(
+        "load", help="verify a snapshot (checksum, version) and summarize it")
+    snapshot_load.add_argument("path", help="snapshot file to inspect")
 
     return parser
 
@@ -269,6 +301,20 @@ def _command_fleet(args: argparse.Namespace) -> int:
         config = dc_replace(config, mix_pool_size=args.mix_pool)
     if args.mix_delay is not None:
         config = dc_replace(config, mix_delay_seconds=args.mix_delay)
+    if args.churn is not None:
+        # --churn implies a restart cadence: default to every round unless
+        # --restart-interval names one (an explicit invalid value like 0 is
+        # passed through so FleetConfig rejects it rather than being
+        # silently rewritten).
+        interval = (1 if args.restart_interval is None
+                    else args.restart_interval)
+        config = dc_replace(config, churn_fraction=args.churn,
+                            restart_interval=interval,
+                            warm_start=not args.cold_restart)
+    elif args.restart_interval is not None or args.cold_restart:
+        print("error: --restart-interval/--cold-restart require --churn",
+              file=sys.stderr)
+        return 2
 
     if args.mode == "both":
         print(fleet_table(scale, config).render())
@@ -287,6 +333,13 @@ def _command_fleet(args: argparse.Namespace) -> int:
     print(f"server cache    : {report.server_cache_hit_rate:.4f}")
     print(f"malicious       : {report.malicious_verdicts}")
     print(f"log evictions   : {report.log_entries_evicted}")
+    if report.client_restarts:
+        kind = "warm" if report.warm_start else "cold"
+        print(f"client restarts : {report.client_restarts} ({kind})")
+        print(f"resumed prefixes: {report.warm_start_prefixes_resumed}")
+        print(f"sync prefixes   : {report.client_update_prefixes_received}")
+        print(f"sync saved      : "
+              f"{report.warm_start_bandwidth_saved_fraction:.2%}")
     if report.transport != "in-process":
         print(f"net failures    : {report.transport_failures}")
     if report.privacy_policy != "none":
@@ -308,6 +361,38 @@ def _command_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_snapshot(args: argparse.Namespace) -> int:
+    from repro.experiments.scale import MEDIUM, SMALL, get_context
+    from repro.safebrowsing.lists import ListProvider
+    from repro.safebrowsing.snapshot import inspect_snapshot, save_server_snapshot
+
+    if args.snapshot_command == "save":
+        provider = (ListProvider.GOOGLE if args.provider == "google"
+                    else ListProvider.YANDEX)
+        scale = SMALL if args.scale == "small" else MEDIUM
+        server = get_context(scale).provision_server(provider)
+        path = save_server_snapshot(server, args.path)
+        info = inspect_snapshot(path)
+        print(f"wrote {path} ({info.payload_bytes} payload bytes)")
+        print(f"lists           : {len(info.lists)}")
+        print(f"total prefixes  : {info.total_prefixes}")
+        return 0
+
+    info = inspect_snapshot(args.path)
+    print(f"kind            : {info.kind}")
+    print(f"format version  : {info.format_version}")
+    print(f"checksum        : OK")
+    print(f"prefix bits     : {info.prefix_bits}")
+    print(f"backend         : {info.backend}")
+    if info.kind == "server":
+        print(f"shard count     : {info.shard_count}")
+    print(f"payload bytes   : {info.payload_bytes}")
+    print(f"total prefixes  : {info.total_prefixes}")
+    for name, count in info.lists:
+        print(f"  {name}: {count}")
+    return 0
+
+
 _COMMANDS = {
     "canonicalize": _command_canonicalize,
     "decompose": _command_decompose,
@@ -315,6 +400,7 @@ _COMMANDS = {
     "track": _command_track,
     "experiment": _command_experiment,
     "fleet": _command_fleet,
+    "snapshot": _command_snapshot,
 }
 
 

@@ -16,6 +16,12 @@ The server side builds on the same interface: :class:`ShardedPrefixIndex`
 partitions any registered backend by leading prefix byte so the provider's
 per-list membership indexes scale horizontally (the storage layer of the
 sharded server core).
+
+The persistence layer (:mod:`repro.safebrowsing.snapshot`) adds
+:class:`MmapSortedArrayStore`: the same exact sorted-array semantics, but
+the baseline values live in any zero-copy buffer — in particular a
+memory-mapped snapshot file, so a restarted client warm-starts without
+deserializing its prefix database.
 """
 
 from repro.datastructures.store import PrefixStore, RawPrefixStore
@@ -23,6 +29,7 @@ from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT, ShardedPrefixIndex
 from repro.datastructures.bloom import BloomFilter, BloomPrefixStore, optimal_bloom_parameters
 from repro.datastructures.delta import DeltaCodedTable, DeltaCodedPrefixStore
+from repro.datastructures.mmapped import MmapSortedArrayStore
 from repro.datastructures.memory import MemoryReport, STORE_FACTORIES, store_memory_report
 
 __all__ = [
@@ -32,6 +39,7 @@ __all__ = [
     "DeltaCodedPrefixStore",
     "DeltaCodedTable",
     "MemoryReport",
+    "MmapSortedArrayStore",
     "PrefixStore",
     "RawPrefixStore",
     "STORE_FACTORIES",

@@ -102,6 +102,31 @@ class BloomFilter:
         """Size of the serialized bit array in bytes."""
         return len(self._bits)
 
+    def bit_bytes(self) -> bytes:
+        """The serialized bit array (the persistence layer's payload)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_state(cls, capacity: int, false_positive_rate: float,
+                   count: int, bits: bytes) -> "BloomFilter":
+        """Rebuild a filter from its serialized state.
+
+        ``capacity`` and ``false_positive_rate`` deterministically fix the
+        array geometry, so a ``bits`` payload of the wrong length means the
+        state does not belong to this geometry and raises
+        :class:`~repro.exceptions.DataStructureError`.
+        """
+        restored = cls(capacity, false_positive_rate)
+        if len(bits) != len(restored._bits):
+            raise DataStructureError(
+                f"Bloom state of {len(bits)} bytes does not fit a filter of "
+                f"capacity {capacity} at rate {false_positive_rate} "
+                f"(expected {len(restored._bits)} bytes)"
+            )
+        restored._bits = bytearray(bits)
+        restored._count = count
+        return restored
+
     def estimated_false_positive_rate(self) -> float:
         """Estimate the current false-positive rate from the fill ratio."""
         ones = sum(bin(byte).count("1") for byte in self._bits)
@@ -153,3 +178,17 @@ class BloomPrefixStore(PrefixStore):
     def filter(self) -> BloomFilter:
         """The underlying Bloom filter (read-only access for reporting)."""
         return self._filter
+
+    @classmethod
+    def from_filter(cls, filter: BloomFilter, bits: int = 32, *,
+                    size: int = 0) -> "BloomPrefixStore":
+        """Wrap a rebuilt :class:`BloomFilter` (the persistence restore path).
+
+        ``size`` is the logical entry count the store should report (a Bloom
+        filter cannot recount its members from the bit array alone).
+        """
+        store = cls((), bits, capacity=filter.capacity,
+                    false_positive_rate=filter.false_positive_rate)
+        store._filter = filter
+        store._size = size
+        return store

@@ -14,18 +14,21 @@ from dataclasses import dataclass
 
 from repro.datastructures.bloom import BloomPrefixStore
 from repro.datastructures.delta import DeltaCodedPrefixStore
+from repro.datastructures.mmapped import MmapSortedArrayStore
 from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.store import PrefixStore, RawPrefixStore
 from repro.hashing.prefix import Prefix
 
 #: Factories for the stores compared in Table 2 (keyed by the row name used
 #: in the paper), plus the packed sorted-array store added for the batched
-#: lookup pipeline (identical serialized size to the "raw" row).
+#: lookup pipeline (identical serialized size to the "raw" row) and the
+#: mapped-baseline store the persistence layer warm-starts from.
 STORE_FACTORIES: dict[str, Callable[[Iterable[Prefix], int], PrefixStore]] = {
     "raw": lambda prefixes, bits: RawPrefixStore(prefixes, bits),
     "delta-coded": lambda prefixes, bits: DeltaCodedPrefixStore(prefixes, bits),
     "bloom": lambda prefixes, bits: BloomPrefixStore(prefixes, bits),
     "sorted-array": lambda prefixes, bits: SortedArrayPrefixStore(prefixes, bits),
+    "mmap": lambda prefixes, bits: MmapSortedArrayStore(prefixes, bits),
 }
 
 

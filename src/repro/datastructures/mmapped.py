@@ -1,0 +1,220 @@
+"""A prefix store that answers lookups straight off a mapped snapshot.
+
+:class:`MmapSortedArrayStore` is the warm-start backend of the persistence
+layer (:mod:`repro.safebrowsing.snapshot`): its baseline is an immutable,
+sorted, packed run of raw prefix values — by construction exactly the byte
+layout a snapshot file stores — held behind any buffer supporting zero-copy
+slicing (a ``bytes`` object, or an :mod:`mmap` view of a snapshot file on
+disk).  Restoring a client database therefore costs **no deserialization at
+all**: the store binary-searches the mapped bytes in place, so a restarted
+client is answering :meth:`contains_many` probes the moment the file is
+mapped, and the operating system pages the prefix array in lazily as the
+lookups touch it.
+
+The store stays a full :class:`~repro.datastructures.store.PrefixStore`:
+the baseline is immutable, but an **overlay** (a sorted list of added values
+plus a set of tombstones over the baseline) absorbs add/sub chunks applied
+after the warm start, so an updated client never needs to rewrite the
+mapped file mid-session.  Membership semantics are exact and identical to
+:class:`~repro.datastructures.sorted_array.SortedArrayPrefixStore` — the
+property suites pin the two backends to byte-for-byte equal answers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from collections.abc import Iterable, Iterator
+
+from repro.datastructures.store import PrefixStore
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+
+class MmapSortedArrayStore(PrefixStore):
+    """Sorted packed prefix baseline (possibly memory-mapped) + overlay.
+
+    Built either from an iterable of prefixes (the registry-factory path:
+    the baseline is packed into an in-memory ``bytes`` run) or, via
+    :meth:`from_buffer`, over an existing buffer such as an ``mmap`` of a
+    snapshot file (the zero-copy warm-start path).
+    """
+
+    approximate = False
+
+    def __init__(self, prefixes: Iterable[Prefix] = (), bits: int = 32) -> None:
+        """Pack ``prefixes`` (deduplicated, sorted) into an in-memory baseline."""
+        super().__init__(bits)
+        values = sorted({self._check(prefix).value for prefix in prefixes})
+        self._base: bytes | memoryview = b"".join(values)
+        self._base_count = len(values)
+        # Overlay: values added on top of the immutable baseline, and
+        # baseline values tombstoned by discard().  Invariants: _added holds
+        # only values absent from the baseline; _removed only values present
+        # in it — so len() is a pure count, never a rescan.
+        self._added: list[bytes] = []
+        self._removed: set[bytes] = set()
+        self._keep_alive: object | None = None
+
+    @classmethod
+    def from_buffer(cls, buffer, offset: int, count: int, bits: int = 32, *,
+                    keep_alive: object | None = None) -> "MmapSortedArrayStore":
+        """Wrap ``count`` sorted packed values found at ``buffer[offset:]``.
+
+        Parameters
+        ----------
+        buffer:
+            Any object supporting zero-copy ``memoryview`` slicing — an
+            ``mmap.mmap`` over a snapshot file, or plain ``bytes``.
+        offset, count:
+            Where the packed run starts and how many values it holds.
+        bits:
+            Prefix width; each value occupies ``bits // 8`` bytes.
+        keep_alive:
+            Optional object (the ``mmap``, an open file) kept referenced for
+            the store's lifetime so the mapping cannot be closed under it.
+
+        Returns the store; raises
+        :class:`~repro.exceptions.DataStructureError` when the buffer is too
+        short for the claimed run.
+        """
+        store = cls((), bits)
+        width = bits // 8
+        end = offset + count * width
+        view = memoryview(buffer)
+        if end > len(view):
+            raise DataStructureError(
+                f"buffer of {len(view)} bytes cannot hold {count} values of "
+                f"{width} bytes at offset {offset}"
+            )
+        store._base = view[offset:end]
+        store._base_count = count
+        store._keep_alive = keep_alive
+        return store
+
+    # -- baseline search -------------------------------------------------------
+
+    def _base_value(self, index: int) -> bytes:
+        width = self._bits // 8
+        return bytes(self._base[index * width:(index + 1) * width])
+
+    def _base_index(self, raw: bytes, low: int = 0) -> int:
+        """Leftmost baseline position whose value is >= ``raw``."""
+        high = self._base_count
+        while low < high:
+            mid = (low + high) // 2
+            if self._base_value(mid) < raw:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _in_base(self, raw: bytes) -> bool:
+        index = self._base_index(raw)
+        return index < self._base_count and self._base_value(index) == raw
+
+    def _in_added(self, raw: bytes) -> bool:
+        index = bisect_left(self._added, raw)
+        return index < len(self._added) and self._added[index] == raw
+
+    # -- PrefixStore interface -------------------------------------------------
+
+    def add(self, prefix: Prefix) -> None:
+        """Insert one prefix (into the overlay; the baseline is immutable)."""
+        raw = self._check(prefix).value
+        if self._in_base(raw):
+            self._removed.discard(raw)
+        elif not self._in_added(raw):
+            insort(self._added, raw)
+
+    def discard(self, prefix: Prefix) -> None:
+        """Remove one prefix if present (tombstoning baseline values)."""
+        raw = self._check(prefix).value
+        index = bisect_left(self._added, raw)
+        if index < len(self._added) and self._added[index] == raw:
+            del self._added[index]
+        elif self._in_base(raw):
+            self._removed.add(raw)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        raw = self._check(prefix).value
+        if self._in_added(raw):
+            return True
+        return self._in_base(raw) and raw not in self._removed
+
+    def __len__(self) -> int:
+        return self._base_count - len(self._removed) + len(self._added)
+
+    def __iter__(self) -> Iterator[Prefix]:
+        """Yield every live prefix in sorted order (baseline ∪ overlay)."""
+        added = self._added
+        added_pos = 0
+        for index in range(self._base_count):
+            raw = self._base_value(index)
+            while added_pos < len(added) and added[added_pos] < raw:
+                yield Prefix(added[added_pos], self._bits)
+                added_pos += 1
+            if raw not in self._removed:
+                yield Prefix(raw, self._bits)
+        for raw in added[added_pos:]:
+            yield Prefix(raw, self._bits)
+
+    def memory_bytes(self) -> int:
+        """Serialized size: the raw ``n * bits / 8`` layout (Table 2 metric)."""
+        return len(self) * (self._bits // 8)
+
+    def values(self) -> list[int]:
+        """The sorted integer values of the stored prefixes."""
+        return [prefix.to_int() for prefix in self]
+
+    # -- bulk operations -------------------------------------------------------
+
+    def contains_many(self, prefixes: Iterable[Prefix]) -> int:
+        """Batched membership bitmask, searched directly over the mapped run.
+
+        Probes are processed in sorted order so each baseline binary search
+        resumes from the previous probe's lower bound (the same locality
+        trick as the packed in-memory store), touching only the mapped pages
+        the batch actually lands on.
+        """
+        probes = [(self._check(prefix).value, position)
+                  for position, prefix in enumerate(prefixes)]
+        if not probes:
+            return 0
+        probes.sort()
+        bitmask = 0
+        low = 0
+        previous_raw: bytes | None = None
+        previous_hit = False
+        for raw, position in probes:
+            if raw == previous_raw:
+                if previous_hit:
+                    bitmask |= 1 << position
+                continue
+            index = self._base_index(raw, low)
+            low = index
+            hit = (index < self._base_count and self._base_value(index) == raw
+                   and raw not in self._removed)
+            if not hit and self._in_added(raw):
+                hit = True
+            previous_raw = raw
+            previous_hit = hit
+            if hit:
+                bitmask |= 1 << position
+        return bitmask
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def baseline_count(self) -> int:
+        """Number of values served straight from the mapped baseline."""
+        return self._base_count
+
+    @property
+    def overlay_count(self) -> int:
+        """Number of overlay mutations (additions + tombstones) applied."""
+        return len(self._added) + len(self._removed)
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether the baseline is a borrowed buffer (e.g. an ``mmap`` view)."""
+        return isinstance(self._base, memoryview)

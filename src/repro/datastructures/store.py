@@ -31,6 +31,7 @@ class PrefixStore(ABC):
     approximate: bool = False
 
     def __init__(self, bits: int = 32) -> None:
+        """``bits``: prefix width, a multiple of 8 in [8, 256]."""
         if bits % 8 != 0 or not (8 <= bits <= 256):
             raise DataStructureError(f"unsupported prefix width: {bits}")
         self._bits = bits
@@ -108,6 +109,7 @@ class RawPrefixStore(PrefixStore):
     approximate = False
 
     def __init__(self, prefixes: Iterable[Prefix] = (), bits: int = 32) -> None:
+        """Build the store over ``prefixes`` (deduplicated) at width ``bits``."""
         super().__init__(bits)
         # Bulk construction sorts once instead of inserting one by one, which
         # matters when loading a full blacklist (hundreds of thousands of
@@ -117,12 +119,14 @@ class RawPrefixStore(PrefixStore):
         )
 
     def add(self, prefix: Prefix) -> None:
+        """Insert one prefix, keeping the array sorted (no-op if present)."""
         value = self._check(prefix).to_int()
         index = bisect.bisect_left(self._values, value)
         if index >= len(self._values) or self._values[index] != value:
             self._values.insert(index, value)
 
     def discard(self, prefix: Prefix) -> None:
+        """Remove one prefix if present (no-op otherwise)."""
         value = self._check(prefix).to_int()
         index = bisect.bisect_left(self._values, value)
         if index < len(self._values) and self._values[index] == value:
@@ -141,6 +145,7 @@ class RawPrefixStore(PrefixStore):
             yield Prefix.from_int(value, self._bits)
 
     def memory_bytes(self) -> int:
+        """Serialized size: ``n * bits / 8`` bytes (Table 2's raw-data row)."""
         return len(self._values) * (self._bits // 8)
 
     def values(self) -> list[int]:

@@ -74,5 +74,16 @@ class PolicyError(ReproError):
     """
 
 
+class SnapshotError(ReproError):
+    """Raised by the persistence layer for unusable snapshot files.
+
+    Every failure mode is loud and typed — a truncated file, a checksum
+    mismatch, an unknown format version, or a snapshot written for a
+    different store backend / prefix width / list set than the one it is
+    being restored into.  The message always states what was expected and
+    what was found; a snapshot is never partially loaded.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness is configured inconsistently."""

@@ -44,6 +44,19 @@ detector's (client, target) pairs against the planted ground truth
 (precision/recall).  Detection runs on the shadow-prefix index, so the
 adversary's cost scales with the traffic, not the target count.
 
+**And the fleet churns.**  ``FleetConfig(churn_fraction=...,
+restart_interval=...)`` restarts a deterministic subset of the clients
+every ``restart_interval`` rounds, the way a real deployment loses and
+regains browsers mid-day.  A restarting client is replaced by a fresh
+instance with the same name (hence the same cookie); with ``warm_start``
+(the default) it saves a snapshot (:mod:`repro.safebrowsing.snapshot`) and
+the replacement restores it, so its next update poll transfers only the
+chunks committed since — ``FleetReport`` accounts the sync bandwidth the
+snapshots absorbed (``warm_start_prefixes_resumed`` vs
+``client_update_prefixes_received``), and
+``benchmarks/bench_warm_start.py`` asserts warm restarts transfer strictly
+less than cold ones.
+
 **So does the defense.**  ``FleetConfig(privacy_policy=...)`` installs one
 of the registered client-side countermeasures
 (:mod:`repro.safebrowsing.privacy`) on every simulated client, and the
@@ -59,9 +72,11 @@ costs.
 from __future__ import annotations
 
 import hashlib
+import tempfile
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -168,6 +183,20 @@ class FleetConfig:
     dummy_count / widen_bits / mix_pool_size / mix_delay_seconds:
         Parameters of the ``dummy`` / ``widen`` / ``mix`` policies (each
         policy reads the ones it understands).
+    churn_fraction:
+        Fraction of the fleet restarted at every churn point (``0``
+        disables churn).  A restarting client is torn down and replaced by
+        a fresh instance with the same name (hence the same cookie), as a
+        browser restart would.
+    restart_interval:
+        Rounds between churn points; required positive when
+        ``churn_fraction > 0``.
+    warm_start:
+        ``True`` (default): a restarting client saves a snapshot and the
+        replacement restores it, so its next poll fetches only newer
+        chunks.  ``False``: the replacement cold-starts empty and
+        re-downloads its lists — the baseline the warm-start benchmark
+        compares against.
     """
 
     mode: str = "batched"
@@ -196,6 +225,9 @@ class FleetConfig:
     widen_bits: int = 16
     mix_pool_size: int = 8
     mix_delay_seconds: float = 0.25
+    churn_fraction: float = 0.0
+    restart_interval: int = 0
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         # Policy name and parameters are validated by the policy layer
@@ -248,6 +280,15 @@ class FleetConfig:
             raise ExperimentError("zipf_exponent must be positive")
         if self.round_seconds < 0:
             raise ExperimentError("round_seconds must be non-negative")
+        if not (0.0 <= self.churn_fraction <= 1.0):
+            raise ExperimentError("churn_fraction must be in [0, 1]")
+        if self.restart_interval < 0:
+            raise ExperimentError("restart_interval must be non-negative")
+        if self.churn_fraction > 0 and self.restart_interval == 0:
+            raise ExperimentError(
+                "churn_fraction > 0 requires a positive restart_interval "
+                "(rounds between churn points)"
+            )
 
 
 def _throughput(urls_checked: int, elapsed_seconds: float) -> float:
@@ -304,6 +345,30 @@ class FleetReport:
     client_full_hash_requests: int = 0
     client_extra_round_trips: int = 0
     policy_delay_seconds: float = 0.0
+    churn_fraction: float = 0.0
+    restart_interval: int = 0
+    warm_start: bool = True
+    client_restarts: int = 0
+    #: Prefixes the restarted clients resumed from their snapshots instead
+    #: of re-downloading (0 for cold restarts — that is the saving).
+    warm_start_prefixes_resumed: int = 0
+    #: Fleet-wide sync bandwidth: every prefix carried by update-protocol
+    #: chunks, across original and restarted clients.
+    client_update_prefixes_received: int = 0
+    client_update_requests: int = 0
+
+    @property
+    def warm_start_bandwidth_saved_fraction(self) -> float:
+        """Fraction of would-be sync traffic the snapshots absorbed.
+
+        Resumed prefixes over (resumed + actually transferred); ``0.0``
+        for a fleet that neither resumed nor transferred anything, keeping
+        the JSON artifacts finite.
+        """
+        total = self.warm_start_prefixes_resumed + self.client_update_prefixes_received
+        if total <= 0:
+            return 0.0
+        return self.warm_start_prefixes_resumed / total
 
     @property
     def real_prefixes_sent(self) -> int:
@@ -369,6 +434,9 @@ class FleetSimulator:
 
     def __init__(self, scale: Scale = SMALL, config: FleetConfig | None = None,
                  *, context: ExperimentContext | None = None) -> None:
+        """``scale`` sizes the workload, ``config`` shapes the fleet's
+        behaviour, and ``context`` (defaulting to the scale's cached
+        :func:`get_context`) supplies the shared corpora and snapshots."""
         self.scale = scale
         self.config = config if config is not None else FleetConfig()
         self._context = context if context is not None else get_context(scale)
@@ -400,56 +468,60 @@ class FleetSimulator:
 
         The context's cached snapshot server keeps its own clock and is
         shared by other experiments, so the fleet provisions its own server
-        from the snapshot's ground truth instead of mutating shared state.
+        (via :meth:`ExperimentContext.provision_server`) instead of
+        mutating shared state.
         """
-        snapshot = self._context.snapshot(self.config.provider)
         config = self.config
-        server = SafeBrowsingServer(lists_for_provider(config.provider),
-                                    clock=clock,
-                                    shard_count=config.shard_count,
-                                    response_cache_seconds=config.server_cache_seconds,
-                                    max_log_entries=config.max_log_entries)
-        for list_name, expressions in snapshot.ground_truth.items():
-            if expressions:
-                server.blacklist(list_name, expressions)
-        return server
+        return self._context.provision_server(
+            config.provider, clock=clock,
+            shard_count=config.shard_count,
+            response_cache_seconds=config.server_cache_seconds,
+            max_log_entries=config.max_log_entries,
+        )
 
-    def build_clients(self, server: SafeBrowsingServer,
-                      clock: ManualClock) -> list[SafeBrowsingClient]:
-        """One client per ``scale.clients``, each behind its own transport."""
+    def _build_client(self, server: SafeBrowsingServer, clock: ManualClock,
+                      index: int) -> SafeBrowsingClient:
+        """One fleet client behind its own transport (also the restart path).
+
+        Construction is a pure function of the fleet config and ``index``,
+        so a churn restart produces a client with the same name (hence the
+        same deterministic cookie — a browser restart keeps its identity),
+        the same transport seed and a fresh policy instance.
+        """
         config = self.config
         client_config = ClientConfig(
             store_backend=config.store_backend,
             update_jitter_fraction=config.update_jitter_fraction,
         )
-        clients = []
-        for index in range(self.scale.clients):
-            transport = self._context.transport_for(
-                server, kind=config.transport,
-                latency_seconds=config.latency_seconds,
-                jitter_seconds=config.latency_jitter_seconds,
-                failure_rate=config.failure_rate,
-                seed=f"fleet:{config.seed}:transport:{index}",
+        transport = self._context.transport_for(
+            server, kind=config.transport,
+            latency_seconds=config.latency_seconds,
+            jitter_seconds=config.latency_jitter_seconds,
+            failure_rate=config.failure_rate,
+            seed=f"fleet:{config.seed}:transport:{index}",
+        )
+        name = f"fleet-client-{index:03d}"
+        # Policies are stateful (mixing pools, RNGs): one fresh instance
+        # per client, seeded by the client's name for determinism.
+        policy = None
+        if config.privacy_policy != "none":
+            policy = build_policy(
+                config.privacy_policy,
+                dummies_per_query=config.dummy_count,
+                widen_bits=config.widen_bits,
+                mix_pool_size=config.mix_pool_size,
+                mix_delay_seconds=config.mix_delay_seconds,
+                seed=f"fleet:{config.seed}:policy:{index}",
             )
-            name = f"fleet-client-{index:03d}"
-            # Policies are stateful (mixing pools, RNGs): one fresh instance
-            # per client, seeded by the client's name for determinism.
-            policy = None
-            if config.privacy_policy != "none":
-                policy = build_policy(
-                    config.privacy_policy,
-                    dummies_per_query=config.dummy_count,
-                    widen_bits=config.widen_bits,
-                    mix_pool_size=config.mix_pool_size,
-                    mix_delay_seconds=config.mix_delay_seconds,
-                    seed=f"fleet:{config.seed}:policy:{index}",
-                )
-            clients.append(
-                SafeBrowsingClient(transport=transport, name=name,
-                                   config=client_config, clock=clock,
-                                   privacy_policy=policy)
-            )
-        return clients
+        return SafeBrowsingClient(transport=transport, name=name,
+                                  config=client_config, clock=clock,
+                                  privacy_policy=policy)
+
+    def build_clients(self, server: SafeBrowsingServer,
+                      clock: ManualClock) -> list[SafeBrowsingClient]:
+        """One client per ``scale.clients``, each behind its own transport."""
+        return [self._build_client(server, clock, index)
+                for index in range(self.scale.clients)]
 
     def client_stream(self, index: int) -> list[str]:
         """The deterministic URL stream of client ``index``.
@@ -542,6 +614,37 @@ class FleetSimulator:
         detector.watch_many(decisions)
         return detector.attach(server)
 
+    def _restart_clients(self, clients: list[SafeBrowsingClient],
+                         server: SafeBrowsingServer, clock: ManualClock,
+                         round_index: int, snapshot_dir: Path,
+                         retired_stats: list) -> tuple[int, int]:
+        """Churn: restart a deterministic subset of the fleet in place.
+
+        Each chosen client is torn down (its stats retired so fleet totals
+        survive the restart) and replaced by a fresh instance with the same
+        name/cookie.  With ``warm_start`` the old client's snapshot is saved
+        and restored into the replacement, so its next poll is incremental;
+        otherwise the replacement cold-starts empty.  Returns ``(restarts,
+        prefixes resumed from snapshots)``.
+        """
+        config = self.config
+        rng = np.random.default_rng([config.seed, round_index, 0xC4A8])
+        count = min(len(clients),
+                    max(1, round(config.churn_fraction * len(clients))))
+        chosen = sorted(int(index) for index in
+                        rng.choice(len(clients), size=count, replace=False))
+        resumed = 0
+        for client_index in chosen:
+            old = clients[client_index]
+            retired_stats.append(old.stats)
+            replacement = self._build_client(server, clock, client_index)
+            if config.warm_start:
+                path = snapshot_dir / f"client-{client_index:03d}.snap"
+                old.save_snapshot(path)
+                resumed += replacement.restore_snapshot(path)
+            clients[client_index] = replacement
+        return len(chosen), resumed
+
     def run(self) -> FleetReport:
         """Build the fleet, replay every stream, and measure."""
         config = self.config
@@ -556,30 +659,53 @@ class FleetSimulator:
         length = self.scale.fleet_urls_per_client
         rounds = (length + batch_size - 1) // batch_size
 
+        churn_enabled = config.churn_fraction > 0 and config.restart_interval > 0
+        snapshot_tmp = (tempfile.TemporaryDirectory(prefix="fleet-snapshots-")
+                        if churn_enabled else None)
+        retired_stats: list = []
+        client_restarts = 0
+        warm_start_prefixes_resumed = 0
+
         transport_failures = 0
         urls_checked = 0
         started = time.perf_counter()
-        for round_index in range(rounds):
-            start = round_index * batch_size
-            stop = min(start + batch_size, length)
-            for client, stream in zip(clients, streams):
-                batch = stream[start:stop]
-                try:
-                    if config.mode == "batched":
-                        urls_checked += len(client.check_urls(batch))
-                    else:
-                        for url in batch:
-                            client.check_url(url)
-                            urls_checked += 1
-                except TransportError:
-                    # An injected network failure loses the rest of this
-                    # client's batch (a real browser would retry later); the
-                    # fleet carries on, as the deployed service does under
-                    # partial outages.  Only URLs whose check *completed*
-                    # count as checked, whichever endpoint failed.
-                    transport_failures += 1
-            clock.advance(config.round_seconds)
+        try:
+            for round_index in range(rounds):
+                start = round_index * batch_size
+                stop = min(start + batch_size, length)
+                for client, stream in zip(clients, streams):
+                    batch = stream[start:stop]
+                    try:
+                        if config.mode == "batched":
+                            urls_checked += len(client.check_urls(batch))
+                        else:
+                            for url in batch:
+                                client.check_url(url)
+                                urls_checked += 1
+                    except TransportError:
+                        # An injected network failure loses the rest of this
+                        # client's batch (a real browser would retry later);
+                        # the fleet carries on, as the deployed service does
+                        # under partial outages.  Only URLs whose check
+                        # *completed* count as checked, whichever endpoint
+                        # failed.
+                        transport_failures += 1
+                clock.advance(config.round_seconds)
+                # Churn between rounds (never after the last: a restart
+                # nothing observes would only skew the accounting).
+                if (churn_enabled and round_index + 1 < rounds
+                        and (round_index + 1) % config.restart_interval == 0):
+                    restarts, resumed = self._restart_clients(
+                        clients, server, clock, round_index,
+                        Path(snapshot_tmp.name), retired_stats,
+                    )
+                    client_restarts += restarts
+                    warm_start_prefixes_resumed += resumed
+        finally:
+            if snapshot_tmp is not None:
+                snapshot_tmp.cleanup()
         elapsed = time.perf_counter() - started
+        all_stats = [client.stats for client in clients] + retired_stats
 
         detections = 0
         detected_pairs: set[tuple[int, str]] = set()
@@ -617,10 +743,10 @@ class FleetSimulator:
             server_update_requests=server.stats.update_requests,
             server_full_hash_requests=server.stats.full_hash_requests,
             server_prefixes_received=server.stats.prefixes_received,
-            local_hits=sum(client.stats.local_hits for client in clients),
-            cache_hits=sum(client.stats.cache_hits for client in clients),
-            malicious_verdicts=sum(client.stats.malicious_verdicts
-                                   for client in clients),
+            local_hits=sum(stats.local_hits for stats in all_stats),
+            cache_hits=sum(stats.cache_hits for stats in all_stats),
+            malicious_verdicts=sum(stats.malicious_verdicts
+                                   for stats in all_stats),
             transport=config.transport,
             shard_count=config.shard_count,
             server_cache_hits=server.stats.response_cache_hits,
@@ -636,16 +762,25 @@ class FleetSimulator:
             tracking_recall=recall,
             tracking_pair_digest=pair_digest,
             privacy_policy=config.privacy_policy,
-            client_prefixes_sent=sum(client.stats.prefixes_sent
-                                     for client in clients),
-            client_dummy_prefixes_sent=sum(client.stats.dummy_prefixes_sent
-                                           for client in clients),
-            client_full_hash_requests=sum(client.stats.full_hash_requests
-                                          for client in clients),
-            client_extra_round_trips=sum(client.stats.extra_round_trips
-                                         for client in clients),
-            policy_delay_seconds=sum(client.stats.policy_delay_seconds
-                                     for client in clients),
+            client_prefixes_sent=sum(stats.prefixes_sent
+                                     for stats in all_stats),
+            client_dummy_prefixes_sent=sum(stats.dummy_prefixes_sent
+                                           for stats in all_stats),
+            client_full_hash_requests=sum(stats.full_hash_requests
+                                          for stats in all_stats),
+            client_extra_round_trips=sum(stats.extra_round_trips
+                                         for stats in all_stats),
+            policy_delay_seconds=sum(stats.policy_delay_seconds
+                                     for stats in all_stats),
+            churn_fraction=config.churn_fraction,
+            restart_interval=config.restart_interval,
+            warm_start=config.warm_start,
+            client_restarts=client_restarts,
+            warm_start_prefixes_resumed=warm_start_prefixes_resumed,
+            client_update_prefixes_received=sum(
+                stats.update_prefixes_received for stats in all_stats),
+            client_update_requests=sum(stats.update_requests
+                                       for stats in all_stats),
         )
 
 

@@ -153,6 +153,33 @@ class ExperimentContext:
             self._url_pools[corpus_label] = tuple(corpus.all_urls())
         return self._url_pools[corpus_label]
 
+    def provision_server(self, provider: ListProvider, *, clock=None,
+                         **server_kwargs):
+        """A fresh server provisioned with this scale's blacklist snapshot.
+
+        Builds a :class:`~repro.safebrowsing.server.SafeBrowsingServer` over
+        ``provider``'s lists and blacklists the cached snapshot's ground
+        truth — the one provisioning sequence shared by the fleet
+        simulator, the CLI's ``snapshot save`` and the benchmarks, so the
+        three can never drift apart.  ``clock`` and any extra keyword
+        arguments (``shard_count``, ``response_cache_seconds``, ...) are
+        forwarded to the server constructor.  The context's own cached
+        snapshot server is never returned: callers get a private instance
+        they may freely mutate.
+        """
+        # Imported lazily: scale.py is imported by analysis-only paths that
+        # never need the full server stack.
+        from repro.safebrowsing.lists import lists_for_provider
+        from repro.safebrowsing.server import SafeBrowsingServer
+
+        snapshot = self.snapshot(provider)
+        server = SafeBrowsingServer(lists_for_provider(provider),
+                                    clock=clock, **server_kwargs)
+        for list_name, expressions in snapshot.ground_truth.items():
+            if expressions:
+                server.blacklist(list_name, expressions)
+        return server
+
     def transport_for(self, server, kind: str = "in-process", *,
                       latency_seconds: float = 0.05,
                       jitter_seconds: float = 0.0,

@@ -74,6 +74,15 @@ from repro.safebrowsing.privacy import (
 )
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.backoff import UpdateScheduler
+from repro.safebrowsing.snapshot import (
+    SnapshotInfo,
+    inspect_snapshot,
+    load_server,
+    load_server_database,
+    restore_client_snapshot,
+    save_client_snapshot,
+    save_server_snapshot,
+)
 from repro.safebrowsing.lookup_api import (
     DomainReputationServer,
     LegacyLookupClient,
@@ -116,6 +125,7 @@ __all__ = [
     "ServerDatabase",
     "ServerStats",
     "SimulatedNetworkTransport",
+    "SnapshotInfo",
     "Transport",
     "TransportStats",
     "UpdateRequest",
@@ -124,5 +134,11 @@ __all__ = [
     "build_transport",
     "YANDEX_LISTS",
     "get_list",
+    "inspect_snapshot",
     "lists_for_provider",
+    "load_server",
+    "load_server_database",
+    "restore_client_snapshot",
+    "save_client_snapshot",
+    "save_server_snapshot",
 ]

@@ -46,9 +46,12 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro.clock import Clock, ManualClock
 from repro.datastructures.bloom import BloomPrefixStore
 from repro.datastructures.delta import DeltaCodedPrefixStore
+from repro.datastructures.mmapped import MmapSortedArrayStore
 from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.store import PrefixStore, RawPrefixStore
 from repro.exceptions import UpdateError
@@ -84,6 +87,7 @@ _STORE_BACKENDS = {
     "bloom": BloomPrefixStore,
     "raw": RawPrefixStore,
     "sorted-array": SortedArrayPrefixStore,
+    "mmap": MmapSortedArrayStore,
 }
 
 
@@ -95,7 +99,9 @@ class ClientConfig:
     ----------
     store_backend:
         ``"delta-coded"`` (the deployed choice), ``"bloom"`` (the pre-2012
-        Chromium choice) or ``"raw"``.
+        Chromium choice), ``"raw"``, ``"sorted-array"`` (packed, batched
+        lookups) or ``"mmap"`` (sorted-array semantics served off a mapped
+        snapshot baseline — the zero-copy warm-start backend).
     prefix_bits:
         Width of the local prefixes (32 in the deployed service).
     decomposition_policy:
@@ -144,9 +150,11 @@ class _CachedFullHashes:
 
     @property
     def full_hashes(self) -> tuple[FullHash, ...]:
+        """The cached digests, list attribution stripped."""
         return tuple(full_hash for _, full_hash in self.entries)
 
     def lists_for(self, digest: FullHash) -> tuple[str, ...]:
+        """Names of the lists that served ``digest``, first-seen order."""
         return tuple(dict.fromkeys(name for name, full_hash in self.entries
                                    if full_hash == digest))
 
@@ -172,6 +180,36 @@ class SafeBrowsingClient:
                  cookie: SafeBrowsingCookie | None = None,
                  cookie_jar: CookieJar | None = None,
                  privacy_policy: PrivacyPolicy | str | None = None) -> None:
+        """Build a client bound to one server (or transport).
+
+        Parameters
+        ----------
+        server:
+            The provider to talk to — a bare :class:`ServerCore` (wrapped
+            in the in-process transport) or an explicit
+            :class:`~repro.safebrowsing.transport.Transport`.
+        name:
+            Stable client name; seeds the cookie, the update scheduler and
+            any per-client policy RNG, so runs are reproducible.
+        transport:
+            Alternative to ``server``: the boundary to send through
+            (mutually exclusive with passing a transport as ``server``).
+        lists:
+            List names to subscribe to; defaults to every URL-keyed
+            (shavar) list the server serves.
+        config:
+            A :class:`ClientConfig` (store backend, prefix width, cache
+            and scheduling knobs); defaults apply otherwise.
+        clock:
+            Time source; defaults to the server's clock so client and
+            server share one logical timeline.
+        cookie / cookie_jar:
+            The Safe Browsing cookie to attach to every request, or a jar
+            to issue one from (derived deterministically from ``name``).
+        privacy_policy:
+            A :class:`~repro.safebrowsing.privacy.PrivacyPolicy` instance
+            or registry name; ``None`` keeps the exact undefended path.
+        """
         # Everything the client sends crosses a Transport.  Passing a bare
         # server (the historical signature) wraps it in the in-process
         # transport, which preserves direct-call behaviour exactly.
@@ -276,11 +314,20 @@ class SafeBrowsingClient:
         )
         request = UpdateRequest(cookie=self.cookie, states=states,
                                 timestamp=self.clock.now())
+        self.stats.update_requests += 1
         try:
             response = self.transport.send_update(request)
         except Exception:
             self.scheduler.record_error(self.clock.now())
             raise
+        # Sync-bandwidth accounting: every prefix carried by the response's
+        # chunks counts, whether or not applying them later succeeds — the
+        # bytes crossed the wire either way.  The warm-start benchmark
+        # compares this counter between cold and restored clients.
+        for update in response.updates:
+            for chunk in update.add_chunks + update.sub_chunks:
+                self.stats.chunks_received += 1
+                self.stats.update_prefixes_received += len(chunk.prefixes)
         try:
             applied = self._apply_update(response)
         except Exception:
@@ -345,6 +392,35 @@ class SafeBrowsingClient:
 
     def _local_hit(self, prefix: Prefix) -> bool:
         return any(prefix in state.store for state in self._lists.values())
+
+    # -- persistence (snapshot + warm start) -----------------------------------
+
+    def save_snapshot(self, path: str | Path) -> Path:
+        """Persist the local database (stores + chunk ranges) to ``path``.
+
+        Writes the versioned, checksummed snapshot format of
+        :mod:`repro.safebrowsing.snapshot`; volatile state (full-hash cache,
+        memos, scheduler backoff) is not persisted.  Returns the path
+        written.
+        """
+        from repro.safebrowsing.snapshot import save_client_snapshot
+
+        return save_client_snapshot(self, path)
+
+    def restore_snapshot(self, path: str | Path) -> int:
+        """Warm-start this client from a snapshot written by :meth:`save_snapshot`.
+
+        The snapshot must match this client's store backend, prefix width
+        and subscribed lists (:class:`~repro.exceptions.SnapshotError`
+        otherwise — never a partial load).  Afterwards the next
+        :meth:`update` fetches only the chunks committed since the snapshot,
+        which is the whole point: a restarted client resyncs incrementally
+        instead of re-downloading its lists.  Returns the number of
+        restored prefixes.
+        """
+        from repro.safebrowsing.snapshot import restore_client_snapshot
+
+        return restore_client_snapshot(self, path)
 
     # -- lookup flow (Figure 3) ----------------------------------------------
 

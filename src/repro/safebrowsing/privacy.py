@@ -123,6 +123,12 @@ class FullHashExchange:
 
     def __init__(self, client: "SafeBrowsingClient",
                  groups: Sequence[QueryGroup]) -> None:
+        """Bind an exchange to its owning client.
+
+        ``client`` supplies the transport, caches and stats the levers
+        route through; ``groups`` carries one :class:`QueryGroup` per URL
+        that needs resolving.
+        """
         self._client = client
         self.groups = tuple(groups)
         #: Every prefix that crossed the wire, in send order (what the
@@ -283,6 +289,7 @@ class NoPolicy(PrivacyPolicy):
     name = "none"
 
     def execute(self, exchange: FullHashExchange) -> None:
+        """Send the needed prefixes verbatim in one coalesced request."""
         needed = exchange.needed
         if needed:
             exchange.send(needed)
@@ -299,6 +306,7 @@ class DummyQueryPolicy(PrivacyPolicy):
     name = "dummy"
 
     def __init__(self, *, dummies_per_query: int = 4) -> None:
+        """``dummies_per_query``: cover prefixes added per real prefix."""
         if dummies_per_query < 0:
             raise PolicyError("dummies_per_query must be non-negative")
         self.dummies_per_query = dummies_per_query
@@ -312,6 +320,7 @@ class DummyQueryPolicy(PrivacyPolicy):
         return dummies
 
     def execute(self, exchange: FullHashExchange) -> None:
+        """Send one request with every needed prefix and its dummies."""
         needed = exchange.needed
         if not needed:
             return
@@ -339,6 +348,8 @@ class OnePrefixAtATimePolicy(PrivacyPolicy):
     name = "one-prefix"
 
     def execute(self, exchange: FullHashExchange) -> None:
+        """Walk each URL root-first, one wire request per revealed prefix,
+        stopping as soon as a queried decomposition is confirmed."""
         fetched: set[Prefix] = set()
         for group in exchange.groups:
             missing = set(group.missing)
@@ -367,6 +378,7 @@ class PrefixWideningPolicy(PrivacyPolicy):
     name = "widen"
 
     def __init__(self, *, widen_bits: int = 16) -> None:
+        """``widen_bits``: width (multiple of 8) actually revealed on the wire."""
         if widen_bits % 8 != 0 or widen_bits < 8:
             raise PolicyError(
                 f"widen_bits must be a positive multiple of 8, got {widen_bits}"
@@ -374,6 +386,7 @@ class PrefixWideningPolicy(PrivacyPolicy):
         self.widen_bits = widen_bits
 
     def validate_for(self, prefix_bits: int) -> None:
+        """Reject widths that cannot widen a ``prefix_bits`` client's queries."""
         if self.widen_bits >= prefix_bits:
             raise PolicyError(
                 f"widen_bits={self.widen_bits} does not widen anything for a "
@@ -387,6 +400,7 @@ class PrefixWideningPolicy(PrivacyPolicy):
         return Prefix(prefix.value[: bits // 8], bits)
 
     def execute(self, exchange: FullHashExchange) -> None:
+        """Send the widened forms, then cache only locally-matching digests."""
         needed = exchange.needed
         if not needed:
             return
@@ -422,6 +436,8 @@ class QueryMixingPolicy(PrivacyPolicy):
 
     def __init__(self, *, pool_size: int = 8, delay_seconds: float = 0.25,
                  seed: int | str = 0) -> None:
+        """``pool_size`` replayed prefixes and ``delay_seconds`` of clock
+        delay per exchange; ``seed`` fixes the per-client shuffle."""
         if pool_size < 0:
             raise PolicyError("pool_size must be non-negative")
         if delay_seconds < 0:
@@ -434,6 +450,7 @@ class QueryMixingPolicy(PrivacyPolicy):
         self._rng: random.Random | None = None
 
     def execute(self, exchange: FullHashExchange) -> None:
+        """Delay, then send needed + replayed prefixes in shuffled order."""
         needed = exchange.needed
         if not needed:
             return

@@ -223,6 +223,12 @@ class ClientStats:
     request an undefended lookup would have made (the one-prefix-at-a-time
     policy's latency cost), and ``policy_delay_seconds`` accumulates the
     artificial delay a policy injected on the clock.
+
+    The update-protocol counters measure sync bandwidth:
+    ``update_requests`` counts download polls, ``chunks_received`` the
+    chunks those polls carried, and ``update_prefixes_received`` the
+    prefixes inside them — the quantity a warm start (restoring a snapshot
+    and fetching only newer chunks) saves over a cold start.
     """
 
     urls_checked: int = 0
@@ -234,6 +240,9 @@ class ClientStats:
     policy_delay_seconds: float = 0.0
     cache_hits: int = 0
     malicious_verdicts: int = 0
+    update_requests: int = 0
+    chunks_received: int = 0
+    update_prefixes_received: int = 0
     extra_requests: dict[str, int] = field(default_factory=dict)
 
     def record_extra(self, label: str, count: int = 1) -> None:

@@ -39,6 +39,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.clock import Clock, ManualClock
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
@@ -365,6 +366,20 @@ class ServerCore:
     def list_names(self) -> tuple[str, ...]:
         """Names of the lists this server serves."""
         return self.database.list_names
+
+    # -- persistence -----------------------------------------------------------
+
+    def save_snapshot(self, path: str | Path) -> Path:
+        """Persist the served database to a snapshot file; returns the path.
+
+        Captures the durable content (lists, full-hash buckets, orphans,
+        chunk history, versions) — not the volatile serving state (request
+        log, response cache, counters).  Restore with
+        :func:`repro.safebrowsing.snapshot.load_server`.
+        """
+        from repro.safebrowsing.snapshot import save_server_snapshot
+
+        return save_server_snapshot(self, path)
 
 
 class SafeBrowsingServer(ServerCore):

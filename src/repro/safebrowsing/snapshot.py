@@ -1,0 +1,779 @@
+"""Persistent snapshots: save and warm-start client and server databases.
+
+The paper's privacy analysis only makes sense because Safe Browsing clients
+keep their prefix database *across sessions* — the deployed clients persist
+the delta-coded table on disk and resync with incremental add/sub chunks
+instead of re-downloading the lists on every start.  This module gives the
+reproduction the same property end to end:
+
+* a **versioned binary snapshot format** (magic, kind, format version,
+  payload length, SHA-256 checksum) that serializes any client database
+  (every registered store backend, chunk ranges) and any
+  :class:`~repro.safebrowsing.database.ServerDatabase` (full-hash buckets,
+  orphans, expressions, the whole add/sub chunk history, shard layout);
+* **warm start**: :func:`restore_client_snapshot` reloads a freshly
+  constructed :class:`~repro.safebrowsing.client.SafeBrowsingClient` so its
+  next update poll fetches only the chunks committed since the snapshot —
+  and with the ``"mmap"`` store backend the restored stores answer
+  :meth:`contains_many` straight off a memory-mapped view of the snapshot
+  file, with zero deserialization
+  (:class:`~repro.datastructures.mmapped.MmapSortedArrayStore`);
+* **loud failure**: every unusable snapshot — truncated, checksum mismatch,
+  unknown format version, wrong kind, or written for a different backend /
+  prefix width / list set — raises a typed
+  :class:`~repro.exceptions.SnapshotError` stating what was expected and
+  what was found.  A snapshot is never partially applied: restores stage
+  everything before mutating the target.
+
+The fleet simulator builds on this for churn
+(``FleetConfig(churn_fraction=..., restart_interval=...)``), the CLI exposes
+``snapshot save|load``, and ``benchmarks/bench_warm_start.py`` measures the
+update bandwidth a warm start saves over a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import struct
+from collections.abc import Iterable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.datastructures.bloom import BloomFilter, BloomPrefixStore
+from repro.datastructures.mmapped import MmapSortedArrayStore
+from repro.datastructures.store import PrefixStore
+from repro.exceptions import SnapshotError
+from repro.hashing.digests import FullHash
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import Chunk, ChunkKind
+from repro.safebrowsing.database import ListDatabase, ServerDatabase
+from repro.safebrowsing.lists import ListDescriptor, ListProvider, ThreatCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (client imports us)
+    from repro.clock import Clock
+    from repro.safebrowsing.client import SafeBrowsingClient
+    from repro.safebrowsing.server import SafeBrowsingServer, ServerCore
+
+#: File magic of every snapshot.
+MAGIC = b"SBSNAP"
+
+#: Format version this build writes (and the only one it reads).
+FORMAT_VERSION = 1
+
+#: Snapshot kinds (the ``kind`` byte of the header).
+KIND_CLIENT = 1
+KIND_SERVER = 2
+
+_KIND_NAMES = {KIND_CLIENT: "client", KIND_SERVER: "server"}
+
+#: ``magic, kind, reserved, format_version, payload_length, sha256(payload)``.
+_HEADER = struct.Struct("<6sBBHQ32s")
+
+#: Per-list store payload encodings.
+_STORE_PACKED = 1   # sorted run of raw prefix values (exact stores)
+_STORE_BLOOM = 2    # Bloom filter geometry + bit array
+
+
+# ---------------------------------------------------------------------------
+# low-level payload encoding
+# ---------------------------------------------------------------------------
+
+
+class _Writer:
+    """Append-only binary payload builder."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._size = 0
+
+    def raw(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def u8(self, value: int) -> None:
+        self.raw(value.to_bytes(1, "little"))
+
+    def u16(self, value: int) -> None:
+        self.raw(value.to_bytes(2, "little"))
+
+    def u32(self, value: int) -> None:
+        self.raw(value.to_bytes(4, "little"))
+
+    def u64(self, value: int) -> None:
+        self.raw(value.to_bytes(8, "little"))
+
+    def f64(self, value: float) -> None:
+        self.raw(struct.pack("<d", value))
+
+    def string(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.u16(len(data))
+        self.raw(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+
+class _Reader:
+    """Bounds-checked payload reader; overruns raise :class:`SnapshotError`."""
+
+    def __init__(self, payload: bytes) -> None:
+        self._payload = payload
+        self.pos = 0
+
+    def raw(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self._payload):
+            raise SnapshotError(
+                f"snapshot truncated: needed {count} bytes at payload offset "
+                f"{self.pos}, only {len(self._payload) - self.pos} remain"
+            )
+        data = self._payload[self.pos:end]
+        self.pos = end
+        return bytes(data)
+
+    def skip(self, count: int) -> None:
+        self.raw(count)
+
+    def u8(self) -> int:
+        return int.from_bytes(self.raw(1), "little")
+
+    def u16(self) -> int:
+        return int.from_bytes(self.raw(2), "little")
+
+    def u32(self) -> int:
+        return int.from_bytes(self.raw(4), "little")
+
+    def u64(self) -> int:
+        return int.from_bytes(self.raw(8), "little")
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.raw(8))[0]
+
+    def string(self) -> str:
+        length = self.u16()
+        try:
+            return self.raw(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(f"snapshot holds undecodable text: {exc}") from exc
+
+    def expect_end(self) -> None:
+        if self.pos != len(self._payload):
+            raise SnapshotError(
+                f"snapshot payload has {len(self._payload) - self.pos} "
+                "trailing bytes after the last record"
+            )
+
+
+def _read_file(path: Path) -> bytes:
+    """Read a snapshot file, folding OS errors into :class:`SnapshotError`."""
+    try:
+        return path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+
+
+def _write_file(path: Path, data: bytes) -> None:
+    """Write a snapshot file, folding OS errors into :class:`SnapshotError`."""
+    try:
+        path.write_bytes(data)
+    except OSError as exc:
+        raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
+
+
+def _frame(kind: int, payload: bytes) -> bytes:
+    """Wrap a payload in the versioned, checksummed container."""
+    checksum = hashlib.sha256(payload).digest()
+    header = _HEADER.pack(MAGIC, kind, 0, FORMAT_VERSION, len(payload), checksum)
+    return header + payload
+
+
+def _read_frame(data: bytes, expected_kind: int, source: str) -> bytes:
+    """Validate the container of ``data`` and return its payload.
+
+    Checks, in order: magic, format version, declared payload length
+    (truncation), checksum, and kind — each failure raises a
+    :class:`SnapshotError` naming what was expected and what was found.
+    """
+    if len(data) < _HEADER.size:
+        raise SnapshotError(
+            f"{source}: snapshot truncated — {len(data)} bytes is shorter "
+            f"than the {_HEADER.size}-byte header"
+        )
+    magic, kind, _, version, payload_length, checksum = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise SnapshotError(
+            f"{source}: not a snapshot file (expected magic {MAGIC!r}, "
+            f"found {magic!r})"
+        )
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{source}: unsupported snapshot format version {version}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    payload = data[_HEADER.size:_HEADER.size + payload_length]
+    if len(payload) != payload_length:
+        raise SnapshotError(
+            f"{source}: snapshot truncated — header declares a "
+            f"{payload_length}-byte payload, file holds {len(payload)}"
+        )
+    trailing = len(data) - _HEADER.size - payload_length
+    if trailing:
+        # A concatenated or partially overwritten file may still carry an
+        # intact leading frame; loading it silently would serve stale state.
+        raise SnapshotError(
+            f"{source}: {trailing} trailing bytes after the declared "
+            f"{payload_length}-byte payload — not a single intact snapshot"
+        )
+    if hashlib.sha256(payload).digest() != checksum:
+        raise SnapshotError(
+            f"{source}: checksum mismatch — the snapshot payload was "
+            "corrupted after it was written"
+        )
+    if kind != expected_kind:
+        raise SnapshotError(
+            f"{source}: expected a {_KIND_NAMES.get(expected_kind, '?')} "
+            f"snapshot, found a {_KIND_NAMES.get(kind, f'kind-{kind}')} one"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# store sections
+# ---------------------------------------------------------------------------
+
+
+def _write_store(writer: _Writer, store: PrefixStore, bits: int) -> None:
+    """Serialize one client-side store.
+
+    Exact stores (raw, sorted-array, delta-coded, mmap) serialize as a
+    sorted packed run of raw prefix values — by construction the exact
+    layout :class:`MmapSortedArrayStore` can later map zero-copy.  The
+    Bloom filter, which cannot enumerate its members, serializes its
+    geometry plus the bit array verbatim.
+    """
+    if isinstance(store, BloomPrefixStore):
+        bloom = store.filter
+        writer.u8(_STORE_BLOOM)
+        writer.u64(bloom.capacity)
+        writer.f64(bloom.false_positive_rate)
+        writer.u64(len(store))
+        bit_bytes = bloom.bit_bytes()
+        writer.u32(len(bit_bytes))
+        writer.raw(bit_bytes)
+        return
+    values = sorted(prefix.value for prefix in store)  # type: ignore[attr-defined]
+    writer.u8(_STORE_PACKED)
+    writer.u64(len(values))
+    writer.raw(b"".join(values))
+
+
+@dataclass(frozen=True, slots=True)
+class _PackedSection:
+    """Location of one packed value run inside a snapshot payload."""
+
+    payload_offset: int
+    count: int
+
+
+def _read_store(reader: _Reader, bits: int
+                ) -> tuple[int, _PackedSection | None, object | None]:
+    """Parse one store section without materializing packed values.
+
+    Returns ``(encoding, packed_section, bloom_state)``: packed runs are
+    *skipped* (only their offset/count recorded) so the mmap restore path
+    never copies them; Bloom state is parsed eagerly.
+    """
+    encoding = reader.u8()
+    if encoding == _STORE_PACKED:
+        count = reader.u64()
+        section = _PackedSection(payload_offset=reader.pos, count=count)
+        reader.skip(count * (bits // 8))
+        return encoding, section, None
+    if encoding == _STORE_BLOOM:
+        capacity = reader.u64()
+        rate = reader.f64()
+        size = reader.u64()
+        bit_length = reader.u32()
+        bit_bytes = reader.raw(bit_length)
+        return encoding, None, (capacity, rate, size, bit_bytes)
+    raise SnapshotError(f"unknown store encoding {encoding} in snapshot")
+
+
+def _packed_prefixes(payload: bytes, section: _PackedSection,
+                     bits: int) -> list[Prefix]:
+    """Materialize the prefixes of a packed section (non-mmap restores)."""
+    width = bits // 8
+    start = section.payload_offset
+    return [Prefix(payload[start + index * width:start + (index + 1) * width],
+                   bits)
+            for index in range(section.count)]
+
+
+# ---------------------------------------------------------------------------
+# client snapshots
+# ---------------------------------------------------------------------------
+
+
+def client_snapshot_bytes(client: "SafeBrowsingClient") -> bytes:
+    """Serialize ``client``'s durable database state to snapshot bytes.
+
+    The snapshot carries what a deployed client persists across restarts:
+    the store backend name, the prefix width, and — per subscribed list —
+    the held add/sub chunk numbers plus the store contents.  Volatile state
+    (full-hash cache, memos, scheduler backoff) is deliberately excluded.
+    """
+    writer = _Writer()
+    writer.string(client.config.store_backend)
+    writer.u16(client.config.prefix_bits)
+    writer.u32(len(client.subscribed_lists))
+    for list_name in client.subscribed_lists:
+        state = client._lists[list_name]
+        writer.string(list_name)
+        for numbers in (sorted(state.add_chunks.numbers),
+                        sorted(state.sub_chunks.numbers)):
+            writer.u32(len(numbers))
+            for number in numbers:
+                writer.u32(number)
+        _write_store(writer, state.store, client.config.prefix_bits)
+    return _frame(KIND_CLIENT, writer.getvalue())
+
+
+def save_client_snapshot(client: "SafeBrowsingClient",
+                         path: str | Path) -> Path:
+    """Write ``client``'s snapshot to ``path``; returns the path written."""
+    path = Path(path)
+    _write_file(path, client_snapshot_bytes(client))
+    return path
+
+
+def restore_client_snapshot(client: "SafeBrowsingClient",
+                            path: str | Path) -> int:
+    """Warm-start ``client`` from the snapshot at ``path``.
+
+    The client must have been constructed with the same store backend,
+    prefix width and subscribed list set the snapshot was written with
+    (mismatches raise :class:`SnapshotError` naming both sides).  On
+    success every subscribed list's store and chunk ranges are replaced by
+    the snapshot state, the store-derived memos are dropped, and the number
+    of restored prefixes is returned — the client's next
+    :meth:`~repro.safebrowsing.client.SafeBrowsingClient.update` then
+    fetches only the chunks committed after the snapshot.
+
+    With the ``"mmap"`` store backend the restored stores serve lookups
+    directly off a shared memory-mapped view of ``path`` (zero-copy warm
+    start); every other backend materializes the packed values.
+    """
+    from repro.safebrowsing.client import _STORE_BACKENDS
+
+    path = Path(path)
+    data = _read_file(path)
+    payload = _read_frame(data, KIND_CLIENT, str(path))
+    reader = _Reader(payload)
+
+    backend = reader.string()
+    if backend != client.config.store_backend:
+        raise SnapshotError(
+            f"{path}: snapshot was written by store backend {backend!r}, "
+            f"this client uses {client.config.store_backend!r}"
+        )
+    bits = reader.u16()
+    if bits != client.config.prefix_bits:
+        raise SnapshotError(
+            f"{path}: snapshot holds {bits}-bit prefixes, this client uses "
+            f"{client.config.prefix_bits}-bit ones"
+        )
+    list_count = reader.u32()
+    records: list[tuple[str, list[int], list[int], int,
+                        _PackedSection | None, object | None]] = []
+    for _ in range(list_count):
+        list_name = reader.string()
+        add_numbers = [reader.u32() for _ in range(reader.u32())]
+        sub_numbers = [reader.u32() for _ in range(reader.u32())]
+        encoding, section, bloom_state = _read_store(reader, bits)
+        records.append((list_name, add_numbers, sub_numbers,
+                        encoding, section, bloom_state))
+    reader.expect_end()
+
+    snapshot_lists = {record[0] for record in records}
+    subscribed = set(client.subscribed_lists)
+    if snapshot_lists != subscribed:
+        raise SnapshotError(
+            f"{path}: snapshot covers lists {sorted(snapshot_lists)}, "
+            f"this client subscribes to {sorted(subscribed)}"
+        )
+
+    # Stage every store before touching the client, so a bad record can
+    # never leave it half-restored.
+    use_mmap = backend == "mmap"
+    mapped: mmap.mmap | None = None
+    if use_mmap and any(section is not None and section.count
+                        for *_, section, _ in records):
+        try:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except OSError as exc:
+            raise SnapshotError(f"cannot map snapshot {path}: {exc}") from exc
+    backend_cls = _STORE_BACKENDS[backend]
+    staged: dict[str, tuple[PrefixStore, list[int], list[int], int]] = {}
+    for list_name, add_numbers, sub_numbers, encoding, section, bloom_state in records:
+        store: PrefixStore
+        if encoding == _STORE_BLOOM:
+            if backend != "bloom":
+                raise SnapshotError(
+                    f"{path}: list {list_name!r} holds a Bloom payload but "
+                    f"the snapshot backend is {backend!r}"
+                )
+            capacity, rate, size, bit_bytes = bloom_state  # type: ignore[misc]
+            store = BloomPrefixStore.from_filter(
+                BloomFilter.from_state(capacity, rate, size, bit_bytes),
+                bits, size=size,
+            )
+        elif use_mmap and section is not None and section.count:
+            assert mapped is not None
+            store = MmapSortedArrayStore.from_buffer(
+                mapped, _HEADER.size + section.payload_offset,
+                section.count, bits, keep_alive=mapped,
+            )
+        else:
+            assert section is not None
+            store = backend_cls(_packed_prefixes(payload, section, bits),
+                                bits=bits)
+        staged[list_name] = (store, add_numbers, sub_numbers,
+                             len(store))
+
+    restored_prefixes = 0
+    for list_name, (store, add_numbers, sub_numbers, size) in staged.items():
+        state = client._lists[list_name]
+        state.store = store
+        state.add_chunks.numbers.clear()
+        state.add_chunks.numbers.update(add_numbers)
+        state.sub_chunks.numbers.clear()
+        state.sub_chunks.numbers.update(sub_numbers)
+        restored_prefixes += size
+    client._invalidate_store_memos()
+    return restored_prefixes
+
+
+# ---------------------------------------------------------------------------
+# server snapshots
+# ---------------------------------------------------------------------------
+
+
+def _write_prefixes(writer: _Writer, prefixes: Iterable[Prefix]) -> None:
+    values = [prefix.value for prefix in prefixes]
+    writer.u32(len(values))
+    writer.raw(b"".join(values))
+
+
+def _read_prefixes(reader: _Reader, bits: int) -> list[Prefix]:
+    count = reader.u32()
+    width = bits // 8
+    raw = reader.raw(count * width)
+    return [Prefix(raw[index * width:(index + 1) * width], bits)
+            for index in range(count)]
+
+
+def _write_descriptor(writer: _Writer, descriptor: ListDescriptor) -> None:
+    writer.string(descriptor.name)
+    writer.string(descriptor.provider.value)
+    writer.string(descriptor.category.value)
+    writer.string(descriptor.description)
+    writer.u8(0 if descriptor.paper_prefix_count is None else 1)
+    writer.u64(descriptor.paper_prefix_count or 0)
+    writer.string(descriptor.digest_format)
+
+
+def _read_descriptor(reader: _Reader) -> ListDescriptor:
+    name = reader.string()
+    provider_value = reader.string()
+    category_value = reader.string()
+    description = reader.string()
+    has_count = reader.u8()
+    count = reader.u64()
+    digest_format = reader.string()
+    try:
+        provider = ListProvider(provider_value)
+        category = ThreatCategory(category_value)
+    except ValueError as exc:
+        raise SnapshotError(f"snapshot names an unknown provider or "
+                            f"category: {exc}") from exc
+    return ListDescriptor(name, provider, category, description,
+                          count if has_count else None, digest_format)
+
+
+def _write_chunk(writer: _Writer, chunk: Chunk) -> None:
+    writer.u32(chunk.number)
+    writer.u32(chunk.referenced_add_chunk or 0)
+    _write_prefixes(writer, chunk.prefixes)
+
+
+def _read_chunk(reader: _Reader, kind: ChunkKind, bits: int) -> Chunk:
+    number = reader.u32()
+    referenced = reader.u32()
+    prefixes = tuple(_read_prefixes(reader, bits))
+    return Chunk(number=number, kind=kind, prefixes=prefixes,
+                 referenced_add_chunk=referenced or None)
+
+
+def server_snapshot_bytes(database: ServerDatabase) -> bytes:
+    """Serialize a whole :class:`ServerDatabase` to snapshot bytes.
+
+    Everything a provider needs to resume serving is captured: per list the
+    descriptor, the mutation ``version``, the cleartext expressions, the
+    full digests with no known expression, the orphan prefixes, the entire
+    add/sub chunk history, and any pending (uncommitted) mutations — plus
+    the shard count and index backend of the membership indexes, which are
+    rebuilt on load.
+    """
+    writer = _Writer()
+    writer.u16(database.prefix_bits)
+    writer.u16(database.shard_count)
+    writer.string(database.index_backend)
+    writer.u32(len(database))
+    for list_db in database:
+        _write_descriptor(writer, list_db.descriptor)
+        writer.u64(list_db.version)
+        expressions = list_db.expressions()
+        writer.u32(len(expressions))
+        expression_digests = set()
+        for expression in expressions:
+            writer.string(expression)
+            expression_digests.add(FullHash.of(expression))
+        extras = sorted(
+            (full_hash.digest
+             for bucket in list_db._full_hashes.values()
+             for full_hash in bucket
+             if full_hash not in expression_digests),
+        )
+        writer.u32(len(extras))
+        writer.raw(b"".join(extras))
+        _write_prefixes(writer, sorted(list_db._orphans))
+        writer.u32(len(list_db.add_chunks))
+        for chunk in list_db.add_chunks:
+            _write_chunk(writer, chunk)
+        writer.u32(len(list_db.sub_chunks))
+        for chunk in list_db.sub_chunks:
+            _write_chunk(writer, chunk)
+        _write_prefixes(writer, list_db._pending_additions)
+        _write_prefixes(writer, list_db._pending_removals)
+    return _frame(KIND_SERVER, writer.getvalue())
+
+
+def save_server_snapshot(server: "ServerCore | ServerDatabase",
+                         path: str | Path) -> Path:
+    """Write a server (or bare database) snapshot to ``path``."""
+    database = server if isinstance(server, ServerDatabase) else server.database
+    path = Path(path)
+    _write_file(path, server_snapshot_bytes(database))
+    return path
+
+
+def load_server_database(path: str | Path, *,
+                         shard_count: int | None = None,
+                         index_backend: str | None = None) -> ServerDatabase:
+    """Rebuild a :class:`ServerDatabase` from the snapshot at ``path``.
+
+    ``shard_count`` / ``index_backend`` override the snapshot's recorded
+    membership-index layout (the indexes are rebuilt on load either way,
+    so re-sharding a restored database is free); the restored content —
+    membership, versions, chunk history — is observationally identical to
+    the database that was saved, which the property suite pins across every
+    registered backend and shard count.
+    """
+    path = Path(path)
+    payload = _read_frame(_read_file(path), KIND_SERVER, str(path))
+    reader = _Reader(payload)
+    bits = reader.u16()
+    snapshot_shards = reader.u16()
+    snapshot_backend = reader.string()
+    shard_count = snapshot_shards if shard_count is None else shard_count
+    index_backend = snapshot_backend if index_backend is None else index_backend
+
+    list_count = reader.u32()
+    restored: dict[str, ListDatabase] = {}
+    descriptors: list[ListDescriptor] = []
+    for _ in range(list_count):
+        descriptor = _read_descriptor(reader)
+        version = reader.u64()
+        expressions = [reader.string() for _ in range(reader.u32())]
+        extra_count = reader.u32()
+        extra_raw = reader.raw(extra_count * 32)
+        extras = [FullHash(extra_raw[index * 32:(index + 1) * 32])
+                  for index in range(extra_count)]
+        orphans = _read_prefixes(reader, bits)
+        add_chunks = [_read_chunk(reader, ChunkKind.ADD, bits)
+                      for _ in range(reader.u32())]
+        sub_chunks = [_read_chunk(reader, ChunkKind.SUB, bits)
+                      for _ in range(reader.u32())]
+        pending_additions = _read_prefixes(reader, bits)
+        pending_removals = _read_prefixes(reader, bits)
+
+        list_db = ListDatabase(descriptor, bits, shard_count=shard_count,
+                               index_backend=index_backend)
+        for expression in expressions:
+            full_hash = FullHash.of(expression)
+            list_db._expressions[expression] = full_hash
+            list_db._full_hashes[full_hash.prefix(bits)].add(full_hash)
+        for full_hash in extras:
+            list_db._full_hashes[full_hash.prefix(bits)].add(full_hash)
+        list_db._orphans = set(orphans)
+        list_db._add_chunks = add_chunks
+        list_db._sub_chunks = sub_chunks
+        list_db._pending_additions = pending_additions
+        list_db._pending_removals = pending_removals
+        populated = {prefix for prefix, bucket in list_db._full_hashes.items()
+                     if bucket}
+        list_db._prefix_index.update(populated | list_db._orphans)
+        list_db.version = version
+        restored[descriptor.name] = list_db
+        descriptors.append(descriptor)
+    reader.expect_end()
+
+    database = ServerDatabase(descriptors, bits, shard_count=shard_count,
+                              index_backend=index_backend)
+    database._lists = restored
+    return database
+
+
+def load_server(path: str | Path, *, clock: "Clock | None" = None,
+                shard_count: int | None = None,
+                index_backend: str | None = None,
+                **server_kwargs) -> "SafeBrowsingServer":
+    """Build a ready-to-serve :class:`SafeBrowsingServer` from a snapshot.
+
+    Restores the database with :func:`load_server_database`, then wraps it
+    in a fresh server (request log and caches start empty — they are
+    volatile serving state, not durable content).  Extra keyword arguments
+    are forwarded to the server constructor (``poll_interval``,
+    ``max_log_entries``, ...).
+    """
+    from repro.safebrowsing.server import SafeBrowsingServer
+
+    database = load_server_database(path, shard_count=shard_count,
+                                    index_backend=index_backend)
+    descriptors = [list_db.descriptor for list_db in database]
+    server = SafeBrowsingServer(
+        descriptors, clock=clock, prefix_bits=database.prefix_bits,
+        shard_count=database.shard_count,
+        index_backend=database.index_backend, **server_kwargs,
+    )
+    server.database = database
+    return server
+
+
+# ---------------------------------------------------------------------------
+# inspection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotInfo:
+    """Checked summary of a snapshot file (the CLI's ``snapshot load``).
+
+    Attributes
+    ----------
+    kind:
+        ``"client"`` or ``"server"``.
+    format_version:
+        The container format version (currently always 1).
+    prefix_bits:
+        Width of the stored prefixes.
+    backend:
+        Client store backend, or the server's membership index backend.
+    shard_count:
+        Server-side shard count (1 for client snapshots).
+    lists:
+        ``(list name, prefix count)`` per stored list.
+    payload_bytes:
+        Size of the checksummed payload.
+    """
+
+    kind: str
+    format_version: int
+    prefix_bits: int
+    backend: str
+    shard_count: int
+    lists: tuple[tuple[str, int], ...]
+    payload_bytes: int
+
+    @property
+    def total_prefixes(self) -> int:
+        """Prefixes across every stored list."""
+        return sum(count for _, count in self.lists)
+
+
+def inspect_snapshot(path: str | Path) -> SnapshotInfo:
+    """Validate the snapshot at ``path`` and summarize its contents.
+
+    Runs the full container checks (magic, version, truncation, checksum)
+    and parses the payload far enough to count per-list prefixes, without
+    building any store, membership index or database — inspecting a large
+    snapshot costs one payload pass, not a restore.
+    """
+    path = Path(path)
+    data = _read_file(path)
+    if len(data) < _HEADER.size:
+        raise SnapshotError(
+            f"{path}: snapshot truncated — {len(data)} bytes is shorter "
+            f"than the {_HEADER.size}-byte header"
+        )
+    kind = _HEADER.unpack_from(data)[1]
+    if kind not in _KIND_NAMES:
+        raise SnapshotError(f"{path}: unknown snapshot kind {kind}")
+    payload = _read_frame(data, kind, str(path))
+    reader = _Reader(payload)
+    if kind == KIND_CLIENT:
+        backend = reader.string()
+        bits = reader.u16()
+        lists = []
+        for _ in range(reader.u32()):
+            name = reader.string()
+            for _ in range(reader.u32()):
+                reader.u32()
+            for _ in range(reader.u32()):
+                reader.u32()
+            encoding, section, bloom_state = _read_store(reader, bits)
+            count = section.count if section is not None else bloom_state[2]  # type: ignore[index]
+            lists.append((name, count))
+        reader.expect_end()
+        return SnapshotInfo("client", FORMAT_VERSION, bits, backend, 1,
+                            tuple(lists), len(payload))
+
+    bits = reader.u16()
+    shard_count = reader.u16()
+    index_backend = reader.string()
+    width = bits // 8
+    lists = []
+    for _ in range(reader.u32()):
+        descriptor = _read_descriptor(reader)
+        reader.u64()  # version
+        # Per-list prefix count = distinct populated buckets + orphans,
+        # matching ListDatabase.prefix_count() on a restored database.
+        populated = set()
+        for _ in range(reader.u32()):
+            expression = reader.string()
+            populated.add(FullHash.of(expression).digest[:width])
+        extra_count = reader.u32()
+        extra_raw = reader.raw(extra_count * 32)
+        for index in range(extra_count):
+            populated.add(extra_raw[index * 32:index * 32 + width])
+        orphan_count = reader.u32()
+        reader.skip(orphan_count * width)
+        for _ in range(2):  # add chunks, then sub chunks
+            for _ in range(reader.u32()):
+                reader.u32()  # number
+                reader.u32()  # referenced chunk
+                reader.skip(reader.u32() * width)
+        reader.skip(reader.u32() * width)  # pending additions
+        reader.skip(reader.u32() * width)  # pending removals
+        lists.append((descriptor.name, len(populated) + orphan_count))
+    reader.expect_end()
+    return SnapshotInfo("server", FORMAT_VERSION, bits, index_backend,
+                        shard_count, tuple(lists), len(payload))

@@ -1,0 +1,98 @@
+"""Documentation checks: intra-repo links resolve, doctest examples run.
+
+The CI ``docs`` job runs this module (plus a standalone ``python -m
+doctest`` pass over the docs files); it also runs in tier-1, so a PR that
+moves a module or changes an output format cannot silently strand the
+documentation.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Every prose file whose links (and doctests, where present) must hold.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+#: ``[text](target)`` — good enough for the plain links these docs use.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not intra-repo paths.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _intra_repo_links(path: Path) -> list[tuple[str, Path]]:
+    links = []
+    for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        links.append((target, (path.parent / bare).resolve()))
+    return links
+
+
+def test_docs_suite_exists():
+    """The documented entry points of the docs suite are all present."""
+    for name in ("architecture.md", "protocol.md", "benchmarks.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(path: Path):
+    broken = [target for target, resolved in _intra_repo_links(path)
+              if not resolved.exists()]
+    assert not broken, (
+        f"{path.relative_to(REPO_ROOT)} links to missing files: {broken}"
+    )
+
+
+def test_readme_links_the_docs_suite():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for target in ("docs/architecture.md", "docs/protocol.md",
+                   "docs/benchmarks.md"):
+        assert target in readme, f"README does not link {target}"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_doctests_pass(path: Path):
+    """Run every ``>>>`` example embedded in the docs (no-op without any)."""
+    results = doctest.testfile(str(path), module_relative=False,
+                               optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, (
+        f"{path.relative_to(REPO_ROOT)}: {results.failed} doctest(s) failed"
+    )
+
+
+def test_protocol_doc_actually_carries_doctests():
+    """Guard the doc-as-test property: protocol.md must keep its examples."""
+    parser = doctest.DocTestParser()
+    examples = parser.get_examples(
+        (REPO_ROOT / "docs" / "protocol.md").read_text(encoding="utf-8"))
+    assert len(examples) >= 10
+
+
+def test_benchmarks_doc_covers_every_bench_artifact():
+    """Every BENCH_*.json a benchmark can write must be documented."""
+    doc = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
+    artifact_names = set()
+    for bench in (REPO_ROOT / "benchmarks").glob("bench_*.py"):
+        for match in re.finditer(r"record_json\(\s*[\"']([\w-]+)[\"']",
+                                 bench.read_text(encoding="utf-8")):
+            artifact_names.add(f"BENCH_{match.group(1)}.json")
+    assert artifact_names, "no benchmark writes a JSON artifact?"
+    undocumented = [name for name in sorted(artifact_names)
+                    if name not in doc]
+    assert not undocumented, (
+        f"docs/benchmarks.md does not document: {undocumented}"
+    )

@@ -26,6 +26,12 @@ EXAMPLES = [
                           "tracker detections   : 0",
                           "Section 8 arms race at fleet scale",
                           "paper's Section 8 finding"]),
+    ("warm_start_demo.py", ["checksum verified",
+                            "warm restart fetched   : 5 prefixes",
+                            "store is memory-mapped : True",
+                            "drifted threat caught  : True",
+                            "lookup traffic identical "
+                            "(persistence never changes verdicts): True"]),
 ]
 
 

@@ -129,6 +129,62 @@ class TestParser:
     def test_armsrace_experiment_registered(self):
         assert "armsrace" in _EXPERIMENTS
 
+    def test_fleet_churn_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fleet", "--churn", "0.25", "--restart-interval", "3",
+             "--cold-restart"])
+        assert args.churn == 0.25
+        assert args.restart_interval == 3
+        assert args.cold_restart is True
+
+    def test_fleet_churn_defaults_off(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.churn is None
+        assert args.restart_interval is None
+        assert args.cold_restart is False
+
+    def test_fleet_churn_flags_reach_the_config(self):
+        from unittest import mock
+
+        from repro.experiments import fleet as fleet_module
+
+        captured = {}
+
+        def fake_run_fleet(scale, config):
+            captured["config"] = config
+            raise SystemExit(0)
+
+        with mock.patch.object(fleet_module, "run_fleet", fake_run_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched", "--churn", "0.5",
+                      "--restart-interval", "2", "--cold-restart"])
+        config = captured["config"]
+        assert config.churn_fraction == 0.5
+        assert config.restart_interval == 2
+        assert config.warm_start is False
+
+    def test_fleet_churn_implies_restart_every_round(self):
+        from unittest import mock
+
+        from repro.experiments import fleet as fleet_module
+
+        captured = {}
+
+        def fake_run_fleet(scale, config):
+            captured["config"] = config
+            raise SystemExit(0)
+
+        with mock.patch.object(fleet_module, "run_fleet", fake_run_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched", "--churn", "0.5"])
+        assert captured["config"].restart_interval == 1
+        assert captured["config"].warm_start is True
+
+    def test_restart_flags_require_churn(self, capsys):
+        assert main(["fleet", "--mode", "batched",
+                     "--restart-interval", "2"]) == 2
+        assert "--churn" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):
@@ -166,3 +222,44 @@ class TestCommands:
     def test_experiment_table5(self, capsys):
         assert main(["experiment", "table5"]) == 0
         assert "Raab-Steger" in capsys.readouterr().out
+
+
+class TestSnapshotCommand:
+    def test_snapshot_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot"])
+
+    def test_save_then_load_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "google.snap"
+        assert main(["snapshot", "save", str(path)]) == 0
+        saved = capsys.readouterr().out
+        assert f"wrote {path}" in saved
+        assert path.exists()
+
+        assert main(["snapshot", "load", str(path)]) == 0
+        loaded = capsys.readouterr().out
+        assert "kind            : server" in loaded
+        assert "checksum        : OK" in loaded
+        assert "goog-malware-shavar" in loaded
+
+    def test_load_reports_corruption_as_cli_error(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.snap"
+        assert main(["snapshot", "save", str(path)]) == 0
+        capsys.readouterr()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["snapshot", "load", str(path)]) == 2
+        assert "checksum" in capsys.readouterr().err
+
+    def test_restored_snapshot_serves_a_client(self, capsys, tmp_path):
+        from repro.safebrowsing.client import SafeBrowsingClient
+        from repro.safebrowsing.snapshot import load_server
+
+        path = tmp_path / "google.snap"
+        assert main(["snapshot", "save", str(path)]) == 0
+        capsys.readouterr()
+        server = load_server(path)
+        client = SafeBrowsingClient(server, name="cli-restored")
+        client.update()
+        assert client.local_database_size() > 0

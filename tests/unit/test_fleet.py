@@ -79,6 +79,17 @@ class TestFleetConfig:
         for name in ("none", "dummy", "one-prefix", "widen", "mix"):
             assert name in message
 
+    def test_churn_parameters_validated(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(churn_fraction=1.5)
+        with pytest.raises(ExperimentError):
+            FleetConfig(churn_fraction=-0.1)
+        with pytest.raises(ExperimentError):
+            FleetConfig(restart_interval=-1)
+        with pytest.raises(ExperimentError):
+            # Churn without a restart cadence would silently never fire.
+            FleetConfig(churn_fraction=0.5)
+
     def test_policy_parameters_validated(self):
         with pytest.raises(ExperimentError):
             FleetConfig(dummy_count=-1)
@@ -358,3 +369,76 @@ class TestTransports:
         assert report.server_cache_hits + report.server_cache_misses \
             == report.server_full_hash_requests
         assert 0.0 <= report.server_cache_hit_rate <= 1.0
+
+
+class TestChurn:
+    CHURN = dict(churn_fraction=0.5, restart_interval=2)
+
+    @pytest.fixture(scope="class")
+    def warm_and_cold(self) -> tuple[FleetReport, FleetReport]:
+        warm = run_fleet(TINY, FleetConfig(**self.CHURN, warm_start=True))
+        cold = run_fleet(TINY, FleetConfig(**self.CHURN, warm_start=False))
+        return warm, cold
+
+    def test_no_churn_by_default(self):
+        report = run_fleet(TINY, FleetConfig())
+        assert report.client_restarts == 0
+        assert report.warm_start_prefixes_resumed == 0
+
+    def test_restarts_happen_and_are_counted(self, warm_and_cold):
+        warm, cold = warm_and_cold
+        assert warm.client_restarts > 0
+        assert warm.client_restarts == cold.client_restarts
+        assert warm.churn_fraction == 0.5
+        assert warm.restart_interval == 2
+
+    def test_warm_restarts_resume_from_snapshots(self, warm_and_cold):
+        warm, cold = warm_and_cold
+        assert warm.warm_start and not cold.warm_start
+        assert warm.warm_start_prefixes_resumed > 0
+        assert cold.warm_start_prefixes_resumed == 0
+
+    def test_warm_start_transfers_less_sync_bandwidth(self, warm_and_cold):
+        warm, cold = warm_and_cold
+        assert (warm.client_update_prefixes_received
+                < cold.client_update_prefixes_received)
+        assert (warm.warm_start_bandwidth_saved_fraction
+                > cold.warm_start_bandwidth_saved_fraction)
+
+    def test_restarts_do_not_lose_urls_or_verdict_totals(self, warm_and_cold):
+        warm, cold = warm_and_cold
+        expected = TINY.clients * TINY.fleet_urls_per_client
+        assert warm.urls_checked == cold.urls_checked == expected
+        # Retired clients' stats are folded into the totals, so restarting
+        # can never *reduce* the counted traffic.
+        assert warm.traffic_signature() == cold.traffic_signature()
+
+    def test_churn_runs_are_deterministic(self):
+        first = run_fleet(TINY, FleetConfig(**self.CHURN))
+        second = run_fleet(TINY, FleetConfig(**self.CHURN))
+        assert first.traffic_signature() == second.traffic_signature()
+        assert (first.client_update_prefixes_received
+                == second.client_update_prefixes_received)
+        assert first.client_restarts == second.client_restarts
+
+    def test_churning_clients_keep_their_cookies(self):
+        """A restart must not mint a new identity: same name, same cookie."""
+        simulator = FleetSimulator(TINY, FleetConfig(**self.CHURN))
+        from repro.clock import ManualClock
+
+        clock = ManualClock()
+        server = simulator.build_server(clock)
+        client = simulator._build_client(server, clock, 1)
+        replacement = simulator._build_client(server, clock, 1)
+        assert client.cookie == replacement.cookie
+        assert client.name == replacement.name
+
+    def test_adversary_recall_survives_churn(self):
+        report = run_fleet(TINY, FleetConfig(**self.CHURN, adversary=True))
+        assert report.client_restarts > 0
+        assert report.tracking_recall == 1.0
+        assert report.tracking_precision == 1.0
+
+    def test_report_carries_update_request_totals(self, warm_and_cold):
+        warm, _ = warm_and_cold
+        assert warm.client_update_requests >= warm.server_update_requests > 0

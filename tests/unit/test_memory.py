@@ -79,7 +79,8 @@ class TestHelpers:
         assert all(prefix.bits == 64 for prefix in prefixes)
 
     def test_store_factories_cover_paper_rows(self):
-        assert set(STORE_FACTORIES) == {"raw", "delta-coded", "bloom", "sorted-array"}
+        assert set(STORE_FACTORIES) == {"raw", "delta-coded", "bloom",
+                                        "sorted-array", "mmap"}
 
     def test_store_factories_build_working_stores(self, digests):
         prefixes = widen_prefixes(digests[:50], 32)

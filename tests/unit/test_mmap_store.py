@@ -1,0 +1,116 @@
+"""Unit tests for the mapped-baseline prefix store."""
+
+from __future__ import annotations
+
+import mmap
+
+import pytest
+
+from repro.datastructures.mmapped import MmapSortedArrayStore
+from repro.datastructures.sorted_array import SortedArrayPrefixStore
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+
+def _prefixes(values, bits=32):
+    return [Prefix.from_int(value, bits) for value in values]
+
+
+class TestConstruction:
+    def test_from_prefixes_sorts_and_dedups(self):
+        store = MmapSortedArrayStore(_prefixes([9, 3, 7, 3, 9]))
+        assert len(store) == 3
+        assert store.values() == [3, 7, 9]
+        assert not store.is_mapped
+
+    def test_from_buffer_wraps_packed_run(self):
+        packed = b"".join(value.to_bytes(4, "big") for value in (1, 5, 9))
+        store = MmapSortedArrayStore.from_buffer(b"xx" + packed, 2, 3, 32)
+        assert store.is_mapped
+        assert store.values() == [1, 5, 9]
+        assert Prefix.from_int(5, 32) in store
+        assert Prefix.from_int(6, 32) not in store
+
+    def test_from_buffer_rejects_short_buffer(self):
+        with pytest.raises(DataStructureError):
+            MmapSortedArrayStore.from_buffer(b"\x00" * 7, 0, 2, 32)
+
+    def test_from_real_mmap(self, tmp_path):
+        values = [2, 4, 6, 8]
+        path = tmp_path / "packed.bin"
+        path.write_bytes(b"".join(value.to_bytes(4, "big") for value in values))
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        store = MmapSortedArrayStore.from_buffer(mapped, 0, 4, 32,
+                                                 keep_alive=mapped)
+        assert store.values() == values
+        assert store.baseline_count == 4
+
+
+class TestOverlaySemantics:
+    def test_add_and_discard_over_mapped_baseline(self):
+        packed = b"".join(value.to_bytes(4, "big") for value in (10, 20, 30))
+        store = MmapSortedArrayStore.from_buffer(packed, 0, 3, 32)
+        store.add(Prefix.from_int(25, 32))
+        store.discard(Prefix.from_int(20, 32))
+        assert store.values() == [10, 25, 30]
+        assert len(store) == 3
+        assert store.overlay_count == 2
+
+    def test_readding_a_tombstoned_value_resurrects_it(self):
+        store = MmapSortedArrayStore(_prefixes([1, 2, 3]))
+        two = Prefix.from_int(2, 32)
+        store.discard(two)
+        assert two not in store
+        store.add(two)
+        assert two in store
+        assert len(store) == 3
+
+    def test_duplicate_add_is_idempotent(self):
+        store = MmapSortedArrayStore(_prefixes([1]))
+        store.add(Prefix.from_int(5, 32))
+        store.add(Prefix.from_int(5, 32))
+        store.add(Prefix.from_int(1, 32))
+        assert len(store) == 2
+
+    def test_discard_of_absent_value_is_noop(self):
+        store = MmapSortedArrayStore(_prefixes([1, 2]))
+        store.discard(Prefix.from_int(99, 32))
+        assert len(store) == 2
+
+    def test_iteration_merges_baseline_and_overlay_sorted(self):
+        store = MmapSortedArrayStore(_prefixes([10, 30, 50]))
+        store.add(Prefix.from_int(40, 32))
+        store.add(Prefix.from_int(60, 32))
+        store.add(Prefix.from_int(5, 32))
+        store.discard(Prefix.from_int(30, 32))
+        assert store.values() == [5, 10, 40, 50, 60]
+
+    def test_memory_bytes_matches_raw_layout(self):
+        store = MmapSortedArrayStore(_prefixes([1, 2, 3]))
+        assert store.memory_bytes() == 3 * 4
+
+
+class TestBatchedLookups:
+    def test_contains_many_matches_sorted_array(self):
+        members = [3, 1, 4, 1, 5, 9, 2, 6, 5, 35, 89, 1000, 2**31]
+        probes = _prefixes([0, 1, 2, 7, 9, 35, 2**31, 2**32 - 1, 5, 5])
+        mapped = MmapSortedArrayStore(_prefixes(members))
+        reference = SortedArrayPrefixStore(_prefixes(members))
+        assert mapped.contains_many(probes) == reference.contains_many(probes)
+
+    def test_contains_many_sees_the_overlay(self):
+        store = MmapSortedArrayStore(_prefixes([10, 20]))
+        store.add(Prefix.from_int(15, 32))
+        store.discard(Prefix.from_int(20, 32))
+        probes = _prefixes([10, 15, 20])
+        assert store.contains_many(probes) == 0b011
+
+    def test_contains_many_empty_batch(self):
+        assert MmapSortedArrayStore(_prefixes([1])).contains_many([]) == 0
+
+    def test_wide_prefixes_supported(self):
+        prefixes = _prefixes([1, 2**63, 2**80 - 1], bits=128)
+        store = MmapSortedArrayStore(prefixes, bits=128)
+        assert store.contains_many(prefixes) == 0b111
+        assert Prefix.from_int(7, 128) not in store

@@ -1,0 +1,279 @@
+"""Unit tests for the persistence layer, corruption paths included.
+
+The satellite contract: a truncated file, a checksum mismatch, an unknown
+format version and a backend-name mismatch all raise a typed
+:class:`~repro.exceptions.SnapshotError` stating what was expected — never
+a silent partial load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.exceptions import SnapshotError
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.safebrowsing.snapshot import (
+    _HEADER,
+    FORMAT_VERSION,
+    inspect_snapshot,
+    load_server,
+    load_server_database,
+    restore_client_snapshot,
+    save_client_snapshot,
+    save_server_snapshot,
+)
+
+EXPRESSIONS = ("evil.example.com/", "phishy.example.net/login.html",
+               "bad.actor.org/payload/")
+
+
+@pytest.fixture()
+def server(clock: ManualClock) -> SafeBrowsingServer:
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+    server.blacklist("goog-malware-shavar", EXPRESSIONS[:2])
+    server.blacklist("googpub-phish-shavar", EXPRESSIONS[2:])
+    return server
+
+
+def _client(server, clock, backend="sorted-array", name="snap-client"):
+    client = SafeBrowsingClient(server, name=name, clock=clock,
+                                config=ClientConfig(store_backend=backend))
+    client.update()
+    return client
+
+
+class TestClientRoundTrip:
+    def test_restore_reproduces_database_and_chunk_state(self, server, clock,
+                                                         tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "client.snap")
+        restored = SafeBrowsingClient(server, name="restored", clock=clock)
+        restored_config = ClientConfig(store_backend="sorted-array")
+        restored = SafeBrowsingClient(server, name="restored", clock=clock,
+                                      config=restored_config)
+        count = restore_client_snapshot(restored, path)
+        assert count == client.local_database_size()
+        for list_name in client.subscribed_lists:
+            original = client._lists[list_name]
+            copy = restored._lists[list_name]
+            assert sorted(original.add_chunks.numbers) == sorted(copy.add_chunks.numbers)
+            assert sorted(original.sub_chunks.numbers) == sorted(copy.sub_chunks.numbers)
+        # The warm-started client is already in sync: nothing to fetch.
+        assert restored.update() == 0
+
+    def test_restore_then_incremental_update(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "client.snap")
+        server.blacklist("goog-malware-shavar", ["fresh.threat.example/x"])
+        restored = _fresh_client(server, clock)
+        restore_client_snapshot(restored, path)
+        before = restored.stats.update_prefixes_received
+        assert restored.update() == 1  # exactly the one new chunk
+        assert restored.stats.update_prefixes_received - before == 1
+        assert restored.lookup("http://fresh.threat.example/x").is_malicious
+
+    def test_restore_drops_store_memos(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        client.check_urls(["http://evil.example.com/", "http://safe.example/"])
+        assert client._known_hits or client._known_misses
+        path = save_client_snapshot(client, tmp_path / "client.snap")
+        restore_client_snapshot(client, path)
+        assert not client._known_hits and not client._known_misses
+        assert not client._full_hash_cache and not client._safe_result_cache
+
+    def test_mmap_restore_serves_off_the_file(self, server, clock, tmp_path):
+        client = _client(server, clock, backend="mmap")
+        path = save_client_snapshot(client, tmp_path / "client.snap")
+        restored = _fresh_client(server, clock, backend="mmap")
+        restore_client_snapshot(restored, path)
+        stores = [state.store for state in restored._lists.values()
+                  if len(state.store)]
+        assert stores and all(store.is_mapped for store in stores)
+        assert restored.lookup("http://evil.example.com/").is_malicious
+
+
+def _fresh_client(server, clock, backend="sorted-array"):
+    return SafeBrowsingClient(server, name="fresh", clock=clock,
+                              config=ClientConfig(store_backend=backend))
+
+
+class TestCorruptionPaths:
+    def test_truncated_header(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(SnapshotError, match="truncated"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+
+    def test_truncated_payload(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) - 7])
+        with pytest.raises(SnapshotError, match="truncated"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+
+    def test_checksum_mismatch(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+
+    def test_unknown_format_version(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        data = bytearray(path.read_bytes())
+        # The u16 format version sits after magic(6) + kind(1) + reserved(1).
+        data[8:10] = (FORMAT_VERSION + 41).to_bytes(2, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="format version"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+
+    def test_trailing_bytes_rejected(self, server, clock, tmp_path):
+        """A concatenated/partially-overwritten file must not load silently."""
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        path.write_bytes(path.read_bytes() + b"garbage-from-a-second-frame")
+        with pytest.raises(SnapshotError, match="trailing"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+
+    def test_missing_file_is_a_snapshot_error(self, server, clock, tmp_path):
+        """OS errors fold into SnapshotError so the CLI reports, not tracebacks."""
+        missing = tmp_path / "never-written.snap"
+        with pytest.raises(SnapshotError, match="cannot read"):
+            restore_client_snapshot(_fresh_client(server, clock), missing)
+        with pytest.raises(SnapshotError, match="cannot read"):
+            load_server_database(missing)
+        with pytest.raises(SnapshotError, match="cannot read"):
+            inspect_snapshot(missing)
+
+    def test_bad_magic(self, server, clock, tmp_path):
+        path = tmp_path / "c.snap"
+        path.write_bytes(b"NOTASNAP" + b"\x00" * 64)
+        with pytest.raises(SnapshotError, match="not a snapshot"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+
+    def test_backend_name_mismatch_lists_both_names(self, server, clock,
+                                                    tmp_path):
+        client = _client(server, clock, backend="sorted-array")
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        target = _fresh_client(server, clock, backend="delta-coded")
+        with pytest.raises(SnapshotError) as excinfo:
+            restore_client_snapshot(target, path)
+        message = str(excinfo.value)
+        assert "sorted-array" in message and "delta-coded" in message
+
+    def test_kind_mismatch(self, server, clock, tmp_path):
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        with pytest.raises(SnapshotError, match="expected a client snapshot"):
+            restore_client_snapshot(_fresh_client(server, clock), path)
+        client_path = save_client_snapshot(_client(server, clock),
+                                           tmp_path / "c.snap")
+        with pytest.raises(SnapshotError, match="expected a server snapshot"):
+            load_server_database(client_path)
+
+    def test_prefix_width_mismatch(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        wide = SafeBrowsingClient(
+            server, name="wide", clock=clock,
+            config=ClientConfig(store_backend="sorted-array", prefix_bits=64))
+        with pytest.raises(SnapshotError, match="64-bit"):
+            restore_client_snapshot(wide, path)
+
+    def test_subscribed_list_mismatch(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        partial = SafeBrowsingClient(server, name="partial", clock=clock,
+                                     lists=["goog-malware-shavar"],
+                                     config=ClientConfig(store_backend="sorted-array"))
+        with pytest.raises(SnapshotError, match="subscribes"):
+            restore_client_snapshot(partial, path)
+
+    def test_failed_restore_leaves_client_usable(self, server, clock,
+                                                 tmp_path):
+        """A rejected snapshot must not leave the client half-restored."""
+        client = _client(server, clock)
+        verdict_before = client.lookup("http://evil.example.com/").verdict
+        bad = save_server_snapshot(server, tmp_path / "server.snap")
+        with pytest.raises(SnapshotError):
+            restore_client_snapshot(client, bad)
+        assert client.lookup("http://evil.example.com/").verdict == verdict_before
+
+
+class TestServerRoundTrip:
+    def test_server_snapshot_round_trip(self, server, tmp_path):
+        orphan = Prefix.from_int(0xDEADBEEF, 32)
+        server.insert_orphan_prefixes("goog-malware-shavar", [orphan])
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        restored = load_server(path, clock=ManualClock())
+        assert restored.database.version == server.database.version
+        assert restored.list_names() == server.list_names()
+        for list_db in server.database:
+            copy = restored.database[list_db.descriptor.name]
+            assert copy.version == list_db.version
+            assert copy.prefix_count() == list_db.prefix_count()
+            assert copy.expressions() == list_db.expressions()
+            assert copy.add_chunks == list_db.add_chunks
+            assert copy.sub_chunks == list_db.sub_chunks
+        assert restored.database["goog-malware-shavar"].contains_prefix(orphan)
+
+    def test_restored_server_serves_clients(self, server, tmp_path):
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        restored = load_server(path, clock=ManualClock())
+        client = SafeBrowsingClient(restored, name="of-restored")
+        client.update()
+        assert client.lookup("http://evil.example.com/").is_malicious
+        assert not client.lookup("http://fine.example.org/").contacted_server
+
+    def test_load_can_reshard(self, server, tmp_path):
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        restored = load_server_database(path, shard_count=4,
+                                        index_backend="raw")
+        assert restored.shard_count == 4
+        assert restored.index_backend == "raw"
+        for list_db in server.database:
+            copy = restored[list_db.descriptor.name]
+            for prefix in list_db.prefixes():
+                assert copy.contains_prefix(prefix)
+
+    def test_pending_mutations_survive(self, server, tmp_path, clock):
+        database = server.database["goog-malware-shavar"]
+        database.add_expression("pending.example/x")  # not committed
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        restored = load_server(path, clock=ManualClock())
+        add_chunk, _ = restored.database["goog-malware-shavar"].commit_pending()
+        assert add_chunk is not None and len(add_chunk) == 1
+
+
+class TestInspect:
+    def test_inspect_client_snapshot(self, server, clock, tmp_path):
+        client = _client(server, clock)
+        path = save_client_snapshot(client, tmp_path / "c.snap")
+        info = inspect_snapshot(path)
+        assert info.kind == "client"
+        assert info.backend == "sorted-array"
+        assert info.total_prefixes == client.local_database_size()
+
+    def test_inspect_server_snapshot(self, server, tmp_path):
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        info = inspect_snapshot(path)
+        assert info.kind == "server"
+        assert info.shard_count == 16
+        assert info.total_prefixes == sum(
+            list_db.prefix_count() for list_db in server.database)
+
+    def test_inspect_rejects_corruption(self, server, tmp_path):
+        path = save_server_snapshot(server, tmp_path / "server.snap")
+        data = bytearray(path.read_bytes())
+        data[_HEADER.size + 3] ^= 0x55
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            inspect_snapshot(path)
