@@ -26,10 +26,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-from scipy import optimize, stats
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the simulation raises MissingDependencyError instead
+try:
+    from scipy import optimize, stats
+except ImportError:  # pragma: no cover - minimal install without scipy
+    optimize = stats = None  # the bound solvers raise instead
 
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, require_dependency
 
 #: Number of unique URLs Google reported knowing, per year (paper Table 5).
 URL_COUNT_HISTORY: dict[int, int] = {
@@ -67,6 +73,7 @@ def _d_c(c: float) -> float:
     The function ``f(x)`` is positive at ``x = c`` and decreases to
     ``-inf``, so a bracketed Brent solve on ``[c, upper]`` is robust.
     """
+    require_dependency(optimize, "scipy", "the d_c bound solver")
     if c <= 0:
         raise AnalysisError("c must be positive")
 
@@ -156,6 +163,7 @@ def expected_max_load_poisson(m: int | float, n: int | float) -> int:
     asymptotic caveats and is the one the experiment harness reports next to
     the Raab-Steger bound.
     """
+    require_dependency(stats, "scipy", "the Poisson max-load estimate")
     m, n = _validate(m, n)
     lam = m / n
     distribution = stats.poisson(lam)
@@ -187,6 +195,7 @@ def simulate_max_load(m: int, n: int, *, rounds: int = 5,
     Used by the test suite to validate the analytic estimates on tractable
     sizes (``m, n <= ~10**7``).
     """
+    require_dependency(np, "numpy", "the max-load simulation")
     if m <= 0 or n <= 0:
         raise AnalysisError("simulation needs positive m and n")
     if m * rounds > 5 * 10**8:

@@ -19,9 +19,12 @@ from collections import defaultdict
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the metric raises MissingDependencyError instead
 
-from repro.exceptions import AnalysisError
+from repro.exceptions import AnalysisError, require_dependency
 from repro.hashing.digests import url_prefix
 from repro.hashing.prefix import Prefix
 
@@ -68,6 +71,7 @@ def privacy_metric(expressions: Iterable[str], *, prefix_bits: int = 32) -> Anon
     report's :attr:`AnonymitySetReport.max_set_size` is the metric of
     Section 5.1 — the maximum number of URLs sharing one prefix.
     """
+    require_dependency(np, "numpy", "the k-anonymity metric")
     groups = anonymity_sets(expressions, prefix_bits=prefix_bits)
     if not groups:
         raise AnalysisError("cannot compute a privacy metric on an empty universe")

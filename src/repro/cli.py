@@ -27,6 +27,7 @@ often, without writing Python:
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import sys
 from collections.abc import Callable, Sequence
 
@@ -62,10 +63,21 @@ _EXPERIMENTS: dict[str, str] = {
     "armsrace": "repro.experiments.armsrace:armsrace_table",
 }
 
+def _numpy_available() -> bool:
+    """Whether numpy is importable (without importing it)."""
+    try:
+        return importlib.util.find_spec("numpy") is not None
+    except (ImportError, ValueError):
+        # A blocked or half-torn-down numpy counts as absent.
+        return False
+
+
 #: Store backends offered by ``repro fleet``.  Mirrors the keys of
 #: ``repro.safebrowsing.client._STORE_BACKENDS`` (kept in sync by a unit
-#: test) so building the parser does not import the safebrowsing stack.
-_FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "mmap", "raw", "sorted-array")
+#: test) so building the parser does not import the safebrowsing stack —
+#: including the registry's optional-numpy rule, probed via ``find_spec``.
+_FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "mmap", "raw", "sorted-array") + (
+    ("numpy", "numpy-mmap") if _numpy_available() else ())
 
 #: Transport kinds offered by ``repro fleet``.  Mirrors
 #: ``repro.safebrowsing.transport.TRANSPORT_KINDS`` (kept in sync by a unit

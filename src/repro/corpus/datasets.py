@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the builders raise MissingDependencyError instead
 
-from repro.exceptions import CorpusError
+from repro.exceptions import CorpusError, require_dependency
 from repro.corpus.generator import CorpusConfig, CorpusGenerator, WebCorpus
 from repro.corpus.namegen import NameGenerator
 from repro.hashing.prefix import Prefix
@@ -221,6 +224,7 @@ def build_blacklist_snapshot(provider: ListProvider, *, scale: float = 0.01,
     Returns the server together with the ground truth needed by the
     experiments.
     """
+    require_dependency(np, "numpy", "blacklist provisioning")
     if not (0.0 < scale <= 1.0):
         raise CorpusError("scale must be in (0, 1]")
     descriptors = lists_for_provider(provider)

@@ -9,7 +9,10 @@ lists and a seeded :class:`numpy.random.Generator`.
 
 from __future__ import annotations
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the generator needs an rng, so callers fail there first
 
 from repro.exceptions import CorpusError
 

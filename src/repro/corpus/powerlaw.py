@@ -22,9 +22,12 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the numeric entry points raise MissingDependencyError
 
-from repro.exceptions import CorpusError
+from repro.exceptions import CorpusError, require_dependency
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +53,7 @@ def fit_power_law(data: Sequence[float] | np.ndarray, x_min: float = 1.0) -> Pow
     Values below ``x_min`` are excluded from the fit, mirroring the standard
     treatment of the distribution head.
     """
+    require_dependency(np, "numpy", "power-law fitting")
     if x_min <= 0:
         raise CorpusError("x_min must be positive")
     values = np.asarray([value for value in np.asarray(data, dtype=float).ravel()
@@ -108,6 +112,7 @@ def discrete_counts(samples: np.ndarray, minimum: int = 1,
     ``minimum`` (and optionally ``maximum``) clamp the result; the generator
     uses this to turn the continuous samples into URLs-per-host counts.
     """
+    require_dependency(np, "numpy", "discretizing power-law samples")
     counts = np.floor(samples).astype(np.int64)
     counts = np.maximum(counts, minimum)
     if maximum is not None:

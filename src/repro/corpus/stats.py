@@ -17,8 +17,6 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.corpus.generator import HostSite, WebCorpus
 from repro.corpus.powerlaw import PowerLawFit, fit_power_law
 from repro.hashing.digests import url_prefix
@@ -152,7 +150,7 @@ def site_decomposition_stats(site: HostSite, *, policy: DecompositionPolicy = AP
     collisions = len(all_expressions) - len(prefixes)
 
     if per_url_counts:
-        mean_count = float(np.mean(per_url_counts))
+        mean_count = float(sum(per_url_counts) / len(per_url_counts))
         min_count = int(min(per_url_counts))
         max_count = int(max(per_url_counts))
     else:

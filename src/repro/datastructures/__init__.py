@@ -22,6 +22,14 @@ The persistence layer (:mod:`repro.safebrowsing.snapshot`) adds
 the baseline values live in any zero-copy buffer — in particular a
 memory-mapped snapshot file, so a restarted client warm-starts without
 deserializing its prefix database.
+
+When numpy is importable (``NUMPY_AVAILABLE``), two vectorized backends
+join the registry: :class:`NumpyPrefixStore` (the packed array searched
+with one ``searchsorted`` per batch) and :class:`NumpyMmapStore` (the
+mapped baseline searched the same way, in place or through a lazily
+materialized machine-endian mirror).  numpy is strictly optional — without
+it the registry simply omits the two names and everything else works
+unchanged.
 """
 
 from repro.datastructures.store import PrefixStore, RawPrefixStore
@@ -30,6 +38,7 @@ from repro.datastructures.sharded import DEFAULT_SHARD_COUNT, ShardedPrefixIndex
 from repro.datastructures.bloom import BloomFilter, BloomPrefixStore, optimal_bloom_parameters
 from repro.datastructures.delta import DeltaCodedTable, DeltaCodedPrefixStore
 from repro.datastructures.mmapped import MmapSortedArrayStore
+from repro.datastructures.vectorized import NUMPY_AVAILABLE, NumpyMmapStore, NumpyPrefixStore
 from repro.datastructures.memory import MemoryReport, STORE_FACTORIES, store_memory_report
 
 __all__ = [
@@ -40,6 +49,9 @@ __all__ = [
     "DeltaCodedTable",
     "MemoryReport",
     "MmapSortedArrayStore",
+    "NUMPY_AVAILABLE",
+    "NumpyMmapStore",
+    "NumpyPrefixStore",
     "PrefixStore",
     "RawPrefixStore",
     "STORE_FACTORIES",

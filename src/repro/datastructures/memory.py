@@ -17,6 +17,11 @@ from repro.datastructures.delta import DeltaCodedPrefixStore
 from repro.datastructures.mmapped import MmapSortedArrayStore
 from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.store import PrefixStore, RawPrefixStore
+from repro.datastructures.vectorized import (
+    NUMPY_AVAILABLE,
+    NumpyMmapStore,
+    NumpyPrefixStore,
+)
 from repro.hashing.prefix import Prefix
 
 #: Factories for the stores compared in Table 2 (keyed by the row name used
@@ -30,6 +35,13 @@ STORE_FACTORIES: dict[str, Callable[[Iterable[Prefix], int], PrefixStore]] = {
     "sorted-array": lambda prefixes, bits: SortedArrayPrefixStore(prefixes, bits),
     "mmap": lambda prefixes, bits: MmapSortedArrayStore(prefixes, bits),
 }
+
+# The vectorized backends exist only when numpy is importable: registering
+# them conditionally keeps tier-1 green without numpy, and lets the property
+# suites (which sweep these keys) pin them automatically when it is present.
+if NUMPY_AVAILABLE:
+    STORE_FACTORIES["numpy"] = lambda prefixes, bits: NumpyPrefixStore(prefixes, bits)
+    STORE_FACTORIES["numpy-mmap"] = lambda prefixes, bits: NumpyMmapStore(prefixes, bits)
 
 
 @dataclass(frozen=True, slots=True)

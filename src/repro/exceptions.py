@@ -87,3 +87,27 @@ class SnapshotError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is configured inconsistently."""
+
+
+class MissingDependencyError(ReproError):
+    """Raised when an optional dependency is needed but not installed.
+
+    numpy (and, for the balls-into-bins bounds, scipy) is optional: the
+    protocol and storage layers always work without it, while the corpus,
+    analysis and fleet-experiment layers need it for their math.  Importing
+    any module succeeds either way; the numeric entry points raise this
+    error instead of failing at import time.
+    """
+
+
+def require_dependency(module: object | None, name: str, feature: str) -> None:
+    """Raise :class:`MissingDependencyError` when an optional import failed.
+
+    ``module`` is the result of a guarded ``import`` (``None`` when the
+    dependency is absent); ``feature`` names the capability for the message.
+    """
+    if module is None:
+        raise MissingDependencyError(
+            f"{feature} requires the optional dependency {name!r}, "
+            "which is not installed"
+        )

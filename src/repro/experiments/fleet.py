@@ -78,14 +78,22 @@ from collections.abc import Sequence
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the experiment raises MissingDependencyError instead
 
 from repro.analysis.inverted_index import PrefixInvertedIndex
 from repro.analysis.streaming import StreamingTrackingDetector
 from repro.analysis.tracking import TrackingSystem
 from repro.clock import ManualClock
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
-from repro.exceptions import ExperimentError, PolicyError, TransportError
+from repro.exceptions import (
+    ExperimentError,
+    PolicyError,
+    TransportError,
+    require_dependency,
+)
 from repro.experiments.scale import ExperimentContext, Scale, SMALL, get_context
 from repro.reporting.tables import Table
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
@@ -437,6 +445,7 @@ class FleetSimulator:
         """``scale`` sizes the workload, ``config`` shapes the fleet's
         behaviour, and ``context`` (defaulting to the scale's cached
         :func:`get_context`) supplies the shared corpora and snapshots."""
+        require_dependency(np, "numpy", "the fleet simulation")
         self.scale = scale
         self.config = config if config is not None else FleetConfig()
         self._context = context if context is not None else get_context(scale)

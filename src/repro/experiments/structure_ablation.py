@@ -14,11 +14,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - minimal install without numpy
+    np = None  # the ablation raises MissingDependencyError instead
 
 from repro.datastructures.bloom import BloomPrefixStore
 from repro.datastructures.delta import DeltaCodedPrefixStore
 from repro.datastructures.store import PrefixStore, RawPrefixStore
+from repro.exceptions import require_dependency
 from repro.hashing.prefix import Prefix
 from repro.reporting.tables import Table
 
@@ -41,6 +45,7 @@ class AblationRow:
 
 def _build_population(entry_count: int, *, seed: int = 9) -> tuple[list[Prefix], list[Prefix]]:
     """Member prefixes (deployed-list density) and probe prefixes (50% hits)."""
+    require_dependency(np, "numpy", "the structure ablation")
     rng = np.random.default_rng(seed)
     members = [Prefix.from_int(int(value), 32)
                for value in np.sort(rng.choice(2**32, size=entry_count, replace=False))]

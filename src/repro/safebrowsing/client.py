@@ -54,6 +54,11 @@ from repro.datastructures.delta import DeltaCodedPrefixStore
 from repro.datastructures.mmapped import MmapSortedArrayStore
 from repro.datastructures.sorted_array import SortedArrayPrefixStore
 from repro.datastructures.store import PrefixStore, RawPrefixStore
+from repro.datastructures.vectorized import (
+    NUMPY_AVAILABLE,
+    NumpyMmapStore,
+    NumpyPrefixStore,
+)
 from repro.exceptions import UpdateError
 from repro.hashing.digests import FullHash, digests_of
 from repro.hashing.prefix import Prefix
@@ -81,7 +86,10 @@ from repro.safebrowsing.transport import InProcessTransport, Transport
 from repro.urls.canonicalize import canonicalize
 from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
 
-#: Store backends selectable through :class:`ClientConfig`.
+#: Store backends selectable through :class:`ClientConfig`.  The two
+#: numpy-vectorized backends are registered only when numpy is importable
+#: (it is an optional dependency); without it the config rejects them with
+#: the usual unknown-backend error naming what *is* available.
 _STORE_BACKENDS = {
     "delta-coded": DeltaCodedPrefixStore,
     "bloom": BloomPrefixStore,
@@ -89,6 +97,9 @@ _STORE_BACKENDS = {
     "sorted-array": SortedArrayPrefixStore,
     "mmap": MmapSortedArrayStore,
 }
+if NUMPY_AVAILABLE:
+    _STORE_BACKENDS["numpy"] = NumpyPrefixStore
+    _STORE_BACKENDS["numpy-mmap"] = NumpyMmapStore
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,7 +112,11 @@ class ClientConfig:
         ``"delta-coded"`` (the deployed choice), ``"bloom"`` (the pre-2012
         Chromium choice), ``"raw"``, ``"sorted-array"`` (packed, batched
         lookups) or ``"mmap"`` (sorted-array semantics served off a mapped
-        snapshot baseline — the zero-copy warm-start backend).
+        snapshot baseline — the zero-copy warm-start backend).  With numpy
+        installed, ``"numpy"`` and ``"numpy-mmap"`` add vectorized variants
+        of the last two (one ``searchsorted`` per batch instead of a Python
+        bisect loop); numpy is optional, so these two names exist only when
+        it is importable.
     prefix_bits:
         Width of the local prefixes (32 in the deployed service).
     decomposition_policy:

@@ -27,6 +27,11 @@ from dataclasses import dataclass, field
 
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT, ShardedPrefixIndex
 from repro.exceptions import ListNotFoundError, ProtocolError
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-absent CI leg
+    _np = None
 from repro.hashing.digests import DEFAULT_PREFIX_BITS, FullHash
 from repro.hashing.prefix import Prefix
 from repro.hashing.prefix_set import PrefixSet
@@ -70,6 +75,7 @@ class ListDatabase:
         # every bucket per query.
         self._wide_view: list[bytes] = []
         self._wide_view_version = -1
+        self._wide_np = None
 
     # -- content management ---------------------------------------------------
 
@@ -217,25 +223,90 @@ class ListDatabase:
           bytes.
 
         Prefixes are byte-aligned (multiples of 8 bits), so compatibility
-        is a plain byte-prefix comparison.
+        is a plain byte-prefix comparison.  One-element wrapper around
+        :meth:`full_hashes_matching_many`, which the server core calls for
+        the whole request batch at once.
         """
-        if prefix.bits == self.prefix_bits:
-            return self.full_hashes_for(prefix)
-        if prefix.bits < self.prefix_bits:
-            # Byte-prefix compatibility is a contiguous range in sorted
-            # order: bisect to the first candidate, walk while it matches.
+        return self.full_hashes_matching_many((prefix,))[prefix]
+
+    def full_hashes_matching_many(
+            self, prefixes: Sequence[Prefix]
+    ) -> dict[Prefix, tuple[FullHash, ...]]:
+        """Batched :meth:`full_hashes_matching` over unique query prefixes.
+
+        Stored-width and longer queries stay dict lookups; the *shorter*
+        (widened privacy) queries of the batch are resolved together — each
+        one is a contiguous range of the sorted wide view, and with numpy
+        present both range endpoints of every query are found by a single
+        vectorized ``searchsorted`` pass instead of a per-prefix scan.
+        """
+        matches: dict[Prefix, tuple[FullHash, ...]] = {}
+        wide: list[Prefix] = []
+        for prefix in prefixes:
+            if prefix in matches:
+                continue
+            if prefix.bits == self.prefix_bits:
+                matches[prefix] = self.full_hashes_for(prefix)
+            elif prefix.bits > self.prefix_bits:
+                stored = Prefix(prefix.value[: self.prefix_bits // 8],
+                                self.prefix_bits)
+                matches[prefix] = tuple(
+                    full_hash for full_hash in self.full_hashes_for(stored)
+                    if full_hash.digest.startswith(prefix.value))
+            else:
+                matches[prefix] = ()  # placeholder, filled below
+                wide.append(prefix)
+        if wide:
             view = self._populated_values()
-            matched: set[FullHash] = set()
-            for position in range(bisect_left(view, prefix.value), len(view)):
-                value = view[position]
-                if not value.startswith(prefix.value):
-                    break
-                matched.update(
-                    self._full_hashes[Prefix(value, self.prefix_bits)])
-            return tuple(sorted(matched, key=lambda fh: fh.digest))
-        stored = Prefix(prefix.value[: self.prefix_bits // 8], self.prefix_bits)
-        return tuple(full_hash for full_hash in self.full_hashes_for(stored)
-                     if full_hash.digest.startswith(prefix.value))
+            for prefix, (low, high) in zip(wide, self._wide_ranges(wide)):
+                matched: set[FullHash] = set()
+                for value in view[low:high]:
+                    matched.update(
+                        self._full_hashes[Prefix(value, self.prefix_bits)])
+                matches[prefix] = tuple(
+                    sorted(matched, key=lambda fh: fh.digest))
+        return matches
+
+    def _wide_ranges(self, prefixes: Sequence[Prefix]) -> list[tuple[int, int]]:
+        """Half-open ``[low, high)`` wide-view ranges covered per query.
+
+        A shorter query value ``q`` matches exactly the stored values in
+        ``[q, next(q))`` where ``next(q)`` increments ``q`` as a big-endian
+        integer (``None`` past the end when ``q`` is all ``0xFF``).  With
+        numpy the two bisections per query collapse into one vectorized
+        ``searchsorted`` call over the whole batch.
+        """
+        bounds: list[tuple[bytes, bytes | None]] = []
+        for prefix in prefixes:
+            value = prefix.value
+            as_int = int.from_bytes(value, "big") + 1
+            upper = (None if as_int >= 1 << (8 * len(value))
+                     else as_int.to_bytes(len(value), "big"))
+            bounds.append((value, upper))
+        view = self._populated_values()
+        array = self._wide_array()
+        if array is None:
+            return [(bisect_left(view, low),
+                     len(view) if high is None else bisect_left(view, high))
+                    for low, high in bounds]
+        width = self.prefix_bits // 8
+        # One needle per endpoint; an all-0xFF query has no upper needle and
+        # keeps len(view).  Shorter needles compare NUL-padded in the S
+        # dtype, which matches bytes ordering for these range endpoints.
+        needles = [low for low, _ in bounds]
+        needles += [high for _, high in bounds if high is not None]
+        positions = _np.searchsorted(
+            array, _np.array(needles, dtype=f"S{width}")).tolist()
+        lows = positions[:len(bounds)]
+        highs: list[int] = []
+        upper_index = len(bounds)
+        for _, high in bounds:
+            if high is None:
+                highs.append(len(view))
+            else:
+                highs.append(positions[upper_index])
+                upper_index += 1
+        return list(zip(lows, highs))
 
     def _populated_values(self) -> list[bytes]:
         """Sorted byte values of the populated buckets (wide-query view)."""
@@ -245,7 +316,18 @@ class ListDatabase:
                 if bucket
             )
             self._wide_view_version = self.version
+            self._wide_np = None  # companion array rebuilt on demand
         return self._wide_view
+
+    def _wide_array(self):
+        """numpy companion of the wide view (``None`` without numpy)."""
+        view = self._populated_values()
+        if _np is None or not view:
+            return None
+        if self._wide_np is None:
+            self._wide_np = _np.frombuffer(
+                b"".join(view), dtype=f"S{self.prefix_bits // 8}")
+        return self._wide_np
 
     def prefixes(self) -> PrefixSet:
         """Every prefix in the list (including orphans)."""

@@ -267,21 +267,27 @@ class ServerCore:
                 return entry.matches_by_prefix
             self.stats.response_cache_misses += 1
 
-        matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]] = {}
-        for prefix in key:
-            # Variable-width matching: a prefix shorter than the stored
-            # width (a widened privacy query) answers with the superset of
-            # every compatible bucket; the stored width stays an exact
-            # bucket lookup.
-            matches_by_prefix[prefix] = tuple(
-                FullHashMatch(
-                    list_name=database.descriptor.name,
-                    prefix=prefix,
-                    full_hash=full_hash,
+        # Variable-width matching, batched per list: a prefix shorter than
+        # the stored width (a widened privacy query) answers with the
+        # superset of every compatible bucket; the stored width stays an
+        # exact bucket lookup.  Handing each database the whole batch lets
+        # it resolve every widened query's bucket range in one vectorized
+        # search instead of scanning per prefix.
+        collected: dict[Prefix, list[FullHashMatch]] = {
+            prefix: [] for prefix in key}
+        for database in self.database:
+            by_prefix = database.full_hashes_matching_many(key)
+            for prefix in key:
+                collected[prefix].extend(
+                    FullHashMatch(
+                        list_name=database.descriptor.name,
+                        prefix=prefix,
+                        full_hash=full_hash,
+                    )
+                    for full_hash in by_prefix[prefix]
                 )
-                for database in self.database
-                for full_hash in database.full_hashes_matching(prefix)
-            )
+        matches_by_prefix: dict[Prefix, tuple[FullHashMatch, ...]] = {
+            prefix: tuple(found) for prefix, found in collected.items()}
         if ttl > 0:
             if len(self._response_cache) >= self.response_cache_entries:
                 self._prune_response_cache(now)

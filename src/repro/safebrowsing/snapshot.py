@@ -14,10 +14,12 @@ reproduction the same property end to end:
 * **warm start**: :func:`restore_client_snapshot` reloads a freshly
   constructed :class:`~repro.safebrowsing.client.SafeBrowsingClient` so its
   next update poll fetches only the chunks committed since the snapshot —
-  and with the ``"mmap"`` store backend the restored stores answer
-  :meth:`contains_many` straight off a memory-mapped view of the snapshot
-  file, with zero deserialization
-  (:class:`~repro.datastructures.mmapped.MmapSortedArrayStore`);
+  and with the ``"mmap"`` and ``"numpy-mmap"`` store backends the restored
+  stores answer :meth:`contains_many` straight off a memory-mapped view of
+  the snapshot file, with zero deserialization
+  (:class:`~repro.datastructures.mmapped.MmapSortedArrayStore` and its
+  vectorized subclass
+  :class:`~repro.datastructures.vectorized.NumpyMmapStore`);
 * **loud failure**: every unusable snapshot — truncated, checksum mismatch,
   unknown format version, wrong kind, or written for a different backend /
   prefix width / list set — raises a typed
@@ -44,6 +46,7 @@ from typing import TYPE_CHECKING
 from repro.datastructures.bloom import BloomFilter, BloomPrefixStore
 from repro.datastructures.mmapped import MmapSortedArrayStore
 from repro.datastructures.store import PrefixStore
+from repro.datastructures.vectorized import NumpyMmapStore
 from repro.exceptions import SnapshotError
 from repro.hashing.digests import FullHash
 from repro.hashing.prefix import Prefix
@@ -58,6 +61,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (client imports us)
 
 #: File magic of every snapshot.
 MAGIC = b"SBSNAP"
+
+#: Store backends whose packed sections are served straight off the mapped
+#: snapshot file on restore (both wrap the identical byte layout; the numpy
+#: variant vectorizes the binary search).  Everything else materializes.
+_ZERO_COPY_BACKENDS = {
+    "mmap": MmapSortedArrayStore,
+    "numpy-mmap": NumpyMmapStore,
+}
 
 #: Format version this build writes (and the only one it reads).
 FORMAT_VERSION = 1
@@ -366,9 +377,10 @@ def restore_client_snapshot(client: "SafeBrowsingClient",
     :meth:`~repro.safebrowsing.client.SafeBrowsingClient.update` then
     fetches only the chunks committed after the snapshot.
 
-    With the ``"mmap"`` store backend the restored stores serve lookups
-    directly off a shared memory-mapped view of ``path`` (zero-copy warm
-    start); every other backend materializes the packed values.
+    With the ``"mmap"`` and ``"numpy-mmap"`` store backends the restored
+    stores serve lookups directly off a shared memory-mapped view of
+    ``path`` (zero-copy warm start); every other backend materializes the
+    packed values.
     """
     from repro.safebrowsing.client import _STORE_BACKENDS
 
@@ -411,7 +423,7 @@ def restore_client_snapshot(client: "SafeBrowsingClient",
 
     # Stage every store before touching the client, so a bad record can
     # never leave it half-restored.
-    use_mmap = backend == "mmap"
+    use_mmap = backend in _ZERO_COPY_BACKENDS
     mapped: mmap.mmap | None = None
     if use_mmap and any(section is not None and section.count
                         for *_, section, _ in records):
@@ -437,7 +449,7 @@ def restore_client_snapshot(client: "SafeBrowsingClient",
             )
         elif use_mmap and section is not None and section.count:
             assert mapped is not None
-            store = MmapSortedArrayStore.from_buffer(
+            store = _ZERO_COPY_BACKENDS[backend].from_buffer(
                 mapped, _HEADER.size + section.payload_offset,
                 section.count, bits, keep_alive=mapped,
             )

@@ -110,10 +110,19 @@ def _split_scheme(url: str) -> tuple[str, str]:
 
 
 def _strip_userinfo(remainder: str) -> str:
-    """Remove a ``user:password@`` block that precedes the hostname."""
-    slash = remainder.find("/")
-    authority = remainder if slash < 0 else remainder[:slash]
-    at = authority.rfind("@")
+    """Remove a ``user:password@`` block that precedes the hostname.
+
+    The authority ends at the first ``/`` **or** ``?`` (the fragment is
+    already stripped); an ``@`` beyond that belongs to the path or query
+    and must not be taken for a userinfo delimiter — otherwise
+    ``http://example.com?x=@evil.com`` would hand the host to the attacker.
+    """
+    end = len(remainder)
+    for terminator in "/?":
+        index = remainder.find(terminator)
+        if 0 <= index < end:
+            end = index
+    at = remainder.rfind("@", 0, end)
     if at < 0:
         return remainder
     return remainder[at + 1 :]
@@ -131,13 +140,25 @@ def _split_authority(remainder: str) -> tuple[str, bool, str]:
 
 
 def _split_port(host_port: str) -> tuple[str, int | None]:
-    """Split an explicit port off the host, ignoring malformed ports."""
+    """Split an explicit port off the host.
+
+    A bare trailing colon (``host:``) is treated as no port, matching what
+    browsers resolve.  Anything else that is not a decimal number in
+    [1, 65535] is an error: silently folding ``:0x50`` into the hostname
+    would canonicalize — and hash — a bogus expression.
+    """
     if ":" not in host_port:
         return host_port, None
     host, _, port_text = host_port.rpartition(":")
-    if port_text.isdigit():
-        return host, int(port_text)
-    return host_port, None
+    if not port_text:
+        return host, None
+    if port_text.isascii() and port_text.isdigit():
+        port = int(port_text)
+        if 1 <= port <= 65535:
+            return host, port
+    raise CanonicalizationError(
+        f"invalid port {port_text!r} in authority {host_port!r}"
+    )
 
 
 def _split_path_query(path_query: str) -> tuple[str, str | None]:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 from repro.analysis.audit import BlacklistAuditor
 from repro.corpus.datasets import AUDITED_LISTS, build_blacklist_snapshot, build_dataset_bundle
 from repro.safebrowsing.lists import ListProvider

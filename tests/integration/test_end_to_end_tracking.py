@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 from repro.analysis.inverted_index import PrefixInvertedIndex
 from repro.analysis.temporal import IntentProfile, TemporalCorrelator
 from repro.analysis.tracking import TrackingSystem

@@ -8,6 +8,8 @@ from pathlib import Path
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
 EXAMPLES = [

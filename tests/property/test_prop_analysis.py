@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import string
 
+import pytest
 from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy")  # the analysis layer's metrics are numpy-backed
 
 from repro.analysis.ballsbins import expected_max_load_poisson, max_load_upper_bound
 from repro.analysis.inverted_index import PrefixInvertedIndex

@@ -14,6 +14,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datastructures import STORE_FACTORIES, ShardedPrefixIndex
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
 from repro.hashing.prefix import Prefix
 
 BACKENDS = sorted(STORE_FACTORIES)
@@ -107,6 +108,8 @@ class TestShardRoutingEquivalence:
         )
 
 
+@pytest.mark.skipif(not NUMPY_AVAILABLE,
+                    reason="the fleet simulation is numpy-backed")
 class TestFleetSignatureAcrossShardCounts:
     """Full fleet traffic signatures are pinned across shard counts."""
 

@@ -21,6 +21,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.clock import ManualClock
 from repro.datastructures import STORE_FACTORIES
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
 from repro.experiments.fleet import FleetConfig, run_fleet
 from repro.experiments.scale import Scale
 from repro.hashing.prefix import Prefix
@@ -210,6 +211,8 @@ TINY_CHURN = Scale(
 _CHURN = dict(churn_fraction=0.5, restart_interval=2)
 
 
+@pytest.mark.skipif(not NUMPY_AVAILABLE,
+                    reason="the fleet simulation is numpy-backed")
 class TestChurningFleetSignatures:
     def test_signature_is_shard_count_invariant_under_churn(self):
         reports = [run_fleet(TINY_CHURN, FleetConfig(**_CHURN,

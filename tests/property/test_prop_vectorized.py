@@ -1,0 +1,89 @@
+"""Property tests pinning the numpy backends to the sorted-array reference.
+
+The generic store sweep in ``test_prop_stores.py`` already covers the
+registry-constructed path for every registered backend; this module pins the
+paths only the vectorized backends have — the zero-copy ``from_buffer``
+restore (all three materialize modes) with an overlay of post-restore adds
+and tombstones, and the batched ``contains_many`` bitmask at several widths.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+pytest.importorskip("numpy")
+
+from repro.datastructures.sorted_array import SortedArrayPrefixStore
+from repro.datastructures.vectorized import NumpyMmapStore, NumpyPrefixStore
+from repro.hashing.prefix import Prefix
+
+WIDTHS = (8, 24, 32, 64)
+
+
+def _values(bits: int):
+    return st.integers(min_value=0, max_value=(1 << bits) - 1)
+
+
+@st.composite
+def packed_run_and_operations(draw, bits: int):
+    """A packed baseline run plus overlay adds/removes and a probe batch."""
+    baseline = sorted(set(draw(st.lists(_values(bits), max_size=40))))
+    added = draw(st.lists(_values(bits), max_size=10))
+    removed = draw(st.lists(_values(bits), max_size=10))
+    probes = draw(st.lists(_values(bits), min_size=1, max_size=30))
+    return baseline, added, removed, probes
+
+
+class TestFromBufferEquivalence:
+    @pytest.mark.parametrize("bits", WIDTHS)
+    @pytest.mark.parametrize("materialize", ["lazy", "eager", "never"])
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_overlayed_buffer_matches_sorted_array(self, bits, materialize,
+                                                   data):
+        baseline, added, removed, probes = data.draw(
+            packed_run_and_operations(bits))
+        width = bits // 8
+        packed = b"".join(value.to_bytes(width, "big") for value in baseline)
+
+        store = NumpyMmapStore.from_buffer(packed, 0, len(baseline), bits,
+                                           materialize=materialize)
+        reference = SortedArrayPrefixStore(
+            (Prefix.from_int(value, bits) for value in baseline), bits)
+        for value in added:
+            store.add(Prefix.from_int(value, bits))
+            reference.add(Prefix.from_int(value, bits))
+        for value in removed:
+            store.discard(Prefix.from_int(value, bits))
+            reference.discard(Prefix.from_int(value, bits))
+
+        probe_prefixes = [Prefix.from_int(value, bits) for value in probes]
+        assert store.contains_many(probe_prefixes) == \
+            reference.contains_many(probe_prefixes)
+        assert len(store) == len(reference)
+        assert list(store) == list(reference)
+        for prefix in probe_prefixes:
+            assert (prefix in store) == (prefix in reference)
+
+
+class TestInMemoryEquivalence:
+    @pytest.mark.parametrize("bits", WIDTHS)
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_mutations_match_sorted_array(self, bits, data):
+        baseline, added, removed, probes = data.draw(
+            packed_run_and_operations(bits))
+        store = NumpyPrefixStore(
+            (Prefix.from_int(value, bits) for value in baseline), bits)
+        reference = SortedArrayPrefixStore(
+            (Prefix.from_int(value, bits) for value in baseline), bits)
+        store.update(Prefix.from_int(value, bits) for value in added)
+        reference.update(Prefix.from_int(value, bits) for value in added)
+        store.discard_many(Prefix.from_int(value, bits) for value in removed)
+        reference.discard_many(Prefix.from_int(value, bits) for value in removed)
+
+        probe_prefixes = [Prefix.from_int(value, bits) for value in probes]
+        assert store.contains_many(probe_prefixes) == \
+            reference.contains_many(probe_prefixes)
+        assert list(store) == list(reference)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 from repro.analysis.audit import BlacklistAuditor
 from repro.clock import ManualClock
 from repro.corpus.generator import CorpusConfig, CorpusGenerator

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import ballsbins
 from repro.analysis.ballsbins import (
     BallsIntoBinsModel,
     DOMAIN_COUNT_HISTORY,
@@ -14,6 +15,13 @@ from repro.analysis.ballsbins import (
     simulate_max_load,
 )
 from repro.exceptions import AnalysisError
+
+# The Poisson estimate needs scipy, the Monte-Carlo simulation numpy;
+# both are optional dependencies of the analysis layer.
+needs_scipy = pytest.mark.skipif(
+    ballsbins.stats is None, reason="scipy not installed")
+needs_numpy = pytest.mark.skipif(
+    ballsbins.np is None, reason="numpy not installed")
 
 
 class TestRegimeSelection:
@@ -69,6 +77,8 @@ class TestUpperBound:
         assert value > 0
 
 
+@needs_scipy
+@needs_numpy
 class TestPoissonEstimate:
     def test_matches_simulation_small_scale(self):
         m, n = 200_000, 4096
@@ -93,6 +103,7 @@ class TestPoissonEstimate:
             expected_max_load_poisson(0, 10)
 
 
+@needs_numpy
 class TestSimulation:
     def test_result_at_least_mean(self):
         assert simulate_max_load(10_000, 100, seed=1) >= 100.0

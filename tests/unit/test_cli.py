@@ -5,6 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import _EXPERIMENTS, build_parser, main
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
+
+# The snapshot CLI provisions a corpus-backed server and the table5
+# experiment draws a random population; both need numpy.
+needs_numpy = pytest.mark.skipif(
+    not NUMPY_AVAILABLE, reason="this command is numpy-backed")
 
 
 class TestParser:
@@ -219,6 +225,7 @@ class TestCommands:
         assert main(["experiment", "table4"]) == 0
         assert "0xe70ee6d1" in capsys.readouterr().out
 
+    @needs_numpy
     def test_experiment_table5(self, capsys):
         assert main(["experiment", "table5"]) == 0
         assert "Raab-Steger" in capsys.readouterr().out
@@ -229,6 +236,7 @@ class TestSnapshotCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["snapshot"])
 
+    @needs_numpy
     def test_save_then_load_round_trip(self, capsys, tmp_path):
         path = tmp_path / "google.snap"
         assert main(["snapshot", "save", str(path)]) == 0
@@ -242,6 +250,7 @@ class TestSnapshotCommand:
         assert "checksum        : OK" in loaded
         assert "goog-malware-shavar" in loaded
 
+    @needs_numpy
     def test_load_reports_corruption_as_cli_error(self, capsys, tmp_path):
         path = tmp_path / "corrupt.snap"
         assert main(["snapshot", "save", str(path)]) == 0
@@ -252,6 +261,7 @@ class TestSnapshotCommand:
         assert main(["snapshot", "load", str(path)]) == 2
         assert "checksum" in capsys.readouterr().err
 
+    @needs_numpy
     def test_restored_snapshot_serves_a_client(self, capsys, tmp_path):
         from repro.safebrowsing.client import SafeBrowsingClient
         from repro.safebrowsing.snapshot import load_server

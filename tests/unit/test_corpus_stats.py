@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 from repro.corpus.generator import HostSite
 from repro.corpus.stats import (
     collect_corpus_statistics,

@@ -84,6 +84,67 @@ class TestListDatabase:
         assert url_prefix("a.example.com/") in prefixes
 
 
+class TestBatchedFullHashMatching:
+    """``full_hashes_matching_many`` vs. the per-prefix variable-width query."""
+
+    EXPRESSIONS = ("evil.example.com/", "phishy.example.net/login",
+                   "bad.actor.org/payload", "another.evil.example/deep/path")
+
+    def _populated(self, database: ListDatabase) -> list[Prefix]:
+        return [database.add_expression(expression)
+                for expression in self.EXPRESSIONS]
+
+    def test_batch_matches_per_prefix_queries(self, database: ListDatabase):
+        stored = self._populated(database)
+        queries = []
+        for prefix in stored:
+            queries.append(prefix)                       # stored width
+            queries.append(Prefix(prefix.value[:2], 16))  # widened (shorter)
+            full = database.full_hashes_for(prefix)[0]
+            queries.append(Prefix(full.digest[:8], 64))   # narrowed (longer)
+        queries.append(Prefix.from_int(0xDEADBEEF, 32))   # absent
+        batch = database.full_hashes_matching_many(queries)
+        assert set(batch) == set(queries)
+        for query in queries:
+            assert batch[query] == database.full_hashes_matching(query)
+
+    def test_widened_query_unions_matching_buckets(self, database: ListDatabase):
+        stored = self._populated(database)
+        wide = Prefix(stored[0].value[:1], 8)
+        expected = {
+            full_hash
+            for prefix in stored if prefix.value[:1] == wide.value
+            for full_hash in database.full_hashes_for(prefix)
+        }
+        assert set(database.full_hashes_matching(wide)) == expected
+
+    def test_duplicate_queries_collapse(self, database: ListDatabase):
+        stored = self._populated(database)
+        batch = database.full_hashes_matching_many([stored[0]] * 3)
+        assert list(batch) == [stored[0]]
+        assert batch[stored[0]] == database.full_hashes_for(stored[0])
+
+    def test_all_ff_wide_query_has_no_upper_bound(self, database: ListDatabase):
+        # A widened value of all 0xFF bytes has no successor; the range must
+        # extend to the end of the wide view instead of overflowing.
+        self._populated(database)
+        query = Prefix(b"\xff", 8)
+        expected = {
+            full_hash
+            for prefix in database.prefixes()
+            if prefix.value[:1] == b"\xff"
+            for full_hash in database.full_hashes_for(prefix)
+        }
+        assert set(database.full_hashes_matching(query)) == expected
+
+    def test_wide_view_tracks_mutations(self, database: ListDatabase):
+        prefix = database.add_expression("evil.example.com/")
+        wide = Prefix(prefix.value[:2], 16)
+        assert database.full_hashes_matching(wide) != ()
+        database.remove_expression("evil.example.com/")
+        assert database.full_hashes_matching(wide) == ()
+
+
 class TestChunkManagement:
     def test_commit_creates_add_chunk(self, database: ListDatabase):
         database.add_expressions(["a.com/", "b.com/"])

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 from repro.corpus.generator import CorpusConfig, CorpusGenerator, HostSite, WebCorpus
 from repro.exceptions import CorpusError
 from repro.urls.hierarchy import registered_domain

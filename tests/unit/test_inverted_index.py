@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.inverted_index import PrefixInvertedIndex
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
 from repro.hashing.digests import url_prefix
 from repro.hashing.prefix import Prefix
 
@@ -45,6 +46,8 @@ class TestConstruction:
         assert entry.exact_prefix == url_prefix(entry.expressions[0])
         assert len(entry.prefixes) == len(entry.expressions)
 
+    @pytest.mark.skipif(not NUMPY_AVAILABLE,
+                        reason="corpus generation is numpy-backed")
     def test_from_corpus(self, random_corpus):
         index = PrefixInvertedIndex.from_corpus(random_corpus, max_sites=10)
         assert len(index) > 0

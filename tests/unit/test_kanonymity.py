@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytest.importorskip("numpy")  # the corpus/fleet/analysis layers are numpy-backed
+
 from repro.analysis.kanonymity import anonymity_sets, metric_across_widths, privacy_metric
 from repro.exceptions import AnalysisError
 from repro.hashing.digests import url_prefix

@@ -79,8 +79,13 @@ class TestHelpers:
         assert all(prefix.bits == 64 for prefix in prefixes)
 
     def test_store_factories_cover_paper_rows(self):
-        assert set(STORE_FACTORIES) == {"raw", "delta-coded", "bloom",
-                                        "sorted-array", "mmap"}
+        # The numpy-vectorized backends join the registry only when numpy is
+        # importable; the paper-table backends are always present.
+        from repro.datastructures.vectorized import NUMPY_AVAILABLE
+        expected = {"raw", "delta-coded", "bloom", "sorted-array", "mmap"}
+        if NUMPY_AVAILABLE:
+            expected |= {"numpy", "numpy-mmap"}
+        assert set(STORE_FACTORIES) == expected
 
     def test_store_factories_build_working_stores(self, digests):
         prefixes = widen_prefixes(digests[:50], 32)

@@ -12,6 +12,7 @@ from repro.analysis.mitigations import (
 )
 from repro.analysis.reidentification import ReidentificationEngine
 from repro.clock import ManualClock
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
 from repro.exceptions import AnalysisError
 from repro.hashing.digests import url_prefix
 from repro.safebrowsing.client import SafeBrowsingClient
@@ -156,6 +157,8 @@ class TestPolicyPortRegression:
         assert results[0].verdict is Verdict.MALICIOUS
         assert server.request_log[-1].prefixes == (url_prefix("example.com/"),)
 
+    @pytest.mark.skipif(not NUMPY_AVAILABLE,
+                        reason="the mitigation experiment is numpy-backed")
     def test_compare_mitigations_numbers_pinned_across_port(self):
         # Golden numbers from the pre-port wrapper implementation (SMALL
         # scale): the port may change plumbing, not the Section 8 result.

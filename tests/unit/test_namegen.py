@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # the generator draws from a numpy rng
 
 from repro.corpus.namegen import NameGenerator
 from repro.exceptions import CorpusError

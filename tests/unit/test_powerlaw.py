@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # sampling and fitting are numpy-backed
 
 from repro.corpus.powerlaw import (
     discrete_counts,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
 from repro.experiments.scale import MEDIUM, SMALL, ExperimentContext, Scale, get_context
 from repro.safebrowsing.lists import ListProvider
 
@@ -22,6 +23,8 @@ class TestScale:
                   index_sites=1, tracked_targets=1, clients=1)
 
 
+@pytest.mark.skipif(not NUMPY_AVAILABLE,
+                    reason="context building is numpy-backed")
 class TestContext:
     def test_context_is_cached_per_scale(self):
         assert get_context(SMALL) is get_context(SMALL)

@@ -1,0 +1,282 @@
+"""Unit tests for the numpy-vectorized store backends.
+
+Most of this module needs numpy and is skipped when it is absent; the
+``TestWithoutNumpy`` subprocess test always runs, pinning the optional
+dependency contract (tier-1 must pass and the registries must shrink
+gracefully when numpy cannot be imported).
+"""
+
+from __future__ import annotations
+
+import mmap
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.clock import ManualClock
+from repro.datastructures.memory import STORE_FACTORIES
+from repro.datastructures.mmapped import MmapSortedArrayStore
+from repro.datastructures.sorted_array import SortedArrayPrefixStore
+from repro.datastructures.vectorized import (
+    NUMPY_AVAILABLE,
+    NumpyMmapStore,
+    NumpyPrefixStore,
+)
+from repro.exceptions import DataStructureError
+from repro.hashing.prefix import Prefix
+
+needs_numpy = pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+
+
+def _prefixes(values, bits=32):
+    return [Prefix.from_int(value, bits) for value in values]
+
+
+@needs_numpy
+class TestRegistration:
+    def test_client_registry_has_both_backends(self):
+        from repro.safebrowsing.client import _STORE_BACKENDS
+        assert _STORE_BACKENDS["numpy"] is NumpyPrefixStore
+        assert _STORE_BACKENDS["numpy-mmap"] is NumpyMmapStore
+
+    def test_factory_registry_has_both_backends(self):
+        store = STORE_FACTORIES["numpy"](_prefixes([1, 2]), 32)
+        mapped = STORE_FACTORIES["numpy-mmap"](_prefixes([1, 2]), 32)
+        assert isinstance(store, NumpyPrefixStore)
+        assert isinstance(mapped, NumpyMmapStore)
+
+    def test_fleet_cli_mirrors_client_registry(self):
+        from repro.cli import _FLEET_STORE_BACKENDS
+        assert "numpy" in _FLEET_STORE_BACKENDS
+        assert "numpy-mmap" in _FLEET_STORE_BACKENDS
+
+
+@needs_numpy
+class TestNumpyPrefixStore:
+    def test_sorts_and_dedups(self):
+        store = NumpyPrefixStore(_prefixes([9, 3, 7, 3, 9]))
+        assert len(store) == 3
+        assert store.values() == [3, 7, 9]
+
+    def test_membership_and_mutation(self):
+        store = NumpyPrefixStore(_prefixes([10, 20]))
+        store.add(Prefix.from_int(15, 32))
+        store.add(Prefix.from_int(15, 32))
+        store.discard(Prefix.from_int(20, 32))
+        store.discard(Prefix.from_int(99, 32))
+        assert Prefix.from_int(15, 32) in store
+        assert Prefix.from_int(20, 32) not in store
+        assert store.values() == [10, 15]
+
+    def test_bulk_update_and_discard(self):
+        store = NumpyPrefixStore(_prefixes([1, 5]))
+        store.update(_prefixes([3, 5, 7]))
+        store.discard_many(_prefixes([1, 7, 42]))
+        assert store.values() == [3, 5]
+
+    def test_contains_many_matches_sorted_array(self):
+        members = [3, 1, 4, 1, 5, 9, 2, 6, 35, 89, 1000, 2**31]
+        probes = _prefixes([0, 1, 2, 7, 9, 35, 2**31, 2**32 - 1, 5, 5])
+        vectorized = NumpyPrefixStore(_prefixes(members))
+        reference = SortedArrayPrefixStore(_prefixes(members))
+        assert vectorized.contains_many(probes) == reference.contains_many(probes)
+
+    def test_contains_many_empty_cases(self):
+        assert NumpyPrefixStore(_prefixes([1])).contains_many([]) == 0
+        assert NumpyPrefixStore().contains_many(_prefixes([1, 2])) == 0
+
+    def test_iteration_yields_sorted_prefixes(self):
+        store = NumpyPrefixStore(_prefixes([30, 10, 20]))
+        assert [prefix.to_int() for prefix in store] == [10, 20, 30]
+        assert all(prefix.bits == 32 for prefix in store)
+
+    @pytest.mark.parametrize("bits", [8, 16, 24, 40, 64, 128, 256])
+    def test_non_default_widths_match_sorted_array(self, bits):
+        values = [0, 1, 2, (1 << bits) - 1, (1 << bits) // 3]
+        probes = _prefixes([0, 2, 3, (1 << bits) - 1, (1 << bits) // 3], bits)
+        vectorized = NumpyPrefixStore(_prefixes(values, bits), bits)
+        reference = SortedArrayPrefixStore(_prefixes(values, bits), bits)
+        assert vectorized.contains_many(probes) == reference.contains_many(probes)
+        assert list(vectorized) == list(reference)
+
+    def test_trailing_nul_values_survive_iteration(self):
+        # The S dtype strips trailing NULs on element access; the store must
+        # re-pad when yielding (24-bit width exercises the S path).
+        values = _prefixes([0x010000, 0x020200], bits=24)
+        store = NumpyPrefixStore(values, bits=24)
+        assert sorted(p.value for p in store) == sorted(p.value for p in values)
+
+    def test_wrong_width_probe_rejected(self):
+        store = NumpyPrefixStore(_prefixes([1]))
+        with pytest.raises(DataStructureError):
+            store.contains_many([Prefix.from_int(1, 64)])
+        with pytest.raises(DataStructureError):
+            store.add(Prefix.from_int(1, 16))
+
+    def test_memory_bytes_matches_raw_layout(self):
+        assert NumpyPrefixStore(_prefixes([1, 2, 3])).memory_bytes() == 12
+
+
+@needs_numpy
+class TestNumpyMmapStore:
+    def test_invalid_materialize_mode_rejected(self):
+        with pytest.raises(DataStructureError):
+            NumpyMmapStore(_prefixes([1]), materialize="sometimes")
+
+    def test_lazy_materializes_on_first_batch(self):
+        packed = b"".join(value.to_bytes(4, "big") for value in (1, 5, 9))
+        store = NumpyMmapStore.from_buffer(packed, 0, 3, 32)
+        assert not store.materialized
+        assert store.contains_many(_prefixes([5, 6])) == 0b01
+        assert store.materialized
+
+    def test_eager_materializes_at_construction(self):
+        packed = (7).to_bytes(4, "big")
+        store = NumpyMmapStore.from_buffer(packed, 0, 1, 32, materialize="eager")
+        assert store.materialized
+
+    def test_never_mode_searches_in_place(self):
+        packed = b"".join(value.to_bytes(4, "big") for value in (1, 5, 9))
+        store = NumpyMmapStore.from_buffer(packed, 0, 3, 32, materialize="never")
+        assert store.contains_many(_prefixes([1, 2, 9])) == 0b101
+        assert Prefix.from_int(5, 32) in store
+        assert not store.materialized
+
+    def test_from_real_mmap_with_overlay(self, tmp_path):
+        values = [2, 4, 6, 8]
+        path = tmp_path / "packed.bin"
+        path.write_bytes(b"".join(value.to_bytes(4, "big") for value in values))
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        store = NumpyMmapStore.from_buffer(mapped, 0, 4, 32, keep_alive=mapped)
+        assert store.is_mapped
+        store.add(Prefix.from_int(5, 32))
+        store.discard(Prefix.from_int(4, 32))
+        assert store.values() == [2, 5, 6, 8]
+        probes = _prefixes([2, 4, 5, 6, 7, 8])
+        reference = SortedArrayPrefixStore(_prefixes([2, 5, 6, 8]))
+        assert store.contains_many(probes) == reference.contains_many(probes)
+
+    def test_matches_python_mmap_store(self):
+        members = [10, 20, 30, 40]
+        packed = b"".join(value.to_bytes(4, "big") for value in members)
+        vectorized = NumpyMmapStore.from_buffer(packed, 0, 4, 32)
+        python = MmapSortedArrayStore.from_buffer(packed, 0, 4, 32)
+        for store in (vectorized, python):
+            store.add(Prefix.from_int(25, 32))
+            store.discard(Prefix.from_int(30, 32))
+        probes = _prefixes([5, 10, 25, 30, 40, 45])
+        assert vectorized.contains_many(probes) == python.contains_many(probes)
+        assert vectorized.values() == python.values()
+
+    @pytest.mark.parametrize("bits", [24, 128])
+    def test_odd_widths_keep_s_view(self, bits):
+        width = bits // 8
+        values = [1, 2, (1 << bits) - 1]
+        packed = b"".join(value.to_bytes(width, "big") for value in sorted(values))
+        store = NumpyMmapStore.from_buffer(packed, 0, len(values), bits)
+        probes = _prefixes([0, 1, 2, 3, (1 << bits) - 1], bits)
+        reference = SortedArrayPrefixStore(_prefixes(values, bits), bits)
+        assert store.contains_many(probes) == reference.contains_many(probes)
+
+    def test_wrong_width_probe_rejected(self):
+        store = NumpyMmapStore(_prefixes([1]))
+        with pytest.raises(DataStructureError):
+            store.contains_many([Prefix.from_int(1, 64)])
+
+
+@needs_numpy
+class TestSnapshotRoundTrip:
+    def test_numpy_mmap_restore_serves_off_the_file(self, tmp_path):
+        from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+        from repro.safebrowsing.lists import GOOGLE_LISTS
+        from repro.safebrowsing.server import SafeBrowsingServer
+        from repro.safebrowsing.snapshot import (
+            restore_client_snapshot,
+            save_client_snapshot,
+        )
+
+        clock = ManualClock()
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=clock)
+        server.blacklist("goog-malware-shavar", ["evil.example.com/"])
+        client = SafeBrowsingClient(
+            server, name="vec", clock=clock,
+            config=ClientConfig(store_backend="numpy-mmap"))
+        client.update()
+        path = save_client_snapshot(client, tmp_path / "client.snap")
+
+        restored = SafeBrowsingClient(
+            server, name="vec-restored", clock=clock,
+            config=ClientConfig(store_backend="numpy-mmap"))
+        count = restore_client_snapshot(restored, path)
+        assert count == client.local_database_size()
+        stores = [list_state.store for list_state in restored._lists.values()]
+        assert all(isinstance(store, NumpyMmapStore) for store in stores)
+        assert any(store.is_mapped for store in stores if len(store))
+        assert restored.lookup("http://evil.example.com/").is_malicious
+
+
+class TestWithoutNumpy:
+    """The optional-dependency contract, exercised with numpy blocked."""
+
+    def test_registries_shrink_and_constructors_raise(self):
+        # A meta-path blocker makes ``import numpy`` fail inside a fresh
+        # interpreter, simulating the numpy-absent CI leg even when numpy is
+        # installed here.
+        src_root = Path(repro.__file__).parents[1]
+        script = textwrap.dedent(
+            """
+            import sys
+
+            class Blocker:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "numpy" or name.startswith("numpy."):
+                        raise ModuleNotFoundError("numpy blocked for test")
+                    return None
+
+            sys.meta_path.insert(0, Blocker())
+
+            from repro.datastructures.vectorized import (
+                NUMPY_AVAILABLE, NumpyPrefixStore)
+            assert NUMPY_AVAILABLE is False
+
+            from repro.datastructures.memory import STORE_FACTORIES
+            assert "numpy" not in STORE_FACTORIES
+            assert "numpy-mmap" not in STORE_FACTORIES
+
+            from repro.safebrowsing.client import _STORE_BACKENDS, ClientConfig
+            assert "numpy" not in _STORE_BACKENDS
+
+            from repro.cli import _FLEET_STORE_BACKENDS
+            assert "numpy" not in _FLEET_STORE_BACKENDS
+            assert "numpy-mmap" not in _FLEET_STORE_BACKENDS
+
+            from repro.exceptions import DataStructureError, UpdateError
+            try:
+                ClientConfig(store_backend="numpy")
+            except UpdateError as error:
+                assert "numpy" in str(error)
+            else:
+                raise AssertionError("ClientConfig accepted 'numpy'")
+
+            try:
+                NumpyPrefixStore()
+            except DataStructureError as error:
+                assert "numpy" in str(error)
+            else:
+                raise AssertionError("NumpyPrefixStore built without numpy")
+
+            print("numpy-absent contract OK")
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120,
+            env={"PYTHONPATH": str(src_root)},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "numpy-absent contract OK" in result.stdout
