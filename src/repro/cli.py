@@ -19,6 +19,9 @@ often, without writing Python:
     clock) and print per-mode throughput, server traffic and cache rates.
     ``--churn FRACTION [--restart-interval N] [--cold-restart]`` restarts
     clients mid-simulation and reports the sync bandwidth warm starts save.
+    ``--workers N`` runs the process-parallel engine (client shards over
+    worker processes, exactly-merged accounting); ``--profile NAME``
+    assigns a heterogeneous population from the profile registry.
 ``python -m repro snapshot save|load PATH``
     Persist a provisioned server database to the versioned snapshot format,
     or verify (checksum, format version) and summarize an existing snapshot.
@@ -60,6 +63,7 @@ _EXPERIMENTS: dict[str, str] = {
     "stores": "repro.experiments.structure_ablation:structure_ablation_table",
     "fleet": "repro.experiments.fleet:fleet_table",
     "fleet-adversary": "repro.experiments.fleet:fleet_adversary_table",
+    "fleet-parallel": "repro.experiments.parallel:fleet_parallel_table",
     "armsrace": "repro.experiments.armsrace:armsrace_table",
 }
 
@@ -88,6 +92,16 @@ _FLEET_TRANSPORTS = ("in-process", "simulated")
 #: ``repro.safebrowsing.privacy.POLICY_FACTORIES`` (kept in sync by a unit
 #: test); argparse rejects anything else with a message listing these.
 _FLEET_POLICIES = ("dummy", "mix", "none", "one-prefix", "widen")
+
+#: Population profiles offered by ``repro fleet``.  Mirrors the keys of
+#: ``repro.experiments.profiles.PROFILE_FACTORIES`` (kept in sync by a unit
+#: test); argparse rejects unknown names with a message listing these, the
+#: same convention as the policy and store-backend registries.
+_FLEET_PROFILES = ("desktop", "global-mix", "mobile", "regional", "uniform")
+
+#: Scale tiers offered by ``repro fleet``.  LARGE/XLARGE are the
+#: process-parallel tiers (~10^5/10^6 clients) — pair them with --workers.
+_FLEET_SCALES = ("small", "medium", "large", "xlarge")
 
 
 def _resolve_experiment(name: str) -> Callable[[], object]:
@@ -138,8 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     fleet = subparsers.add_parser(
         "fleet", help="simulate a fleet of clients and report throughput")
-    fleet.add_argument("--scale", choices=["small", "medium"], default="small",
-                       help="workload size (default small)")
+    fleet.add_argument("--scale", choices=list(_FLEET_SCALES), default="small",
+                       help="workload size (default small; large/xlarge are "
+                            "the ~10^5/10^6-client parallel tiers)")
     fleet.add_argument("--mode", choices=["scalar", "batched", "both"],
                        default="both",
                        help="lookup path to drive (default: compare both)")
@@ -149,9 +164,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the stream length per client")
     fleet.add_argument("--batch-size", type=int, default=None,
                        help="override the page-load batch size")
-    fleet.add_argument("--store-backend", default="sorted-array",
+    fleet.add_argument("--store-backend", default=None,
                        choices=_FLEET_STORE_BACKENDS,
-                       help="client store backend (default sorted-array)")
+                       help="client store backend (default: the vectorized "
+                            "numpy store when numpy is installed, else "
+                            "sorted-array)")
+    fleet.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="run the fleet sharded over N worker processes "
+                            "(the process-parallel engine; requires --mode "
+                            "scalar or batched)")
+    fleet.add_argument("--profile", choices=_FLEET_PROFILES,
+                       default=None, metavar="NAME",
+                       help="population profile assigning per-client "
+                            f"behaviour: one of {', '.join(_FLEET_PROFILES)} "
+                            "(default uniform)")
     fleet.add_argument("--seed", type=int, default=None,
                        help="override the traffic seed")
     fleet.add_argument("--transport", choices=_FLEET_TRANSPORTS,
@@ -267,9 +293,10 @@ def _command_fleet(args: argparse.Namespace) -> int:
     from dataclasses import replace as dc_replace
 
     from repro.experiments.fleet import FleetConfig, fleet_table, run_fleet
-    from repro.experiments.scale import MEDIUM, SMALL
+    from repro.experiments.scale import LARGE, MEDIUM, SMALL, XLARGE
 
-    scale = SMALL if args.scale == "small" else MEDIUM
+    scale = {"small": SMALL, "medium": MEDIUM,
+             "large": LARGE, "xlarge": XLARGE}[args.scale]
     overrides = {}
     if args.clients is not None:
         overrides["clients"] = args.clients
@@ -286,8 +313,11 @@ def _command_fleet(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
 
-    config = FleetConfig(store_backend=args.store_backend,
-                         transport=args.transport)
+    config = FleetConfig(transport=args.transport)
+    if args.store_backend is not None:
+        config = dc_replace(config, store_backend=args.store_backend)
+    if args.profile is not None:
+        config = dc_replace(config, profile=args.profile)
     if args.seed is not None:
         config = dc_replace(config, seed=args.seed)
     if args.latency is not None:
@@ -328,14 +358,38 @@ def _command_fleet(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    if args.workers is not None:
+        from repro.experiments.parallel import run_parallel_fleet
+
+        if args.mode == "both":
+            print("error: --workers requires --mode scalar or batched",
+                  file=sys.stderr)
+            return 2
+        report = run_parallel_fleet(scale, dc_replace(config, mode=args.mode),
+                                    workers=args.workers)
+        _print_fleet_report(report)
+        return 0
+
     if args.mode == "both":
         print(fleet_table(scale, config).render())
         return 0
     report = run_fleet(scale, dc_replace(config, mode=args.mode))
+    _print_fleet_report(report)
+    return 0
+
+
+def _print_fleet_report(report) -> None:
     print(f"mode            : {report.mode}")
     print(f"transport       : {report.transport}")
     print(f"server shards   : {report.shard_count}")
     print(f"clients         : {report.clients}")
+    if report.workers > 1 or report.shards > 1:
+        print(f"workers         : {report.workers}")
+        print(f"client shards   : {report.shards}")
+    if report.profile != "uniform":
+        print(f"profile         : {report.profile}")
+    if report.offline_client_rounds:
+        print(f"offline rounds  : {report.offline_client_rounds}")
     print(f"URLs checked    : {report.urls_checked}")
     print(f"URLs/s          : {report.urls_per_second:,.0f}")
     print(f"full-hash reqs  : {report.server_full_hash_requests}")
@@ -348,6 +402,8 @@ def _command_fleet(args: argparse.Namespace) -> int:
     if report.client_restarts:
         kind = "warm" if report.warm_start else "cold"
         print(f"client restarts : {report.client_restarts} ({kind})")
+        if report.reconnect_restarts:
+            print(f"  on reconnect  : {report.reconnect_restarts}")
         print(f"resumed prefixes: {report.warm_start_prefixes_resumed}")
         print(f"sync prefixes   : {report.client_update_prefixes_received}")
         print(f"sync saved      : "
@@ -370,7 +426,6 @@ def _command_fleet(args: argparse.Namespace) -> int:
               f"/{report.tracking_true_pairs}")
         print(f"precision       : {report.tracking_precision:.4f}")
         print(f"recall          : {report.tracking_recall:.4f}")
-    return 0
 
 
 def _command_snapshot(args: argparse.Namespace) -> int:

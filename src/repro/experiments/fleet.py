@@ -85,7 +85,7 @@ except ImportError:  # pragma: no cover - minimal install without numpy
 
 from repro.analysis.inverted_index import PrefixInvertedIndex
 from repro.analysis.streaming import StreamingTrackingDetector
-from repro.analysis.tracking import TrackingSystem
+from repro.analysis.tracking import TrackingDecision, tracking_prefixes
 from repro.clock import ManualClock
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
 from repro.exceptions import (
@@ -94,6 +94,7 @@ from repro.exceptions import (
     TransportError,
     require_dependency,
 )
+from repro.experiments.profiles import ClientProfile, build_profile
 from repro.experiments.scale import ExperimentContext, Scale, SMALL, get_context
 from repro.reporting.tables import Table
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
@@ -104,6 +105,16 @@ from repro.safebrowsing.transport import TRANSPORT_KINDS
 
 #: Execution modes understood by the simulator.
 FLEET_MODES = ("scalar", "batched")
+
+#: Default client store backend for fleet runs: the PR 6 vectorized numpy
+#: store when numpy is importable (the hot path at 10^5-client scale), else
+#: the packed sorted array — the pure-Python batched reference, so the
+#: numpy-absent install keeps its historical behaviour.
+DEFAULT_FLEET_STORE_BACKEND = "numpy" if np is not None else "sorted-array"
+
+#: Algorithm 1's collision budget used by the fleet adversary (matches
+#: :class:`~repro.analysis.tracking.TrackingSystem`'s default).
+TRACKING_DELTA = 4
 
 #: Request-log bound used by fleet runs (analysis experiments replay the log
 #: and keep it unbounded; a fleet only reads counters, so it rotates —
@@ -205,11 +216,19 @@ class FleetConfig:
         chunks.  ``False``: the replacement cold-starts empty and
         re-downloads its lists — the baseline the warm-start benchmark
         compares against.
+    profile:
+        Name of the population profile
+        (:data:`repro.experiments.profiles.PROFILE_FACTORIES`) that assigns
+        every client its per-client browsing behaviour.  ``"uniform"``
+        (default) keeps the legacy homogeneous fleet; heterogeneous
+        profiles vary working sets, Zipf skew, locale slices of the corpus,
+        diurnal activity, connectivity, and per-client privacy-policy /
+        adversary-exposure mixes across the population.
     """
 
     mode: str = "batched"
     provider: ListProvider = ListProvider.GOOGLE
-    store_backend: str = "sorted-array"
+    store_backend: str = DEFAULT_FLEET_STORE_BACKEND
     working_set_size: int = 40
     working_set_fraction: float = 0.95
     malicious_fraction: float = 0.03
@@ -236,8 +255,12 @@ class FleetConfig:
     churn_fraction: float = 0.0
     restart_interval: int = 0
     warm_start: bool = True
+    profile: str = "uniform"
 
     def __post_init__(self) -> None:
+        # Profile names are validated by the registry (single source of
+        # truth) so a typo fails at config time with the registered list.
+        build_profile(self.profile)
         # Policy name and parameters are validated by the policy layer
         # itself (single source of truth): building each parameterized
         # policy with this config's options surfaces any bad value,
@@ -312,6 +335,44 @@ def _throughput(urls_checked: int, elapsed_seconds: float) -> float:
     return urls_checked / elapsed_seconds
 
 
+def pair_digest(pairs) -> str:
+    """Digest of a set of detected ``(client index, target URL)`` pairs.
+
+    The one formula shared by monolithic runs and :meth:`FleetReport.merge`:
+    a digest cannot be combined from per-shard digests, so the merge unions
+    the pairs and recomputes it — byte-identical to the monolithic digest
+    because client indices are global.
+    """
+    return hashlib.sha256(
+        "\n".join(f"{client_index}\t{target_url}"
+                  for client_index, target_url in sorted(pairs))
+        .encode("utf-8")
+    ).hexdigest()[:16]
+
+
+#: Report fields that must agree for two shard reports to be mergeable —
+#: mixed-configuration reports have no exact merged meaning.
+_MERGE_MATCH_FIELDS = (
+    "mode", "scale", "transport", "shard_count", "adversary",
+    "tracked_targets", "privacy_policy", "profile", "churn_fraction",
+    "restart_interval", "warm_start",
+)
+
+#: Report counters that sum exactly across disjoint client shards.
+_MERGE_SUM_FIELDS = (
+    "clients", "urls_checked", "server_update_requests",
+    "server_full_hash_requests", "server_prefixes_received", "local_hits",
+    "cache_hits", "malicious_verdicts", "server_cache_hits",
+    "server_cache_misses", "log_entries_evicted", "transport_failures",
+    "tracking_detections", "tracking_true_pairs", "tracking_correct_pairs",
+    "client_prefixes_sent", "client_dummy_prefixes_sent",
+    "client_full_hash_requests", "client_extra_round_trips",
+    "policy_delay_seconds", "client_restarts", "reconnect_restarts",
+    "offline_client_rounds", "warm_start_prefixes_resumed",
+    "client_update_prefixes_received", "client_update_requests", "shards",
+)
+
+
 @dataclass(frozen=True, slots=True)
 class FleetReport:
     """Everything one fleet run measured."""
@@ -364,6 +425,29 @@ class FleetReport:
     #: chunks, across original and restarted clients.
     client_update_prefixes_received: int = 0
     client_update_requests: int = 0
+    #: Population profile the fleet ran under (``PROFILE_FACTORIES`` name).
+    profile: str = "uniform"
+    #: Client shards this report aggregates (1 for a monolithic run; a
+    #: merged report sums its inputs', so hierarchy levels stay exact).
+    shards: int = 1
+    #: Worker processes that produced this report (1 for in-process runs;
+    #: the parallel engine stamps the pool size on the merged report).
+    workers: int = 1
+    #: Detected pairs that were planted ground truth — carried as a counter
+    #: (not just the precision ratio) so merges recompute ratios from
+    #: counters instead of averaging ratios.
+    tracking_correct_pairs: int = 0
+    #: The detected ``(global client index, target URL)`` pairs themselves.
+    #: A digest cannot be combined from shard digests, so merging needs the
+    #: union of the actual pairs; indices are global, so shard reports union
+    #: disjointly into exactly the monolithic set.
+    tracking_pairs: tuple[tuple[int, str], ...] = ()
+    #: Restarts triggered by intermittent clients coming back online
+    #: (profile-driven), a subset of ``client_restarts``.
+    reconnect_restarts: int = 0
+    #: (client, round) slots skipped because the profile put the client
+    #: offline — the activity/connectivity model's footprint.
+    offline_client_rounds: int = 0
 
     @property
     def warm_start_bandwidth_saved_fraction(self) -> float:
@@ -436,19 +520,119 @@ class FleetReport:
         return (self.server_prefixes_received, self.local_hits,
                 self.malicious_verdicts)
 
+    @classmethod
+    def merge(cls, reports: Sequence["FleetReport"]) -> "FleetReport":
+        """Exactly aggregate per-shard reports into one fleet-wide report.
+
+        The merge is *exact*, never statistical: counters are summed, the
+        detected tracking pairs are unioned (indices are global, shards are
+        disjoint) and their digest recomputed, and every derived ratio —
+        precision, recall, cache hit rates, throughput — is recomputed from
+        the merged counters, never averaged from per-shard ratios (the
+        shards are not equally weighted).  ``elapsed_seconds`` is the *max*
+        across shards — the shards ran concurrently, so the fleet's wall
+        clock is the slowest shard, not the sum — and ``urls_per_second``
+        is recomputed from the summed URL count over that max.
+
+        The operation is associative, so hierarchical merges (pairs of
+        pairs, a worker tree) produce the same report as one flat merge.
+        Reports with mismatched run configurations are rejected.
+        """
+        reports = list(reports)
+        if not reports:
+            raise ExperimentError("cannot merge zero fleet reports")
+        first = reports[0]
+        for other in reports[1:]:
+            for field_name in _MERGE_MATCH_FIELDS:
+                mine, theirs = getattr(first, field_name), getattr(other, field_name)
+                if mine != theirs:
+                    raise ExperimentError(
+                        f"cannot merge fleet reports with mismatched "
+                        f"{field_name}: {mine!r} != {theirs!r}"
+                    )
+
+        def total(name: str):
+            return sum(getattr(report, name) for report in reports)
+
+        pairs = sorted(set().union(*(set(report.tracking_pairs)
+                                     for report in reports)))
+        detected = len(pairs)
+        correct = total("tracking_correct_pairs")
+        true_pairs = total("tracking_true_pairs")
+        precision = correct / detected if detected else 1.0
+        recall = correct / true_pairs if true_pairs else 1.0
+        digest = pair_digest(pairs) if first.adversary else first.tracking_pair_digest
+        elapsed = max(report.elapsed_seconds for report in reports)
+        urls_checked = total("urls_checked")
+        summed = {name: total(name) for name in _MERGE_SUM_FIELDS}
+        return cls(
+            mode=first.mode,
+            scale=first.scale,
+            rounds=max(report.rounds for report in reports),
+            elapsed_seconds=elapsed,
+            urls_per_second=_throughput(urls_checked, elapsed),
+            transport=first.transport,
+            shard_count=first.shard_count,
+            adversary=first.adversary,
+            tracked_targets=first.tracked_targets,
+            tracking_detected_pairs=detected,
+            tracking_precision=precision,
+            tracking_recall=recall,
+            tracking_pair_digest=digest,
+            tracking_pairs=tuple(pairs),
+            privacy_policy=first.privacy_policy,
+            churn_fraction=first.churn_fraction,
+            restart_interval=first.restart_interval,
+            warm_start=first.warm_start,
+            profile=first.profile,
+            workers=max(report.workers for report in reports),
+            **summed,
+        )
+
 
 class FleetSimulator:
     """Drive a fleet of clients over one shared logical clock."""
 
     def __init__(self, scale: Scale = SMALL, config: FleetConfig | None = None,
-                 *, context: ExperimentContext | None = None) -> None:
+                 *, context: ExperimentContext | None = None,
+                 client_indices: Sequence[int] | None = None,
+                 shard_seed: int | None = None) -> None:
         """``scale`` sizes the workload, ``config`` shapes the fleet's
         behaviour, and ``context`` (defaulting to the scale's cached
-        :func:`get_context`) supplies the shared corpora and snapshots."""
+        :func:`get_context`) supplies the shared corpora and snapshots.
+
+        ``client_indices`` names the *global* client indices this simulator
+        drives (default: all of ``scale.clients``).  Everything per-client —
+        stream RNG, transport/policy seeds, cookies, profiles — is keyed by
+        the global index, so a shard of clients behaves identically inside
+        a worker process and inside a monolithic run.  ``shard_seed`` (from
+        :func:`repro.experiments.parallel.shard_seed`) redirects the
+        shard-*local* randomness — churn draws — so parallel shards don't
+        all churn the same local positions; ``None`` keeps the legacy
+        fleet-wide churn seeding.
+        """
         require_dependency(np, "numpy", "the fleet simulation")
         self.scale = scale
         self.config = config if config is not None else FleetConfig()
         self._context = context if context is not None else get_context(scale)
+        if client_indices is None:
+            client_indices = range(scale.clients)
+        self.client_indices = list(client_indices)
+        if not self.client_indices:
+            raise ExperimentError("client_indices must not be empty")
+        self.shard_seed = shard_seed
+        self._population = build_profile(self.config.profile)
+        self._base_profile = ClientProfile(
+            working_set_size=self.config.working_set_size,
+            working_set_fraction=self.config.working_set_fraction,
+            malicious_fraction=self.config.malicious_fraction,
+            zipf_exponent=self.config.zipf_exponent,
+        )
+
+    def profile_for(self, index: int) -> ClientProfile:
+        """The population-assigned profile of global client ``index``."""
+        return self._population.profile_for(self._base_profile,
+                                            self.config.seed, index)
 
     # -- workload construction ------------------------------------------------
 
@@ -511,11 +695,17 @@ class FleetSimulator:
         )
         name = f"fleet-client-{index:03d}"
         # Policies are stateful (mixing pools, RNGs): one fresh instance
-        # per client, seeded by the client's name for determinism.
+        # per client, seeded by the client's name for determinism.  A
+        # population profile may override the fleet-wide policy per client
+        # (the "policy mix varies across the population" scenario).
+        profile = self.profile_for(index)
+        policy_name = (profile.privacy_policy
+                       if profile.privacy_policy is not None
+                       else config.privacy_policy)
         policy = None
-        if config.privacy_policy != "none":
+        if policy_name != "none":
             policy = build_policy(
-                config.privacy_policy,
+                policy_name,
                 dummies_per_query=config.dummy_count,
                 widen_bits=config.widen_bits,
                 mix_pool_size=config.mix_pool_size,
@@ -528,27 +718,38 @@ class FleetSimulator:
 
     def build_clients(self, server: SafeBrowsingServer,
                       clock: ManualClock) -> list[SafeBrowsingClient]:
-        """One client per ``scale.clients``, each behind its own transport."""
+        """One client per entry of ``client_indices``, each behind its own
+        transport."""
         return [self._build_client(server, clock, index)
-                for index in range(self.scale.clients)]
+                for index in self.client_indices]
 
     def client_stream(self, index: int) -> list[str]:
-        """The deterministic URL stream of client ``index``.
+        """The deterministic URL stream of global client ``index``.
 
         A mixture of revisits to a small personal working set (Zipf-skewed,
-        the shape of real browsing), exploration of the whole corpus pool,
-        and occasional blacklisted URLs.
+        the shape of real browsing), exploration of the client's locale
+        slice of the corpus pool, and occasional blacklisted URLs — all
+        shaped by the client's population profile and seeded by the global
+        index, so the stream is identical whether the client runs in a
+        monolithic fleet or inside a parallel shard worker.
         """
         config = self.config
+        profile = self.profile_for(index)
         rng = np.random.default_rng(config.seed + index)
         pool = self._context.url_pool("alexa")
+        # The client's locale: a contiguous slice of the shared pool.  The
+        # uniform profile's (0, 1) slice is the whole pool, so the legacy
+        # homogeneous stream (and its RNG draws) are reproduced exactly.
+        locale_start = int(round(profile.locale_lo * len(pool)))
+        locale_stop = max(locale_start + 1, int(round(profile.locale_hi * len(pool))))
+        pool = pool[locale_start:locale_stop]
         malicious = self._blacklisted_urls()
         length = self.scale.fleet_urls_per_client
 
-        working_size = min(config.working_set_size, len(pool))
+        working_size = min(profile.working_set_size, len(pool))
         working_indexes = rng.choice(len(pool), size=working_size, replace=False)
         ranks = np.arange(1, working_size + 1, dtype=float)
-        zipf_weights = ranks ** -config.zipf_exponent
+        zipf_weights = ranks ** -profile.zipf_exponent
         zipf_weights /= zipf_weights.sum()
         malicious_size = min(config.malicious_pool_size, len(malicious))
         malicious_indexes = rng.choice(len(malicious), size=malicious_size,
@@ -559,8 +760,8 @@ class FleetSimulator:
         pool_picks = rng.integers(0, len(pool), size=length)
         malicious_picks = rng.choice(malicious_indexes, size=length)
 
-        revisit_cut = config.working_set_fraction
-        malicious_cut = revisit_cut + config.malicious_fraction
+        revisit_cut = profile.working_set_fraction
+        malicious_cut = revisit_cut + profile.malicious_fraction
         stream: list[str] = []
         for position in range(length):
             draw = draws[position]
@@ -574,54 +775,122 @@ class FleetSimulator:
         # Adversary: overwrite deterministic positions with tracked-target
         # visits (the planted ground truth).  A dedicated rng keeps the base
         # stream identical whether or not the adversary runs, and at least
-        # one visit per client guarantees ground truth to score against.
+        # one visit per client guarantees ground truth to score against —
+        # unless the client's profile sets its exposure to exactly zero (a
+        # population segment the adversary never sees).
         targets = self.tracked_targets()
         if targets:
-            plant_rng = np.random.default_rng([config.seed, index, 0xAD5E])
-            plant_count = min(length,
-                              max(1, round(length * config.tracked_visit_fraction)))
-            positions = plant_rng.choice(length, size=plant_count, replace=False)
-            picks = plant_rng.integers(0, len(targets), size=plant_count)
-            for position, pick in zip(positions, picks):
-                stream[position] = targets[pick]
+            visit_fraction = (profile.tracked_visit_fraction
+                              if profile.tracked_visit_fraction is not None
+                              else config.tracked_visit_fraction)
+            plant_count = (0 if visit_fraction <= 0.0 else
+                           min(length, max(1, round(length * visit_fraction))))
+            if plant_count:
+                plant_rng = np.random.default_rng([config.seed, index, 0xAD5E])
+                positions = plant_rng.choice(length, size=plant_count,
+                                             replace=False)
+                picks = plant_rng.integers(0, len(targets), size=plant_count)
+                for position, pick in zip(positions, picks):
+                    stream[position] = targets[pick]
         return stream
 
     def planted_ground_truth(
             self, streams: Sequence[Sequence[str]]) -> set[tuple[int, str]]:
-        """The ``(client index, target URL)`` pairs planted into ``streams``."""
+        """The ``(global client index, target URL)`` pairs planted into
+        ``streams`` (which parallel :attr:`client_indices` element-wise)."""
         targets = set(self.tracked_targets())
         return {(client_index, url)
-                for client_index, stream in enumerate(streams)
+                for client_index, stream in zip(self.client_indices, streams)
                 for url in stream
                 if url in targets}
 
     # -- execution -------------------------------------------------------------
 
-    def _attach_adversary(self, server: SafeBrowsingServer
+    def tracking_decisions(self) -> list[TrackingDecision]:
+        """Algorithm 1's decisions for every tracked target — *pure*.
+
+        Computed over a private, fresh web index (the targets live on
+        dedicated domains, so nothing from the shared context index is
+        needed — and the shared, cached index must not be mutated by fleet
+        runs).  Purity matters for the parallel engine: the parent process
+        provisions these decisions into the logical server before
+        snapshotting it, and every shard worker recomputes the identical
+        decisions to watch on its replica — no prefix state needs shipping.
+        """
+        targets = self.tracked_targets()
+        if not targets:
+            return []
+        index = PrefixInvertedIndex()
+        return [tracking_prefixes(url, index, delta=TRACKING_DELTA,
+                                  prefix_bits=index.prefix_bits)
+                for url in targets]
+
+    def provision_adversary(self, server: SafeBrowsingServer,
+                            decisions: Sequence[TrackingDecision] | None = None
+                            ) -> None:
+        """Push the adversary's Algorithm 1 prefixes into ``server``.
+
+        Through the normal provisioning channel, so clients download them
+        alongside the genuine threat entries — indistinguishably, which is
+        the paper's point.  No-op when the adversary is disabled.
+        """
+        if decisions is None:
+            decisions = self.tracking_decisions()
+        if not decisions:
+            return
+        list_name = next(descriptor.name
+                         for descriptor in lists_for_provider(self.config.provider)
+                         if descriptor.is_url_list)
+        for decision in decisions:
+            server.push_tracking_prefixes(list_name, decision.expressions)
+
+    def _attach_adversary(self, server: SafeBrowsingServer, *,
+                          provision: bool = True
                           ) -> StreamingTrackingDetector | None:
         """Provision the tracking attack and subscribe its online detector.
 
         Runs *before* the clients are built, so their first update already
         downloads the tracking prefixes alongside the genuine threat
-        entries — indistinguishably, which is the paper's point.  The
-        detector hangs off the server's log-observer hook, so it sees every
-        full-hash request even though fleet runs rotate the bounded log.
+        entries.  The detector hangs off the server's log-observer hook, so
+        it sees every full-hash request even though fleet runs rotate the
+        bounded log.  With ``provision=False`` (a shard worker running
+        against a server replica that was snapshotted *after*
+        provisioning), only the detector is attached.
         """
-        targets = self.tracked_targets()
-        if not targets:
+        decisions = self.tracking_decisions()
+        if not decisions:
             return None
-        list_name = next(descriptor.name
-                         for descriptor in lists_for_provider(self.config.provider)
-                         if descriptor.is_url_list)
-        # A private web index: the targets live on dedicated domains, so
-        # nothing from the shared context index is needed (and the shared,
-        # cached index must not be mutated by fleet runs).
-        tracker = TrackingSystem(server=server, index=PrefixInvertedIndex(),
-                                 list_name=list_name)
-        decisions = tracker.track_many(targets)
+        if provision:
+            self.provision_adversary(server, decisions)
         detector = StreamingTrackingDetector()
         detector.watch_many(decisions)
         return detector.attach(server)
+
+    def _restart_client_at(self, position: int,
+                           clients: list[SafeBrowsingClient],
+                           server: SafeBrowsingServer, clock: ManualClock,
+                           snapshot_dir: Path, retired_stats: list) -> int:
+        """Restart the client at local ``position`` in place.
+
+        The old client is torn down (its stats retired so fleet totals
+        survive the restart) and replaced by a fresh instance with the same
+        name/cookie.  With ``warm_start`` the old client's snapshot is
+        saved and restored into the replacement, so its next poll is
+        incremental; otherwise the replacement cold-starts empty.  Returns
+        the prefixes resumed from the snapshot.  Shared by churn restarts
+        and profile-driven reconnect restarts.
+        """
+        index = self.client_indices[position]
+        old = clients[position]
+        retired_stats.append(old.stats)
+        replacement = self._build_client(server, clock, index)
+        resumed = 0
+        if self.config.warm_start:
+            path = snapshot_dir / f"client-{index}.snap"
+            old.save_snapshot(path)
+            resumed = replacement.restore_snapshot(path)
+        clients[position] = replacement
+        return resumed
 
     def _restart_clients(self, clients: list[SafeBrowsingClient],
                          server: SafeBrowsingServer, clock: ManualClock,
@@ -629,39 +898,51 @@ class FleetSimulator:
                          retired_stats: list) -> tuple[int, int]:
         """Churn: restart a deterministic subset of the fleet in place.
 
-        Each chosen client is torn down (its stats retired so fleet totals
-        survive the restart) and replaced by a fresh instance with the same
-        name/cookie.  With ``warm_start`` the old client's snapshot is saved
-        and restored into the replacement, so its next poll is incremental;
-        otherwise the replacement cold-starts empty.  Returns ``(restarts,
+        Churn draws are shard-*local* randomness: under the parallel engine
+        each shard restarts its own subset, seeded by its
+        :attr:`shard_seed` (derived from the fleet seed), so shards don't
+        all churn the same local positions.  A monolithic run (``shard_seed
+        None``) keeps the legacy fleet-wide seeding.  Returns ``(restarts,
         prefixes resumed from snapshots)``.
         """
         config = self.config
-        rng = np.random.default_rng([config.seed, round_index, 0xC4A8])
+        churn_seed = config.seed if self.shard_seed is None else self.shard_seed
+        rng = np.random.default_rng([churn_seed, round_index, 0xC4A8])
         count = min(len(clients),
                     max(1, round(config.churn_fraction * len(clients))))
-        chosen = sorted(int(index) for index in
+        chosen = sorted(int(position) for position in
                         rng.choice(len(clients), size=count, replace=False))
         resumed = 0
-        for client_index in chosen:
-            old = clients[client_index]
-            retired_stats.append(old.stats)
-            replacement = self._build_client(server, clock, client_index)
-            if config.warm_start:
-                path = snapshot_dir / f"client-{client_index:03d}.snap"
-                old.save_snapshot(path)
-                resumed += replacement.restore_snapshot(path)
-            clients[client_index] = replacement
+        for position in chosen:
+            resumed += self._restart_client_at(position, clients, server,
+                                               clock, snapshot_dir,
+                                               retired_stats)
         return len(chosen), resumed
 
-    def run(self) -> FleetReport:
-        """Build the fleet, replay every stream, and measure."""
+    def run(self, *, server: SafeBrowsingServer | None = None,
+            clock: ManualClock | None = None) -> FleetReport:
+        """Build the fleet, replay every stream, and measure.
+
+        With no arguments the simulator provisions its own server (and
+        adversary) on a fresh clock — the monolithic path.  The parallel
+        engine instead passes a ``server`` replica restored from the
+        parent's snapshot (already provisioned, adversary prefixes
+        included) together with the replica's ``clock``; the simulator then
+        only attaches its detector and drives its shard of clients.
+        """
         config = self.config
-        clock = ManualClock()
-        server = self.build_server(clock)
-        detector = self._attach_adversary(server)
+        if server is None:
+            clock = ManualClock()
+            server = self.build_server(clock)
+            detector = self._attach_adversary(server)
+        else:
+            if clock is None:
+                raise ExperimentError(
+                    "run(server=...) requires the replica's clock")
+            detector = self._attach_adversary(server, provision=False)
         clients = self.build_clients(server, clock)
-        streams = [self.client_stream(index) for index in range(len(clients))]
+        streams = [self.client_stream(index) for index in self.client_indices]
+        profiles = [self.profile_for(index) for index in self.client_indices]
         ground_truth = self.planted_ground_truth(streams) if detector else set()
 
         batch_size = self.scale.fleet_batch_size
@@ -669,11 +950,22 @@ class FleetSimulator:
         rounds = (length + batch_size - 1) // batch_size
 
         churn_enabled = config.churn_fraction > 0 and config.restart_interval > 0
+        # Profile-driven reconnect restarts go through the same snapshot
+        # machinery as churn, so the temp dir is needed whenever either can
+        # fire.
+        may_reconnect = any(
+            profile.reconnect_restart
+            and (profile.connectivity < 1.0 or profile.activity_amplitude > 0.0)
+            for profile in profiles)
         snapshot_tmp = (tempfile.TemporaryDirectory(prefix="fleet-snapshots-")
-                        if churn_enabled else None)
+                        if churn_enabled or may_reconnect else None)
+        snapshot_dir = Path(snapshot_tmp.name) if snapshot_tmp else None
         retired_stats: list = []
         client_restarts = 0
+        reconnect_restarts = 0
         warm_start_prefixes_resumed = 0
+        offline_client_rounds = 0
+        offline_streaks = [0] * len(clients)
 
         transport_failures = 0
         urls_checked = 0
@@ -682,7 +974,28 @@ class FleetSimulator:
             for round_index in range(rounds):
                 start = round_index * batch_size
                 stop = min(start + batch_size, length)
-                for client, stream in zip(clients, streams):
+                for position, stream in enumerate(streams):
+                    profile = profiles[position]
+                    if not profile.online(config.seed,
+                                          self.client_indices[position],
+                                          round_index, config.round_seconds):
+                        # Offline this round: the profile's diurnal cycle or
+                        # connectivity dropped the client.  Its batch is
+                        # simply never browsed (phones asleep don't retry).
+                        offline_streaks[position] += 1
+                        offline_client_rounds += 1
+                        continue
+                    if (offline_streaks[position] and profile.reconnect_restart
+                            and snapshot_dir is not None):
+                        # Back online after an outage: mobile-style browser
+                        # restart through the churn/warm-start machinery.
+                        warm_start_prefixes_resumed += self._restart_client_at(
+                            position, clients, server, clock, snapshot_dir,
+                            retired_stats)
+                        client_restarts += 1
+                        reconnect_restarts += 1
+                    offline_streaks[position] = 0
+                    client = clients[position]
                     batch = stream[start:stop]
                     try:
                         if config.mode == "batched":
@@ -706,7 +1019,7 @@ class FleetSimulator:
                         and (round_index + 1) % config.restart_interval == 0):
                     restarts, resumed = self._restart_clients(
                         clients, server, clock, round_index,
-                        Path(snapshot_tmp.name), retired_stats,
+                        snapshot_dir, retired_stats,
                     )
                     client_restarts += restarts
                     warm_start_prefixes_resumed += resumed
@@ -718,11 +1031,13 @@ class FleetSimulator:
 
         detections = 0
         detected_pairs: set[tuple[int, str]] = set()
-        pair_digest = ""
+        correct_pairs = 0
+        digest = ""
         precision = recall = 1.0
         if detector is not None:
             client_by_cookie = {client.cookie.value: client_index
-                                for client_index, client in enumerate(clients)}
+                                for client_index, client in
+                                zip(self.client_indices, clients)}
             detections = detector.detections
             detected_pairs = {
                 (client_by_cookie[cookie_value], target_url)
@@ -730,15 +1045,12 @@ class FleetSimulator:
                 if cookie_value in client_by_cookie
             }
             correct = detected_pairs & ground_truth
+            correct_pairs = len(correct)
             if detected_pairs:
-                precision = len(correct) / len(detected_pairs)
+                precision = correct_pairs / len(detected_pairs)
             if ground_truth:
-                recall = len(correct) / len(ground_truth)
-            pair_digest = hashlib.sha256(
-                "\n".join(f"{client_index}\t{target_url}"
-                          for client_index, target_url in sorted(detected_pairs))
-                .encode("utf-8")
-            ).hexdigest()[:16]
+                recall = correct_pairs / len(ground_truth)
+            digest = pair_digest(detected_pairs)
             detector.detach()
 
         return FleetReport(
@@ -767,9 +1079,11 @@ class FleetSimulator:
             tracking_detections=detections,
             tracking_detected_pairs=len(detected_pairs),
             tracking_true_pairs=len(ground_truth),
+            tracking_correct_pairs=correct_pairs,
             tracking_precision=precision,
             tracking_recall=recall,
-            tracking_pair_digest=pair_digest,
+            tracking_pair_digest=digest,
+            tracking_pairs=tuple(sorted(detected_pairs)),
             privacy_policy=config.privacy_policy,
             client_prefixes_sent=sum(stats.prefixes_sent
                                      for stats in all_stats),
@@ -785,6 +1099,9 @@ class FleetSimulator:
             restart_interval=config.restart_interval,
             warm_start=config.warm_start,
             client_restarts=client_restarts,
+            reconnect_restarts=reconnect_restarts,
+            offline_client_rounds=offline_client_rounds,
+            profile=config.profile,
             warm_start_prefixes_resumed=warm_start_prefixes_resumed,
             client_update_prefixes_received=sum(
                 stats.update_prefixes_received for stats in all_stats),

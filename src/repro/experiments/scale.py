@@ -4,7 +4,9 @@ The paper's corpora (10^6 hosts, 10^9 URLs) and blacklists (10^5 prefixes)
 are too large for a test run, so every experiment accepts a :class:`Scale`
 that controls the synthetic workload size.  :data:`SMALL` is sized for the
 test suite (seconds), :data:`MEDIUM` for the benchmark run (tens of
-seconds).  :func:`get_context` caches the expensive artifacts (corpora,
+seconds), and :data:`LARGE`/:data:`XLARGE` (~10^5/10^6 clients) for the
+process-parallel fleet engine — ``slow``-marked, minutes of wall clock.
+:func:`get_context` caches the expensive artifacts (corpora,
 blacklist snapshots, inverted indexes) per scale, so the benchmark files can
 share them instead of regenerating them per table.
 """
@@ -95,6 +97,38 @@ MEDIUM = Scale(
     clients=8,
     fleet_urls_per_client=2500,
     fleet_batch_size=125,
+)
+
+#: ~10^5 clients — the process-parallel fleet tier
+#: (:mod:`repro.experiments.parallel`).  Population-scale: many short
+#: sessions rather than few long ones, so the per-client stream is small
+#: and the cost is dominated by client count — which is what the parallel
+#: engine shards.  Runs at this tier are gated behind the ``slow`` marker.
+LARGE = Scale(
+    name="large",
+    corpus_hosts=400,
+    blacklist_fraction=0.002,
+    stats_sites=120,
+    index_sites=80,
+    tracked_targets=25,
+    clients=100_000,
+    fleet_urls_per_client=6,
+    fleet_batch_size=3,
+)
+
+#: ~10^6 clients — the ceiling tier.  Defined so shard plans, merge math
+#: and CLI plumbing are exercised at the million-client shape; actually
+#: *running* it is strictly a ``slow``-marked, opt-in affair.
+XLARGE = Scale(
+    name="xlarge",
+    corpus_hosts=400,
+    blacklist_fraction=0.002,
+    stats_sites=120,
+    index_sites=80,
+    tracked_targets=25,
+    clients=1_000_000,
+    fleet_urls_per_client=3,
+    fleet_batch_size=3,
 )
 
 
@@ -198,7 +232,7 @@ class ExperimentContext:
         )
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
 def _context_for(name: str, corpus_hosts: int, blacklist_fraction: float,
                  stats_sites: int, index_sites: int, tracked_targets: int,
                  clients: int, fleet_urls_per_client: int,

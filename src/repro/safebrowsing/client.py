@@ -101,6 +101,13 @@ if NUMPY_AVAILABLE:
     _STORE_BACKENDS["numpy"] = NumpyPrefixStore
     _STORE_BACKENDS["numpy-mmap"] = NumpyMmapStore
 
+#: Default store backend: the vectorized numpy store when numpy is
+#: importable (the PR 6 hot path — one ``searchsorted`` gather per batch),
+#: else the pure-Python delta-coded store the deployed service ships.
+#: Verdicts and traffic are backend-independent (property-pinned), so the
+#: default only moves the lookup cost onto the fastest available path.
+DEFAULT_STORE_BACKEND = "numpy" if NUMPY_AVAILABLE else "delta-coded"
+
 
 @dataclass(frozen=True, slots=True)
 class ClientConfig:
@@ -116,7 +123,8 @@ class ClientConfig:
         installed, ``"numpy"`` and ``"numpy-mmap"`` add vectorized variants
         of the last two (one ``searchsorted`` per batch instead of a Python
         bisect loop); numpy is optional, so these two names exist only when
-        it is importable.
+        it is importable.  The default is :data:`DEFAULT_STORE_BACKEND`:
+        ``"numpy"`` when available, the delta-coded store otherwise.
     prefix_bits:
         Width of the local prefixes (32 in the deployed service).
     decomposition_policy:
@@ -140,7 +148,7 @@ class ClientConfig:
         is still shared: that is the point of the batched path).
     """
 
-    store_backend: str = "delta-coded"
+    store_backend: str = DEFAULT_STORE_BACKEND
     prefix_bits: int = 32
     decomposition_policy: DecompositionPolicy = API_POLICY
     full_hash_cache_seconds: float = 2700.0

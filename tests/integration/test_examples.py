@@ -28,6 +28,10 @@ EXAMPLES = [
                           "tracker detections   : 0",
                           "Section 8 arms race at fleet scale",
                           "paper's Section 8 finding"]),
+    ("parallel_fleet_demo.py", ["counters differing from the monolithic run: 0",
+                                "traffic signatures match: True",
+                                "population profile     : global-mix",
+                                "sizes differ by <= 1"]),
     ("warm_start_demo.py", ["checksum verified",
                             "warm restart fetched   : 5 prefixes",
                             "store is memory-mapped : True",

@@ -94,3 +94,26 @@ def test_fleet_adversary_smoke_medium_scale(transport):
     # MEDIUM traffic overruns the default log bound: post-hoc detection
     # would under-count, the observer-fed detector must not.
     assert report.log_entries_evicted > 0
+
+
+@pytest.mark.slow
+def test_parallel_fleet_smoke_large_scale():
+    """The 10^5-client tier end to end: the parallel engine shards LARGE
+    over real worker processes, the merged accounting is complete, and the
+    shared server state produces response-cache hits."""
+    from repro.experiments.parallel import run_parallel_fleet
+    from repro.experiments.scale import LARGE
+
+    started = time.perf_counter()
+    report = run_parallel_fleet(LARGE, FleetConfig(mode="batched"), workers=2)
+    wall = time.perf_counter() - started
+
+    assert wall < 900.0  # generous: ~10^5 clients on whatever CI offers
+    assert report.clients == LARGE.clients
+    assert report.urls_checked == LARGE.clients * LARGE.fleet_urls_per_client
+    assert report.shards == 2
+    assert report.workers == 2
+    # At population scale many clients share identical full-hash request
+    # keys within a round, so the replica response caches must actually hit.
+    assert report.server_cache_hit_rate > 0.0
+    assert report.server_full_hash_requests > 0

@@ -1,0 +1,134 @@
+"""Property tests: merged shard reports equal the monolithic fleet run.
+
+The parallel engine's correctness claim is *exactness*, not approximation:
+a fleet sharded over N workers, each driving a server replica restored from
+the one provisioning snapshot, must merge to the very report a monolithic
+run produces.  These tests pin that equality on **every** counter — not
+just the traffic signature — across both transports and shard counts
+{1, 2, 8}, for the homogeneous fleet and the heterogeneous ``global-mix``
+population, and for a real two-process run (not just the inline harness).
+
+Two fields are legitimately excluded everywhere: ``elapsed_seconds`` and
+``urls_per_second`` measure wall clock, which no determinism claim covers;
+``shards``/``workers`` describe the engine, not the fleet.  One server knob
+matters: the response cache is shard-local (replicas cannot serve each
+other's clients), so exact-counter runs disable it
+(``server_cache_seconds=0`` — the monolithic run then increments neither
+hits nor misses either).  With the cache *on*, the traffic signature and
+tracking digest stay byte-identical — caching changes who answers, never
+what is answered — and a dedicated case pins exactly that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+pytest.importorskip("numpy")  # the corpus/fleet layers are numpy-backed
+
+from repro.experiments.fleet import FleetConfig, FleetReport, FleetSimulator
+from repro.experiments.parallel import run_parallel_fleet
+from repro.experiments.scale import Scale
+
+TINY = Scale(
+    name="tiny-prop-parallel",
+    corpus_hosts=40,
+    blacklist_fraction=0.002,
+    stats_sites=10,
+    index_sites=10,
+    tracked_targets=3,
+    clients=8,
+    fleet_urls_per_client=30,
+    fleet_batch_size=10,
+)
+
+#: Fields where monolithic and merged-parallel reports legitimately differ.
+_TIMING_FIELDS = {"elapsed_seconds", "urls_per_second", "shards", "workers"}
+
+
+def _assert_reports_equal(monolithic: FleetReport, merged: FleetReport) -> None:
+    for field in dataclasses.fields(FleetReport):
+        if field.name in _TIMING_FIELDS:
+            continue
+        mono = getattr(monolithic, field.name)
+        para = getattr(merged, field.name)
+        assert mono == para, (
+            f"{field.name}: monolithic={mono!r} parallel={para!r}")
+
+
+def _exact_config(**overrides) -> FleetConfig:
+    base = dict(
+        mode="batched",
+        adversary=True,
+        server_cache_seconds=0.0,  # response cache is shard-local
+        seed=1234,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+@pytest.mark.parametrize("transport_kwargs", [
+    pytest.param({"transport": "in-process"}, id="in-process"),
+    pytest.param({"transport": "simulated", "latency_seconds": 0.0,
+                  "latency_jitter_seconds": 0.0}, id="simulated-zero-latency"),
+])
+@pytest.mark.parametrize("shards", [1, 2, 8])
+def test_merged_shards_equal_monolithic(transport_kwargs, shards):
+    config = _exact_config(**transport_kwargs)
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=shards,
+                                inline=True)
+    _assert_reports_equal(monolithic, merged)
+    assert merged.shards == min(shards, TINY.clients)
+
+
+def test_simulated_transport_with_latency_still_exact():
+    # Simulated latency drifts each worker's ManualClock differently, but
+    # activity gating keys on the logical schedule, not the clock — so the
+    # equality survives a non-zero network model.
+    config = _exact_config(transport="simulated", latency_seconds=0.05,
+                           latency_jitter_seconds=0.01)
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=2, inline=True)
+    _assert_reports_equal(monolithic, merged)
+
+
+def test_heterogeneous_population_exact():
+    # global-mix varies profiles, policies and adversary exposure per
+    # client — all keyed by global index, so sharding changes nothing.
+    config = _exact_config(profile="global-mix", warm_start=True)
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=8, inline=True)
+    _assert_reports_equal(monolithic, merged)
+    assert merged.profile == "global-mix"
+
+
+def test_scalar_mode_exact():
+    config = _exact_config(mode="scalar")
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=2, inline=True)
+    _assert_reports_equal(monolithic, merged)
+
+
+def test_real_worker_processes_match_inline_and_monolithic():
+    # The actual process pool (fork or spawn), not the inline harness.
+    config = _exact_config()
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=2)
+    _assert_reports_equal(monolithic, merged)
+    assert merged.workers == 2
+
+
+def test_response_cache_on_signature_and_digest_still_match():
+    # With the server response cache enabled the cache-hit split diverges
+    # (monolithic runs get cross-client hits replicas cannot see), but the
+    # observable traffic and the detected tracking pairs do not.
+    config = FleetConfig(mode="batched", adversary=True, seed=1234,
+                         server_cache_seconds=300.0)
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=4, inline=True)
+    assert merged.traffic_signature() == monolithic.traffic_signature()
+    assert merged.tracking_pair_digest == monolithic.tracking_pair_digest
+    assert merged.tracking_pairs == monolithic.tracking_pairs
+    assert merged.urls_checked == monolithic.urls_checked

@@ -191,6 +191,78 @@ class TestParser:
                      "--restart-interval", "2"]) == 2
         assert "--churn" in capsys.readouterr().err
 
+    def test_fleet_profile_choices_mirror_profile_registry(self):
+        from repro.cli import _FLEET_PROFILES
+        from repro.experiments.profiles import PROFILE_FACTORIES
+
+        assert sorted(_FLEET_PROFILES) == sorted(PROFILE_FACTORIES)
+
+    def test_fleet_rejects_unknown_profile_with_registered_names(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--profile", "metaverse"])
+        message = capsys.readouterr().err
+        # argparse's rejection must name every registered profile, so the
+        # user can correct the flag without reading the source.
+        for name in ("uniform", "desktop", "mobile", "regional", "global-mix"):
+            assert name in message
+
+    def test_fleet_scale_choices_include_parallel_tiers(self):
+        from repro.cli import _FLEET_SCALES
+
+        assert _FLEET_SCALES == ("small", "medium", "large", "xlarge")
+        args = build_parser().parse_args(["fleet", "--scale", "xlarge"])
+        assert args.scale == "xlarge"
+
+    def test_fleet_workers_and_profile_defaults_off(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.workers is None
+        assert args.profile is None
+
+    def test_fleet_workers_flag_reaches_the_parallel_engine(self):
+        from unittest import mock
+
+        from repro.experiments import parallel as parallel_module
+
+        captured = {}
+
+        def fake_run_parallel_fleet(scale, config, *, workers):
+            captured["scale"] = scale
+            captured["config"] = config
+            captured["workers"] = workers
+            raise SystemExit(0)  # skip the actual simulation
+
+        with mock.patch.object(parallel_module, "run_parallel_fleet",
+                               fake_run_parallel_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched", "--workers", "3",
+                      "--profile", "global-mix"])
+        assert captured["workers"] == 3
+        assert captured["config"].profile == "global-mix"
+        assert captured["config"].mode == "batched"
+
+    def test_fleet_workers_requires_a_single_mode(self, capsys):
+        assert main(["fleet", "--mode", "both", "--workers", "2"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_fleet_profile_reaches_the_single_process_config(self):
+        from unittest import mock
+
+        from repro.experiments import fleet as fleet_module
+
+        captured = {}
+
+        def fake_run_fleet(scale, config):
+            captured["config"] = config
+            raise SystemExit(0)
+
+        with mock.patch.object(fleet_module, "run_fleet", fake_run_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched", "--profile", "mobile"])
+        assert captured["config"].profile == "mobile"
+
+    def test_fleet_parallel_experiment_registered(self):
+        assert "fleet-parallel" in _EXPERIMENTS
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):

@@ -19,8 +19,16 @@ SAFE_URL = "http://totally.fine.example.org/index.html"
 
 
 class TestClientConfig:
-    def test_default_backend_is_delta_coded(self):
-        assert ClientConfig().store_backend == "delta-coded"
+    def test_default_backend_tracks_numpy_availability(self):
+        # The vectorized numpy store is the default lookup path when numpy
+        # is importable; the pure-Python delta-coded store (the deployed
+        # choice) remains the fallback so a numpy-less install still works.
+        from repro.datastructures.vectorized import NUMPY_AVAILABLE
+        from repro.safebrowsing.client import DEFAULT_STORE_BACKEND
+
+        expected = "numpy" if NUMPY_AVAILABLE else "delta-coded"
+        assert DEFAULT_STORE_BACKEND == expected
+        assert ClientConfig().store_backend == DEFAULT_STORE_BACKEND
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(UpdateError):

@@ -32,9 +32,15 @@ TINY = Scale(
 
 class TestFleetConfig:
     def test_defaults_are_valid(self):
+        from repro.experiments.fleet import DEFAULT_FLEET_STORE_BACKEND
+
         config = FleetConfig()
         assert config.mode == "batched"
-        assert config.store_backend == "sorted-array"
+        # numpy is importable in this suite (importorskip above), so the
+        # fleet defaults to the vectorized store.
+        assert DEFAULT_FLEET_STORE_BACKEND == "numpy"
+        assert config.store_backend == DEFAULT_FLEET_STORE_BACKEND
+        assert config.profile == "uniform"
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ExperimentError):
