@@ -1,0 +1,160 @@
+"""Benchmark: lookup latency while a Table 1-scale list ingests live.
+
+The acceptance bar of the durable storage layer's no-stop-the-world claim:
+load ``goog-malware-shavar`` at its paper size (Table 1: 317,807 prefixes)
+into a SQLite-backed server, then stream 50k further additions through the
+:class:`~repro.safebrowsing.ingest.IngestionPipeline` while sampling
+batched membership lookups between ingestion batches.  The p99 lookup
+latency measured *during* ingestion must stay within **2x** the idle p99 —
+the regression the old snapshot-everything path could never pass, since
+changing anything meant re-serializing everything.
+
+Also recorded: ingestion throughput (mutations/s into a durable file) and
+the size of the SQLite database left behind.  Results are written to
+``benchmarks/results/BENCH_server_ingestion.json`` (schema documented in
+``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.clock import ManualClock
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.ingest import IngestionPipeline, synthetic_additions
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+
+LIST = "goog-malware-shavar"
+
+#: Initial load: the paper's Table 1 size for goog-malware-shavar.
+INITIAL_ENTRIES = next(d for d in GOOGLE_LISTS
+                       if d.name == LIST).paper_prefix_count
+
+#: Live stream while lookups run.
+LIVE_ENTRIES = 50_000
+LIVE_BATCH_SIZE = 5_000
+
+#: Lookup sampling: batches of probes (half members, half misses) answered
+#: by the batched membership path, timed one batch per sample.
+SAMPLE_BATCH_SIZE = 256
+IDLE_SAMPLES = 100
+SAMPLES_PER_INGEST_STEP = 10
+
+#: The bar: p99 during ingestion must stay within this factor of idle p99.
+P99_BUDGET_FACTOR = 2.0
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def _probe_batches(list_db, count: int) -> list[list[Prefix]]:
+    members = sorted(list_db.prefixes())
+    step = max(1, len(members) // SAMPLE_BATCH_SIZE)
+    batches = []
+    for batch_index in range(count):
+        batch = [members[(batch_index + position * step) % len(members)]
+                 for position in range(SAMPLE_BATCH_SIZE // 2)]
+        batch += [Prefix.from_int((batch_index * 2_654_435_761 + position)
+                                  % 2**32, 32)
+                  for position in range(SAMPLE_BATCH_SIZE // 2)]
+        batches.append(batch)
+    return batches
+
+
+def _sample_lookups(list_db, batches) -> list[float]:
+    samples = []
+    for batch in batches:
+        started = time.perf_counter()
+        list_db.contains_many(batch)
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def test_bench_server_ingestion(benchmark, record_json, tmp_path):
+    storage_path = tmp_path / "server.sqlite"
+    server = SafeBrowsingServer(GOOGLE_LISTS[:1], clock=ManualClock(),
+                                storage="sqlite", storage_path=storage_path)
+    pipeline = IngestionPipeline(server, batch_size=LIVE_BATCH_SIZE)
+
+    # -- initial load at paper scale (timed: the durable bootstrap) --------
+    pipeline.submit(synthetic_additions(LIST, INITIAL_ENTRIES, seed=11))
+    load_started = time.perf_counter()
+    pipeline.drain()
+    load_seconds = time.perf_counter() - load_started
+    list_db = server.database[LIST]
+    initial_prefixes = list_db.prefix_count()
+    # A few hundred thousand 32-bit prefixes collide a handful of times
+    # (birthday bound ~ n^2 / 2^33), so distinct prefixes run just short of
+    # the entry count.
+    assert INITIAL_ENTRIES - 200 <= initial_prefixes <= INITIAL_ENTRIES
+
+    # -- idle baseline: lookups with no ingestion in flight ----------------
+    idle_batches = _probe_batches(list_db, IDLE_SAMPLES)
+    gc.collect()
+    gc.disable()
+    try:
+        _sample_lookups(list_db, idle_batches[:10])  # warmup
+        idle_samples = _sample_lookups(list_db, idle_batches)
+
+        # -- live ingestion: sample lookups between committed batches ------
+        pipeline.submit(synthetic_additions(LIST, LIVE_ENTRIES, seed=11,
+                                            start=INITIAL_ENTRIES))
+        during_samples: list[float] = []
+        ingest_started = time.perf_counter()
+        ingest_seconds = 0.0
+        while pipeline.queued:
+            step_started = time.perf_counter()
+            pipeline.step()
+            ingest_seconds += time.perf_counter() - step_started
+            during_samples.extend(_sample_lookups(
+                list_db, _probe_batches(list_db, SAMPLES_PER_INGEST_STEP)))
+        wall_seconds = time.perf_counter() - ingest_started
+    finally:
+        gc.enable()
+    total = INITIAL_ENTRIES + LIVE_ENTRIES
+    assert total - 300 <= list_db.prefix_count() <= total
+    assert server.database.committed_version == server.database.version
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    idle_p99 = _percentile(idle_samples, 0.99)
+    during_p99 = _percentile(during_samples, 0.99)
+    sqlite_bytes = storage_path.stat().st_size
+    server.database.storage.close()
+
+    record_json("server_ingestion", {
+        "list": LIST,
+        "storage": "sqlite",
+        "initial_entries": INITIAL_ENTRIES,
+        "live_entries": LIVE_ENTRIES,
+        "batch_size": LIVE_BATCH_SIZE,
+        "initial_load_seconds": round(load_seconds, 4),
+        "initial_load_entries_per_second": round(
+            INITIAL_ENTRIES / load_seconds, 1) if load_seconds else 0.0,
+        "live_ingest_seconds": round(ingest_seconds, 4),
+        "live_ingest_entries_per_second": round(
+            LIVE_ENTRIES / ingest_seconds, 1) if ingest_seconds else 0.0,
+        "live_wall_seconds": round(wall_seconds, 4),
+        "sqlite_bytes": sqlite_bytes,
+        "lookup_latency": {
+            "sample_batch_size": SAMPLE_BATCH_SIZE,
+            "idle_samples": len(idle_samples),
+            "during_samples": len(during_samples),
+            "idle_p50_us": round(_percentile(idle_samples, 0.5) * 1e6, 2),
+            "idle_p99_us": round(idle_p99 * 1e6, 2),
+            "during_p50_us": round(_percentile(during_samples, 0.5) * 1e6, 2),
+            "during_p99_us": round(during_p99 * 1e6, 2),
+            "p99_ratio": round(during_p99 / idle_p99, 3) if idle_p99 else 0.0,
+            "p99_budget_factor": P99_BUDGET_FACTOR,
+        },
+    })
+
+    # The acceptance bar: live ingestion must not degrade lookup tail
+    # latency beyond the budget — readers never pay for writers.
+    assert during_p99 <= P99_BUDGET_FACTOR * idle_p99, (
+        f"lookup p99 during ingestion ({during_p99 * 1e6:.1f}us) exceeds "
+        f"{P99_BUDGET_FACTOR}x the idle p99 ({idle_p99 * 1e6:.1f}us)"
+    )

@@ -9,11 +9,32 @@ timing collected by pytest-benchmark, the rendered table is written to
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def host_metadata() -> dict:
+    """The machine identity stamped into every JSON artifact.
+
+    Throughput numbers are meaningless without knowing what ran them; CI
+    artifacts from different runner shapes would otherwise look like perf
+    regressions.  (Plain function so the regression tests can exercise it
+    without pytest's fixture machinery.)
+    """
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpu_count = os.cpu_count() or 1
+    return {
+        "cpu_count": cpu_count,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def write_json_artifact(path: Path, payload: dict) -> None:
@@ -54,13 +75,15 @@ def record_json(results_dir):
 
     The JSON twins the rendered .txt tables so the perf trajectory (URLs/s,
     speedups, configuration) is trackable across PRs by tooling instead of
-    by reading prose.  Non-finite values are rejected
+    by reading prose.  Every artifact carries a ``host`` section
+    (:func:`host_metadata`: cpu_count, platform, python) so numbers are
+    comparable across runner shapes.  Non-finite values are rejected
     (see :func:`write_json_artifact`).
     """
 
     def _record(name: str, payload: dict) -> None:
         path = results_dir / f"BENCH_{name}.json"
-        write_json_artifact(path, payload)
+        write_json_artifact(path, {**payload, "host": host_metadata()})
         print(f"\nwrote {path}\n")
 
     return _record

@@ -22,9 +22,16 @@ often, without writing Python:
     ``--workers N`` runs the process-parallel engine (client shards over
     worker processes, exactly-merged accounting); ``--profile NAME``
     assigns a heterogeneous population from the profile registry.
+``python -m repro ingest [--storage KIND] [--path FILE] ...``
+    Stream synthetic list mutations into a live server in committed batches
+    while clients keep polling, and print what the run verified (versioned
+    reads, convergence).  ``--storage sqlite --path FILE`` leaves a durable
+    SQLite database behind.
 ``python -m repro snapshot save|load PATH``
-    Persist a provisioned server database to the versioned snapshot format,
-    or verify (checksum, format version) and summarize an existing snapshot.
+    Persist a provisioned server database to the versioned snapshot format
+    (``save --storage sqlite`` writes a SQLite database instead), or verify
+    and summarize an existing snapshot of either container; ``load
+    --summary`` adds per-list versions and full-hash counts.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ _EXPERIMENTS: dict[str, str] = {
     "fleet-adversary": "repro.experiments.fleet:fleet_adversary_table",
     "fleet-parallel": "repro.experiments.parallel:fleet_parallel_table",
     "armsrace": "repro.experiments.armsrace:armsrace_table",
+    "ingestion": "repro.experiments.ingestion:ingestion_table",
 }
 
 def _numpy_available() -> bool:
@@ -102,6 +110,11 @@ _FLEET_PROFILES = ("desktop", "global-mix", "mobile", "regional", "uniform")
 #: Scale tiers offered by ``repro fleet``.  LARGE/XLARGE are the
 #: process-parallel tiers (~10^5/10^6 clients) — pair them with --workers.
 _FLEET_SCALES = ("small", "medium", "large", "xlarge")
+
+#: Server storage backends offered by ``repro fleet`` / ``repro ingest``.
+#: Mirrors ``repro.safebrowsing.storage.STORAGE_KINDS`` (kept in sync by a
+#: unit test) for the same lazy-import reason as the tuples above.
+_SERVER_STORAGE_KINDS = ("memory", "sqlite")
 
 
 def _resolve_experiment(name: str) -> Callable[[], object]:
@@ -228,6 +241,36 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--cold-restart", action="store_true",
                        help="restarted clients cold-start empty instead of "
                             "warm-starting from a snapshot")
+    fleet.add_argument("--server-storage", choices=_SERVER_STORAGE_KINDS,
+                       default=None, metavar="KIND",
+                       help="server database storage backend: one of "
+                            f"{', '.join(_SERVER_STORAGE_KINDS)} "
+                            "(default memory)")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="stream list mutations into a live server while "
+                       "clients keep polling")
+    ingest.add_argument("--storage", choices=_SERVER_STORAGE_KINDS,
+                        default="sqlite",
+                        help="server storage backend (default sqlite)")
+    ingest.add_argument("--path", default=None, metavar="FILE",
+                        help="SQLite database file for --storage sqlite "
+                             "(default: in-memory)")
+    ingest.add_argument("--transport", choices=_FLEET_TRANSPORTS,
+                        default="in-process",
+                        help="client<->server boundary (default in-process)")
+    ingest.add_argument("--initial", type=int, default=2000, metavar="N",
+                        help="entries ingested before clients connect "
+                             "(default 2000)")
+    ingest.add_argument("--live", type=int, default=1000, metavar="N",
+                        help="entries streamed in while clients poll "
+                             "(default 1000)")
+    ingest.add_argument("--batch-size", type=int, default=250, metavar="N",
+                        help="mutations applied per commit (default 250)")
+    ingest.add_argument("--clients", type=int, default=3, metavar="N",
+                        help="polling clients (default 3)")
+    ingest.add_argument("--seed", type=int, default=7,
+                        help="stream seed (default 7)")
 
     snapshot = subparsers.add_parser(
         "snapshot", help="save or inspect a persistent database snapshot")
@@ -242,9 +285,17 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot_save.add_argument("--scale", choices=["small", "medium"],
                                default="small",
                                help="workload size (default small)")
+    snapshot_save.add_argument("--storage", choices=["binary", "sqlite"],
+                               default="binary",
+                               help="snapshot container: the versioned "
+                                    "binary format or a SQLite database "
+                                    "(default binary)")
     snapshot_load = snapshot_commands.add_parser(
         "load", help="verify a snapshot (checksum, version) and summarize it")
     snapshot_load.add_argument("path", help="snapshot file to inspect")
+    snapshot_load.add_argument("--summary", action="store_true",
+                               help="print a per-list table: version, "
+                                    "prefix and full-hash counts")
 
     return parser
 
@@ -328,6 +379,8 @@ def _command_fleet(args: argparse.Namespace) -> int:
         config = dc_replace(config, shard_count=args.shards)
     if args.server_cache_seconds is not None:
         config = dc_replace(config, server_cache_seconds=args.server_cache_seconds)
+    if args.server_storage is not None:
+        config = dc_replace(config, server_storage=args.server_storage)
     if args.adversary or args.tracked_targets is not None:
         # --tracked-targets implies the adversary: a target count with no
         # adversary to track it would otherwise be silently ignored.
@@ -428,6 +481,20 @@ def _print_fleet_report(report) -> None:
         print(f"recall          : {report.tracking_recall:.4f}")
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.experiments.ingestion import ingestion_table
+
+    if args.path is not None and args.storage != "sqlite":
+        print("error: --path requires --storage sqlite", file=sys.stderr)
+        return 2
+    table = ingestion_table(
+        storage=args.storage, storage_path=args.path,
+        transport=args.transport, initial=args.initial, live=args.live,
+        batch_size=args.batch_size, clients=args.clients, seed=args.seed)
+    print(table.render())
+    return 0
+
+
 def _command_snapshot(args: argparse.Namespace) -> int:
     from repro.experiments.scale import MEDIUM, SMALL, get_context
     from repro.safebrowsing.lists import ListProvider
@@ -438,15 +505,17 @@ def _command_snapshot(args: argparse.Namespace) -> int:
                     else ListProvider.YANDEX)
         scale = SMALL if args.scale == "small" else MEDIUM
         server = get_context(scale).provision_server(provider)
-        path = save_server_snapshot(server, args.path)
+        path = save_server_snapshot(server, args.path, kind=args.storage)
         info = inspect_snapshot(path)
-        print(f"wrote {path} ({info.payload_bytes} payload bytes)")
+        print(f"wrote {path} ({info.payload_bytes} payload bytes, "
+              f"{info.container} container)")
         print(f"lists           : {len(info.lists)}")
         print(f"total prefixes  : {info.total_prefixes}")
         return 0
 
     info = inspect_snapshot(args.path)
     print(f"kind            : {info.kind}")
+    print(f"container       : {info.container}")
     print(f"format version  : {info.format_version}")
     print(f"checksum        : OK")
     print(f"prefix bits     : {info.prefix_bits}")
@@ -455,8 +524,16 @@ def _command_snapshot(args: argparse.Namespace) -> int:
         print(f"shard count     : {info.shard_count}")
     print(f"payload bytes   : {info.payload_bytes}")
     print(f"total prefixes  : {info.total_prefixes}")
-    for name, count in info.lists:
-        print(f"  {name}: {count}")
+    if args.summary:
+        for summary in info.lists:
+            version = "-" if summary.version is None else summary.version
+            hashes = ("-" if summary.full_hashes is None
+                      else summary.full_hashes)
+            print(f"  {summary.name}: version={version} "
+                  f"prefixes={summary.prefixes} full-hashes={hashes}")
+    else:
+        for summary in info.lists:
+            print(f"  {summary.name}: {summary.prefixes}")
     return 0
 
 
@@ -467,6 +544,7 @@ _COMMANDS = {
     "track": _command_track,
     "experiment": _command_experiment,
     "fleet": _command_fleet,
+    "ingest": _command_ingest,
     "snapshot": _command_snapshot,
 }
 

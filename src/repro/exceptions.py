@@ -85,6 +85,18 @@ class SnapshotError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """Raised by the durable server-storage layer.
+
+    Covers unknown storage kinds (the message lists the registered ones),
+    attempts to flush through a read-only attachment, binding a fresh
+    database onto an already-populated SQLite file, and schema/metadata
+    mismatches between a storage file and the database opening it.  Like
+    :class:`SnapshotError`, the message states what was expected and what
+    was found.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment harness is configured inconsistently."""
 

@@ -101,6 +101,7 @@ from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.lists import ListProvider, lists_for_provider
 from repro.safebrowsing.privacy import build_policy
 from repro.safebrowsing.server import DEFAULT_RESPONSE_CACHE_SECONDS, SafeBrowsingServer
+from repro.safebrowsing.storage import STORAGE_KINDS
 from repro.safebrowsing.transport import TRANSPORT_KINDS
 
 #: Execution modes understood by the simulator.
@@ -216,6 +217,13 @@ class FleetConfig:
         chunks.  ``False``: the replacement cold-starts empty and
         re-downloads its lists — the baseline the warm-start benchmark
         compares against.
+    server_storage:
+        Durable storage backend of the server database — a name from
+        :data:`repro.safebrowsing.storage.STORAGE_KINDS`.  ``"memory"``
+        (default) keeps the dict-only state; ``"sqlite"`` journals every
+        list mutation to a SQLite database, which the process-parallel
+        engine hands to workers as a read-only attach instead of a
+        restore-everything snapshot.
     profile:
         Name of the population profile
         (:data:`repro.experiments.profiles.PROFILE_FACTORIES`) that assigns
@@ -255,6 +263,7 @@ class FleetConfig:
     churn_fraction: float = 0.0
     restart_interval: int = 0
     warm_start: bool = True
+    server_storage: str = "memory"
     profile: str = "uniform"
 
     def __post_init__(self) -> None:
@@ -287,6 +296,11 @@ class FleetConfig:
             raise ExperimentError(
                 f"unknown transport {self.transport!r}; "
                 f"expected one of {TRANSPORT_KINDS}"
+            )
+        if self.server_storage not in STORAGE_KINDS:
+            raise ExperimentError(
+                f"unknown server storage {self.server_storage!r}; "
+                f"expected one of {STORAGE_KINDS}"
             )
         if self.shard_count < 1:
             raise ExperimentError("shard_count must be positive")
@@ -656,13 +670,17 @@ class FleetSimulator:
             raise ExperimentError("snapshot has no blacklisted expressions")
         return urls
 
-    def build_server(self, clock: ManualClock) -> SafeBrowsingServer:
+    def build_server(self, clock: ManualClock, *,
+                     storage_path=None) -> SafeBrowsingServer:
         """A fresh provisioned server on ``clock``.
 
         The context's cached snapshot server keeps its own clock and is
         shared by other experiments, so the fleet provisions its own server
         (via :meth:`ExperimentContext.provision_server`) instead of
-        mutating shared state.
+        mutating shared state.  The storage backend comes from
+        ``config.server_storage``; ``storage_path`` places the SQLite
+        database at a caller-chosen file (the parallel engine's handoff
+        file) instead of in memory.
         """
         config = self.config
         return self._context.provision_server(
@@ -670,6 +688,8 @@ class FleetSimulator:
             shard_count=config.shard_count,
             response_cache_seconds=config.server_cache_seconds,
             max_log_entries=config.max_log_entries,
+            storage=config.server_storage,
+            storage_path=storage_path,
         )
 
     def _build_client(self, server: SafeBrowsingServer, clock: ManualClock,

@@ -75,6 +75,7 @@ from repro.safebrowsing.privacy import (
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.backoff import UpdateScheduler
 from repro.safebrowsing.snapshot import (
+    ListSummary,
     SnapshotInfo,
     inspect_snapshot,
     load_server,
@@ -82,6 +83,20 @@ from repro.safebrowsing.snapshot import (
     restore_client_snapshot,
     save_client_snapshot,
     save_server_snapshot,
+)
+from repro.safebrowsing.storage import (
+    STORAGE_KINDS,
+    MemoryServerStorage,
+    SQLiteServerStorage,
+    ServerStorage,
+    build_server_storage,
+    load_sqlite_server_database,
+)
+from repro.safebrowsing.ingest import (
+    IngestionPipeline,
+    IngestionProgress,
+    ListMutation,
+    synthetic_additions,
 )
 from repro.safebrowsing.lookup_api import (
     DomainReputationServer,
@@ -112,11 +127,19 @@ __all__ = [
     "FullHashResponse",
     "GOOGLE_LISTS",
     "InProcessTransport",
+    "IngestionPipeline",
+    "IngestionProgress",
     "ListDatabase",
     "ListDescriptor",
+    "ListMutation",
     "ListProvider",
+    "ListSummary",
     "ListUpdate",
     "LookupResult",
+    "MemoryServerStorage",
+    "STORAGE_KINDS",
+    "SQLiteServerStorage",
+    "ServerStorage",
     "RequestLogEntry",
     "SafeBrowsingClient",
     "SafeBrowsingCookie",
@@ -131,6 +154,7 @@ __all__ = [
     "UpdateRequest",
     "UpdateResponse",
     "Verdict",
+    "build_server_storage",
     "build_transport",
     "YANDEX_LISTS",
     "get_list",
@@ -138,7 +162,9 @@ __all__ = [
     "lists_for_provider",
     "load_server",
     "load_server_database",
+    "load_sqlite_server_database",
     "restore_client_snapshot",
     "save_client_snapshot",
     "save_server_snapshot",
+    "synthetic_additions",
 ]

@@ -37,6 +37,23 @@ from repro.hashing.prefix import Prefix
 from repro.hashing.prefix_set import PrefixSet
 from repro.safebrowsing.chunks import Chunk, ChunkKind
 from repro.safebrowsing.lists import ListDescriptor
+from repro.safebrowsing.storage import (
+    CHUNK_KIND_CODES,
+    OP_CHUNK,
+    OP_EXPR_ADD,
+    OP_EXPR_REMOVE,
+    OP_HASH_ADD,
+    OP_HASH_REMOVE,
+    OP_ORPHAN_ADD,
+    OP_ORPHAN_REMOVE,
+    OP_PENDING_ADD,
+    OP_PENDING_CLEAR,
+    PENDING_ADDITION,
+    PENDING_REMOVAL,
+    MemoryServerStorage,
+    ServerStorage,
+    build_server_storage,
+)
 
 
 @dataclass
@@ -69,6 +86,10 @@ class ListDatabase:
             bits=self.prefix_bits, backend=self.index_backend,
             shard_count=self.shard_count,
         )
+        # Durable-storage sink (attached by the owning ServerDatabase):
+        # every logical mutation below is also journalled through it, so
+        # persisting costs O(changed) rather than O(database).
+        self._storage: ServerStorage | None = None
         # Sorted view of the populated bucket values for variable-width
         # (wide) queries, rebuilt lazily when the version moves: wide
         # matching is then a bisect + contiguous walk instead of a scan of
@@ -76,6 +97,16 @@ class ListDatabase:
         self._wide_view: list[bytes] = []
         self._wide_view_version = -1
         self._wide_np = None
+
+    # -- durable storage hooks ------------------------------------------------
+
+    def attach_storage(self, storage: ServerStorage | None) -> None:
+        """Adopt ``storage`` as the journal sink for future mutations."""
+        self._storage = storage
+
+    def _record(self, *op) -> None:
+        if self._storage is not None:
+            self._storage.record(self.descriptor.name, op)
 
     # -- content management ---------------------------------------------------
 
@@ -90,12 +121,17 @@ class ListDatabase:
         prefix = full_hash.prefix(self.prefix_bits)
         if expression not in self._expressions:
             self._expressions[expression] = full_hash
+            self._record(OP_EXPR_ADD, expression)
         if full_hash not in self._full_hashes[prefix]:
             self._full_hashes[prefix].add(full_hash)
             self._pending_additions.append(prefix)
             self._prefix_index.add(prefix)
             self.version += 1
-        self._orphans.discard(prefix)
+            self._record(OP_HASH_ADD, prefix.value, full_hash.digest)
+            self._record(OP_PENDING_ADD, PENDING_ADDITION, prefix.value)
+        if prefix in self._orphans:
+            self._orphans.discard(prefix)
+            self._record(OP_ORPHAN_REMOVE, prefix.value)
         return prefix
 
     def add_expressions(self, expressions: Iterable[str]) -> list[Prefix]:
@@ -110,7 +146,11 @@ class ListDatabase:
             self._pending_additions.append(prefix)
             self._prefix_index.add(prefix)
             self.version += 1
-        self._orphans.discard(prefix)
+            self._record(OP_HASH_ADD, prefix.value, full_hash.digest)
+            self._record(OP_PENDING_ADD, PENDING_ADDITION, prefix.value)
+        if prefix in self._orphans:
+            self._orphans.discard(prefix)
+            self._record(OP_ORPHAN_REMOVE, prefix.value)
         return prefix
 
     def add_orphan_prefix(self, prefix: Prefix) -> None:
@@ -130,20 +170,26 @@ class ListDatabase:
                 self._pending_additions.append(prefix)
                 self._prefix_index.add(prefix)
                 self.version += 1
+                self._record(OP_ORPHAN_ADD, prefix.value)
+                self._record(OP_PENDING_ADD, PENDING_ADDITION, prefix.value)
 
     def remove_expression(self, expression: str) -> None:
         """Remove a previously blacklisted expression (creates a sub chunk)."""
         full_hash = self._expressions.pop(expression, None)
         if full_hash is None:
             full_hash = FullHash.of(expression)
+        else:
+            self._record(OP_EXPR_REMOVE, expression)
         prefix = full_hash.prefix(self.prefix_bits)
         bucket = self._full_hashes.get(prefix)
         if bucket and full_hash in bucket:
             bucket.remove(full_hash)
             self.version += 1
+            self._record(OP_HASH_REMOVE, full_hash.digest)
             if not bucket:
                 del self._full_hashes[prefix]
                 self._pending_removals.append(prefix)
+                self._record(OP_PENDING_ADD, PENDING_REMOVAL, prefix.value)
                 if prefix not in self._orphans:
                     self._prefix_index.discard(prefix)
 
@@ -153,6 +199,8 @@ class ListDatabase:
             self._orphans.remove(prefix)
             self._pending_removals.append(prefix)
             self.version += 1
+            self._record(OP_ORPHAN_REMOVE, prefix.value)
+            self._record(OP_PENDING_ADD, PENDING_REMOVAL, prefix.value)
             if not self._full_hashes.get(prefix):
                 self._prefix_index.discard(prefix)
 
@@ -174,6 +222,7 @@ class ListDatabase:
             )
             self._add_chunks.append(add_chunk)
             self._pending_additions.clear()
+            self._record_chunk(add_chunk, PENDING_ADDITION)
         if self._pending_removals:
             sub_chunk = Chunk(
                 number=len(self._sub_chunks) + 1,
@@ -183,7 +232,16 @@ class ListDatabase:
             )
             self._sub_chunks.append(sub_chunk)
             self._pending_removals.clear()
+            self._record_chunk(sub_chunk, PENDING_REMOVAL)
         return add_chunk, sub_chunk
+
+    def _record_chunk(self, chunk: Chunk, pending_kind: int) -> None:
+        if self._storage is None:
+            return
+        self._record(OP_CHUNK, CHUNK_KIND_CODES[chunk.kind], chunk.number,
+                     chunk.referenced_add_chunk or 0,
+                     b"".join(prefix.value for prefix in chunk.prefixes))
+        self._record(OP_PENDING_CLEAR, pending_kind)
 
     @property
     def add_chunks(self) -> tuple[Chunk, ...]:
@@ -382,12 +440,22 @@ class ServerDatabase:
     Built on one :class:`ShardedPrefixIndex` per list: ``shard_count`` and
     ``index_backend`` choose the partitioning and the per-shard store for
     every list's membership index.
+
+    ``storage`` picks the durable layer (a kind from
+    :data:`~repro.safebrowsing.storage.STORAGE_KINDS`, or a built
+    :class:`~repro.safebrowsing.storage.ServerStorage`); the default
+    ``"memory"`` keeps the historical dicts-only behaviour.  Mutations are
+    journalled through the storage as they happen and become durable at
+    :meth:`commit`, which also advances :attr:`committed_version` — the
+    version readers of the durable layer are guaranteed to see.
     """
 
     def __init__(self, descriptors: Iterable[ListDescriptor],
                  prefix_bits: int = DEFAULT_PREFIX_BITS, *,
                  shard_count: int = DEFAULT_SHARD_COUNT,
-                 index_backend: str = "sorted-array") -> None:
+                 index_backend: str = "sorted-array",
+                 storage: "str | ServerStorage" = "memory",
+                 storage_path=None) -> None:
         self._lists: dict[str, ListDatabase] = {}
         for descriptor in descriptors:
             self._lists[descriptor.name] = ListDatabase(
@@ -397,6 +465,11 @@ class ServerDatabase:
         self.prefix_bits = prefix_bits
         self.shard_count = shard_count
         self.index_backend = index_backend
+        self.storage = build_server_storage(storage, storage_path)
+        self.storage.bind(self)
+        for database in self._lists.values():
+            database.attach_storage(self.storage)
+        self._committed_version = self.version
 
     def __getitem__(self, list_name: str) -> ListDatabase:
         try:
@@ -422,6 +495,44 @@ class ServerDatabase:
         """Commit pending changes of every list into chunks."""
         for database in self._lists.values():
             database.commit_pending()
+
+    def commit(self) -> int:
+        """Commit pending chunks *and* make the state durable.
+
+        One atomic step of the ingestion pipeline: pending mutations become
+        chunks (:meth:`commit_all`), the storage journal is flushed in a
+        single transaction, and :attr:`committed_version` advances to the
+        current :attr:`version`.  Readers attached to a SQLite storage file
+        see either the state before this call or the state after it — never
+        a torn intermediate.  Returns the number of journal ops flushed.
+        """
+        self.commit_all()
+        flushed = self.storage.flush()
+        self._committed_version = self.version
+        return flushed
+
+    @property
+    def committed_version(self) -> int:
+        """The :attr:`version` as of the last :meth:`commit`.
+
+        The versioned-read guarantee of the durable layer: a reader loading
+        the storage observes at least this version, and never a version
+        between commits.
+        """
+        return self._committed_version
+
+    def _adopt_lists(self, lists: dict[str, ListDatabase]) -> None:
+        """Replace the (empty) freshly-built lists with materialized ones.
+
+        The restore half of the storage layer: both the SQLite loader and
+        the binary snapshot loader construct the shell database first, then
+        swap in the lists they rebuilt.  The adopted lists take over this
+        database's storage as their journal sink.
+        """
+        self._lists = lists
+        for database in self._lists.values():
+            database.attach_storage(self.storage)
+        self._committed_version = self.version
 
     @property
     def version(self) -> int:

@@ -47,6 +47,7 @@ from repro.hashing.prefix import Prefix
 from repro.safebrowsing.cookie import SafeBrowsingCookie
 from repro.safebrowsing.database import ServerDatabase
 from repro.safebrowsing.lists import ListDescriptor
+from repro.safebrowsing.storage import ServerStorage
 from repro.safebrowsing.protocol import (
     FullHashMatch,
     FullHashRequest,
@@ -126,6 +127,12 @@ class ServerCore:
         Upper bound on the request log (``None`` = unbounded).  When the
         bound is hit the oldest entries rotate out and
         :attr:`ServerStats.log_entries_evicted` counts them.
+    storage, storage_path:
+        Durable layer under the database: a kind from
+        :data:`~repro.safebrowsing.storage.STORAGE_KINDS` (``"memory"`` —
+        the default dicts-only behaviour — or ``"sqlite"``) or a built
+        :class:`~repro.safebrowsing.storage.ServerStorage`.
+        ``storage_path`` is the SQLite file (``None`` = in-memory SQLite).
     """
 
     def __init__(self, descriptors: Iterable[ListDescriptor], *,
@@ -136,7 +143,9 @@ class ServerCore:
                  index_backend: str = "sorted-array",
                  response_cache_seconds: float = DEFAULT_RESPONSE_CACHE_SECONDS,
                  response_cache_entries: int = DEFAULT_RESPONSE_CACHE_ENTRIES,
-                 max_log_entries: int | None = None) -> None:
+                 max_log_entries: int | None = None,
+                 storage: str | ServerStorage = "memory",
+                 storage_path: str | Path | None = None) -> None:
         if max_log_entries is not None and max_log_entries < 1:
             raise ValueError("max_log_entries must be positive (or None)")
         if response_cache_seconds < 0:
@@ -145,7 +154,9 @@ class ServerCore:
             raise ValueError("response_cache_entries must be positive")
         self.database = ServerDatabase(descriptors, prefix_bits,
                                        shard_count=shard_count,
-                                       index_backend=index_backend)
+                                       index_backend=index_backend,
+                                       storage=storage,
+                                       storage_path=storage_path)
         self.clock = clock if clock is not None else ManualClock()
         self.poll_interval = poll_interval
         self.response_cache_seconds = response_cache_seconds

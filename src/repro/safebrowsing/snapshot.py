@@ -53,6 +53,13 @@ from repro.hashing.prefix import Prefix
 from repro.safebrowsing.chunks import Chunk, ChunkKind
 from repro.safebrowsing.database import ListDatabase, ServerDatabase
 from repro.safebrowsing.lists import ListDescriptor, ListProvider, ThreatCategory
+from repro.safebrowsing.storage import (
+    dump_database_to_sqlite,
+    is_sqlite_file,
+    load_sqlite_server_database,
+    materialize_list_database,
+    sqlite_storage_summary,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (client imports us)
     from repro.clock import Clock
@@ -579,27 +586,75 @@ def server_snapshot_bytes(database: ServerDatabase) -> bytes:
 
 
 def save_server_snapshot(server: "ServerCore | ServerDatabase",
-                         path: str | Path) -> Path:
-    """Write a server (or bare database) snapshot to ``path``."""
+                         path: str | Path, *,
+                         kind: str = "auto") -> Path:
+    """Write a server (or bare database) snapshot to ``path``.
+
+    ``kind`` picks the container:
+
+    * ``"binary"`` — the SBSNAP whole-state blob (the historical format);
+    * ``"sqlite"`` — a SQLite storage file.  For a SQLite-backed database
+      this is the O(changed) path: flush the journal, then reuse (or, for
+      a different target path, ``backup``) the live file — no re-serialize
+      of unchanged state.  A memory-backed database is exported whole via
+      :func:`~repro.safebrowsing.storage.dump_database_to_sqlite`.
+    * ``"auto"`` (default) — ``"sqlite"`` when the database is
+      SQLite-backed, else ``"binary"``; an existing server keeps its
+      workflow either way.
+
+    Both containers restore through the same :func:`load_server` /
+    :func:`load_server_database`, which sniff the file format.
+    """
     database = server if isinstance(server, ServerDatabase) else server.database
     path = Path(path)
-    _write_file(path, server_snapshot_bytes(database))
-    return path
+    storage = database.storage
+    if kind == "auto":
+        kind = "sqlite" if storage.kind == "sqlite" else "binary"
+    if kind == "binary":
+        _write_file(path, server_snapshot_bytes(database))
+        return path
+    if kind != "sqlite":
+        raise SnapshotError(
+            f"unknown server snapshot kind {kind!r}; expected 'auto', "
+            "'binary' or 'sqlite'")
+    if storage.kind == "sqlite" and not storage.readonly:
+        # Persist exactly what the binary path captures: the journalled
+        # content including still-pending mutations, without forcing them
+        # into chunks (that is commit()'s job, not save's).
+        storage.flush()
+        database._committed_version = database.version
+        if storage.path is not None and storage.path.resolve() == path.resolve():
+            return path
+        return storage.backup_to(path)
+    return dump_database_to_sqlite(database, path)
 
 
 def load_server_database(path: str | Path, *,
                          shard_count: int | None = None,
-                         index_backend: str | None = None) -> ServerDatabase:
+                         index_backend: str | None = None,
+                         writable: bool = False) -> ServerDatabase:
     """Rebuild a :class:`ServerDatabase` from the snapshot at ``path``.
 
-    ``shard_count`` / ``index_backend`` override the snapshot's recorded
+    The file format is sniffed: a SQLite storage file routes through
+    :func:`~repro.safebrowsing.storage.load_sqlite_server_database`
+    (read-only attach by default; ``writable=True`` keeps the file as the
+    live storage of the result), an SBSNAP blob through the binary parser
+    below.  ``shard_count`` / ``index_backend`` override the recorded
     membership-index layout (the indexes are rebuilt on load either way,
     so re-sharding a restored database is free); the restored content —
     membership, versions, chunk history — is observationally identical to
     the database that was saved, which the property suite pins across every
-    registered backend and shard count.
+    registered backend, shard count and storage container.
     """
     path = Path(path)
+    if is_sqlite_file(path):
+        return load_sqlite_server_database(
+            path, shard_count=shard_count, index_backend=index_backend,
+            writable=writable)
+    if writable:
+        raise SnapshotError(
+            f"{path} is a binary snapshot; only SQLite storage files "
+            "support writable loads (save with kind='sqlite' first)")
     payload = _read_frame(_read_file(path), KIND_SERVER, str(path))
     reader = _Reader(payload)
     bits = reader.u16()
@@ -617,7 +672,7 @@ def load_server_database(path: str | Path, *,
         expressions = [reader.string() for _ in range(reader.u32())]
         extra_count = reader.u32()
         extra_raw = reader.raw(extra_count * 32)
-        extras = [FullHash(extra_raw[index * 32:(index + 1) * 32])
+        extras = [extra_raw[index * 32:(index + 1) * 32]
                   for index in range(extra_count)]
         orphans = _read_prefixes(reader, bits)
         add_chunks = [_read_chunk(reader, ChunkKind.ADD, bits)
@@ -627,49 +682,42 @@ def load_server_database(path: str | Path, *,
         pending_additions = _read_prefixes(reader, bits)
         pending_removals = _read_prefixes(reader, bits)
 
-        list_db = ListDatabase(descriptor, bits, shard_count=shard_count,
-                               index_backend=index_backend)
-        for expression in expressions:
-            full_hash = FullHash.of(expression)
-            list_db._expressions[expression] = full_hash
-            list_db._full_hashes[full_hash.prefix(bits)].add(full_hash)
-        for full_hash in extras:
-            list_db._full_hashes[full_hash.prefix(bits)].add(full_hash)
-        list_db._orphans = set(orphans)
-        list_db._add_chunks = add_chunks
-        list_db._sub_chunks = sub_chunks
-        list_db._pending_additions = pending_additions
-        list_db._pending_removals = pending_removals
-        populated = {prefix for prefix, bucket in list_db._full_hashes.items()
-                     if bucket}
-        list_db._prefix_index.update(populated | list_db._orphans)
-        list_db.version = version
-        restored[descriptor.name] = list_db
+        restored[descriptor.name] = materialize_list_database(
+            descriptor, bits, shard_count=shard_count,
+            index_backend=index_backend, version=version,
+            expressions=expressions, digests=extras, orphans=orphans,
+            add_chunks=add_chunks, sub_chunks=sub_chunks,
+            pending_additions=pending_additions,
+            pending_removals=pending_removals,
+        )
         descriptors.append(descriptor)
     reader.expect_end()
 
     database = ServerDatabase(descriptors, bits, shard_count=shard_count,
                               index_backend=index_backend)
-    database._lists = restored
+    database._adopt_lists(restored)
     return database
 
 
 def load_server(path: str | Path, *, clock: "Clock | None" = None,
                 shard_count: int | None = None,
                 index_backend: str | None = None,
+                writable: bool = False,
                 **server_kwargs) -> "SafeBrowsingServer":
     """Build a ready-to-serve :class:`SafeBrowsingServer` from a snapshot.
 
-    Restores the database with :func:`load_server_database`, then wraps it
-    in a fresh server (request log and caches start empty — they are
-    volatile serving state, not durable content).  Extra keyword arguments
-    are forwarded to the server constructor (``poll_interval``,
+    Restores the database with :func:`load_server_database` (binary SBSNAP
+    blobs and SQLite storage files both work — the format is sniffed), then
+    wraps it in a fresh server (request log and caches start empty — they
+    are volatile serving state, not durable content).  Extra keyword
+    arguments are forwarded to the server constructor (``poll_interval``,
     ``max_log_entries``, ...).
     """
     from repro.safebrowsing.server import SafeBrowsingServer
 
     database = load_server_database(path, shard_count=shard_count,
-                                    index_backend=index_backend)
+                                    index_backend=index_backend,
+                                    writable=writable)
     descriptors = [list_db.descriptor for list_db in database]
     server = SafeBrowsingServer(
         descriptors, clock=clock, prefix_bits=database.prefix_bits,
@@ -686,6 +734,21 @@ def load_server(path: str | Path, *, clock: "Clock | None" = None,
 
 
 @dataclass(frozen=True, slots=True)
+class ListSummary:
+    """Per-list summary inside a :class:`SnapshotInfo`.
+
+    ``full_hashes`` and ``version`` are server-side notions; client
+    snapshots (which persist only prefixes and chunk ranges) report
+    ``None`` for both.
+    """
+
+    name: str
+    prefixes: int
+    full_hashes: int | None = None
+    version: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
 class SnapshotInfo:
     """Checked summary of a snapshot file (the CLI's ``snapshot load``).
 
@@ -693,8 +756,10 @@ class SnapshotInfo:
     ----------
     kind:
         ``"client"`` or ``"server"``.
+    container:
+        ``"binary"`` (SBSNAP blob) or ``"sqlite"`` (storage file).
     format_version:
-        The container format version (currently always 1).
+        The container format version.
     prefix_bits:
         Width of the stored prefixes.
     backend:
@@ -702,9 +767,10 @@ class SnapshotInfo:
     shard_count:
         Server-side shard count (1 for client snapshots).
     lists:
-        ``(list name, prefix count)`` per stored list.
+        One :class:`ListSummary` per stored list — name, prefix count,
+        and (server snapshots) full-hash count and mutation ``version``.
     payload_bytes:
-        Size of the checksummed payload.
+        Size of the checksummed payload (binary) or the file (sqlite).
     """
 
     kind: str
@@ -712,24 +778,49 @@ class SnapshotInfo:
     prefix_bits: int
     backend: str
     shard_count: int
-    lists: tuple[tuple[str, int], ...]
+    lists: tuple[ListSummary, ...]
     payload_bytes: int
+    container: str = "binary"
 
     @property
     def total_prefixes(self) -> int:
         """Prefixes across every stored list."""
-        return sum(count for _, count in self.lists)
+        return sum(summary.prefixes for summary in self.lists)
+
+    @property
+    def total_full_hashes(self) -> int | None:
+        """Full digests across every stored list (``None`` for clients)."""
+        if any(summary.full_hashes is None for summary in self.lists):
+            return None
+        return sum(summary.full_hashes for summary in self.lists)
 
 
 def inspect_snapshot(path: str | Path) -> SnapshotInfo:
     """Validate the snapshot at ``path`` and summarize its contents.
 
-    Runs the full container checks (magic, version, truncation, checksum)
-    and parses the payload far enough to count per-list prefixes, without
-    building any store, membership index or database — inspecting a large
-    snapshot costs one payload pass, not a restore.
+    Both containers are sniffed and summarized without building any store,
+    membership index or database: a binary snapshot costs one payload pass
+    (full magic/version/truncation/checksum checks included), a SQLite
+    storage file a handful of SQL aggregates.  Server summaries report the
+    per-list mutation ``version`` and full-hash count alongside the prefix
+    count, so ``snapshot load --summary`` can answer "what state is this
+    file?" without a restore.
     """
     path = Path(path)
+    if is_sqlite_file(path):
+        meta, rows = sqlite_storage_summary(path)
+        return SnapshotInfo(
+            kind="server",
+            format_version=int(meta.get("schema_version", 0)),
+            prefix_bits=int(meta["prefix_bits"]),
+            backend=meta["index_backend"],
+            shard_count=int(meta["shard_count"]),
+            lists=tuple(ListSummary(row["name"], row["prefixes"],
+                                    row["full_hashes"], row["version"])
+                        for row in rows),
+            payload_bytes=path.stat().st_size,
+            container="sqlite",
+        )
     data = _read_file(path)
     if len(data) < _HEADER.size:
         raise SnapshotError(
@@ -753,7 +844,7 @@ def inspect_snapshot(path: str | Path) -> SnapshotInfo:
                 reader.u32()
             encoding, section, bloom_state = _read_store(reader, bits)
             count = section.count if section is not None else bloom_state[2]  # type: ignore[index]
-            lists.append((name, count))
+            lists.append(ListSummary(name, count))
         reader.expect_end()
         return SnapshotInfo("client", FORMAT_VERSION, bits, backend, 1,
                             tuple(lists), len(payload))
@@ -765,11 +856,14 @@ def inspect_snapshot(path: str | Path) -> SnapshotInfo:
     lists = []
     for _ in range(reader.u32()):
         descriptor = _read_descriptor(reader)
-        reader.u64()  # version
+        version = reader.u64()
         # Per-list prefix count = distinct populated buckets + orphans,
-        # matching ListDatabase.prefix_count() on a restored database.
+        # matching ListDatabase.prefix_count() on a restored database;
+        # full-hash count = expressions + extra digests (the extras section
+        # excludes expression digests by construction).
         populated = set()
-        for _ in range(reader.u32()):
+        expression_count = reader.u32()
+        for _ in range(expression_count):
             expression = reader.string()
             populated.add(FullHash.of(expression).digest[:width])
         extra_count = reader.u32()
@@ -785,7 +879,9 @@ def inspect_snapshot(path: str | Path) -> SnapshotInfo:
                 reader.skip(reader.u32() * width)
         reader.skip(reader.u32() * width)  # pending additions
         reader.skip(reader.u32() * width)  # pending removals
-        lists.append((descriptor.name, len(populated) + orphan_count))
+        lists.append(ListSummary(descriptor.name,
+                                 len(populated) + orphan_count,
+                                 expression_count + extra_count, version))
     reader.expect_end()
     return SnapshotInfo("server", FORMAT_VERSION, bits, index_backend,
                         shard_count, tuple(lists), len(payload))

@@ -1,0 +1,780 @@
+"""Durable server storage: the layer under :class:`ServerDatabase`.
+
+Until this module existed, server state lived purely in Python dicts and the
+only persistence was the snapshot-everything binary blob of
+:mod:`repro.safebrowsing.snapshot` — workable at test scale, hopeless at the
+paper's Table 1 scale (hundreds of thousands to millions of prefixes per
+list), where re-serializing the whole state to move it between processes is
+the dominant cost.  This module splits the storage concern out behind a
+:class:`ServerStorage` interface, the way the Safe Browsing DNSBL-generator
+exemplar keeps its blocklists in SQLite while queries keep flowing:
+
+* the **working set** stays in memory — every
+  :class:`~repro.safebrowsing.database.ListDatabase` keeps its full-hash
+  buckets and its sharded membership index exactly as before, so lookups
+  never touch the durable layer;
+* **durability is a write-through journal**: each logical mutation the
+  database applies is also recorded with its storage
+  (:meth:`ServerStorage.record`), and :meth:`ServerStorage.flush` commits
+  the journal in one transaction — the cost of persisting is proportional
+  to *what changed*, never to the size of the database;
+* **loads rebuild the working set** from the durable tables
+  (:meth:`SQLiteServerStorage.load_database`): buckets, orphans, chunk
+  history, pending mutations and per-list versions are read back and the
+  membership indexes are reconstructed, optionally under a different shard
+  count or index backend (re-sharding on load is free, exactly as it is for
+  binary snapshots).
+
+Two backends are registered in :data:`STORAGE_KINDS`:
+
+``"memory"``
+    :class:`MemoryServerStorage` — the historical behaviour.  Recording is
+    a no-op (the dicts *are* the state); flushing commits nothing.  Servers
+    built this way persist through the binary snapshot path, unchanged.
+
+``"sqlite"``
+    :class:`SQLiteServerStorage` — chunks, expressions, full hashes,
+    orphans, pending mutations and per-list versions live in SQLite tables
+    (``path=None`` uses a private ``:memory:`` database, handy for
+    equivalence tests).  Readers attaching to the file — other processes,
+    the parallel fleet's workers — open it read-only and observe only
+    *committed* transactions: an in-flight ingestion batch is invisible
+    until its :meth:`~ServerStorage.flush`, which is the versioned-read
+    guarantee the live ingestion pipeline (:mod:`repro.safebrowsing.ingest`)
+    builds on.
+
+The property suite (``tests/property/test_prop_server_storage.py``) pins a
+database round-tripped through SQLite observationally identical to its
+memory-backed twin — membership, buckets, chunk history, versions — across
+index backends, shard counts and re-shard/re-backend loads, and pins fleet
+traffic signatures invariant under the server-storage choice on every
+transport.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.exceptions import StorageError
+from repro.hashing.digests import FullHash
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import Chunk, ChunkKind
+from repro.safebrowsing.lists import ListDescriptor, ListProvider, ThreatCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (database imports us)
+    from repro.safebrowsing.database import ListDatabase, ServerDatabase
+
+#: Storage kinds accepted by :func:`build_server_storage` (and by the
+#: ``--server-storage`` / ``--storage`` CLI options, kept in sync by a unit
+#: test).
+STORAGE_KINDS = ("memory", "sqlite")
+
+#: Schema version written to (and required from) every SQLite storage file.
+SQLITE_SCHEMA_VERSION = 1
+
+#: First bytes of every SQLite database file — the sniff that routes
+#: ``snapshot load`` / ``load_server`` between the binary snapshot parser
+#: and the SQLite storage backend.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Journal op codes (first element of every recorded op tuple).  The
+#: database's mutators build these tuples (:meth:`ListDatabase._record`);
+#: :meth:`SQLiteServerStorage.flush` applies them.
+OP_EXPR_ADD = "expr+"
+OP_EXPR_REMOVE = "expr-"
+OP_HASH_ADD = "hash+"
+OP_HASH_REMOVE = "hash-"
+OP_ORPHAN_ADD = "orphan+"
+OP_ORPHAN_REMOVE = "orphan-"
+OP_CHUNK = "chunk"
+OP_PENDING_ADD = "pend+"
+OP_PENDING_CLEAR = "pendclear"
+
+#: ``pending.kind`` column values.
+PENDING_ADDITION = 0
+PENDING_REMOVAL = 1
+
+#: ``chunks.kind`` column values.
+CHUNK_KIND_CODES = {ChunkKind.ADD: 0, ChunkKind.SUB: 1}
+CHUNK_KIND_BY_CODE = {code: kind for kind, code in CHUNK_KIND_CODES.items()}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS lists (
+    name               TEXT PRIMARY KEY,
+    position           INTEGER NOT NULL,
+    provider           TEXT NOT NULL,
+    category           TEXT NOT NULL,
+    description        TEXT NOT NULL,
+    paper_prefix_count INTEGER,
+    digest_format      TEXT NOT NULL,
+    version            INTEGER NOT NULL DEFAULT 0
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS expressions (
+    list_name  TEXT NOT NULL,
+    expression TEXT NOT NULL,
+    PRIMARY KEY (list_name, expression)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS full_hashes (
+    list_name TEXT NOT NULL,
+    prefix    BLOB NOT NULL,
+    digest    BLOB NOT NULL,
+    PRIMARY KEY (list_name, digest)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS full_hashes_by_prefix
+    ON full_hashes (list_name, prefix);
+CREATE TABLE IF NOT EXISTS orphans (
+    list_name TEXT NOT NULL,
+    prefix    BLOB NOT NULL,
+    PRIMARY KEY (list_name, prefix)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS chunks (
+    list_name      TEXT NOT NULL,
+    kind           INTEGER NOT NULL,
+    number         INTEGER NOT NULL,
+    referenced_add INTEGER NOT NULL,
+    prefixes       BLOB NOT NULL,
+    PRIMARY KEY (list_name, kind, number)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS pending (
+    list_name TEXT NOT NULL,
+    kind      INTEGER NOT NULL,
+    position  INTEGER NOT NULL,
+    prefix    BLOB NOT NULL,
+    PRIMARY KEY (list_name, kind, position)
+) WITHOUT ROWID;
+"""
+
+
+def _pack_prefixes(prefixes: Iterable[Prefix]) -> bytes:
+    return b"".join(prefix.value for prefix in prefixes)
+
+
+def _unpack_prefixes(blob: bytes, bits: int) -> tuple[Prefix, ...]:
+    width = bits // 8
+    if len(blob) % width:
+        raise StorageError(
+            f"corrupt prefix blob: {len(blob)} bytes is not a multiple of "
+            f"the {width}-byte prefix width"
+        )
+    return tuple(Prefix(blob[offset:offset + width], bits)
+                 for offset in range(0, len(blob), width))
+
+
+class ServerStorage:
+    """Interface between a :class:`ServerDatabase` and its durable layer.
+
+    A storage object is bound to exactly one database
+    (:meth:`bind`, called by the database constructor).  The database
+    write-throughs every logical mutation via :meth:`record`; the storage
+    owns *when* those records become durable (:meth:`flush`).  Queries
+    never come here — the database answers them from its in-memory working
+    set, which is why lookup latency stays flat while a flush runs.
+    """
+
+    #: Registry name of the backend (``"memory"`` / ``"sqlite"``).
+    kind: str = "abstract"
+
+    #: Durable location, or ``None`` when there is none (memory backend,
+    #: ``:memory:`` SQLite databases).
+    path: Path | None = None
+
+    #: Read-only attachments serve loads and drop records; flushing through
+    #: one raises :class:`StorageError`.
+    readonly: bool = False
+
+    def bind(self, database: "ServerDatabase") -> None:
+        """Adopt ``database`` as the owner of this storage."""
+        raise NotImplementedError
+
+    def record(self, list_name: str, op: tuple) -> None:
+        """Journal one logical mutation of ``list_name``."""
+        raise NotImplementedError
+
+    def flush(self) -> int:
+        """Commit the journalled mutations durably; returns ops committed.
+
+        The cost is proportional to the journal length — O(changed), never
+        O(database).  A flush with an empty journal is free and returns 0.
+        """
+        raise NotImplementedError
+
+    def pending_ops(self) -> int:
+        """Journalled mutations not yet flushed."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+
+class MemoryServerStorage(ServerStorage):
+    """The no-op storage of a purely in-memory server (the historical mode).
+
+    The database's dicts are the only copy of the state; persistence, when
+    wanted, goes through the binary snapshot path exactly as before this
+    layer existed.
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._database: "ServerDatabase | None" = None
+
+    def bind(self, database: "ServerDatabase") -> None:
+        self._database = database
+
+    def record(self, list_name: str, op: tuple) -> None:
+        pass
+
+    def flush(self) -> int:
+        return 0
+
+    def pending_ops(self) -> int:
+        return 0
+
+
+class SQLiteServerStorage(ServerStorage):
+    """SQLite-backed durability for a :class:`ServerDatabase`.
+
+    Parameters
+    ----------
+    path:
+        Database file.  ``None`` opens a private ``:memory:`` database —
+        the full SQL path with no file management, which is what the
+        storage-equivalence property tests (and monolithic fleet runs with
+        ``server_storage="sqlite"``) use.
+    readonly:
+        Open an existing file read-only (URI ``mode=ro``).  A read-only
+        attachment is a *load-time* affair — the parallel fleet's workers
+        use it to rebuild replicas from the parent's committed state —
+        so :meth:`record` drops ops and :meth:`flush` raises.
+    """
+
+    kind = "sqlite"
+
+    def __init__(self, path: str | Path | None = None, *,
+                 readonly: bool = False) -> None:
+        self.path = Path(path) if path is not None else None
+        self.readonly = readonly
+        self._database: "ServerDatabase | None" = None
+        self._journal: list[tuple[str, tuple]] = []
+        self._loading = False
+        if readonly and self.path is None:
+            raise StorageError("a read-only SQLite storage needs a file path")
+        try:
+            if self.path is None:
+                self._connection = sqlite3.connect(":memory:")
+            elif readonly:
+                self._connection = sqlite3.connect(
+                    f"file:{self.path}?mode=ro", uri=True)
+            else:
+                self._connection = sqlite3.connect(self.path)
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"cannot open SQLite storage at {path}: {exc}") from exc
+        if not readonly:
+            try:
+                with self._connection:
+                    self._connection.executescript(_SCHEMA)
+            except sqlite3.Error as exc:
+                self._connection.close()
+                raise StorageError(
+                    f"cannot initialize SQLite storage at {path}: {exc}"
+                ) from exc
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(self, database: "ServerDatabase") -> None:
+        """Adopt ``database``: initialize metadata or verify it matches.
+
+        Binding a *fresh* database onto an empty file writes the metadata
+        and list rows.  Binding onto a file that already holds list content
+        is rejected (load it with :meth:`load_database` instead — adopting
+        it silently would shadow the stored state with an empty working
+        set).  :meth:`load_database` binds the database it builds itself.
+        """
+        self._database = database
+        if self._loading or self.readonly:
+            return
+        stored = dict(self._connection.execute(
+            "SELECT key, value FROM meta"))
+        if stored:
+            raise StorageError(
+                f"SQLite storage at {self.path or ':memory:'} already holds "
+                f"a server database ({stored.get('prefix_bits', '?')}-bit "
+                "prefixes); open it with load_server / "
+                "SQLiteServerStorage.load_database instead of binding a "
+                "fresh database over it"
+            )
+        with self._connection:
+            self._connection.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                [("schema_version", str(SQLITE_SCHEMA_VERSION)),
+                 ("prefix_bits", str(database.prefix_bits)),
+                 ("shard_count", str(database.shard_count)),
+                 ("index_backend", database.index_backend)],
+            )
+            self._connection.executemany(
+                "INSERT INTO lists (name, position, provider, category, "
+                "description, paper_prefix_count, digest_format, version) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [self._list_row(position, list_db.descriptor, list_db.version)
+                 for position, list_db in enumerate(database)],
+            )
+
+    @staticmethod
+    def _list_row(position: int, descriptor: ListDescriptor,
+                  version: int) -> tuple:
+        return (descriptor.name, position, descriptor.provider.value,
+                descriptor.category.value, descriptor.description,
+                descriptor.paper_prefix_count, descriptor.digest_format,
+                version)
+
+    # -- the write-through journal ---------------------------------------------
+
+    def record(self, list_name: str, op: tuple) -> None:
+        if self.readonly:
+            return
+        self._journal.append((list_name, op))
+
+    def pending_ops(self) -> int:
+        return len(self._journal)
+
+    def flush(self) -> int:
+        """Apply the journal in one transaction; returns ops committed.
+
+        Until this returns, a reader attached to the file sees the previous
+        committed state — SQLite's transactionality is what makes the
+        ingestion pipeline's reads versioned rather than torn.
+        """
+        if self.readonly:
+            raise StorageError(
+                f"SQLite storage at {self.path} is attached read-only; "
+                "it cannot flush mutations"
+            )
+        journal = self._coalesce(self._journal)
+        if not journal:
+            self._journal.clear()
+            return 0
+        try:
+            with self._connection:
+                for list_name, op in journal:
+                    self._apply(list_name, op)
+                if self._database is not None:
+                    dirty = {list_name for list_name, _ in journal}
+                    self._connection.executemany(
+                        "UPDATE lists SET version = ? WHERE name = ?",
+                        [(self._database[name].version, name)
+                         for name in sorted(dirty)],
+                    )
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"cannot flush {len(journal)} mutations to SQLite storage "
+                f"at {self.path or ':memory:'}: {exc}"
+            ) from exc
+        applied = len(journal)
+        self._journal.clear()
+        return applied
+
+    @staticmethod
+    def _coalesce(journal: list[tuple[str, tuple]]) -> list[tuple[str, tuple]]:
+        """Drop pending-queue inserts that a later clear in the same journal
+        erases anyway — the common shape of an ingestion batch (every add
+        pends a prefix, the batch-ending commit clears the queue into a
+        chunk), which would otherwise write then delete one row per
+        mutation."""
+        cleared: set[tuple[str, int]] = {
+            (list_name, op[1]) for list_name, op in journal
+            if op[0] == OP_PENDING_CLEAR
+        }
+        if not cleared:
+            return journal
+        kept = []
+        seen_clear: set[tuple[str, int]] = set()
+        for list_name, op in reversed(journal):
+            if op[0] == OP_PENDING_CLEAR:
+                seen_clear.add((list_name, op[1]))
+            elif (op[0] == OP_PENDING_ADD
+                    and (list_name, op[1]) in seen_clear):
+                continue
+            kept.append((list_name, op))
+        kept.reverse()
+        return kept
+
+    def _apply(self, list_name: str, op: tuple) -> None:
+        code = op[0]
+        execute = self._connection.execute
+        if code == OP_HASH_ADD:
+            execute("INSERT OR REPLACE INTO full_hashes "
+                    "(list_name, prefix, digest) VALUES (?, ?, ?)",
+                    (list_name, op[1], op[2]))
+        elif code == OP_HASH_REMOVE:
+            execute("DELETE FROM full_hashes WHERE list_name = ? "
+                    "AND digest = ?", (list_name, op[1]))
+        elif code == OP_EXPR_ADD:
+            execute("INSERT OR IGNORE INTO expressions "
+                    "(list_name, expression) VALUES (?, ?)",
+                    (list_name, op[1]))
+        elif code == OP_EXPR_REMOVE:
+            execute("DELETE FROM expressions WHERE list_name = ? "
+                    "AND expression = ?", (list_name, op[1]))
+        elif code == OP_ORPHAN_ADD:
+            execute("INSERT OR IGNORE INTO orphans (list_name, prefix) "
+                    "VALUES (?, ?)", (list_name, op[1]))
+        elif code == OP_ORPHAN_REMOVE:
+            execute("DELETE FROM orphans WHERE list_name = ? AND prefix = ?",
+                    (list_name, op[1]))
+        elif code == OP_PENDING_ADD:
+            execute("INSERT INTO pending (list_name, kind, position, prefix) "
+                    "VALUES (?, ?, 1 + COALESCE((SELECT MAX(position) "
+                    "FROM pending WHERE list_name = ? AND kind = ?), 0), ?)",
+                    (list_name, op[1], list_name, op[1], op[2]))
+        elif code == OP_PENDING_CLEAR:
+            execute("DELETE FROM pending WHERE list_name = ? AND kind = ?",
+                    (list_name, op[1]))
+        elif code == OP_CHUNK:
+            execute("INSERT OR REPLACE INTO chunks "
+                    "(list_name, kind, number, referenced_add, prefixes) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (list_name, op[1], op[2], op[3], op[4]))
+        else:  # pragma: no cover - op codes are module-internal
+            raise StorageError(f"unknown storage op code {code!r}")
+
+    # -- loading ---------------------------------------------------------------
+
+    def load_database(self, *, shard_count: int | None = None,
+                      index_backend: str | None = None) -> "ServerDatabase":
+        """Rebuild a :class:`ServerDatabase` from the stored tables.
+
+        ``shard_count`` / ``index_backend`` override the stored membership
+        index layout (the indexes are rebuilt from the tables either way);
+        content — buckets, orphans, chunk history, pending mutations,
+        versions — is observationally identical to the database that wrote
+        the file, which the property suite pins.  The returned database
+        keeps *this* storage attached: read-write attachments continue to
+        persist future mutations, read-only ones serve a load and then drop
+        records.
+        """
+        from repro.safebrowsing.database import ServerDatabase
+
+        meta = dict(self._connection.execute("SELECT key, value FROM meta"))
+        if not meta:
+            raise StorageError(
+                f"SQLite storage at {self.path or ':memory:'} holds no "
+                "server database (empty meta table)"
+            )
+        stored_version = int(meta.get("schema_version", "0"))
+        if stored_version != SQLITE_SCHEMA_VERSION:
+            raise StorageError(
+                f"SQLite storage at {self.path} uses schema version "
+                f"{stored_version}; this build reads version "
+                f"{SQLITE_SCHEMA_VERSION}"
+            )
+        bits = int(meta["prefix_bits"])
+        shard_count = (int(meta["shard_count"]) if shard_count is None
+                       else shard_count)
+        index_backend = (meta["index_backend"] if index_backend is None
+                         else index_backend)
+
+        lists: dict[str, "ListDatabase"] = {}
+        rows = self._connection.execute(
+            "SELECT name, provider, category, description, "
+            "paper_prefix_count, digest_format, version FROM lists "
+            "ORDER BY position").fetchall()
+        for (name, provider, category, description, paper_count,
+             digest_format, version) in rows:
+            try:
+                descriptor = ListDescriptor(
+                    name, ListProvider(provider), ThreatCategory(category),
+                    description, paper_count, digest_format)
+            except ValueError as exc:
+                raise StorageError(
+                    f"SQLite storage names an unknown provider or category: "
+                    f"{exc}") from exc
+            expressions = [expression for (expression,)
+                           in self._connection.execute(
+                               "SELECT expression FROM expressions "
+                               "WHERE list_name = ?", (name,))]
+            digests = [digest for (digest,) in self._connection.execute(
+                "SELECT digest FROM full_hashes WHERE list_name = ?",
+                (name,))]
+            orphans = [Prefix(prefix, bits) for (prefix,)
+                       in self._connection.execute(
+                           "SELECT prefix FROM orphans WHERE list_name = ?",
+                           (name,))]
+            add_chunks = self._load_chunks(name, ChunkKind.ADD, bits)
+            sub_chunks = self._load_chunks(name, ChunkKind.SUB, bits)
+            pending_additions = self._load_pending(name, PENDING_ADDITION,
+                                                   bits)
+            pending_removals = self._load_pending(name, PENDING_REMOVAL,
+                                                  bits)
+            lists[name] = materialize_list_database(
+                descriptor, bits, shard_count=shard_count,
+                index_backend=index_backend, version=version,
+                expressions=expressions, digests=digests, orphans=orphans,
+                add_chunks=add_chunks, sub_chunks=sub_chunks,
+                pending_additions=pending_additions,
+                pending_removals=pending_removals,
+            )
+
+        self._loading = True
+        try:
+            database = ServerDatabase(
+                [list_db.descriptor for list_db in lists.values()], bits,
+                shard_count=shard_count, index_backend=index_backend,
+                storage=self,
+            )
+        finally:
+            self._loading = False
+        database._adopt_lists(lists)
+        return database
+
+    def _load_chunks(self, list_name: str, kind: ChunkKind,
+                     bits: int) -> list[Chunk]:
+        rows = self._connection.execute(
+            "SELECT number, referenced_add, prefixes FROM chunks "
+            "WHERE list_name = ? AND kind = ? ORDER BY number",
+            (list_name, CHUNK_KIND_CODES[kind]))
+        return [Chunk(number=number, kind=kind,
+                      prefixes=_unpack_prefixes(blob, bits),
+                      referenced_add_chunk=referenced or None)
+                for number, referenced, blob in rows]
+
+    def _load_pending(self, list_name: str, kind: int,
+                      bits: int) -> list[Prefix]:
+        rows = self._connection.execute(
+            "SELECT prefix FROM pending WHERE list_name = ? AND kind = ? "
+            "ORDER BY position", (list_name, kind))
+        return [Prefix(value, bits) for (value,) in rows]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def backup_to(self, path: str | Path) -> Path:
+        """Copy the committed state to a new SQLite file at ``path``."""
+        path = Path(path)
+        try:
+            target = sqlite3.connect(path)
+            try:
+                with target:
+                    self._connection.backup(target)
+            finally:
+                target.close()
+        except sqlite3.Error as exc:
+            raise StorageError(
+                f"cannot back up SQLite storage to {path}: {exc}") from exc
+        return path
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except sqlite3.Error:  # pragma: no cover - close never fails in CPython
+            pass
+
+
+def build_server_storage(spec: "str | ServerStorage",
+                         path: str | Path | None = None) -> ServerStorage:
+    """Resolve a storage spec (a kind name or an instance) to an instance.
+
+    ``path`` only makes sense for file-backed kinds; passing one with
+    ``"memory"`` (or with an already-built instance) is an error rather
+    than a silently ignored option.
+    """
+    if isinstance(spec, ServerStorage):
+        if path is not None:
+            raise StorageError(
+                "storage_path cannot be combined with an already-built "
+                "ServerStorage instance")
+        return spec
+    if spec == "memory":
+        if path is not None:
+            raise StorageError(
+                "the memory storage backend does not take a storage_path; "
+                "use storage='sqlite' for a file-backed database")
+        return MemoryServerStorage()
+    if spec == "sqlite":
+        return SQLiteServerStorage(path)
+    raise StorageError(
+        f"unknown server storage kind {spec!r}; expected one of "
+        f"{STORAGE_KINDS}")
+
+
+def is_sqlite_file(path: str | Path) -> bool:
+    """Whether ``path`` starts with the SQLite file magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def load_sqlite_server_database(path: str | Path, *,
+                                shard_count: int | None = None,
+                                index_backend: str | None = None,
+                                writable: bool = False) -> "ServerDatabase":
+    """Open the SQLite storage at ``path`` and rebuild its database.
+
+    By default the file is attached *read-only* — the parallel fleet's
+    workers all load the one committed file concurrently this way, instead
+    of each restoring a full binary snapshot — and once the working set is
+    rebuilt the connection is closed and the database detaches to a
+    :class:`MemoryServerStorage`: the result is a live in-memory *replica*
+    of the committed state, holding no file handle across forks, whose
+    further mutations stay local.  ``writable=True`` attaches read-write
+    instead, so the returned database keeps persisting its mutations to
+    the same file (the resume-a-provider path).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no SQLite storage at {path}")
+    if not is_sqlite_file(path):
+        raise StorageError(f"{path} is not a SQLite storage file")
+    storage = SQLiteServerStorage(path, readonly=not writable)
+    try:
+        database = storage.load_database(shard_count=shard_count,
+                                         index_backend=index_backend)
+    except StorageError:
+        storage.close()
+        raise
+    if not writable:
+        storage.close()
+        replica = MemoryServerStorage()
+        database.storage = replica
+        replica.bind(database)
+        for list_db in database:
+            list_db.attach_storage(replica)
+    return database
+
+
+def dump_database_to_sqlite(database: "ServerDatabase",
+                            path: str | Path) -> Path:
+    """Export the full state of ``database`` into a new SQLite file.
+
+    The escape hatch for a *memory*-backed database (a SQLite-backed one
+    persists incrementally and only needs a flush): the whole state is
+    journalled as storage ops and flushed in one transaction, so the
+    resulting file is indistinguishable from one written by a SQLite-backed
+    twin that committed the same content.  An existing file at ``path`` is
+    replaced, matching binary-snapshot save semantics.
+    """
+    path = Path(path)
+    if path.exists():
+        if database.storage.kind == "sqlite" and database.storage.path == path:
+            raise StorageError(
+                f"{path} is the live storage of this database; "
+                "commit/flush it instead of dumping over it")
+        path.unlink()
+    storage = SQLiteServerStorage(path)
+    try:
+        storage.bind(database)
+        for list_db in database:
+            name = list_db.descriptor.name
+            for expression in list_db.expressions():
+                storage.record(name, (OP_EXPR_ADD, expression))
+            for prefix in sorted(list_db._full_hashes,
+                                 key=lambda p: p.value):
+                for full_hash in sorted(list_db._full_hashes[prefix],
+                                        key=lambda fh: fh.digest):
+                    storage.record(name, (OP_HASH_ADD, prefix.value,
+                                          full_hash.digest))
+            for prefix in sorted(list_db._orphans, key=lambda p: p.value):
+                storage.record(name, (OP_ORPHAN_ADD, prefix.value))
+            for chunk in (*list_db.add_chunks, *list_db.sub_chunks):
+                storage.record(name, (OP_CHUNK, CHUNK_KIND_CODES[chunk.kind],
+                                      chunk.number,
+                                      chunk.referenced_add_chunk or 0,
+                                      _pack_prefixes(chunk.prefixes)))
+            for prefix in list_db._pending_additions:
+                storage.record(name, (OP_PENDING_ADD, PENDING_ADDITION,
+                                      prefix.value))
+            for prefix in list_db._pending_removals:
+                storage.record(name, (OP_PENDING_ADD, PENDING_REMOVAL,
+                                      prefix.value))
+        storage.flush()
+    finally:
+        storage.close()
+    return path
+
+
+def sqlite_storage_summary(path: str | Path) -> tuple[dict, list[dict]]:
+    """Summarize a SQLite storage file without materializing a database.
+
+    Returns ``(meta, lists)``: the raw ``meta`` table as a dict, and one
+    dict per stored list — ``name``, ``version``, ``prefixes`` (distinct
+    populated buckets + orphans, matching
+    :meth:`ListDatabase.prefix_count`), and ``full_hashes``.  All counting
+    runs as SQL aggregates; inspecting a paper-scale file costs index
+    scans, not a restore.
+    """
+    storage = SQLiteServerStorage(path, readonly=True)
+    try:
+        meta = dict(storage._connection.execute(
+            "SELECT key, value FROM meta"))
+        if not meta:
+            raise StorageError(
+                f"SQLite storage at {path} holds no server database "
+                "(empty meta table)")
+        rows = storage._connection.execute(
+            "SELECT l.name, l.version, "
+            "  (SELECT COUNT(DISTINCT f.prefix) FROM full_hashes f "
+            "     WHERE f.list_name = l.name) "
+            "  + (SELECT COUNT(*) FROM orphans o "
+            "       WHERE o.list_name = l.name), "
+            "  (SELECT COUNT(*) FROM full_hashes f "
+            "     WHERE f.list_name = l.name) "
+            "FROM lists l ORDER BY l.position").fetchall()
+    finally:
+        storage.close()
+    return meta, [
+        {"name": name, "version": version, "prefixes": prefixes,
+         "full_hashes": full_hashes}
+        for name, version, prefixes, full_hashes in rows
+    ]
+
+
+def materialize_list_database(
+        descriptor: ListDescriptor, bits: int, *, shard_count: int,
+        index_backend: str, version: int,
+        expressions: Sequence[str] | Mapping[str, FullHash],
+        digests: Iterable[bytes], orphans: Iterable[Prefix],
+        add_chunks: Sequence[Chunk], sub_chunks: Sequence[Chunk],
+        pending_additions: Sequence[Prefix],
+        pending_removals: Sequence[Prefix]) -> "ListDatabase":
+    """Build one :class:`ListDatabase` from durable state.
+
+    The shared rebuild path of the SQLite loader and the binary snapshot
+    loader: full-hash buckets are regrouped from the digest list, the
+    expression map is re-derived (an expression's digest is a pure function
+    of the expression), and the sharded membership index is reconstructed
+    from populated-or-orphan prefixes under the requested layout.
+    """
+    from repro.safebrowsing.database import ListDatabase
+
+    list_db = ListDatabase(descriptor, bits, shard_count=shard_count,
+                           index_backend=index_backend)
+    known = {expression: FullHash.of(expression)
+             for expression in expressions}
+    list_db._expressions.update(known)
+    seen = set()
+    for full_hash in known.values():
+        seen.add(full_hash.digest)
+        list_db._full_hashes[full_hash.prefix(bits)].add(full_hash)
+    for digest in digests:
+        if digest not in seen:
+            full_hash = FullHash(digest)
+            list_db._full_hashes[full_hash.prefix(bits)].add(full_hash)
+    list_db._orphans = set(orphans)
+    list_db._add_chunks = list(add_chunks)
+    list_db._sub_chunks = list(sub_chunks)
+    list_db._pending_additions = list(pending_additions)
+    list_db._pending_removals = list(pending_removals)
+    populated = {prefix for prefix, bucket in list_db._full_hashes.items()
+                 if bucket}
+    list_db._prefix_index.update(populated | list_db._orphans)
+    list_db.version = version
+    return list_db

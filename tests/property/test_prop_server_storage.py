@@ -1,0 +1,205 @@
+"""Property tests: the storage backend is observationally invisible.
+
+The durable-server contract, pinned two ways:
+
+* **database equivalence** — a server built over SQLite storage answers
+  exactly like its memory-backed twin (membership, single and batched;
+  buckets; chunk history; versions) for every registered index backend and
+  shard counts {1, 16}; and a database *reloaded* from its SQLite file —
+  including under a different shard count or index backend — matches the
+  database that wrote it.  This mirrors ``test_prop_snapshot.py``, which
+  pins the same property for the binary container;
+* **fleet signatures** — a fleet's traffic signature (prefixes revealed,
+  local hits, verdicts) does not depend on the server's storage backend, on
+  either transport, with or without churn: durability decides what a
+  restart or a worker handoff *costs*, never what the protocol reveals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.datastructures import STORE_FACTORIES
+from repro.datastructures.vectorized import NUMPY_AVAILABLE
+from repro.experiments.fleet import FleetConfig, run_fleet
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.client import SafeBrowsingClient
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.safebrowsing.storage import load_sqlite_server_database
+
+from tests.property.test_prop_snapshot import TINY_CHURN, _CHURN
+
+BACKENDS = sorted(STORE_FACTORIES)
+SHARD_COUNTS = (1, 16)
+TRANSPORTS = ("in-process", "simulated")
+
+EXPRESSIONS = (
+    "evil.example.com/malware/dropper.exe",
+    "evil.example.com/",
+    "phishy.example.net/login.html",
+    "bad.actor.org/payload/",
+    "tracker.example.org/pixel.gif",
+)
+
+
+def _build_server(shard_count: int, index_backend: str, *,
+                  storage: str = "memory", storage_path=None,
+                  with_subs: bool = True) -> SafeBrowsingServer:
+    server = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock(),
+                                shard_count=shard_count,
+                                index_backend=index_backend,
+                                storage=storage, storage_path=storage_path)
+    server.blacklist("goog-malware-shavar", EXPRESSIONS[:3])
+    server.blacklist("googpub-phish-shavar", EXPRESSIONS[3:])
+    if with_subs:
+        # Creates a sub chunk; skipped for Bloom-backed stores, which cannot
+        # delete (the documented reason Chromium abandoned the structure).
+        server.unblacklist("goog-malware-shavar", [EXPRESSIONS[1]])
+    server.insert_orphan_prefixes(
+        "goog-malware-shavar",
+        [Prefix.from_int(value, 32) for value in (0xDEADBEEF, 0x00C0FFEE)],
+    )
+    # Leave one mutation pending (uncommitted) so that state round-trips too.
+    server.database["goog-malware-shavar"].add_expression("pending.example/x")
+    return server
+
+
+def _assert_databases_identical(reference, candidate, *, backend: str) -> None:
+    assert candidate.version == reference.version
+    probes = [Prefix.from_int(value, 32)
+              for value in (0, 1, 0xDEADBEEF, 0x00C0FFEE, 2**32 - 1)]
+    for list_db in reference:
+        copy = candidate[list_db.descriptor.name]
+        assert copy.descriptor == list_db.descriptor
+        assert copy.version == list_db.version
+        assert copy.expressions() == list_db.expressions()
+        assert copy.prefix_count() == list_db.prefix_count()
+        assert sorted(copy.orphan_prefixes()) == sorted(
+            list_db.orphan_prefixes())
+        assert copy.add_chunks == list_db.add_chunks
+        assert copy.sub_chunks == list_db.sub_chunks
+        members = sorted(list_db.prefixes())
+        for prefix in members:
+            assert copy.contains_prefix(prefix) == list_db.contains_prefix(prefix)
+            assert copy.full_hashes_for(prefix) == list_db.full_hashes_for(prefix)
+        batch = members + probes
+        # Exact backends must agree batch-for-batch; the Bloom backend keeps
+        # its one-sided error, so spurious bits may only ever be *added*.
+        if backend != "bloom":
+            assert copy.contains_many(batch) == list_db.contains_many(batch)
+        else:
+            true_mask = sum(1 << position
+                            for position, prefix in enumerate(batch)
+                            if prefix in set(members))
+            assert copy.contains_many(batch) & true_mask == true_mask
+
+
+class TestStorageBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    def test_sqlite_backed_server_matches_memory_twin(
+            self, backend, shard_count):
+        """Same mutations through both storages: identical observables."""
+        with_subs = backend != "bloom"
+        memory = _build_server(shard_count, backend, with_subs=with_subs)
+        sqlite = _build_server(shard_count, backend, storage="sqlite",
+                               with_subs=with_subs)
+        _assert_databases_identical(memory.database, sqlite.database,
+                                    backend=backend)
+        sqlite.database.storage.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+    def test_reloaded_database_matches_the_writer(self, backend, shard_count,
+                                                  tmp_path):
+        with_subs = backend != "bloom"
+        server = _build_server(shard_count, backend, storage="sqlite",
+                               storage_path=tmp_path / "server.sqlite",
+                               with_subs=with_subs)
+        server.database.commit()
+        server.database.storage.close()
+        restored = load_sqlite_server_database(tmp_path / "server.sqlite")
+        assert restored.shard_count == shard_count
+        assert restored.index_backend == backend
+        _assert_databases_identical(server.database, restored,
+                                    backend=backend)
+
+    @pytest.mark.parametrize("backend", [name for name in BACKENDS
+                                         if name != "bloom"])
+    def test_reshard_and_rebackend_on_load_keep_membership(self, backend,
+                                                           tmp_path):
+        server = _build_server(16, backend, storage="sqlite",
+                               storage_path=tmp_path / "server.sqlite")
+        server.database.commit()
+        server.database.storage.close()
+        for shard_count in SHARD_COUNTS:
+            restored = load_sqlite_server_database(
+                tmp_path / "server.sqlite", shard_count=shard_count,
+                index_backend="raw")
+            assert restored.shard_count == shard_count
+            assert restored.index_backend == "raw"
+            for list_db in server.database:
+                copy = restored[list_db.descriptor.name]
+                members = sorted(list_db.prefixes())
+                assert copy.contains_many(members) == list_db.contains_many(members)
+
+    def test_replica_serves_full_hash_requests_identically(self, tmp_path):
+        """A worker's read-only replica is protocol-indistinguishable."""
+        server = _build_server(16, "sorted-array", storage="sqlite",
+                               storage_path=tmp_path / "server.sqlite")
+        server.database.commit()
+        replica_db = load_sqlite_server_database(tmp_path / "server.sqlite")
+        replica = SafeBrowsingServer(
+            [list_db.descriptor for list_db in replica_db],
+            clock=ManualClock())
+        replica.database = replica_db
+        client_a = SafeBrowsingClient(server, name="orig")
+        client_b = SafeBrowsingClient(replica, name="copy")
+        client_a.update()
+        client_b.update()
+        for expression in EXPRESSIONS + ("pending.example/x", "fine.example/"):
+            url = f"http://{expression}"
+            result_a = client_a.lookup(url)
+            result_b = client_b.lookup(url)
+            assert result_a.verdict == result_b.verdict, expression
+            assert result_a.sent_prefixes == result_b.sent_prefixes, expression
+        server.database.storage.close()
+
+
+@pytest.mark.skipif(not NUMPY_AVAILABLE,
+                    reason="the fleet simulation is numpy-backed")
+class TestFleetSignaturesAcrossStorage:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_signature_is_storage_invariant_on_every_transport(
+            self, transport):
+        reports = [
+            run_fleet(TINY_CHURN, FleetConfig(transport=transport,
+                                              server_storage=storage))
+            for storage in ("memory", "sqlite")
+        ]
+        assert reports[0].traffic_signature() == reports[1].traffic_signature()
+        assert reports[0].urls_checked == reports[1].urls_checked > 0
+
+    def test_signature_is_storage_invariant_under_churn(self):
+        memory = run_fleet(TINY_CHURN, FleetConfig(**_CHURN,
+                                                   server_storage="memory"))
+        sqlite = run_fleet(TINY_CHURN, FleetConfig(**_CHURN,
+                                                   server_storage="sqlite"))
+        assert memory.traffic_signature() == sqlite.traffic_signature()
+        assert memory.client_restarts == sqlite.client_restarts > 0
+
+    def test_parallel_sqlite_handoff_matches_monolithic(self):
+        """Workers attaching the SQLite file read-only reproduce the
+        monolithic run's signature exactly (the snapshot-restore retirement
+        criterion)."""
+        from repro.experiments.parallel import run_parallel_fleet
+
+        config = FleetConfig(mode="batched", server_cache_seconds=0,
+                             server_storage="sqlite")
+        monolithic = run_fleet(TINY_CHURN, config)
+        parallel = run_parallel_fleet(TINY_CHURN, config, workers=2,
+                                      inline=True)
+        assert monolithic.traffic_signature() == parallel.traffic_signature()
+        assert monolithic.urls_checked == parallel.urls_checked

@@ -263,6 +263,40 @@ class TestParser:
     def test_fleet_parallel_experiment_registered(self):
         assert "fleet-parallel" in _EXPERIMENTS
 
+    def test_server_storage_choices_mirror_storage_registry(self):
+        from repro.cli import _SERVER_STORAGE_KINDS
+        from repro.safebrowsing.storage import STORAGE_KINDS
+
+        assert sorted(_SERVER_STORAGE_KINDS) == sorted(STORAGE_KINDS)
+
+    def test_fleet_rejects_unknown_server_storage_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--server-storage", "redis"])
+
+    def test_fleet_server_storage_reaches_the_config(self):
+        from unittest import mock
+
+        from repro.experiments import fleet as fleet_module
+
+        captured = {}
+
+        def fake_run_fleet(scale, config):
+            captured["config"] = config
+            raise SystemExit(0)
+
+        with mock.patch.object(fleet_module, "run_fleet", fake_run_fleet):
+            with pytest.raises(SystemExit):
+                main(["fleet", "--mode", "batched",
+                      "--server-storage", "sqlite"])
+        assert captured["config"].server_storage == "sqlite"
+
+    def test_fleet_server_storage_defaults_to_memory(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.server_storage is None
+
+    def test_ingestion_experiment_registered(self):
+        assert "ingestion" in _EXPERIMENTS
+
 
 class TestCommands:
     def test_canonicalize(self, capsys):
@@ -303,6 +337,33 @@ class TestCommands:
         assert "Raab-Steger" in capsys.readouterr().out
 
 
+class TestIngestCommand:
+    def test_ingest_runs_and_verifies(self, capsys, tmp_path):
+        path = tmp_path / "ingest.sqlite"
+        code = main(["ingest", "--path", str(path), "--initial", "120",
+                     "--live", "80", "--batch-size", "40", "--clients", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Live ingestion" in output
+        assert "converged" in output and "NO" not in output
+        assert path.exists()
+
+    def test_ingest_memory_storage(self, capsys):
+        assert main(["ingest", "--storage", "memory", "--initial", "60",
+                     "--live", "40", "--batch-size", "20",
+                     "--clients", "1"]) == 0
+        assert "memory storage" in capsys.readouterr().out
+
+    def test_ingest_path_requires_sqlite_storage(self, capsys, tmp_path):
+        assert main(["ingest", "--storage", "memory",
+                     "--path", str(tmp_path / "x.sqlite")]) == 2
+        assert "--storage sqlite" in capsys.readouterr().err
+
+    def test_ingest_rejects_unknown_storage_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--storage", "redis"])
+
+
 class TestSnapshotCommand:
     def test_snapshot_requires_a_subcommand(self):
         with pytest.raises(SystemExit):
@@ -332,6 +393,31 @@ class TestSnapshotCommand:
         path.write_bytes(bytes(data))
         assert main(["snapshot", "load", str(path)]) == 2
         assert "checksum" in capsys.readouterr().err
+
+    @needs_numpy
+    def test_save_sqlite_then_load_summary(self, capsys, tmp_path):
+        path = tmp_path / "google.sqlite"
+        assert main(["snapshot", "save", str(path),
+                     "--storage", "sqlite"]) == 0
+        saved = capsys.readouterr().out
+        assert "sqlite container" in saved
+
+        assert main(["snapshot", "load", str(path), "--summary"]) == 0
+        loaded = capsys.readouterr().out
+        assert "container       : sqlite" in loaded
+        assert "version=" in loaded
+        assert "full-hashes=" in loaded
+        assert "goog-malware-shavar" in loaded
+
+    @needs_numpy
+    def test_binary_load_summary_reports_versions(self, capsys, tmp_path):
+        path = tmp_path / "google.snap"
+        assert main(["snapshot", "save", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", "load", str(path), "--summary"]) == 0
+        loaded = capsys.readouterr().out
+        assert "container       : binary" in loaded
+        assert "version=" in loaded
 
     @needs_numpy
     def test_restored_snapshot_serves_a_client(self, capsys, tmp_path):

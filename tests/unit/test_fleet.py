@@ -62,6 +62,13 @@ class TestFleetConfig:
         with pytest.raises(ExperimentError):
             FleetConfig(transport="tcp")
 
+    def test_unknown_server_storage_rejected(self):
+        with pytest.raises(ExperimentError):
+            FleetConfig(server_storage="redis")
+
+    def test_server_storage_defaults_to_memory(self):
+        assert FleetConfig().server_storage == "memory"
+
     def test_network_parameters_validated(self):
         with pytest.raises(ExperimentError):
             FleetConfig(failure_rate=1.0)

@@ -1,0 +1,390 @@
+"""Unit tests for the durable server storage layer (safebrowsing.storage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import ManualClock
+from repro.exceptions import StorageError
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.database import ServerDatabase
+from repro.safebrowsing.lists import GOOGLE_LISTS
+from repro.safebrowsing.server import SafeBrowsingServer
+from repro.safebrowsing.snapshot import (
+    inspect_snapshot,
+    load_server,
+    load_server_database,
+    save_server_snapshot,
+)
+from repro.safebrowsing.storage import (
+    STORAGE_KINDS,
+    MemoryServerStorage,
+    SQLiteServerStorage,
+    ServerStorage,
+    _unpack_prefixes,
+    build_server_storage,
+    dump_database_to_sqlite,
+    is_sqlite_file,
+    load_sqlite_server_database,
+    sqlite_storage_summary,
+)
+
+LIST = "goog-malware-shavar"
+EXPRESSIONS = ("evil.example/a", "evil.example/b", "phish.example/login")
+
+
+def _sqlite_database(path=None) -> ServerDatabase:
+    return ServerDatabase(GOOGLE_LISTS, storage="sqlite", storage_path=path)
+
+
+def _populate(database: ServerDatabase) -> None:
+    for expression in EXPRESSIONS:
+        database[LIST].add_expression(expression)
+    database[LIST].add_orphan_prefix(Prefix.from_int(0xDEADBEEF, 32))
+
+
+class TestFactory:
+    def test_registry_names(self):
+        assert STORAGE_KINDS == ("memory", "sqlite")
+
+    def test_memory_kind(self):
+        storage = build_server_storage("memory")
+        assert isinstance(storage, MemoryServerStorage)
+        assert storage.kind == "memory"
+
+    def test_sqlite_kind(self, tmp_path):
+        storage = build_server_storage("sqlite", tmp_path / "s.sqlite")
+        assert isinstance(storage, SQLiteServerStorage)
+        assert storage.kind == "sqlite"
+        storage.close()
+
+    def test_instance_passes_through(self):
+        storage = MemoryServerStorage()
+        assert build_server_storage(storage) is storage
+
+    def test_memory_rejects_a_path(self, tmp_path):
+        with pytest.raises(StorageError, match="storage_path"):
+            build_server_storage("memory", tmp_path / "s.sqlite")
+
+    def test_instance_rejects_a_path(self, tmp_path):
+        with pytest.raises(StorageError, match="already-built"):
+            build_server_storage(MemoryServerStorage(), tmp_path / "s.sqlite")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StorageError, match="redis"):
+            build_server_storage("redis")
+
+
+class TestMemoryBackend:
+    def test_is_a_no_op_sink(self):
+        database = ServerDatabase(GOOGLE_LISTS)
+        assert database.storage.kind == "memory"
+        _populate(database)
+        assert database.storage.pending_ops() == 0
+        assert database.commit() == 0
+        assert database.committed_version == database.version
+
+
+class TestWriteThroughJournal:
+    def test_mutations_journal_until_commit(self):
+        database = _sqlite_database()
+        assert database.storage.pending_ops() == 0
+        _populate(database)
+        assert database.storage.pending_ops() > 0
+        flushed = database.commit()
+        assert flushed > 0
+        assert database.storage.pending_ops() == 0
+        assert database.committed_version == database.version
+
+    def test_commit_cost_is_proportional_to_changes(self):
+        """The O(changed) contract: a one-expression batch flushes a handful
+        of ops no matter how much content the database already holds."""
+        database = _sqlite_database()
+        for index in range(200):
+            database[LIST].add_expression(f"bulk-{index}.example/x")
+        database.commit()
+        database[LIST].add_expression("one-more.example/x")
+        # expr+, hash+, and the commit's chunk + pendclear (the pend+ op is
+        # coalesced away by the clear in the same journal).
+        assert database.commit() == 4
+
+    def test_coalescer_drops_cleared_pending_inserts(self):
+        database = _sqlite_database()
+        count = 50
+        for index in range(count):
+            database[LIST].add_expression(f"batch-{index}.example/x")
+        # Per expression: expr+, hash+ (pend+ coalesced); plus one chunk op
+        # and one pendclear for the batch-ending commit.
+        assert database.commit() == 2 * count + 2
+
+    def test_empty_commit_is_free(self):
+        database = _sqlite_database()
+        assert database.commit() == 0
+
+    def test_flush_errors_carry_context(self, tmp_path):
+        database = _sqlite_database(tmp_path / "s.sqlite")
+        _populate(database)
+        database.storage.close()  # force the flush to fail
+        with pytest.raises(StorageError, match="flush"):
+            database.commit()
+
+
+class TestBindSemantics:
+    def test_binding_over_populated_file_is_rejected(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+        with pytest.raises(StorageError, match="already holds"):
+            ServerDatabase(GOOGLE_LISTS, storage="sqlite", storage_path=path)
+
+    def test_readonly_needs_a_file(self):
+        with pytest.raises(StorageError, match="file path"):
+            SQLiteServerStorage(None, readonly=True)
+
+    def test_readonly_attachment_drops_records_and_refuses_flush(
+            self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+
+        storage = SQLiteServerStorage(path, readonly=True)
+        try:
+            storage.record(LIST, ("expr+", "x.example/"))
+            assert storage.pending_ops() == 0
+            with pytest.raises(StorageError, match="read-only"):
+                storage.flush()
+        finally:
+            storage.close()
+
+
+class TestLoad:
+    def test_round_trip_restores_content_and_versions(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+
+        restored = load_sqlite_server_database(path)
+        assert restored.version == database.version
+        copy = restored[LIST]
+        original = database[LIST]
+        assert copy.expressions() == original.expressions()
+        assert copy.prefix_count() == original.prefix_count()
+        assert sorted(copy.orphan_prefixes()) == sorted(
+            original.orphan_prefixes())
+        assert copy.add_chunks == original.add_chunks
+
+    def test_readonly_load_detaches_to_a_memory_replica(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+
+        replica = load_sqlite_server_database(path)
+        assert replica.storage.kind == "memory"
+        # Replica mutations stay local: the file is untouched.
+        replica[LIST].add_expression("local-only.example/x")
+        replica.commit()
+        fresh = load_sqlite_server_database(path)
+        assert "local-only.example/x" not in fresh[LIST].expressions()
+
+    def test_writable_load_keeps_persisting(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+
+        writable = load_sqlite_server_database(path, writable=True)
+        assert writable.storage.kind == "sqlite"
+        writable[LIST].add_expression("resumed.example/x")
+        writable.commit()
+        writable.storage.close()
+        fresh = load_sqlite_server_database(path)
+        assert "resumed.example/x" in fresh[LIST].expressions()
+
+    def test_uncommitted_mutations_are_invisible_to_readers(self, tmp_path):
+        """The versioned-read guarantee: readers see the last commit."""
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        committed = database.version
+
+        database[LIST].add_expression("torn.example/x")  # journalled only
+        assert database.version > committed
+        reader = load_sqlite_server_database(path)
+        assert reader.version == committed == database.committed_version
+        assert "torn.example/x" not in reader[LIST].expressions()
+
+        database.commit()
+        reader = load_sqlite_server_database(path)
+        assert reader.version == database.committed_version
+        assert "torn.example/x" in reader[LIST].expressions()
+        database.storage.close()
+
+    def test_reshard_and_rebackend_on_load(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+
+        restored = load_sqlite_server_database(path, shard_count=4,
+                                               index_backend="raw")
+        assert restored.shard_count == 4
+        assert restored.index_backend == "raw"
+        members = sorted(database[LIST].prefixes())
+        assert (restored[LIST].contains_many(members)
+                == database[LIST].contains_many(members))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="no SQLite storage"):
+            load_sqlite_server_database(tmp_path / "absent.sqlite")
+
+    def test_non_sqlite_file_rejected(self, tmp_path):
+        path = tmp_path / "not.sqlite"
+        path.write_bytes(b"SBSNAP__definitely not sqlite")
+        with pytest.raises(StorageError, match="not a SQLite"):
+            load_sqlite_server_database(path)
+
+    def test_empty_storage_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.sqlite"
+        SQLiteServerStorage(path).close()  # schema, but no bound database
+        with pytest.raises(StorageError, match="no server database"):
+            load_sqlite_server_database(path)
+
+
+class TestDumpAndSummary:
+    def test_dump_memory_database_then_reload(self, tmp_path):
+        database = ServerDatabase(GOOGLE_LISTS)
+        _populate(database)
+        database.commit_all()
+        path = dump_database_to_sqlite(database, tmp_path / "dump.sqlite")
+        restored = load_sqlite_server_database(path)
+        assert restored.version >= 0
+        assert restored[LIST].expressions() == database[LIST].expressions()
+        assert restored[LIST].prefix_count() == database[LIST].prefix_count()
+        assert restored[LIST].add_chunks == database[LIST].add_chunks
+
+    def test_dump_over_live_storage_path_rejected(self, tmp_path):
+        path = tmp_path / "live.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        with pytest.raises(StorageError, match="live storage"):
+            dump_database_to_sqlite(database, path)
+        database.storage.close()
+
+    def test_summary_counts_match_the_database(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        database = _sqlite_database(path)
+        _populate(database)
+        database.commit()
+        database.storage.close()
+
+        meta, lists = sqlite_storage_summary(path)
+        assert meta["prefix_bits"] == "32"
+        by_name = {entry["name"]: entry for entry in lists}
+        assert by_name[LIST]["prefixes"] == database[LIST].prefix_count()
+        assert by_name[LIST]["version"] == database[LIST].version
+        assert by_name[LIST]["full_hashes"] == len(EXPRESSIONS)
+
+    def test_corrupt_prefix_blob_rejected(self):
+        with pytest.raises(StorageError, match="corrupt prefix blob"):
+            _unpack_prefixes(b"\x00\x01\x02", 32)
+
+
+class TestSnapshotIntegration:
+    """The snapshot layer routes between binary and SQLite containers."""
+
+    def _server(self, path=None) -> SafeBrowsingServer:
+        server = SafeBrowsingServer(GOOGLE_LISTS, clock=ManualClock(),
+                                    storage="sqlite" if path else "memory",
+                                    storage_path=path)
+        server.blacklist(LIST, EXPRESSIONS)
+        return server
+
+    def test_save_sqlite_from_memory_backed_server(self, tmp_path):
+        server = self._server()
+        path = save_server_snapshot(server, tmp_path / "s.sqlite",
+                                    kind="sqlite")
+        assert is_sqlite_file(path)
+        restored = load_server_database(path)  # sniffed
+        assert (restored[LIST].expressions()
+                == server.database[LIST].expressions())
+
+    def test_save_auto_follows_the_storage_backend(self, tmp_path):
+        sqlite_server = self._server(tmp_path / "live.sqlite")
+        saved = save_server_snapshot(sqlite_server,
+                                     tmp_path / "copy.sqlite")
+        assert is_sqlite_file(saved)
+        memory_server = self._server()
+        saved = save_server_snapshot(memory_server, tmp_path / "copy.snap")
+        assert not is_sqlite_file(saved)
+        sqlite_server.database.storage.close()
+
+    def test_save_to_the_live_path_is_a_flush(self, tmp_path):
+        path = tmp_path / "live.sqlite"
+        server = self._server(path)
+        server.database[LIST].add_expression("late.example/x")
+        assert save_server_snapshot(server, path) == path
+        assert server.database.committed_version == server.database.version
+        server.database.storage.close()
+        restored = load_server_database(path)
+        assert "late.example/x" in restored[LIST].expressions()
+
+    def test_binary_save_from_sqlite_backed_server(self, tmp_path):
+        server = self._server(tmp_path / "live.sqlite")
+        path = save_server_snapshot(server, tmp_path / "s.snap",
+                                    kind="binary")
+        assert not is_sqlite_file(path)
+        restored = load_server_database(path)
+        assert (restored[LIST].expressions()
+                == server.database[LIST].expressions())
+        server.database.storage.close()
+
+    def test_load_server_sniffs_sqlite(self, tmp_path):
+        server = self._server(tmp_path / "live.sqlite")
+        server.database.commit()
+        server.database.storage.close()
+        restored = load_server(tmp_path / "live.sqlite", clock=ManualClock())
+        assert (restored.database[LIST].expressions()
+                == server.database[LIST].expressions())
+
+    def test_inspect_reports_both_containers_identically(self, tmp_path):
+        server = self._server()
+        binary = save_server_snapshot(server, tmp_path / "s.snap")
+        sqlite = save_server_snapshot(server, tmp_path / "s.sqlite",
+                                      kind="sqlite")
+        info_a = inspect_snapshot(binary)
+        info_b = inspect_snapshot(sqlite)
+        assert info_a.container == "binary"
+        assert info_b.container == "sqlite"
+        rows_a = [(s.name, s.prefixes, s.full_hashes, s.version)
+                  for s in info_a.lists]
+        rows_b = [(s.name, s.prefixes, s.full_hashes, s.version)
+                  for s in info_b.lists]
+        assert rows_a == rows_b
+        assert info_a.total_prefixes == info_b.total_prefixes
+        assert info_a.total_full_hashes == info_b.total_full_hashes
+
+
+class TestInterface:
+    def test_abstract_methods_raise(self):
+        storage = ServerStorage()
+        with pytest.raises(NotImplementedError):
+            storage.bind(None)
+        with pytest.raises(NotImplementedError):
+            storage.record("x", ("expr+", "y"))
+        with pytest.raises(NotImplementedError):
+            storage.flush()
+        with pytest.raises(NotImplementedError):
+            storage.pending_ops()
+        storage.close()  # the default close is a no-op
