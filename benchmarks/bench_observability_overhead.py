@@ -1,0 +1,90 @@
+"""Benchmark: the metrics layer must be (nearly) free when disabled.
+
+The observability layer instruments every hot path of the stack — client
+lookups, transport deliveries, server request handling, storage commits —
+so its acceptance bar is about *not* being there: with ``collect_metrics``
+off (the default) the fleet must run at >= 0.98x the uninstrumented
+baseline throughput, and even fully instrumented it must keep >= 0.90x.
+
+Measured as interleaved A/A at MEDIUM scale on the batched fleet: the
+first disabled set is the baseline, the second disabled set proves the
+comparison is stable, and the instrumented set pays the real cost.  Each
+set is summarized by its *best* run — the least-noise throughput
+estimator, since scheduler preemption only ever subtracts — and the
+interleaving spreads slow drift evenly across the three sets.
+Results go to ``benchmarks/results/BENCH_observability_overhead.json``
+(schema documented in ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.fleet import FleetConfig, FleetSimulator
+from repro.experiments.scale import MEDIUM, get_context
+
+#: Runs per measurement set; each set is summarized by its best run.
+RUNS_PER_SET = 5
+
+#: Disabled metrics must keep this fraction of baseline throughput (A/A).
+MIN_DISABLED_RATIO = 0.98
+
+#: Fully instrumented runs must keep this fraction of baseline throughput.
+MIN_INSTRUMENTED_RATIO = 0.90
+
+
+def _run_fleet(context, *, collect_metrics: bool) -> float:
+    config = FleetConfig(mode="batched", collect_metrics=collect_metrics)
+    report = FleetSimulator(MEDIUM, config, context=context).run()
+    return report.urls_per_second
+
+
+def test_bench_observability_overhead(benchmark, record_json):
+    context = get_context(MEDIUM)
+    # Warm the shared workload (corpus pool + blacklist snapshot) outside
+    # the timed region so the first run doesn't pay for dataset synthesis.
+    context.url_pool("alexa")
+    _run_fleet(context, collect_metrics=False)  # warmup
+
+    # Interleave the three sets run by run so slow drift (thermal, page
+    # cache) spreads evenly instead of biasing whichever set ran last.
+    baseline_runs: list[float] = []
+    disabled_runs: list[float] = []
+    instrumented_runs: list[float] = []
+    wall_started = time.perf_counter()
+    for _ in range(RUNS_PER_SET):
+        baseline_runs.append(_run_fleet(context, collect_metrics=False))
+        disabled_runs.append(_run_fleet(context, collect_metrics=False))
+        instrumented_runs.append(_run_fleet(context, collect_metrics=True))
+    wall_seconds = time.perf_counter() - wall_started
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    baseline = max(baseline_runs)
+    disabled = max(disabled_runs)
+    instrumented = max(instrumented_runs)
+    disabled_ratio = disabled / baseline if baseline else 0.0
+    instrumented_ratio = instrumented / baseline if baseline else 0.0
+
+    record_json("observability_overhead", {
+        "scale": MEDIUM.name,
+        "mode": "batched",
+        "runs_per_set": RUNS_PER_SET,
+        "wall_seconds": round(wall_seconds, 2),
+        "baseline_urls_per_second": round(baseline, 1),
+        "disabled_urls_per_second": round(disabled, 1),
+        "instrumented_urls_per_second": round(instrumented, 1),
+        "disabled_ratio": round(disabled_ratio, 4),
+        "instrumented_ratio": round(instrumented_ratio, 4),
+        "min_disabled_ratio": MIN_DISABLED_RATIO,
+        "min_instrumented_ratio": MIN_INSTRUMENTED_RATIO,
+    })
+
+    assert disabled_ratio >= MIN_DISABLED_RATIO, (
+        f"disabled-metrics fleet ran at {disabled_ratio:.3f}x baseline "
+        f"(A/A), expected >= {MIN_DISABLED_RATIO}x — the no-op path is "
+        "not free"
+    )
+    assert instrumented_ratio >= MIN_INSTRUMENTED_RATIO, (
+        f"instrumented fleet ran at {instrumented_ratio:.3f}x baseline, "
+        f"expected >= {MIN_INSTRUMENTED_RATIO}x"
+    )

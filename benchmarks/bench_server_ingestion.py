@@ -22,6 +22,7 @@ import time
 
 from repro.clock import ManualClock
 from repro.hashing.prefix import Prefix
+from repro.observability.quantiles import percentile as _percentile
 from repro.safebrowsing.ingest import IngestionPipeline, synthetic_additions
 from repro.safebrowsing.lists import GOOGLE_LISTS
 from repro.safebrowsing.server import SafeBrowsingServer
@@ -44,11 +45,6 @@ SAMPLES_PER_INGEST_STEP = 10
 
 #: The bar: p99 during ingestion must stay within this factor of idle p99.
 P99_BUDGET_FACTOR = 2.0
-
-
-def _percentile(samples: list[float], fraction: float) -> float:
-    ordered = sorted(samples)
-    return ordered[int(fraction * (len(ordered) - 1))]
 
 
 def _probe_batches(list_db, count: int) -> list[list[Prefix]]:

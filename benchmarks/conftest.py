@@ -11,6 +11,8 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -18,13 +20,28 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def _git_commit() -> str:
+    """The repo HEAD that produced the artifact, or ``"unknown"``."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        return "unknown"
+
+
 def host_metadata() -> dict:
     """The machine identity stamped into every JSON artifact.
 
     Throughput numbers are meaningless without knowing what ran them; CI
     artifacts from different runner shapes would otherwise look like perf
-    regressions.  (Plain function so the regression tests can exercise it
-    without pytest's fixture machinery.)
+    regressions.  ``git_commit`` and ``recorded_at`` (ISO-8601, UTC) pin
+    each artifact to the exact tree and moment that produced it.  (Plain
+    function so the regression tests can exercise it without pytest's
+    fixture machinery.)
     """
     try:
         cpu_count = len(os.sched_getaffinity(0))
@@ -34,6 +51,9 @@ def host_metadata() -> dict:
         "cpu_count": cpu_count,
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "git_commit": _git_commit(),
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
     }
 
 

@@ -32,6 +32,13 @@ often, without writing Python:
     (``save --storage sqlite`` writes a SQLite database instead), or verify
     and summarize an existing snapshot of either container; ``load
     --summary`` adds per-list versions and full-hash counts.
+``python -m repro metrics [--format prometheus|json]``
+    Run a small fully-instrumented fleet and print its metrics registry in
+    Prometheus text exposition format (or JSON) — the quickest way to see
+    the metric catalog live.  ``repro fleet --metrics-json PATH`` collects
+    the same registry for any fleet run and writes it as JSON, and
+    ``repro ingest --progress-every N`` prints a progress heartbeat every
+    N live batches.
 """
 
 from __future__ import annotations
@@ -246,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="server database storage backend: one of "
                             f"{', '.join(_SERVER_STORAGE_KINDS)} "
                             "(default memory)")
+    fleet.add_argument("--metrics-json", default=None, metavar="PATH",
+                       help="collect the full metrics registry for the run "
+                            "and write it as JSON to PATH (requires --mode "
+                            "scalar or batched)")
 
     ingest = subparsers.add_parser(
         "ingest", help="stream list mutations into a live server while "
@@ -271,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="polling clients (default 3)")
     ingest.add_argument("--seed", type=int, default=7,
                         help="stream seed (default 7)")
+    ingest.add_argument("--progress-every", type=int, default=0, metavar="N",
+                        help="print a progress line every N live batches "
+                             "(0, the default, disables the heartbeat)")
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run a small instrumented fleet and print its "
+                        "metrics registry")
+    metrics.add_argument("--format", choices=["prometheus", "json"],
+                         default="prometheus",
+                         help="exposition format (default prometheus)")
 
     snapshot = subparsers.add_parser(
         "snapshot", help="save or inspect a persistent database snapshot")
@@ -411,6 +432,13 @@ def _command_fleet(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    if args.metrics_json is not None:
+        if args.mode == "both":
+            print("error: --metrics-json requires --mode scalar or batched",
+                  file=sys.stderr)
+            return 2
+        config = dc_replace(config, collect_metrics=True)
+
     if args.workers is not None:
         from repro.experiments.parallel import run_parallel_fleet
 
@@ -421,6 +449,7 @@ def _command_fleet(args: argparse.Namespace) -> int:
         report = run_parallel_fleet(scale, dc_replace(config, mode=args.mode),
                                     workers=args.workers)
         _print_fleet_report(report)
+        _write_metrics_json(report, args.metrics_json)
         return 0
 
     if args.mode == "both":
@@ -428,7 +457,23 @@ def _command_fleet(args: argparse.Namespace) -> int:
         return 0
     report = run_fleet(scale, dc_replace(config, mode=args.mode))
     _print_fleet_report(report)
+    _write_metrics_json(report, args.metrics_json)
     return 0
+
+
+def _write_metrics_json(report, path: str | None) -> None:
+    """Write a fleet report's merged metrics snapshot as JSON to ``path``."""
+    if path is None:
+        return
+    import json
+
+    from repro.observability.export import render_json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(render_json(report.metrics), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    print(f"metrics         : wrote {path}")
 
 
 def _print_fleet_report(report) -> None:
@@ -490,8 +535,28 @@ def _command_ingest(args: argparse.Namespace) -> int:
     table = ingestion_table(
         storage=args.storage, storage_path=args.path,
         transport=args.transport, initial=args.initial, live=args.live,
-        batch_size=args.batch_size, clients=args.clients, seed=args.seed)
+        batch_size=args.batch_size, clients=args.clients, seed=args.seed,
+        progress_every=args.progress_every)
     print(table.render())
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.fleet import FleetConfig, run_fleet
+    from repro.experiments.scale import SMALL
+    from repro.observability.export import render_json, render_prometheus
+
+    config = FleetConfig(collect_metrics=True)
+    report = run_fleet(SMALL, dc_replace(config, mode="batched"))
+    if args.format == "json":
+        import json
+
+        print(json.dumps(render_json(report.metrics), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_prometheus(report.metrics), end="")
     return 0
 
 
@@ -546,6 +611,7 @@ _COMMANDS = {
     "fleet": _command_fleet,
     "ingest": _command_ingest,
     "snapshot": _command_snapshot,
+    "metrics": _command_metrics,
 }
 
 

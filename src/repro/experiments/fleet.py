@@ -96,8 +96,14 @@ from repro.exceptions import (
 )
 from repro.experiments.profiles import ClientProfile, build_profile
 from repro.experiments.scale import ExperimentContext, Scale, SMALL, get_context
+from repro.observability.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from repro.reporting.tables import Table
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
+from repro.safebrowsing.protocol import ClientStats
 from repro.safebrowsing.lists import ListProvider, lists_for_provider
 from repro.safebrowsing.privacy import build_policy
 from repro.safebrowsing.server import DEFAULT_RESPONSE_CACHE_SECONDS, SafeBrowsingServer
@@ -265,6 +271,11 @@ class FleetConfig:
     warm_start: bool = True
     server_storage: str = "memory"
     profile: str = "uniform"
+    #: Collect a full metrics registry across client, server, transport and
+    #: storage for this run.  ``False`` (default) binds the shared null
+    #: registry everywhere, keeping the uninstrumented hot loop hot; the
+    #: overhead benchmark pins the cost of both settings.
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         # Profile names are validated by the registry (single source of
@@ -462,6 +473,11 @@ class FleetReport:
     #: (client, round) slots skipped because the profile put the client
     #: offline — the activity/connectivity model's footprint.
     offline_client_rounds: int = 0
+    #: Metrics-registry snapshot of the run (``FleetConfig.collect_metrics``),
+    #: ``None`` when collection was off.  Shard snapshots merge exactly —
+    #: counters and histogram buckets summed, never averaged — so a merged
+    #: report's registry equals a monolithic run's.
+    metrics: dict | None = None
 
     @property
     def warm_start_bandwidth_saved_fraction(self) -> float:
@@ -579,6 +595,9 @@ class FleetReport:
         elapsed = max(report.elapsed_seconds for report in reports)
         urls_checked = total("urls_checked")
         summed = {name: total(name) for name in _MERGE_SUM_FIELDS}
+        snapshots = [report.metrics for report in reports
+                     if report.metrics is not None]
+        merged_metrics = merge_snapshots(snapshots) if snapshots else None
         return cls(
             mode=first.mode,
             scale=first.scale,
@@ -600,6 +619,7 @@ class FleetReport:
             warm_start=first.warm_start,
             profile=first.profile,
             workers=max(report.workers for report in reports),
+            metrics=merged_metrics,
             **summed,
         )
 
@@ -635,6 +655,10 @@ class FleetSimulator:
         if not self.client_indices:
             raise ExperimentError("client_indices must not be empty")
         self.shard_seed = shard_seed
+        # One registry per simulator: a shard worker's lives and dies with
+        # its shard, the parent merges the snapshots off the reports.
+        self.metrics: MetricsRegistry = (
+            MetricsRegistry() if self.config.collect_metrics else NULL_REGISTRY)
         self._population = build_profile(self.config.profile)
         self._base_profile = ClientProfile(
             working_set_size=self.config.working_set_size,
@@ -712,6 +736,7 @@ class FleetSimulator:
             jitter_seconds=config.latency_jitter_seconds,
             failure_rate=config.failure_rate,
             seed=f"fleet:{config.seed}:transport:{index}",
+            metrics=self.metrics,
         )
         name = f"fleet-client-{index:03d}"
         # Policies are stateful (mixing pools, RNGs): one fresh instance
@@ -734,7 +759,8 @@ class FleetSimulator:
             )
         return SafeBrowsingClient(transport=transport, name=name,
                                   config=client_config, clock=clock,
-                                  privacy_policy=policy)
+                                  privacy_policy=policy,
+                                  metrics=self.metrics)
 
     def build_clients(self, server: SafeBrowsingServer,
                       clock: ManualClock) -> list[SafeBrowsingClient]:
@@ -960,6 +986,12 @@ class FleetSimulator:
                 raise ExperimentError(
                     "run(server=...) requires the replica's clock")
             detector = self._attach_adversary(server, provision=False)
+        # Instruments attach only now, *after* provisioning: setup-time work
+        # (blacklisting the corpus, adversary prefixes, the initial storage
+        # commit) happens only in the monolithic/parent path, so counting it
+        # would break shard-merge ≡ monolithic exactness.
+        if config.collect_metrics:
+            server.set_metrics(self.metrics)
         clients = self.build_clients(server, clock)
         streams = [self.client_stream(index) for index in self.client_indices]
         profiles = [self.profile_for(index) for index in self.client_indices]
@@ -1048,6 +1080,31 @@ class FleetSimulator:
                 snapshot_tmp.cleanup()
         elapsed = time.perf_counter() - started
         all_stats = [client.stats for client in clients] + retired_stats
+        # The one summation path (ClientStats.aggregate) and the one field
+        # list (ServerStats.as_dict): report totals, the CLI and the metrics
+        # exporter all read the same snapshots, so they can never disagree.
+        client_totals = ClientStats.aggregate(all_stats)
+        server_totals = server.stats.as_dict()
+
+        if config.collect_metrics:
+            # Fleet-level counters are all per-client quantities (never
+            # per-round: a shard runs every round, so per-round counters
+            # would sum to shards x rounds under a merge).  One inc() per
+            # run keeps them off the hot loop entirely.
+            fleet = self.metrics
+            fleet.gauge("fleet_clients",
+                        "Clients this registry's run drove").inc(len(clients))
+            fleet.counter("fleet_urls_checked_total",
+                          "URLs the fleet checked").inc(urls_checked)
+            fleet.counter("fleet_transport_failures_total",
+                          "Client batches lost to injected failures"
+                          ).inc(transport_failures)
+            fleet.counter("fleet_client_restarts_total",
+                          "Client restarts (churn + reconnect)"
+                          ).inc(client_restarts)
+            fleet.counter("fleet_offline_client_rounds_total",
+                          "(client, round) slots skipped offline"
+                          ).inc(offline_client_rounds)
 
         detections = 0
         detected_pairs: set[tuple[int, str]] = set()
@@ -1081,18 +1138,17 @@ class FleetSimulator:
             rounds=rounds,
             elapsed_seconds=elapsed,
             urls_per_second=_throughput(urls_checked, elapsed),
-            server_update_requests=server.stats.update_requests,
-            server_full_hash_requests=server.stats.full_hash_requests,
-            server_prefixes_received=server.stats.prefixes_received,
-            local_hits=sum(stats.local_hits for stats in all_stats),
-            cache_hits=sum(stats.cache_hits for stats in all_stats),
-            malicious_verdicts=sum(stats.malicious_verdicts
-                                   for stats in all_stats),
+            server_update_requests=server_totals["update_requests"],
+            server_full_hash_requests=server_totals["full_hash_requests"],
+            server_prefixes_received=server_totals["prefixes_received"],
+            local_hits=client_totals["local_hits"],
+            cache_hits=client_totals["cache_hits"],
+            malicious_verdicts=client_totals["malicious_verdicts"],
             transport=config.transport,
             shard_count=config.shard_count,
-            server_cache_hits=server.stats.response_cache_hits,
-            server_cache_misses=server.stats.response_cache_misses,
-            log_entries_evicted=server.stats.log_entries_evicted,
+            server_cache_hits=server_totals["response_cache_hits"],
+            server_cache_misses=server_totals["response_cache_misses"],
+            log_entries_evicted=server_totals["log_entries_evicted"],
             transport_failures=transport_failures,
             adversary=config.adversary,
             tracked_targets=len(self.tracked_targets()),
@@ -1105,16 +1161,11 @@ class FleetSimulator:
             tracking_pair_digest=digest,
             tracking_pairs=tuple(sorted(detected_pairs)),
             privacy_policy=config.privacy_policy,
-            client_prefixes_sent=sum(stats.prefixes_sent
-                                     for stats in all_stats),
-            client_dummy_prefixes_sent=sum(stats.dummy_prefixes_sent
-                                           for stats in all_stats),
-            client_full_hash_requests=sum(stats.full_hash_requests
-                                          for stats in all_stats),
-            client_extra_round_trips=sum(stats.extra_round_trips
-                                         for stats in all_stats),
-            policy_delay_seconds=sum(stats.policy_delay_seconds
-                                     for stats in all_stats),
+            client_prefixes_sent=client_totals["prefixes_sent"],
+            client_dummy_prefixes_sent=client_totals["dummy_prefixes_sent"],
+            client_full_hash_requests=client_totals["full_hash_requests"],
+            client_extra_round_trips=client_totals["extra_round_trips"],
+            policy_delay_seconds=client_totals["policy_delay_seconds"],
             churn_fraction=config.churn_fraction,
             restart_interval=config.restart_interval,
             warm_start=config.warm_start,
@@ -1123,10 +1174,11 @@ class FleetSimulator:
             offline_client_rounds=offline_client_rounds,
             profile=config.profile,
             warm_start_prefixes_resumed=warm_start_prefixes_resumed,
-            client_update_prefixes_received=sum(
-                stats.update_prefixes_received for stats in all_stats),
-            client_update_requests=sum(stats.update_requests
-                                       for stats in all_stats),
+            client_update_prefixes_received=(
+                client_totals["update_prefixes_received"]),
+            client_update_requests=client_totals["update_requests"],
+            metrics=(self.metrics.snapshot()
+                     if config.collect_metrics else None),
         )
 
 

@@ -24,9 +24,13 @@ the numpy-absent CI leg too.  The latency measurement lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable
 
 from repro.clock import ManualClock
 from repro.exceptions import ExperimentError
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.quantiles import percentile
 from repro.safebrowsing.client import ClientConfig, SafeBrowsingClient
 from repro.safebrowsing.ingest import IngestionPipeline, synthetic_additions
 from repro.safebrowsing.lists import GOOGLE_LISTS
@@ -57,6 +61,12 @@ class IngestionReport:
     update_polls: int
     client_prefixes: int
     server_prefixes: int
+    #: Wall-clock latency distribution of the live commits, summarized by
+    #: the shared :func:`repro.observability.quantiles.percentile` (lower
+    #: nearest-rank, the benchmark convention).  ``0.0`` for runs with no
+    #: live batches.
+    commit_p50_seconds: float = 0.0
+    commit_p99_seconds: float = 0.0
 
     @property
     def converged(self) -> bool:
@@ -69,7 +79,11 @@ def run_ingestion(*, storage: str = "sqlite", storage_path=None,
                   initial: int = 2000, live: int = 1000,
                   batch_size: int = 250, clients: int = 3,
                   latency_seconds: float = 0.0,
-                  seed: int = 7) -> IngestionReport:
+                  seed: int = 7,
+                  metrics: MetricsRegistry | None = None,
+                  progress_every: int = 0,
+                  progress_sink: Callable[[str], None] | None = None
+                  ) -> IngestionReport:
     """Run the live-ingestion scenario and verify its guarantees.
 
     ``initial`` entries are ingested before any client connects (the
@@ -78,6 +92,11 @@ def run_ingestion(*, storage: str = "sqlite", storage_path=None,
     :class:`ExperimentError` if any pipeline guarantee is violated —
     a torn committed version, a regressing version, or clients failing
     to converge on the final list.
+
+    ``metrics`` instruments the whole stack (pipeline, storage, server,
+    transport, clients) into one registry.  ``progress_every=N`` emits a
+    progress line through ``progress_sink`` (default :func:`print`) every
+    N live batches — the periodic heartbeat of ``python -m repro ingest``.
     """
     if storage not in STORAGE_KINDS:
         raise ExperimentError(
@@ -87,21 +106,28 @@ def run_ingestion(*, storage: str = "sqlite", storage_path=None,
         raise ExperimentError(
             f"unknown transport {transport!r}; expected one of "
             f"{TRANSPORT_KINDS}")
+    if progress_every < 0:
+        raise ExperimentError("progress_every must be non-negative")
+    emit = progress_sink if progress_sink is not None else print
     clock = ManualClock()
     list_name = GOOGLE_LISTS[0].name
     server = SafeBrowsingServer(GOOGLE_LISTS[:1], clock=clock,
-                                storage=storage, storage_path=storage_path)
-    pipeline = IngestionPipeline(server, batch_size=batch_size)
+                                storage=storage, storage_path=storage_path,
+                                metrics=metrics)
+    pipeline = IngestionPipeline(server, batch_size=batch_size,
+                                 metrics=metrics)
 
     # Bootstrap load, batched and committed like any other ingestion.
     pipeline.submit(synthetic_additions(list_name, initial, seed=seed))
     pipeline.drain()
 
     wire = build_transport(transport, server, clock=clock,
-                           latency_seconds=latency_seconds, seed=seed)
+                           latency_seconds=latency_seconds, seed=seed,
+                           metrics=metrics)
     config = ClientConfig(store_backend="sorted-array", auto_update=False)
     fleet = [SafeBrowsingClient(transport=wire, name=f"ingest-{index}",
-                                lists=[list_name], clock=clock, config=config)
+                                lists=[list_name], clock=clock, config=config,
+                                metrics=metrics)
              for index in range(clients)]
     for client in fleet:
         client.update()
@@ -117,8 +143,18 @@ def run_ingestion(*, storage: str = "sqlite", storage_path=None,
     update_polls = clients
     last_committed = server.database.committed_version
     batch_start = initial
+    commit_latencies: list[float] = []
+    live_batches = 0
     while pipeline.queued:
+        commit_started = perf_counter()
         progress = pipeline.step()
+        commit_latencies.append(perf_counter() - commit_started)
+        live_batches += 1
+        if progress_every and live_batches % progress_every == 0:
+            emit(f"ingest: batch {live_batches}, applied {pipeline.applied}, "
+                 f"queued {progress.queued}, "
+                 f"committed v{progress.committed_version}, "
+                 f"commit lag {commit_latencies[-1] * 1e3:.2f} ms")
         if progress.committed_version != progress.version:
             raise ExperimentError(
                 "torn commit: committed_version "
@@ -158,6 +194,10 @@ def run_ingestion(*, storage: str = "sqlite", storage_path=None,
         lookups=lookups, malicious_verdicts=malicious,
         ingested_hits=ingested_hits, update_polls=update_polls,
         client_prefixes=client_prefixes, server_prefixes=server_prefixes,
+        commit_p50_seconds=(percentile(commit_latencies, 0.50)
+                            if commit_latencies else 0.0),
+        commit_p99_seconds=(percentile(commit_latencies, 0.99)
+                            if commit_latencies else 0.0),
     )
     server.database.storage.close()
     if not report.converged:
@@ -189,6 +229,8 @@ def ingestion_table(**kwargs) -> Table:
         ("malicious verdicts", report.malicious_verdicts),
         ("ingested-entry hits", report.ingested_hits),
         ("server prefixes", report.server_prefixes),
+        ("commit p50 (ms)", report.commit_p50_seconds * 1e3),
+        ("commit p99 (ms)", report.commit_p99_seconds * 1e3),
         ("converged", "yes" if report.converged else "NO"),
     ]
     for metric, value in rows:

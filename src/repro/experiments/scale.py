@@ -218,17 +218,20 @@ class ExperimentContext:
                       latency_seconds: float = 0.05,
                       jitter_seconds: float = 0.0,
                       failure_rate: float = 0.0,
-                      seed: int | str = 0) -> Transport:
+                      seed: int | str = 0,
+                      metrics=None) -> Transport:
         """A client transport onto ``server``, named by kind.
 
         Experiments never hand a raw server to a client: they go through
         this factory so one scale-level switch ("in-process" vs "simulated")
         flips every client of every experiment onto a modelled network.
+        ``metrics`` (a :class:`~repro.observability.MetricsRegistry`)
+        instruments the transport's deliveries.
         """
         return build_transport(
             kind, server, latency_seconds=latency_seconds,
             jitter_seconds=jitter_seconds, failure_rate=failure_rate,
-            seed=seed,
+            seed=seed, metrics=metrics,
         )
 
 

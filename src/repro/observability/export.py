@@ -1,0 +1,227 @@
+"""Render a metrics registry (or snapshot) as JSON or Prometheus text.
+
+Both renderers work off the plain-dict snapshot format, so they serve a
+live :class:`~repro.observability.metrics.MetricsRegistry`, a pickled
+worker snapshot, or a cross-shard merge equally.  The module also ships
+:func:`parse_prometheus_text`, a minimal exposition-format parser used by
+CI and the unit suite to prove the rendered text round-trips: every sample
+the registry holds comes back out of the parser bit-identically.
+
+>>> from repro.observability import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> requests = registry.counter("requests_total", "Requests served",
+...                             labels=("kind",))
+>>> requests.labels(kind="update").inc(3)
+>>> print(render_prometheus(registry), end="")
+# HELP requests_total Requests served
+# TYPE requests_total counter
+requests_total{kind="update"} 3
+>>> parsed = parse_prometheus_text(render_prometheus(registry))
+>>> parsed.samples[("requests_total", (("kind", "update"),))]
+3.0
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.observability.metrics import MetricsRegistry
+
+#: A sample key: (sample name, sorted ((label, value), ...) pairs).
+SampleKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _snapshot_of(registry_or_snapshot) -> Mapping:
+    if isinstance(registry_or_snapshot, MetricsRegistry):
+        return registry_or_snapshot.snapshot()
+    return registry_or_snapshot
+
+
+def _format_value(value: float) -> str:
+    """Canonical exposition float: integral values render without '.0'."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e17:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _render_labels(names, values) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(f'{name}="{_escape_label(value)}"'
+                     for name, value in zip(names, values))
+    return "{" + pairs + "}"
+
+
+def snapshot_samples(registry_or_snapshot) -> dict[SampleKey, float]:
+    """Every exposition sample a registry would render, as a flat mapping.
+
+    Histograms expand the way Prometheus serves them: cumulative
+    ``_bucket{le=...}`` samples (ending at ``le="+Inf"``), ``_sum`` and
+    ``_count``.  This is the ground truth the round-trip tests compare the
+    parser's output against.
+    """
+    snapshot = _snapshot_of(registry_or_snapshot)
+    samples: dict[SampleKey, float] = {}
+    for name, fam in sorted(snapshot.get("families", {}).items()):
+        label_names = tuple(fam["label_names"])
+        for entry in fam["children"]:
+            labels = tuple(zip(label_names, entry["labels"]))
+            state = entry["state"]
+            if fam["kind"] in ("counter", "gauge"):
+                samples[(name, labels)] = float(state)
+                continue
+            cumulative = 0
+            for bound, count in zip(state["bounds"] + [math.inf],
+                                    state["counts"]):
+                cumulative += count
+                le = (("le", _format_value(float(bound))),)
+                samples[(f"{name}_bucket", labels + le)] = float(cumulative)
+            samples[(f"{name}_sum", labels)] = float(state["sum"])
+            samples[(f"{name}_count", labels)] = float(cumulative)
+    return samples
+
+
+def render_prometheus(registry_or_snapshot) -> str:
+    """Prometheus text exposition format (version 0.0.4) for the registry."""
+    snapshot = _snapshot_of(registry_or_snapshot)
+    lines: list[str] = []
+    for name, fam in sorted(snapshot.get("families", {}).items()):
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {fam['kind']}")
+        label_names = tuple(fam["label_names"])
+        for entry in fam["children"]:
+            values = tuple(entry["labels"])
+            state = entry["state"]
+            if fam["kind"] in ("counter", "gauge"):
+                lines.append(f"{name}{_render_labels(label_names, values)} "
+                             f"{_format_value(state)}")
+                continue
+            cumulative = 0
+            for bound, count in zip(state["bounds"] + [math.inf],
+                                    state["counts"]):
+                cumulative += count
+                le_names = label_names + ("le",)
+                le_values = values + (_format_value(float(bound)),)
+                lines.append(
+                    f"{name}_bucket{_render_labels(le_names, le_values)} "
+                    f"{cumulative}")
+            lines.append(f"{name}_sum{_render_labels(label_names, values)} "
+                         f"{_format_value(state['sum'])}")
+            lines.append(f"{name}_count{_render_labels(label_names, values)} "
+                         f"{cumulative}")
+    return "".join(line + "\n" for line in lines)
+
+
+def render_json(registry_or_snapshot) -> dict:
+    """A JSON-ready document: the snapshot plus derived histogram stats."""
+    snapshot = _snapshot_of(registry_or_snapshot)
+    document: dict = {"metrics": {}}
+    for name, fam in sorted(snapshot.get("families", {}).items()):
+        label_names = list(fam["label_names"])
+        rendered = {"kind": fam["kind"], "help": fam["help"],
+                    "label_names": label_names, "samples": []}
+        for entry in fam["children"]:
+            labels = dict(zip(label_names, entry["labels"]))
+            state = entry["state"]
+            if fam["kind"] in ("counter", "gauge"):
+                rendered["samples"].append({"labels": labels, "value": state})
+            else:
+                count = sum(state["counts"])
+                rendered["samples"].append({
+                    "labels": labels,
+                    "count": count,
+                    "sum": state["sum"],
+                    "bounds": state["bounds"],
+                    "bucket_counts": state["counts"],
+                })
+        document["metrics"][name] = rendered
+    return document
+
+
+# -- the minimal exposition parser ----------------------------------------
+
+
+@dataclass
+class ParsedExposition:
+    """What :func:`parse_prometheus_text` recovers from exposition text."""
+
+    samples: dict[SampleKey, float] = field(default_factory=dict)
+    types: dict[str, str] = field(default_factory=dict)
+    helps: dict[str, str] = field(default_factory=dict)
+
+
+def _parse_label_block(block: str, line: str) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    position = 0
+    while position < len(block):
+        equals = block.index("=", position)
+        label_name = block[position:equals].strip()
+        if block[equals + 1] != '"':
+            raise ValueError(f"unquoted label value in line {line!r}")
+        cursor = equals + 2
+        value_chars: list[str] = []
+        while block[cursor] != '"':
+            ch = block[cursor]
+            if ch == "\\":
+                cursor += 1
+                escaped = block[cursor]
+                ch = {"n": "\n", "\\": "\\", '"': '"'}.get(escaped)
+                if ch is None:
+                    raise ValueError(f"bad escape in line {line!r}")
+            value_chars.append(ch)
+            cursor += 1
+        pairs.append((label_name, "".join(value_chars)))
+        position = cursor + 1
+        if position < len(block):
+            if block[position] != ",":
+                raise ValueError(f"malformed label block in line {line!r}")
+            position += 1
+    return tuple(pairs)
+
+
+def parse_prometheus_text(text: str) -> ParsedExposition:
+    """Parse exposition text back into samples + TYPE/HELP metadata.
+
+    Covers the subset :func:`render_prometheus` emits (which is the subset
+    Prometheus scrapes for counters/gauges/histograms): one sample per
+    line, optional ``{label="value"}`` blocks with ``\\n``/``\\"``/``\\\\``
+    escapes, ``# HELP``/``# TYPE`` comments, ``+Inf``/``-Inf``/``NaN``
+    values.  Raises :class:`ValueError` on anything malformed.
+    """
+    parsed = ParsedExposition()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                parsed.types[parts[2]] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                parsed.helps[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        brace = line.find("{")
+        if brace != -1:
+            close = line.rindex("}")
+            name = line[:brace]
+            labels = _parse_label_block(line[brace + 1:close], line)
+            value_text = line[close + 1:].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = ()
+            value_text = value_text.strip()
+        if not name or not value_text:
+            raise ValueError(f"malformed sample line {line!r}")
+        value = float(value_text.split()[0])
+        parsed.samples[(name, labels)] = value
+    return parsed

@@ -1,0 +1,68 @@
+"""The one percentile implementation (sample lists *and* histogram buckets).
+
+Before this module, every benchmark rolled its own ``_percentile`` loop and
+the ingestion experiment had no latency distribution at all.  Both styles of
+quantile now live here:
+
+* :func:`percentile` — over raw sample lists, preserving the established
+  benchmark semantics (``sorted(samples)[int(fraction * (n - 1))]``, the
+  lower nearest-rank), so historical ``BENCH_*.json`` numbers stay
+  comparable.
+* :func:`histogram_quantile` — over fixed-bound bucket counts, the accessor
+  :meth:`repro.observability.metrics.Histogram.quantile` delegates to.  It
+  applies the *same* rank rule to the cumulative bucket counts and reports
+  the bucket's upper bound (the resolution a fixed-bucket histogram has).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Iterable[float], fraction: float) -> float:
+    """The ``fraction`` quantile of ``samples`` by lower nearest-rank.
+
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 0.5)
+    2.0
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 1.0)
+    4.0
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("percentile of an empty sample set")
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def histogram_quantile(bounds: Sequence[float], counts: Sequence[int],
+                       fraction: float) -> float:
+    """Upper bucket bound at the ``fraction`` rank of ``counts``.
+
+    ``counts`` has one entry per bound plus a trailing overflow bucket;
+    ranks landing in the overflow bucket report ``inf`` (the histogram
+    genuinely does not know how large those observations were).  An empty
+    histogram reports ``0.0``.
+
+    >>> histogram_quantile((1.0, 10.0), [5, 4, 1], 0.5)
+    1.0
+    >>> histogram_quantile((1.0, 10.0), [5, 4, 1], 1.0)
+    inf
+    >>> histogram_quantile((1.0, 10.0), [0, 0, 0], 0.99)
+    0.0
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError("counts must have one overflow bucket past bounds")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = int(fraction * (total - 1))
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if rank < cumulative:
+            return bounds[index] if index < len(bounds) else math.inf
+    return math.inf  # pragma: no cover - unreachable (total > 0)

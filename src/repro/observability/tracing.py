@@ -1,0 +1,89 @@
+"""Request-scoped tracing spans over the metrics registry.
+
+A :class:`Tracer` wraps one registry (and optionally the experiment's
+:class:`~repro.clock.ManualClock`) and hands out context-managed spans.
+Each finished span records into two histogram families derived from the
+span name:
+
+* ``<name>_wall_seconds`` — real elapsed time (``time.perf_counter``),
+  the operational number.  Wall time is machine- and schedule-dependent,
+  so only its observation *count* is shard-deterministic (the naming
+  convention the property suite keys on).
+* ``<name>_logical_seconds`` — elapsed :class:`ManualClock` time, the
+  simulation's own notion of latency (simulated network delay, policy
+  delays).  Logical time is fully deterministic and merges exactly.
+
+The tracer also keeps the last few completed :class:`Span` records for
+inspection (CLI debugging, tests).  A tracer over :data:`NULL_REGISTRY`
+is falsy and skips all measurement — guard span-heavy paths with
+``if tracer:``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.clock import Clock
+from repro.observability.metrics import (
+    LATENCY_BOUNDS,
+    MetricsRegistry,
+    registry_or_null,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One completed traced operation."""
+
+    name: str
+    wall_seconds: float
+    logical_seconds: float
+
+
+class Tracer:
+    """Context-managed spans recording wall + logical latency histograms."""
+
+    def __init__(self, metrics: MetricsRegistry | None, *,
+                 clock: Clock | None = None, keep: int = 32) -> None:
+        self._metrics = registry_or_null(metrics)
+        self._clock = clock
+        self.spans: deque[Span] = deque(maxlen=keep)
+        self._wall: dict[str, object] = {}
+        self._logical: dict[str, object] = {}
+
+    def __bool__(self) -> bool:
+        return self._metrics.enabled
+
+    def _histograms(self, name: str):
+        wall = self._wall.get(name)
+        if wall is None:
+            wall = self._wall[name] = self._metrics.histogram(
+                f"{name}_wall_seconds",
+                f"Wall-clock latency of {name}", bounds=LATENCY_BOUNDS)
+            self._logical[name] = self._metrics.histogram(
+                f"{name}_logical_seconds",
+                f"Logical (simulated) latency of {name}",
+                bounds=LATENCY_BOUNDS)
+        return wall, self._logical[name]
+
+    @contextmanager
+    def span(self, name: str):
+        """Trace one operation; records nothing when the registry is null."""
+        if not self._metrics.enabled:
+            yield None
+            return
+        logical_start = self._clock.now() if self._clock is not None else 0.0
+        wall_start = perf_counter()
+        try:
+            yield None
+        finally:
+            wall = perf_counter() - wall_start
+            logical = ((self._clock.now() - logical_start)
+                       if self._clock is not None else 0.0)
+            wall_hist, logical_hist = self._histograms(name)
+            wall_hist.observe(wall)
+            logical_hist.observe(logical)
+            self.spans.append(Span(name, wall, logical))

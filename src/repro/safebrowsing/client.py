@@ -47,6 +47,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from pathlib import Path
+from time import perf_counter
 
 from repro.clock import Clock, ManualClock
 from repro.datastructures.bloom import BloomPrefixStore
@@ -62,6 +63,12 @@ from repro.datastructures.vectorized import (
 from repro.exceptions import UpdateError
 from repro.hashing.digests import FullHash, digests_of
 from repro.hashing.prefix import Prefix
+from repro.observability.metrics import (
+    LATENCY_BOUNDS,
+    SIZE_BOUNDS,
+    MetricsRegistry,
+    registry_or_null,
+)
 from repro.safebrowsing.backoff import UpdateScheduler
 from repro.safebrowsing.chunks import ChunkKind, ChunkRange
 from repro.safebrowsing.cookie import CookieJar, SafeBrowsingCookie
@@ -202,7 +209,8 @@ class SafeBrowsingClient:
                  clock: Clock | None = None,
                  cookie: SafeBrowsingCookie | None = None,
                  cookie_jar: CookieJar | None = None,
-                 privacy_policy: PrivacyPolicy | str | None = None) -> None:
+                 privacy_policy: PrivacyPolicy | str | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         """Build a client bound to one server (or transport).
 
         Parameters
@@ -308,6 +316,33 @@ class SafeBrowsingClient:
             seed=f"client:{name}",
         )
         self.stats = ClientStats()
+        # Observability: children are bound once here so the hot paths make
+        # bound-method calls only.  With no registry the shared no-op child
+        # is bound and the wall-clock measurement blocks are skipped
+        # entirely (guarded by _metrics_enabled).
+        metrics = registry_or_null(metrics)
+        self._metrics_enabled = metrics.enabled
+        self._m_urls_checked = metrics.counter(
+            "client_urls_checked_total", "URLs checked by clients")
+        self._m_check_batches = metrics.counter(
+            "client_check_batches_total", "Batched check_urls calls")
+        self._m_full_hash_requests = metrics.counter(
+            "client_full_hash_requests_total",
+            "Full-hash requests clients sent")
+        self._m_full_hash_batch_size = metrics.histogram(
+            "client_full_hash_batch_size",
+            "Prefixes per client full-hash request", bounds=SIZE_BOUNDS)
+        self._m_update_requests = metrics.counter(
+            "client_update_requests_total", "Update polls clients sent")
+        self._m_update_chunks = metrics.counter(
+            "client_update_chunks_total", "Chunks received by update polls")
+        self._m_lookup_wall = metrics.histogram(
+            "client_lookup_wall_seconds",
+            "Wall-clock time of one lookup/check_urls call",
+            bounds=LATENCY_BOUNDS)
+        self._m_update_wall = metrics.histogram(
+            "client_update_wall_seconds",
+            "Wall-clock time of one update poll", bounds=LATENCY_BOUNDS)
 
     # -- update protocol ------------------------------------------------------
 
@@ -327,6 +362,15 @@ class SafeBrowsingClient:
         not be applied — is recorded on the client's :class:`UpdateScheduler`,
         so retries back off exponentially as the deployed clients do.
         """
+        if not self._metrics_enabled:
+            return self._update_impl()
+        start = perf_counter()
+        try:
+            return self._update_impl()
+        finally:
+            self._m_update_wall.observe(perf_counter() - start)
+
+    def _update_impl(self) -> int:
         states = tuple(
             ListState(
                 list_name=list_name,
@@ -338,6 +382,7 @@ class SafeBrowsingClient:
         request = UpdateRequest(cookie=self.cookie, states=states,
                                 timestamp=self.clock.now())
         self.stats.update_requests += 1
+        self._m_update_requests.inc()
         try:
             response = self.transport.send_update(request)
         except Exception:
@@ -351,6 +396,7 @@ class SafeBrowsingClient:
             for chunk in update.add_chunks + update.sub_chunks:
                 self.stats.chunks_received += 1
                 self.stats.update_prefixes_received += len(chunk.prefixes)
+                self._m_update_chunks.inc()
         try:
             applied = self._apply_update(response)
         except Exception:
@@ -449,6 +495,15 @@ class SafeBrowsingClient:
 
     def lookup(self, url: str) -> LookupResult:
         """Check one URL, contacting the server only on a local hit."""
+        if not self._metrics_enabled:
+            return self._lookup_impl(url)
+        start = perf_counter()
+        try:
+            return self._lookup_impl(url)
+        finally:
+            self._m_lookup_wall.observe(perf_counter() - start)
+
+    def _lookup_impl(self, url: str) -> LookupResult:
         if self.config.auto_update and self.needs_update():
             self.update()
 
@@ -458,6 +513,7 @@ class SafeBrowsingClient:
                            canonical=True)
         )
         self.stats.urls_checked += 1
+        self._m_urls_checked.inc()
 
         digest_by_expression = {expression: FullHash.of(expression) for expression in decomps}
         prefix_by_expression = {
@@ -549,9 +605,20 @@ class SafeBrowsingClient:
         if not urls:
             # An empty scalar loop has no side effects; neither may we.
             return []
+        if not self._metrics_enabled:
+            return self._check_urls_impl(urls)
+        start = perf_counter()
+        try:
+            return self._check_urls_impl(urls)
+        finally:
+            self._m_lookup_wall.observe(perf_counter() - start)
+
+    def _check_urls_impl(self, urls: Sequence[str]) -> list[LookupResult]:
         if self.config.auto_update and self.needs_update():
             self.update()
         self.stats.urls_checked += len(urls)
+        self._m_urls_checked.inc(len(urls))
+        self._m_check_batches.inc()
 
         # Stage 1: serve memoized no-hit results outright; resolve a plan
         # (canonical form, decompositions, deduplicated prefixes) for the rest.
@@ -802,6 +869,8 @@ class SafeBrowsingClient:
         )
         self.stats.full_hash_requests += 1
         self.stats.prefixes_sent += len(prefixes)
+        self._m_full_hash_requests.inc()
+        self._m_full_hash_batch_size.observe(len(prefixes))
         return self.transport.send_full_hash(request)
 
     def send_raw_prefixes(self, prefixes: Sequence[Prefix]) -> FullHashResponse:

@@ -24,9 +24,15 @@ from bisect import bisect_left
 from collections import defaultdict
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT, ShardedPrefixIndex
 from repro.exceptions import ListNotFoundError, ProtocolError
+from repro.observability.metrics import (
+    LATENCY_BOUNDS,
+    MetricsRegistry,
+    registry_or_null,
+)
 
 try:
     import numpy as _np
@@ -455,7 +461,8 @@ class ServerDatabase:
                  shard_count: int = DEFAULT_SHARD_COUNT,
                  index_backend: str = "sorted-array",
                  storage: "str | ServerStorage" = "memory",
-                 storage_path=None) -> None:
+                 storage_path=None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self._lists: dict[str, ListDatabase] = {}
         for descriptor in descriptors:
             self._lists[descriptor.name] = ListDatabase(
@@ -470,6 +477,27 @@ class ServerDatabase:
         for database in self._lists.values():
             database.attach_storage(self.storage)
         self._committed_version = self.version
+        self.set_metrics(metrics)
+
+    def set_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """(Re)bind the storage-commit instruments to ``metrics``.
+
+        Instruments live at :meth:`commit` granularity only — the per-record
+        journal path stays untouched, so hot ingestion loops pay nothing.
+        """
+        metrics = registry_or_null(metrics)
+        self._metrics_enabled = metrics.enabled
+        self._m_commits = metrics.counter(
+            "storage_commits_total", "Durable commits of the served database")
+        self._m_ops_recorded = metrics.counter(
+            "storage_journal_ops_recorded_total",
+            "Journal ops pending at commit time (pre-coalescing)")
+        self._m_ops_flushed = metrics.counter(
+            "storage_journal_ops_flushed_total",
+            "Journal ops applied by commits (post-coalescing)")
+        self._m_commit_wall = metrics.histogram(
+            "storage_commit_wall_seconds",
+            "Wall-clock time of one durable commit", bounds=LATENCY_BOUNDS)
 
     def __getitem__(self, list_name: str) -> ListDatabase:
         try:
@@ -506,9 +534,20 @@ class ServerDatabase:
         see either the state before this call or the state after it — never
         a torn intermediate.  Returns the number of journal ops flushed.
         """
+        if not self._metrics_enabled:
+            self.commit_all()
+            flushed = self.storage.flush()
+            self._committed_version = self.version
+            return flushed
+        start = perf_counter()
         self.commit_all()
+        pending = self.storage.pending_ops()
         flushed = self.storage.flush()
         self._committed_version = self.version
+        self._m_commits.inc()
+        self._m_ops_recorded.inc(pending)
+        self._m_ops_flushed.inc(flushed)
+        self._m_commit_wall.observe(perf_counter() - start)
         return flushed
 
     @property

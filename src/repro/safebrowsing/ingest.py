@@ -38,6 +38,11 @@ from dataclasses import dataclass
 from repro.exceptions import ProtocolError, StorageError
 from repro.hashing.digests import FullHash
 from repro.hashing.prefix import Prefix
+from repro.observability.metrics import (
+    SIZE_BOUNDS,
+    MetricsRegistry,
+    registry_or_null,
+)
 
 #: Mutation actions an ingestion feed can carry, mirroring the mutators of
 #: :class:`~repro.safebrowsing.database.ListDatabase` one to one.
@@ -115,7 +120,8 @@ class IngestionPipeline:
     is the whole point, and what the ingestion benchmark measures.
     """
 
-    def __init__(self, target, *, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+    def __init__(self, target, *, batch_size: int = DEFAULT_BATCH_SIZE,
+                 metrics: MetricsRegistry | None = None) -> None:
         if batch_size < 1:
             raise StorageError("ingestion batch_size must be positive")
         self.database = getattr(target, "database", target)
@@ -124,6 +130,18 @@ class IngestionPipeline:
         self.applied = 0
         self.batches = 0
         self.flushed_ops = 0
+        metrics = registry_or_null(metrics)
+        self._m_batches = metrics.counter(
+            "ingest_batches_total", "Non-empty ingestion batches committed")
+        self._m_mutations = metrics.counter(
+            "ingest_mutations_total", "Mutations applied by the pipeline")
+        self._m_batch_size = metrics.histogram(
+            "ingest_batch_size", "Mutations applied per non-empty batch",
+            bounds=SIZE_BOUNDS)
+        self._m_queue_depth = metrics.gauge(
+            "ingest_queue_depth", "Mutations submitted but not yet applied")
+        # Commit latency is instrumented at the ServerDatabase (the
+        # storage_commit_* families); the pipeline only adds batch shape.
 
     @property
     def queued(self) -> int:
@@ -169,6 +187,10 @@ class IngestionPipeline:
         self.flushed_ops += flushed
         if applied:
             self.batches += 1
+            self._m_batches.inc()
+            self._m_mutations.inc(applied)
+            self._m_batch_size.observe(applied)
+        self._m_queue_depth.set(len(self._queue))
         return IngestionProgress(
             applied=applied, batches=self.batches, queued=len(self._queue),
             version=self.database.version,

@@ -17,7 +17,7 @@ the core only ever sees well-formed requests of the right endpoint.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 from repro.exceptions import ProtocolError
@@ -27,6 +27,8 @@ from repro.safebrowsing.chunks import Chunk, ChunkRange
 from repro.safebrowsing.cookie import SafeBrowsingCookie
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server imports us)
+    from collections.abc import Iterable
+
     from repro.safebrowsing.server import ServerCore
 
 
@@ -248,3 +250,35 @@ class ClientStats:
     def record_extra(self, label: str, count: int = 1) -> None:
         """Track an auxiliary counter (e.g. dummy queries sent)."""
         self.extra_requests[label] = self.extra_requests.get(label, 0) + count
+
+    def as_dict(self) -> dict:
+        """Snapshot of every counter, keyed by field name.
+
+        The one field list shared by :class:`FleetReport` aggregation, the
+        CLI and the metrics exporter — derived from the dataclass fields so
+        it can never drift from the class.  ``extra_requests`` is copied,
+        never aliased.
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["extra_requests"] = dict(self.extra_requests)
+        return data
+
+    @classmethod
+    def aggregate(cls, stats: "Iterable[ClientStats]") -> dict:
+        """Sum many clients' :meth:`as_dict` snapshots field-wise.
+
+        Numeric fields are summed exactly; the ``extra_requests`` dicts are
+        merged key-wise.  This is the fleet simulator's one summation path,
+        so report totals and exported metrics can never disagree.
+        """
+        totals = cls().as_dict()
+        for snapshot in stats:
+            data = snapshot.as_dict() if isinstance(snapshot, cls) else snapshot
+            for name, value in data.items():
+                if name == "extra_requests":
+                    merged = totals["extra_requests"]
+                    for label, count in value.items():
+                        merged[label] = merged.get(label, 0) + count
+                else:
+                    totals[name] += value
+        return totals

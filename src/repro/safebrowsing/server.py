@@ -38,10 +38,17 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
+from time import perf_counter
 
 from repro.clock import Clock, ManualClock
+from repro.observability.metrics import (
+    LATENCY_BOUNDS,
+    SIZE_BOUNDS,
+    MetricsRegistry,
+    registry_or_null,
+)
 from repro.datastructures.sharded import DEFAULT_SHARD_COUNT
 from repro.hashing.prefix import Prefix
 from repro.safebrowsing.cookie import SafeBrowsingCookie
@@ -101,6 +108,17 @@ class ServerStats:
     response_cache_misses: int = 0
     log_entries_evicted: int = 0
 
+    def as_dict(self) -> dict:
+        """Snapshot of every counter, keyed by field name.
+
+        ``clients_seen`` collapses to its cardinality — the only number
+        reports ever derive from the set — so the snapshot is plain data
+        (JSON-serializable, summable by :class:`FleetReport`).
+        """
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["clients_seen"] = len(self.clients_seen)
+        return data
+
 
 @dataclass(slots=True)
 class _CachedResponse:
@@ -145,7 +163,8 @@ class ServerCore:
                  response_cache_entries: int = DEFAULT_RESPONSE_CACHE_ENTRIES,
                  max_log_entries: int | None = None,
                  storage: str | ServerStorage = "memory",
-                 storage_path: str | Path | None = None) -> None:
+                 storage_path: str | Path | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if max_log_entries is not None and max_log_entries < 1:
             raise ValueError("max_log_entries must be positive (or None)")
         if response_cache_seconds < 0:
@@ -166,6 +185,48 @@ class ServerCore:
         self._request_log: deque[RequestLogEntry] = deque()
         self._response_cache: dict[tuple[Prefix, ...], _CachedResponse] = {}
         self._log_observers: list[Callable[[RequestLogEntry], None]] = []
+        self.set_metrics(metrics)
+
+    def set_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """(Re)bind this server's instruments to ``metrics``.
+
+        Fleet runs call this *after* provisioning so that setup-time work
+        (blacklisting the corpus, the initial storage commit) is never
+        counted — a requirement for shard-merged registries to equal a
+        monolithic run's.  Also rebinds the underlying database's storage
+        instruments.  ``None`` binds the shared null registry (no-op path).
+        """
+        metrics = registry_or_null(metrics)
+        self._metrics_enabled = metrics.enabled
+        requests = metrics.counter(
+            "server_requests_total", "Requests the server core processed",
+            labels=("endpoint",))
+        self._m_update_requests = requests.labels(endpoint="downloads")
+        self._m_full_hash_requests = requests.labels(endpoint="gethash")
+        self._m_chunks_served = metrics.counter(
+            "server_chunks_served_total", "Chunks served by update responses")
+        self._m_prefixes_received = metrics.counter(
+            "server_prefixes_received_total",
+            "Prefixes carried by full-hash requests")
+        self._m_full_hashes_served = metrics.counter(
+            "server_full_hashes_served_total",
+            "Full digests returned to clients")
+        cache = metrics.counter(
+            "server_response_cache_total",
+            "Full-hash response cache outcomes", labels=("result",))
+        self._m_cache_hits = cache.labels(result="hit")
+        self._m_cache_misses = cache.labels(result="miss")
+        self._m_log_evicted = metrics.counter(
+            "server_log_entries_evicted_total",
+            "Request-log entries rotated out by the retention bound")
+        self._m_batch_size = metrics.histogram(
+            "server_full_hash_batch_size",
+            "Prefixes per full-hash request", bounds=SIZE_BOUNDS)
+        self._m_match_wall = metrics.histogram(
+            "server_full_hash_match_wall_seconds",
+            "Wall-clock time matching one full-hash batch",
+            bounds=LATENCY_BOUNDS)
+        self.database.set_metrics(metrics)
 
     # -- provisioning ---------------------------------------------------------
 
@@ -205,6 +266,7 @@ class ServerCore:
     def process_update(self, request: UpdateRequest) -> UpdateResponse:
         """Serve the chunks a client is missing for every list it asked about."""
         self.stats.update_requests += 1
+        self._m_update_requests.inc()
         self.stats.clients_seen.add(request.cookie.value)
 
         updates: list[ListUpdate] = []
@@ -213,7 +275,9 @@ class ServerCore:
             missing_add, missing_sub = database.chunks_after(
                 state.add_chunks.numbers, state.sub_chunks.numbers
             )
-            self.stats.chunks_served += len(missing_add) + len(missing_sub)
+            served = len(missing_add) + len(missing_sub)
+            self.stats.chunks_served += served
+            self._m_chunks_served.inc(served)
             updates.append(
                 ListUpdate(
                     list_name=state.list_name,
@@ -238,6 +302,9 @@ class ServerCore:
         """
         self.stats.full_hash_requests += 1
         self.stats.prefixes_received += len(request.prefixes)
+        self._m_full_hash_requests.inc()
+        self._m_prefixes_received.inc(len(request.prefixes))
+        self._m_batch_size.observe(len(request.prefixes))
         self.stats.clients_seen.add(request.cookie.value)
 
         timestamp = self.clock.now()
@@ -246,11 +313,19 @@ class ServerCore:
                             prefixes=tuple(request.prefixes))
         )
 
-        matches_by_prefix = self._matches_for_batch(request.prefixes, timestamp)
+        if self._metrics_enabled:
+            start = perf_counter()
+            matches_by_prefix = self._matches_for_batch(request.prefixes,
+                                                        timestamp)
+            self._m_match_wall.observe(perf_counter() - start)
+        else:
+            matches_by_prefix = self._matches_for_batch(request.prefixes,
+                                                        timestamp)
         matches: list[FullHashMatch] = []
         for prefix in request.prefixes:
             matches.extend(matches_by_prefix[prefix])
         self.stats.full_hashes_served += len(matches)
+        self._m_full_hashes_served.inc(len(matches))
         return FullHashResponse(matches=tuple(matches), timestamp=timestamp)
 
     # -- full-hash response cache ---------------------------------------------
@@ -275,8 +350,10 @@ class ServerCore:
             if (entry is not None and entry.expires_at > now
                     and entry.database_version == self.database.version):
                 self.stats.response_cache_hits += 1
+                self._m_cache_hits.inc()
                 return entry.matches_by_prefix
             self.stats.response_cache_misses += 1
+            self._m_cache_misses.inc()
 
         # Variable-width matching, batched per list: a prefix shorter than
         # the stored width (a widened privacy query) answers with the
@@ -360,6 +437,7 @@ class ServerCore:
             for _ in range(overflow):
                 self._request_log.popleft()
             self.stats.log_entries_evicted += overflow
+            self._m_log_evicted.inc(overflow)
         self._request_log.append(entry)
 
     @property

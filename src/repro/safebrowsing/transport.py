@@ -23,10 +23,16 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from time import perf_counter
 
 from repro.clock import Clock, ManualClock
 from repro.exceptions import TransportError
+from repro.observability.metrics import (
+    LATENCY_BOUNDS,
+    MetricsRegistry,
+    registry_or_null,
+)
 from repro.safebrowsing.protocol import (
     FullHashRequest,
     FullHashResponse,
@@ -51,13 +57,43 @@ class TransportStats:
     failures_injected: int = 0
     simulated_latency_seconds: float = 0.0
 
+    def as_dict(self) -> dict:
+        """Snapshot of every counter, keyed by field name (the one field
+        list shared by reports, the CLI and the metrics exporter)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class Transport(ABC):
-    """One client's channel to the provider."""
+    """One client's channel to the provider.
 
-    def __init__(self, server: ServerCore) -> None:
+    ``metrics`` (optional) instruments the boundary: per-endpoint request
+    counters, a per-delivery wall-latency histogram, injected failures and
+    — for the simulated kind — the sampled logical latency distribution.
+    The default null registry binds shared no-op children, so the
+    uninstrumented path pays one no-op call per request.
+    """
+
+    def __init__(self, server: ServerCore, *,
+                 metrics: MetricsRegistry | None = None) -> None:
         self._server = server
         self.stats = TransportStats()
+        metrics = registry_or_null(metrics)
+        self._metrics_enabled = metrics.enabled
+        requests = metrics.counter(
+            "transport_requests_total",
+            "Requests delivered to the provider", labels=("endpoint",))
+        self._m_update_requests = requests.labels(endpoint="downloads")
+        self._m_full_hash_requests = requests.labels(endpoint="gethash")
+        self._m_failures = metrics.counter(
+            "transport_failures_total", "Injected delivery failures")
+        self._m_delivery_wall = metrics.histogram(
+            "transport_delivery_wall_seconds",
+            "Wall-clock time of one delivery (dispatch included)",
+            bounds=LATENCY_BOUNDS)
+        self._m_simulated_latency = metrics.histogram(
+            "transport_simulated_latency_seconds",
+            "Sampled logical network latency per delivery",
+            bounds=LATENCY_BOUNDS)
 
     @property
     def server(self) -> ServerCore:
@@ -104,12 +140,26 @@ class InProcessTransport(Transport):
     def send_update(self, request: UpdateRequest) -> UpdateResponse:
         self.stats.requests_sent += 1
         self.stats.update_requests += 1
-        return self._dispatch_update(request)
+        self._m_update_requests.inc()
+        if not self._metrics_enabled:
+            return self._dispatch_update(request)
+        start = perf_counter()
+        try:
+            return self._dispatch_update(request)
+        finally:
+            self._m_delivery_wall.observe(perf_counter() - start)
 
     def send_full_hash(self, request: FullHashRequest) -> FullHashResponse:
         self.stats.requests_sent += 1
         self.stats.full_hash_requests += 1
-        return self._dispatch_full_hash(request)
+        self._m_full_hash_requests.inc()
+        if not self._metrics_enabled:
+            return self._dispatch_full_hash(request)
+        start = perf_counter()
+        try:
+            return self._dispatch_full_hash(request)
+        finally:
+            self._m_delivery_wall.observe(perf_counter() - start)
 
 
 class SimulatedNetworkTransport(Transport):
@@ -140,8 +190,9 @@ class SimulatedNetworkTransport(Transport):
                  jitter_seconds: float = 0.0,
                  failure_rate: float = 0.0,
                  seed: int | str = 0,
-                 clock: Clock | None = None) -> None:
-        super().__init__(server)
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        super().__init__(server, metrics=metrics)
         if latency_seconds < 0 or jitter_seconds < 0:
             raise TransportError("latency and jitter must be non-negative")
         if not (0.0 <= failure_rate < 1.0):
@@ -160,8 +211,10 @@ class SimulatedNetworkTransport(Transport):
         if latency > 0 and isinstance(self._clock, ManualClock):
             self._clock.advance(latency)
         self.stats.simulated_latency_seconds += latency
+        self._m_simulated_latency.observe(latency)
         if self.failure_rate and self._rng.random() < self.failure_rate:
             self.stats.failures_injected += 1
+            self._m_failures.inc()
             raise TransportError(
                 f"injected network failure on the {endpoint} endpoint"
             )
@@ -169,14 +222,30 @@ class SimulatedNetworkTransport(Transport):
     def send_update(self, request: UpdateRequest) -> UpdateResponse:
         self.stats.requests_sent += 1
         self.stats.update_requests += 1
-        self._deliver("downloads")
-        return self._dispatch_update(request)
+        self._m_update_requests.inc()
+        if not self._metrics_enabled:
+            self._deliver("downloads")
+            return self._dispatch_update(request)
+        start = perf_counter()
+        try:
+            self._deliver("downloads")
+            return self._dispatch_update(request)
+        finally:
+            self._m_delivery_wall.observe(perf_counter() - start)
 
     def send_full_hash(self, request: FullHashRequest) -> FullHashResponse:
         self.stats.requests_sent += 1
         self.stats.full_hash_requests += 1
-        self._deliver("gethash")
-        return self._dispatch_full_hash(request)
+        self._m_full_hash_requests.inc()
+        if not self._metrics_enabled:
+            self._deliver("gethash")
+            return self._dispatch_full_hash(request)
+        start = perf_counter()
+        try:
+            self._deliver("gethash")
+            return self._dispatch_full_hash(request)
+        finally:
+            self._m_delivery_wall.observe(perf_counter() - start)
 
 
 def build_transport(kind: str, server: ServerCore, *,
@@ -184,19 +253,20 @@ def build_transport(kind: str, server: ServerCore, *,
                     jitter_seconds: float = 0.0,
                     failure_rate: float = 0.0,
                     seed: int | str = 0,
-                    clock: Clock | None = None) -> Transport:
+                    clock: Clock | None = None,
+                    metrics: MetricsRegistry | None = None) -> Transport:
     """Construct a transport by kind name (``"in-process"`` / ``"simulated"``).
 
     The network parameters are ignored for the in-process kind, so callers
     can thread one configuration through both.
     """
     if kind == "in-process":
-        return InProcessTransport(server)
+        return InProcessTransport(server, metrics=metrics)
     if kind == "simulated":
         return SimulatedNetworkTransport(
             server, latency_seconds=latency_seconds,
             jitter_seconds=jitter_seconds, failure_rate=failure_rate,
-            seed=seed, clock=clock,
+            seed=seed, clock=clock, metrics=metrics,
         )
     raise TransportError(
         f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}"

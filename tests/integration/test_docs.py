@@ -44,7 +44,8 @@ def _intra_repo_links(path: Path) -> list[tuple[str, Path]]:
 
 def test_docs_suite_exists():
     """The documented entry points of the docs suite are all present."""
-    for name in ("architecture.md", "protocol.md", "benchmarks.md"):
+    for name in ("architecture.md", "protocol.md", "benchmarks.md",
+                 "observability.md"):
         assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
 
 
@@ -60,7 +61,7 @@ def test_intra_repo_links_resolve(path: Path):
 def test_readme_links_the_docs_suite():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for target in ("docs/architecture.md", "docs/protocol.md",
-                   "docs/benchmarks.md"):
+                   "docs/benchmarks.md", "docs/observability.md"):
         assert target in readme, f"README does not link {target}"
 
 

@@ -1,0 +1,138 @@
+"""Property tests: shard-merged metrics registries equal the monolithic one.
+
+The observability layer extends the parallel engine's exactness claim (see
+``test_prop_parallel_fleet.py``) to the metrics plane: a fleet sharded over
+N workers runs one :class:`MetricsRegistry` per shard, and the merged
+snapshot must equal what a monolithic run's single registry records —
+family by family, counter by counter, histogram bucket by histogram
+bucket.
+
+One family class is legitimately non-deterministic: ``*_wall_seconds``
+histograms measure real elapsed time, so only their observation *counts*
+are shard-deterministic (the same operations ran; how long each took is
+the machine's business).  Histogram sums of deterministic quantities are
+compared with a float tolerance because summation order differs between
+one registry and N merged ones.  Everything else must match exactly.
+
+The response cache is shard-local, so exact runs disable it
+(``server_cache_seconds=0.0``) — the same knob the report-equality suite
+turns.  The merged snapshot must also survive the Prometheus round trip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+pytest.importorskip("numpy")  # the corpus/fleet layers are numpy-backed
+
+from repro.experiments.fleet import FleetConfig, FleetSimulator
+from repro.experiments.parallel import run_parallel_fleet
+from repro.experiments.scale import Scale
+from repro.observability.export import parse_prometheus_text, render_prometheus, snapshot_samples
+
+TINY = Scale(
+    name="tiny-prop-observability",
+    corpus_hosts=40,
+    blacklist_fraction=0.002,
+    stats_sites=10,
+    index_sites=10,
+    tracked_targets=3,
+    clients=8,
+    fleet_urls_per_client=30,
+    fleet_batch_size=10,
+)
+
+
+def _metrics_config(**overrides) -> FleetConfig:
+    base = dict(
+        mode="batched",
+        collect_metrics=True,
+        server_cache_seconds=0.0,  # response cache is shard-local
+        seed=1234,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def _assert_snapshots_equal(mono: dict, merged: dict) -> None:
+    mono_families = mono["families"]
+    merged_families = merged["families"]
+    assert sorted(mono_families) == sorted(merged_families), (
+        "shard merge changed the family catalog")
+    for name, mono_fam in mono_families.items():
+        merged_fam = merged_families[name]
+        assert mono_fam["kind"] == merged_fam["kind"], name
+        assert mono_fam["label_names"] == merged_fam["label_names"], name
+        mono_children = {tuple(c["labels"]): c["state"]
+                         for c in mono_fam["children"]}
+        merged_children = {tuple(c["labels"]): c["state"]
+                           for c in merged_fam["children"]}
+        assert sorted(mono_children) == sorted(merged_children), name
+        for labels, mono_state in mono_children.items():
+            merged_state = merged_children[labels]
+            if mono_fam["kind"] in ("counter", "gauge"):
+                assert mono_state == merged_state, (name, labels)
+                continue
+            assert mono_state["bounds"] == merged_state["bounds"], name
+            if name.endswith("_wall_seconds"):
+                # Wall time is machine-dependent; only the observation
+                # count is deterministic.
+                assert (sum(mono_state["counts"])
+                        == sum(merged_state["counts"])), (name, labels)
+                continue
+            assert mono_state["counts"] == merged_state["counts"], (
+                name, labels)
+            assert math.isclose(mono_state["sum"], merged_state["sum"],
+                                rel_tol=1e-9, abs_tol=1e-12), (name, labels)
+
+
+@pytest.mark.parametrize("transport_kwargs", [
+    pytest.param({"transport": "in-process"}, id="in-process"),
+    pytest.param({"transport": "simulated", "latency_seconds": 0.01,
+                  "latency_jitter_seconds": 0.0}, id="simulated"),
+])
+@pytest.mark.parametrize("shards", [1, 2, 8])
+def test_merged_registries_equal_monolithic(transport_kwargs, shards):
+    config = _metrics_config(**transport_kwargs)
+    monolithic = FleetSimulator(TINY, config).run()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=shards,
+                                inline=True)
+    assert monolithic.metrics is not None
+    assert merged.metrics is not None
+    _assert_snapshots_equal(monolithic.metrics, merged.metrics)
+
+
+def test_merged_snapshot_survives_prometheus_round_trip():
+    config = _metrics_config()
+    merged = run_parallel_fleet(TINY, config, workers=2, shards=2,
+                                inline=True)
+    parsed = parse_prometheus_text(render_prometheus(merged.metrics))
+    assert parsed.samples == snapshot_samples(merged.metrics)
+
+
+def test_metrics_off_by_default():
+    report = FleetSimulator(TINY, FleetConfig(mode="batched")).run()
+    assert report.metrics is None
+    merged = run_parallel_fleet(TINY, FleetConfig(mode="batched"),
+                                workers=2, shards=2, inline=True)
+    assert merged.metrics is None
+
+
+def test_registry_agrees_with_report_counters():
+    # The metrics plane and the stats plane count the same events.
+    config = _metrics_config()
+    report = FleetSimulator(TINY, config).run()
+    families = report.metrics["families"]
+
+    def value(name):
+        return families[name]["children"][0]["state"]
+
+    assert value("fleet_urls_checked_total") == report.urls_checked
+    assert value("server_prefixes_received_total") == (
+        report.server_prefixes_received)
+    endpoint_children = {tuple(c["labels"]): c["state"]
+                         for c in families["server_requests_total"]["children"]}
+    assert endpoint_children[("downloads",)] == report.server_update_requests
+    assert endpoint_children[("gethash",)] == report.server_full_hash_requests
