@@ -27,6 +27,12 @@ often, without writing Python:
     while clients keep polling, and print what the run verified (versioned
     reads, convergence).  ``--storage sqlite --path FILE`` leaves a durable
     SQLite database behind.
+``python -m repro serve [--host HOST] [--port N] ...``
+    Provision a server at scale and serve it over real sockets: the
+    asyncio network service speaking the versioned wire format on
+    ``/safebrowsing/downloads`` and ``/safebrowsing/gethash``, with
+    Prometheus metrics on ``/metrics``.  ``repro fleet --transport http``
+    drives the same service co-hosted in a background thread.
 ``python -m repro snapshot save|load PATH``
     Persist a provisioned server database to the versioned snapshot format
     (``save --storage sqlite`` writes a SQLite database instead), or verify
@@ -100,8 +106,14 @@ _FLEET_STORE_BACKENDS = ("bloom", "delta-coded", "mmap", "raw", "sorted-array") 
 
 #: Transport kinds offered by ``repro fleet``.  Mirrors
 #: ``repro.safebrowsing.transport.TRANSPORT_KINDS`` (kept in sync by a unit
-#: test) for the same lazy-import reason.
-_FLEET_TRANSPORTS = ("in-process", "simulated")
+#: test) for the same lazy-import reason.  ``http`` makes the fleet co-host
+#: a real asyncio service in a background thread and drive it over sockets.
+_FLEET_TRANSPORTS = ("http", "in-process", "simulated")
+
+#: Transport kinds offered by ``repro ingest``.  Ingestion builds its
+#: transports without a network address (the server lives in the same
+#: process by design), so it keeps the local kinds only.
+_LOCAL_TRANSPORTS = ("in-process", "simulated")
 
 #: Privacy policies offered by ``repro fleet``.  Mirrors the keys of
 #: ``repro.safebrowsing.privacy.POLICY_FACTORIES`` (kept in sync by a unit
@@ -207,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated network latency per request")
     fleet.add_argument("--failure-rate", type=float, default=None,
                        help="simulated network failure probability in [0, 1)")
+    fleet.add_argument("--http-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="socket timeout for --transport http "
+                            "(default 10)")
+    fleet.add_argument("--http-retries", type=int, default=None, metavar="N",
+                       help="connection-level retries for --transport http "
+                            "(default 2)")
     fleet.add_argument("--shards", type=int, default=None,
                        help="server-side prefix index shard count")
     fleet.add_argument("--server-cache-seconds", type=float, default=None,
@@ -267,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--path", default=None, metavar="FILE",
                         help="SQLite database file for --storage sqlite "
                              "(default: in-memory)")
-    ingest.add_argument("--transport", choices=_FLEET_TRANSPORTS,
+    ingest.add_argument("--transport", choices=_LOCAL_TRANSPORTS,
                         default="in-process",
                         help="client<->server boundary (default in-process)")
     ingest.add_argument("--initial", type=int, default=2000, metavar="N",
@@ -285,6 +304,34 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--progress-every", type=int, default=0, metavar="N",
                         help="print a progress line every N live batches "
                              "(0, the default, disables the heartbeat)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a provisioned server over real sockets "
+                      "(wire-format endpoints + /metrics)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind (default 0: pick an ephemeral "
+                            "port and print it)")
+    serve.add_argument("--provider", choices=["google", "yandex"],
+                       default="google",
+                       help="whose lists to provision (default google)")
+    serve.add_argument("--scale", choices=["small", "medium"],
+                       default="small",
+                       help="workload size (default small)")
+    serve.add_argument("--storage", choices=_SERVER_STORAGE_KINDS,
+                       default="memory",
+                       help="server storage backend (default memory)")
+    serve.add_argument("--path", default=None, metavar="FILE",
+                       help="SQLite database file for --storage sqlite "
+                            "(default: in-memory)")
+    serve.add_argument("--sync-clock", action="store_true",
+                       help="advance the server's manual clock to each "
+                            "request's timestamp (deterministic replay)")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop after SECONDS (default: serve until "
+                            "interrupted) — used by the CI smoke test")
 
     metrics = subparsers.add_parser(
         "metrics", help="run a small instrumented fleet and print its "
@@ -396,6 +443,10 @@ def _command_fleet(args: argparse.Namespace) -> int:
         config = dc_replace(config, latency_seconds=args.latency)
     if args.failure_rate is not None:
         config = dc_replace(config, failure_rate=args.failure_rate)
+    if args.http_timeout is not None:
+        config = dc_replace(config, http_timeout_seconds=args.http_timeout)
+    if args.http_retries is not None:
+        config = dc_replace(config, http_retries=args.http_retries)
     if args.shards is not None:
         config = dc_replace(config, shard_count=args.shards)
     if args.server_cache_seconds is not None:
@@ -541,6 +592,45 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.experiments.scale import MEDIUM, SMALL, get_context
+    from repro.safebrowsing.lists import ListProvider
+    from repro.safebrowsing.netservice import NetService
+
+    if args.path is not None and args.storage != "sqlite":
+        print("error: --path requires --storage sqlite", file=sys.stderr)
+        return 2
+    provider = (ListProvider.GOOGLE if args.provider == "google"
+                else ListProvider.YANDEX)
+    scale = SMALL if args.scale == "small" else MEDIUM
+    server = get_context(scale).provision_server(
+        provider, storage=args.storage, storage_path=args.path)
+    service = NetService(server, host=args.host, port=args.port,
+                         sync_clock=args.sync_clock)
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"serving {args.provider} lists ({scale.name} scale) "
+              f"on http://{service.address[0]}:{service.port}", flush=True)
+        print("endpoints       : /safebrowsing/downloads "
+              "/safebrowsing/gethash /metrics /healthz", flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _command_metrics(args: argparse.Namespace) -> int:
     from dataclasses import replace as dc_replace
 
@@ -610,6 +700,7 @@ _COMMANDS = {
     "experiment": _command_experiment,
     "fleet": _command_fleet,
     "ingest": _command_ingest,
+    "serve": _command_serve,
     "snapshot": _command_snapshot,
     "metrics": _command_metrics,
 }

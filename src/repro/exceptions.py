@@ -53,6 +53,17 @@ class TransportError(ProtocolError):
     """
 
 
+class WireError(ProtocolError):
+    """Raised by the wire-format layer for unusable frames.
+
+    Every failure mode is loud and typed, in the :class:`SnapshotError`
+    style: a bad magic, an unsupported frame version, an unknown message
+    kind, a truncated frame, trailing bytes, an oversized declared payload,
+    or a checksum mismatch.  The message always states what was expected
+    and what was found; a frame is never partially decoded.
+    """
+
+
 class UpdateError(ProtocolError):
     """Raised when a client update cannot be applied to the local database."""
 

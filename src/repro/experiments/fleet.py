@@ -175,10 +175,20 @@ class FleetConfig:
         Master seed; client ``i`` derives its stream from ``seed + i``.
     transport:
         The client↔server boundary: ``"in-process"`` (direct dispatch, the
-        PR 1 reference behaviour) or ``"simulated"`` (seeded latency and
-        failure injection over the shared clock).
+        PR 1 reference behaviour), ``"simulated"`` (seeded latency and
+        failure injection over the shared clock), or ``"http"`` — the
+        simulator co-hosts a :class:`~repro.safebrowsing.netservice.NetService`
+        on a loopback ephemeral port in a background thread of its own
+        process (sharing the server core and the logical clock), and every
+        client delivers through a real socket.  Because the fleet loop
+        blocks on each response, requests serialize exactly as in-process
+        ones do, and the run's counters are byte-identical to the
+        in-process transport's (property-pinned).
     latency_seconds / latency_jitter_seconds / failure_rate:
         Parameters of the simulated network transport (ignored in-process).
+    http_timeout_seconds / http_retries:
+        Socket timeout and connection-level retry budget of the HTTP
+        transport (ignored by the other kinds).
     shard_count:
         Partitions of every server-side list membership index.
     server_cache_seconds:
@@ -255,6 +265,8 @@ class FleetConfig:
     latency_seconds: float = 0.05
     latency_jitter_seconds: float = 0.02
     failure_rate: float = 0.0
+    http_timeout_seconds: float = 10.0
+    http_retries: int = 2
     shard_count: int = DEFAULT_SHARD_COUNT
     server_cache_seconds: float = DEFAULT_RESPONSE_CACHE_SECONDS
     max_log_entries: int | None = DEFAULT_FLEET_LOG_BOUND
@@ -317,6 +329,10 @@ class FleetConfig:
             raise ExperimentError("shard_count must be positive")
         if self.latency_seconds < 0 or self.latency_jitter_seconds < 0:
             raise ExperimentError("latency parameters must be non-negative")
+        if self.http_timeout_seconds <= 0:
+            raise ExperimentError("http_timeout_seconds must be positive")
+        if self.http_retries < 0:
+            raise ExperimentError("http_retries must be non-negative")
         if not (0.0 <= self.failure_rate < 1.0):
             raise ExperimentError("failure_rate must be in [0, 1)")
         if self.server_cache_seconds < 0:
@@ -655,6 +671,13 @@ class FleetSimulator:
         if not self.client_indices:
             raise ExperimentError("client_indices must not be empty")
         self.shard_seed = shard_seed
+        # Bound address of the co-hosted network service during an http
+        # run (set by run(); _build_client threads it into the transports,
+        # including the ones churn restarts build mid-run).
+        self._http_address: tuple[str, int] | None = None
+        #: Most sockets the co-hosted service ever had open at once during
+        #: the last http run (0 otherwise) — the bench's concurrency figure.
+        self.http_peak_connections = 0
         # One registry per simulator: a shard worker's lives and dies with
         # its shard, the parent merges the snapshots off the reports.
         self.metrics: MetricsRegistry = (
@@ -737,6 +760,9 @@ class FleetSimulator:
             failure_rate=config.failure_rate,
             seed=f"fleet:{config.seed}:transport:{index}",
             metrics=self.metrics,
+            address=self._http_address,
+            timeout_seconds=config.http_timeout_seconds,
+            retries=config.http_retries,
         )
         name = f"fleet-client-{index:03d}"
         # Policies are stateful (mixing pools, RNGs): one fresh instance
@@ -992,6 +1018,19 @@ class FleetSimulator:
         # would break shard-merge ≡ monolithic exactness.
         if config.collect_metrics:
             server.set_metrics(self.metrics)
+        service = None
+        if config.transport == "http":
+            # Co-host the network service on a loopback ephemeral port, in
+            # a thread of this process, over the *same* server core and the
+            # *same* logical clock the clients share.  Imported lazily so
+            # non-http fleets never touch socket code.
+            from repro.safebrowsing.netservice import ServiceThread
+
+            service = ServiceThread(
+                server,
+                metrics=self.metrics if config.collect_metrics else None,
+            ).start()
+            self._http_address = service.address
         clients = self.build_clients(server, clock)
         streams = [self.client_stream(index) for index in self.client_indices]
         profiles = [self.profile_for(index) for index in self.client_indices]
@@ -1076,6 +1115,10 @@ class FleetSimulator:
                     client_restarts += restarts
                     warm_start_prefixes_resumed += resumed
         finally:
+            if service is not None:
+                self.http_peak_connections = service.service.peak_connections
+                service.stop()
+                self._http_address = None
             if snapshot_tmp is not None:
                 snapshot_tmp.cleanup()
         elapsed = time.perf_counter() - started

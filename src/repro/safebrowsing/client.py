@@ -88,7 +88,7 @@ from repro.safebrowsing.protocol import (
     UpdateResponse,
     Verdict,
 )
-from repro.safebrowsing.server import ServerCore
+from repro.safebrowsing.server import DEFAULT_POLL_INTERVAL, ServerCore
 from repro.safebrowsing.transport import InProcessTransport, Transport
 from repro.urls.canonicalize import canonicalize
 from repro.urls.decompose import API_POLICY, DecompositionPolicy, decompositions
@@ -256,6 +256,9 @@ class SafeBrowsingClient:
         elif server is not None and transport.server is not server:
             raise UpdateError("transport is bound to a different server")
         self.transport = transport
+        # A remote transport (an HTTP transport pointed at another process)
+        # has no local core to read configuration from: ``self.server`` is
+        # then None and the remote-defaults branches below apply.
         self.server = transport.server
         server = self.server
         self.name = name
@@ -272,7 +275,12 @@ class SafeBrowsingClient:
             # degrades to a no-op at this client's prefix width.
             privacy_policy.validate_for(self.config.prefix_bits)
         self.privacy_policy = privacy_policy
-        self.clock = clock if clock is not None else server.clock
+        if clock is not None:
+            self.clock = clock
+        elif server is not None:
+            self.clock = server.clock
+        else:
+            self.clock = ManualClock()
         if cookie is not None:
             self.cookie = cookie
         else:
@@ -280,13 +288,23 @@ class SafeBrowsingClient:
             self.cookie = jar.issue(name)
 
         if lists is None:
+            if server is None:
+                raise UpdateError(
+                    "a client on a remote transport cannot discover the "
+                    "served lists; pass lists= explicitly")
             subscribed = [
                 database.descriptor.name
                 for database in server.database
                 if database.descriptor.is_url_list
             ]
         else:
-            subscribed = list(lists)
+            # Accept names or ListDescriptors (GOOGLE_LISTS et al.) —
+            # a descriptor must not leak into ListState.list_name, where
+            # only the wire codec would finally choke on it.
+            subscribed = [
+                entry if isinstance(entry, str) else entry.name
+                for entry in lists
+            ]
         backend = _STORE_BACKENDS[self.config.store_backend]
         self._lists: dict[str, _ListState] = {
             list_name: _ListState(store=backend(bits=self.config.prefix_bits))
@@ -311,7 +329,8 @@ class SafeBrowsingClient:
         # one clock keep independent (and, with jitter, desynchronized)
         # update/backoff schedules.
         self.scheduler = UpdateScheduler(
-            poll_interval=server.poll_interval,
+            poll_interval=(DEFAULT_POLL_INTERVAL if server is None
+                           else server.poll_interval),
             jitter_fraction=self.config.update_jitter_fraction,
             seed=f"client:{name}",
         )

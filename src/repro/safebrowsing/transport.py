@@ -15,8 +15,12 @@ abstraction exists so the same client, fleet simulator and CLI can run over
   update schedules drift, full-hash caches expire mid-burst, and the
   provider's request log shows the skew a real fleet would produce.
 
-Both transports wrap a local :class:`ServerCore`; swapping in a remote one
-later only requires implementing ``send_update``/``send_full_hash``.
+Both local transports wrap a :class:`ServerCore`.  The remote one exists
+now too: :class:`~repro.safebrowsing.httptransport.HttpTransport` speaks
+the :mod:`~repro.safebrowsing.wireformat` frames over real sockets to a
+:class:`~repro.safebrowsing.netservice.NetService` (registered here as
+kind ``"http"``, imported lazily to keep this module free of socket
+concerns).
 """
 
 from __future__ import annotations
@@ -44,18 +48,31 @@ from repro.safebrowsing.protocol import (
 from repro.safebrowsing.server import ServerCore
 
 #: Transport kinds selectable by name (fleet config and CLI).
-TRANSPORT_KINDS = ("in-process", "simulated")
+TRANSPORT_KINDS = ("http", "in-process", "simulated")
+
+#: The kinds that deliver by direct call, needing no address and no socket.
+#: Callers that sweep the registry hermetically (tier-1 tests, ingestion)
+#: iterate these; ``http`` is exercised by the ``network``-marked tier.
+LOCAL_TRANSPORT_KINDS = ("in-process", "simulated")
 
 
 @dataclass
 class TransportStats:
-    """Counters a transport keeps about the traffic it carried."""
+    """Counters a transport keeps about the traffic it carried.
+
+    The socket-level fields (``retries`` onward) stay zero for the local
+    transports; the HTTP transport fills them in.
+    """
 
     requests_sent: int = 0
     update_requests: int = 0
     full_hash_requests: int = 0
     failures_injected: int = 0
     simulated_latency_seconds: float = 0.0
+    retries: int = 0
+    connections_opened: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
     def as_dict(self) -> dict:
         """Snapshot of every counter, keyed by field name (the one field
@@ -73,7 +90,7 @@ class Transport(ABC):
     uninstrumented path pays one no-op call per request.
     """
 
-    def __init__(self, server: ServerCore, *,
+    def __init__(self, server: ServerCore | None, *,
                  metrics: MetricsRegistry | None = None) -> None:
         self._server = server
         self.stats = TransportStats()
@@ -96,12 +113,16 @@ class Transport(ABC):
             bounds=LATENCY_BOUNDS)
 
     @property
-    def server(self) -> ServerCore:
-        """The server core behind this transport.
+    def server(self) -> ServerCore | None:
+        """The server core behind this transport, if it has a local one.
 
         Exposed for *configuration* (poll interval, served lists) and for
         experiment assertions — request traffic must go through
-        :meth:`send_update` / :meth:`send_full_hash`.
+        :meth:`send_update` / :meth:`send_full_hash`.  ``None`` for a
+        genuinely remote transport (an HTTP transport pointed at another
+        process); the co-hosted HTTP transport the fleet builds keeps the
+        reference so clients configure themselves exactly as in-process
+        ones do.
         """
         return self._server
 
@@ -248,17 +269,22 @@ class SimulatedNetworkTransport(Transport):
             self._m_delivery_wall.observe(perf_counter() - start)
 
 
-def build_transport(kind: str, server: ServerCore, *,
+def build_transport(kind: str, server: ServerCore | None, *,
                     latency_seconds: float = 0.05,
                     jitter_seconds: float = 0.0,
                     failure_rate: float = 0.0,
                     seed: int | str = 0,
                     clock: Clock | None = None,
-                    metrics: MetricsRegistry | None = None) -> Transport:
-    """Construct a transport by kind name (``"in-process"`` / ``"simulated"``).
+                    metrics: MetricsRegistry | None = None,
+                    address: tuple[str, int] | None = None,
+                    timeout_seconds: float = 5.0,
+                    retries: int = 2) -> Transport:
+    """Construct a transport by kind name.
 
-    The network parameters are ignored for the in-process kind, so callers
-    can thread one configuration through both.
+    The parameters each kind does not understand are ignored, so callers
+    can thread one configuration through every kind.  ``"http"`` requires
+    ``address`` (the :class:`~repro.safebrowsing.netservice.NetService`
+    endpoint); ``server`` is then the optional co-hosted core reference.
     """
     if kind == "in-process":
         return InProcessTransport(server, metrics=metrics)
@@ -268,6 +294,16 @@ def build_transport(kind: str, server: ServerCore, *,
             jitter_seconds=jitter_seconds, failure_rate=failure_rate,
             seed=seed, clock=clock, metrics=metrics,
         )
+    if kind == "http":
+        # Imported lazily so the local transports never touch socket code.
+        from repro.safebrowsing.httptransport import HttpTransport
+
+        if address is None:
+            raise TransportError(
+                "the http transport needs an address=(host, port)")
+        return HttpTransport(address, server=server,
+                             timeout_seconds=timeout_seconds,
+                             retries=retries, metrics=metrics)
     raise TransportError(
         f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}"
     )

@@ -69,3 +69,37 @@ def updated_client(google_server: SafeBrowsingServer, clock: ManualClock) -> Saf
     client = SafeBrowsingClient(google_server, name="test-client", clock=clock)
     client.update()
     return client
+
+
+# -- network tier ------------------------------------------------------------
+#
+# Socket-backed fixtures for the ``network``-marked tier.  Every service
+# binds port 0 (the kernel hands out a free ephemeral port), so parallel
+# test runs never collide, and the service lives exactly as long as the
+# test that requested it.
+
+
+@pytest.fixture()
+def http_service(google_server: SafeBrowsingServer):
+    """``google_server`` served over a real socket for one test."""
+    from repro.safebrowsing.netservice import ServiceThread
+
+    service = ServiceThread(google_server).start()
+    try:
+        yield service
+    finally:
+        service.stop()
+
+
+@pytest.fixture()
+def http_transport(http_service):
+    """An :class:`HttpTransport` onto ``http_service`` (fast-fail timeouts)."""
+    from repro.safebrowsing.httptransport import HttpTransport
+
+    transport = HttpTransport(
+        http_service.address, server=http_service.core,
+        timeout_seconds=5.0, retries=1, backoff_seconds=0.01)
+    try:
+        yield transport
+    finally:
+        transport.close()

@@ -28,11 +28,13 @@ from repro.safebrowsing.client import _STORE_BACKENDS, ClientConfig, SafeBrowsin
 from repro.safebrowsing.lists import GOOGLE_LISTS
 from repro.safebrowsing.privacy import POLICY_FACTORIES, build_policy
 from repro.safebrowsing.server import SafeBrowsingServer
-from repro.safebrowsing.transport import TRANSPORT_KINDS, build_transport
+from repro.safebrowsing.transport import LOCAL_TRANSPORT_KINDS, build_transport
 
 BACKENDS = sorted(_STORE_BACKENDS)
 POLICIES = sorted(POLICY_FACTORIES)
-TRANSPORTS = sorted(TRANSPORT_KINDS)
+# The hermetic sweep covers the direct-call kinds; the socket transport's
+# equivalence is pinned by the network tier (test_prop_wire_transport).
+TRANSPORTS = sorted(LOCAL_TRANSPORT_KINDS)
 
 BLACKLISTED = (
     "evil.example.com/malware/dropper.exe",

@@ -71,6 +71,13 @@ class TestUpdate:
         assert client.subscribed_lists == ("goog-malware-shavar",)
         assert client.local_database_size() == 2
 
+    def test_descriptor_list_subscription(self, google_server, clock):
+        client = SafeBrowsingClient(google_server, lists=GOOGLE_LISTS, clock=clock)
+        assert client.update() > 0
+        assert set(client.subscribed_lists) == {
+            descriptor.name for descriptor in GOOGLE_LISTS
+        }
+
     def test_sub_chunks_remove_prefixes(self, google_server, clock):
         client = SafeBrowsingClient(google_server, clock=clock)
         client.update()

@@ -418,5 +418,9 @@ class TestStatsSnapshots:
             "update_requests": 1,
             "full_hash_requests": 3,
             "failures_injected": 0,
+            "retries": 0,
+            "connections_opened": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
             "simulated_latency_seconds": 0.25,
         }

@@ -1,0 +1,154 @@
+"""Unit tests: the wire codec's validation paths, one by one.
+
+The property suite (``tests/property/test_prop_wireformat.py``) sweeps
+round trips and blind corruption; here every *named* failure mode gets a
+direct test so a regression points at the exact check that broke.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.exceptions import ProtocolError, WireError
+from repro.hashing.prefix import Prefix
+from repro.safebrowsing.chunks import ChunkRange
+from repro.safebrowsing.cookie import SafeBrowsingCookie
+from repro.safebrowsing.protocol import (
+    FullHashRequest,
+    ListState,
+    UpdateRequest,
+)
+from repro.safebrowsing.wireformat import (
+    ERR_INTERNAL,
+    ERR_LIST_NOT_FOUND,
+    ERR_PROTOCOL,
+    ERR_VERSION,
+    ERROR_CODES,
+    FRAME_HEADER_SIZE,
+    FRAME_TRAILER_SIZE,
+    MAGIC,
+    MessageKind,
+    WIRE_VERSION,
+    WireErrorMessage,
+    decode_message,
+    encode_message,
+    parse_header,
+)
+
+
+def _frame_with_payload(kind: MessageKind, payload: bytes) -> bytes:
+    """Hand-build a checksum-valid frame around an arbitrary payload."""
+    body = (bytes([WIRE_VERSION, int(kind)])
+            + struct.pack(">I", len(payload)) + payload)
+    return MAGIC + body + struct.pack(">I", zlib.crc32(body))
+
+
+class TestEncode:
+    def test_unencodable_type_is_named(self):
+        with pytest.raises(WireError, match="cannot encode str"):
+            encode_message("not a protocol message")
+
+    def test_wire_error_is_a_protocol_error(self):
+        # Callers catching the protocol family catch wire faults too.
+        assert issubclass(WireError, ProtocolError)
+
+    def test_error_codes_are_distinct(self):
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES) == 4
+        assert {ERR_PROTOCOL, ERR_LIST_NOT_FOUND, ERR_INTERNAL,
+                ERR_VERSION} == set(ERROR_CODES)
+
+    def test_error_message_rejects_unknown_code(self):
+        with pytest.raises(WireError, match="unknown wire error code"):
+            WireErrorMessage(code=99, message="nope")
+
+
+class TestHeader:
+    def test_short_header(self):
+        with pytest.raises(WireError, match="truncated frame header"):
+            parse_header(MAGIC)
+
+    def test_bad_magic_names_both_values(self):
+        header = b"HTTP" + bytes(FRAME_HEADER_SIZE - 4)
+        with pytest.raises(WireError, match="SBWF.*HTTP"):
+            parse_header(header)
+
+    def test_header_of_valid_frame(self):
+        frame = encode_message(WireErrorMessage(ERR_PROTOCOL, "x"))
+        kind, length = parse_header(frame[:FRAME_HEADER_SIZE])
+        assert kind is MessageKind.ERROR
+        assert (FRAME_HEADER_SIZE + length + FRAME_TRAILER_SIZE
+                == len(frame))
+
+
+class TestPayloadValidation:
+    def test_empty_cookie_is_refused(self):
+        # A hand-built frame whose cookie field is a zero-length string.
+        payload = (struct.pack(">I", 0)          # cookie text length 0
+                   + struct.pack(">H", 0)        # no list states
+                   + struct.pack(">d", 0.0))     # timestamp
+        frame = _frame_with_payload(MessageKind.UPDATE_REQUEST, payload)
+        with pytest.raises(WireError, match="cookie must not be empty"):
+            decode_message(frame)
+
+    def test_invalid_prefix_width_is_refused(self):
+        payload = (struct.pack(">I", 1) + b"c"   # cookie "c"
+                   + struct.pack(">I", 1)        # one prefix
+                   + struct.pack(">H", 12)       # width 12: not a byte multiple
+                   + b"\x00\x00"
+                   + struct.pack(">d", 0.0))
+        frame = _frame_with_payload(MessageKind.FULL_HASH_REQUEST, payload)
+        with pytest.raises(WireError, match="prefix width"):
+            decode_message(frame)
+
+    def test_zero_prefix_full_hash_request_is_refused(self):
+        payload = (struct.pack(">I", 1) + b"c"
+                   + struct.pack(">I", 0)        # zero prefixes
+                   + struct.pack(">d", 0.0))
+        frame = _frame_with_payload(MessageKind.FULL_HASH_REQUEST, payload)
+        with pytest.raises(WireError, match="at least one prefix"):
+            decode_message(frame)
+
+    def test_unknown_chunk_kind_byte_is_refused(self):
+        payload = (struct.pack(">H", 1)                    # one list update
+                   + struct.pack(">I", 1) + b"l"           # list name "l"
+                   + struct.pack(">I", 1)                  # one add chunk
+                   + struct.pack(">I", 1) + bytes([7]))    # kind byte 7
+        frame = _frame_with_payload(MessageKind.UPDATE_RESPONSE, payload)
+        with pytest.raises(WireError, match="unknown chunk kind byte 7"):
+            decode_message(frame)
+
+    def test_invalid_chunk_range_text_is_refused(self):
+        request = UpdateRequest(
+            cookie=SafeBrowsingCookie("c"),
+            states=(ListState("l", ChunkRange({1}), ChunkRange(set())),))
+        frame = bytearray(encode_message(request))
+        # Replace the add-range text "1" with garbage and re-checksum.
+        index = frame.index(b"1", FRAME_HEADER_SIZE)
+        frame[index:index + 1] = b"?"
+        body = bytes(frame[4:-FRAME_TRAILER_SIZE])
+        frame[-FRAME_TRAILER_SIZE:] = struct.pack(">I", zlib.crc32(body))
+        with pytest.raises(WireError, match="add chunk range"):
+            decode_message(bytes(frame))
+
+    def test_non_utf8_text_is_refused(self):
+        payload = (struct.pack(">I", 2) + b"\xff\xfe"      # invalid UTF-8
+                   + struct.pack(">H", 0)
+                   + struct.pack(">d", 0.0))
+        frame = _frame_with_payload(MessageKind.UPDATE_REQUEST, payload)
+        with pytest.raises(WireError, match="not valid UTF-8"):
+            decode_message(frame)
+
+    def test_error_message_round_trip(self):
+        for code in ERROR_CODES:
+            message = WireErrorMessage(code, f"reason {code}")
+            assert decode_message(encode_message(message)) == message
+
+    def test_full_hash_request_round_trip_all_widths(self):
+        for bits in (8, 16, 32, 64, 128, 256):
+            request = FullHashRequest(
+                cookie=SafeBrowsingCookie("c"),
+                prefixes=(Prefix(bytes(bits // 8), bits),))
+            assert decode_message(encode_message(request)) == request
